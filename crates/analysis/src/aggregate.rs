@@ -1,0 +1,272 @@
+//! Aggregation across multiple profiles (paper §V-A-c).
+//!
+//! Aggregation merges N profiles into one unified tree and derives
+//! statistical metrics (sum, min, max, mean) per node, while keeping the
+//! full per-profile value series for each node — the data behind the
+//! per-context histograms of Fig. 4 and the snapshot-timeline leak
+//! analysis of §VII-C1.
+
+use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, NodeId, Profile};
+
+/// The derived statistic channels of an [`Aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateMetrics {
+    /// Σ over profiles.
+    pub sum: MetricId,
+    /// Minimum over profiles.
+    pub min: MetricId,
+    /// Maximum over profiles.
+    pub max: MetricId,
+    /// Arithmetic mean over profiles.
+    pub mean: MetricId,
+}
+
+/// The result of aggregating N profiles over one metric.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// The unified tree carrying the derived statistic metrics.
+    pub profile: Profile,
+    /// Handles to the derived metrics inside [`Aggregate::profile`].
+    pub metrics: AggregateMetrics,
+    /// `series[node][k]` = the metric value of unified-tree node `node`
+    /// in input profile `k` (0 where the context is absent).
+    series: Vec<Vec<f64>>,
+    profiles: usize,
+}
+
+impl Aggregate {
+    /// The per-profile value series of `node` — the histogram EasyView
+    /// attaches to a context in the aggregate view.
+    pub fn series(&self, node: NodeId) -> &[f64] {
+        &self.series[node.index()]
+    }
+
+    /// Number of input profiles.
+    pub fn profile_count(&self) -> usize {
+        self.profiles
+    }
+}
+
+/// Merges `profiles` over the metric named `metric_name` (each input
+/// must carry it).
+///
+/// Contexts merge by frame identity along root paths, exactly like
+/// samples within one profile; a context absent from profile `k`
+/// reports 0 in slot `k` of its series.
+///
+/// # Errors
+///
+/// Returns the offending profile's index if it lacks `metric_name`.
+///
+/// # Panics
+///
+/// Panics when `profiles` is empty.
+pub fn aggregate(profiles: &[&Profile], metric_name: &str) -> Result<Aggregate, usize> {
+    assert!(!profiles.is_empty(), "aggregate requires at least one profile");
+    let n = profiles.len();
+    let source_metrics: Vec<MetricId> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.metric_by_name(metric_name).ok_or(i))
+        .collect::<Result<_, _>>()?;
+
+    let descriptor = profiles[0].metric(source_metrics[0]).clone();
+    let mut out = Profile::new(format!("aggregate of {n} profiles"));
+    out.meta_mut().profiler = profiles[0].meta().profiler.clone();
+    out.meta_mut().description = format!("aggregate over {metric_name}");
+    let metrics = AggregateMetrics {
+        sum: out.add_metric(
+            MetricDescriptor::new(format!("{metric_name}/sum"), descriptor.unit, descriptor.kind)
+                .with_description("sum across profiles"),
+        ),
+        min: out.add_metric(
+            MetricDescriptor::new(
+                format!("{metric_name}/min"),
+                descriptor.unit,
+                MetricKind::Point,
+            )
+            .with_description("minimum across profiles"),
+        ),
+        max: out.add_metric(
+            MetricDescriptor::new(
+                format!("{metric_name}/max"),
+                descriptor.unit,
+                MetricKind::Point,
+            )
+            .with_description("maximum across profiles"),
+        ),
+        mean: out.add_metric(
+            MetricDescriptor::new(
+                format!("{metric_name}/mean"),
+                descriptor.unit,
+                MetricKind::Point,
+            )
+            .with_description("mean across profiles"),
+        ),
+    };
+
+    // series[node] -> per-profile values; grown as the unified tree grows.
+    let mut series: Vec<Vec<f64>> = vec![vec![0.0; n]];
+
+    for (k, (profile, &metric)) in profiles.iter().zip(&source_metrics).enumerate() {
+        // (source node, unified node) work list.
+        let mut work: Vec<(NodeId, NodeId)> = vec![(profile.root(), out.root())];
+        while let Some((src, dst)) = work.pop() {
+            let value = profile.value(src, metric);
+            if value != 0.0 {
+                series[dst.index()][k] += value;
+            }
+            for &child in profile.node(src).children() {
+                let frame: Frame = profile.resolve_frame(child);
+                let new_dst = out.child(dst, &frame);
+                if new_dst.index() >= series.len() {
+                    series.resize(new_dst.index() + 1, vec![0.0; n]);
+                }
+                work.push((child, new_dst));
+            }
+        }
+    }
+
+    for node in out.node_ids().collect::<Vec<_>>() {
+        let values = &series[node.index()];
+        let sum: f64 = values.iter().sum();
+        if values.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        out.set_value(node, metrics.sum, sum);
+        out.set_value(node, metrics.min, min);
+        out.set_value(node, metrics.max, max);
+        out.set_value(node, metrics.mean, sum / n as f64);
+    }
+
+    Ok(Aggregate {
+        profile: out,
+        metrics,
+        series,
+        profiles: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::{MetricUnit, Profile};
+    use proptest::prelude::*;
+
+    fn snapshot(values: &[(&str, f64)]) -> Profile {
+        let mut p = Profile::new("snap");
+        let m = p.add_metric(MetricDescriptor::new(
+            "inuse",
+            MetricUnit::Bytes,
+            MetricKind::Exclusive,
+        ));
+        for &(name, v) in values {
+            p.add_sample(
+                &[Frame::function("main"), Frame::function(name)],
+                &[(m, v)],
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn derives_statistics_per_node() {
+        let p1 = snapshot(&[("alloc", 10.0), ("tmp", 5.0)]);
+        let p2 = snapshot(&[("alloc", 20.0)]);
+        let p3 = snapshot(&[("alloc", 30.0), ("tmp", 1.0)]);
+        let agg = aggregate(&[&p1, &p2, &p3], "inuse").unwrap();
+        agg.profile.validate().unwrap();
+        assert_eq!(agg.profile_count(), 3);
+
+        let alloc = agg
+            .profile
+            .node_ids()
+            .find(|&id| agg.profile.resolve_frame(id).name == "alloc")
+            .unwrap();
+        assert_eq!(agg.profile.value(alloc, agg.metrics.sum), 60.0);
+        assert_eq!(agg.profile.value(alloc, agg.metrics.min), 10.0);
+        assert_eq!(agg.profile.value(alloc, agg.metrics.max), 30.0);
+        assert_eq!(agg.profile.value(alloc, agg.metrics.mean), 20.0);
+        assert_eq!(agg.series(alloc), [10.0, 20.0, 30.0]);
+
+        // tmp is absent from p2: zero in its slot.
+        let tmp = agg
+            .profile
+            .node_ids()
+            .find(|&id| agg.profile.resolve_frame(id).name == "tmp")
+            .unwrap();
+        assert_eq!(agg.series(tmp), [5.0, 0.0, 1.0]);
+        assert_eq!(agg.profile.value(tmp, agg.metrics.min), 0.0);
+    }
+
+    #[test]
+    fn missing_metric_reports_profile_index() {
+        let p1 = snapshot(&[("a", 1.0)]);
+        let mut p2 = Profile::new("other");
+        p2.add_metric(MetricDescriptor::new(
+            "different",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        assert_eq!(aggregate(&[&p1, &p2], "inuse").unwrap_err(), 1);
+    }
+
+    #[test]
+    fn single_profile_aggregate_is_identityish() {
+        let p = snapshot(&[("a", 4.0)]);
+        let agg = aggregate(&[&p], "inuse").unwrap();
+        let a = agg
+            .profile
+            .node_ids()
+            .find(|&id| agg.profile.resolve_frame(id).name == "a")
+            .unwrap();
+        assert_eq!(agg.profile.value(a, agg.metrics.sum), 4.0);
+        assert_eq!(agg.profile.value(a, agg.metrics.mean), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_input_panics() {
+        let _ = aggregate(&[], "m");
+    }
+
+    proptest! {
+        #[test]
+        fn sum_equals_total_of_totals(
+            snapshots in proptest::collection::vec(
+                proptest::collection::vec((0u8..5, 0.0f64..100.0), 1..10),
+                1..6,
+            )
+        ) {
+            let profiles: Vec<Profile> = snapshots
+                .iter()
+                .map(|entries| {
+                    let pairs: Vec<(String, f64)> = entries
+                        .iter()
+                        .map(|&(i, v)| (format!("site{i}"), v))
+                        .collect();
+                    let borrowed: Vec<(&str, f64)> =
+                        pairs.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+                    snapshot(&borrowed)
+                })
+                .collect();
+            let refs: Vec<&Profile> = profiles.iter().collect();
+            let agg = aggregate(&refs, "inuse").unwrap();
+            let expected: f64 = profiles
+                .iter()
+                .map(|p| p.total(p.metric_by_name("inuse").unwrap()))
+                .sum();
+            prop_assert!((agg.profile.total(agg.metrics.sum) - expected).abs() < 1e-6);
+            // Mean * n == sum per node.
+            for id in agg.profile.node_ids() {
+                let sum = agg.profile.value(id, agg.metrics.sum);
+                let mean = agg.profile.value(id, agg.metrics.mean);
+                prop_assert!((mean * profiles.len() as f64 - sum).abs() < 1e-6);
+                // Series length is always n.
+                prop_assert_eq!(agg.series(id).len(), profiles.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Derived metrics: arithmetic over existing metric channels
+//! (paper §V-B, "callbacks at metric computation").
+//!
+//! Users derive new metrics from formulas — cycles per instruction,
+//! misses per kilo-instruction, memory-scaling ratios. [`MetricExpr`] is
+//! the built-in expression tree; `ev-script` compiles its surface
+//! language down to the same evaluation.
+
+use ev_core::{MetricDescriptor, MetricId, MetricKind, MetricUnit, NodeId, Profile};
+
+/// An arithmetic expression over metric channels, evaluated per node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricExpr {
+    /// The value of a metric at the node.
+    Metric(MetricId),
+    /// A constant.
+    Const(f64),
+    /// Sum of two expressions.
+    Add(Box<MetricExpr>, Box<MetricExpr>),
+    /// Difference.
+    Sub(Box<MetricExpr>, Box<MetricExpr>),
+    /// Product.
+    Mul(Box<MetricExpr>, Box<MetricExpr>),
+    /// Quotient; division by zero yields 0 (profilers conventionally
+    /// show an empty cell rather than poisoning aggregates with NaN).
+    Div(Box<MetricExpr>, Box<MetricExpr>),
+}
+
+impl MetricExpr {
+    /// Convenience: `a / b` as used for ratios like CPI.
+    pub fn ratio(a: MetricId, b: MetricId) -> MetricExpr {
+        MetricExpr::Div(
+            Box::new(MetricExpr::Metric(a)),
+            Box::new(MetricExpr::Metric(b)),
+        )
+    }
+
+    /// Evaluates the expression at `node`.
+    pub fn eval(&self, profile: &Profile, node: NodeId) -> f64 {
+        match self {
+            MetricExpr::Metric(m) => profile.value(node, *m),
+            MetricExpr::Const(c) => *c,
+            MetricExpr::Add(a, b) => a.eval(profile, node) + b.eval(profile, node),
+            MetricExpr::Sub(a, b) => a.eval(profile, node) - b.eval(profile, node),
+            MetricExpr::Mul(a, b) => a.eval(profile, node) * b.eval(profile, node),
+            MetricExpr::Div(a, b) => {
+                let d = b.eval(profile, node);
+                if d == 0.0 {
+                    0.0
+                } else {
+                    a.eval(profile, node) / d
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates `expr` at every node and stores the result as a new metric
+/// channel on the profile, returning its id.
+///
+/// The derived channel is a [`MetricKind::Point`] metric: summing a
+/// ratio across a subtree is meaningless, so inclusive views pass it
+/// through unchanged.
+pub fn derive_metric(
+    profile: &mut Profile,
+    name: &str,
+    unit: MetricUnit,
+    expr: &MetricExpr,
+) -> MetricId {
+    let metric = profile.add_metric(
+        MetricDescriptor::new(name, unit, MetricKind::Point)
+            .with_description("derived metric"),
+    );
+    for node in profile.node_ids().collect::<Vec<_>>() {
+        let v = expr.eval(profile, node);
+        if v != 0.0 {
+            profile.set_value(node, metric, v);
+        }
+    }
+    metric
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::Frame;
+    use proptest::prelude::*;
+
+    fn base() -> (Profile, MetricId, MetricId) {
+        let mut p = Profile::new("t");
+        let cycles = p.add_metric(MetricDescriptor::new(
+            "cycles",
+            MetricUnit::Cycles,
+            MetricKind::Exclusive,
+        ));
+        let instructions = p.add_metric(MetricDescriptor::new(
+            "instructions",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[Frame::function("hot")],
+            &[(cycles, 800.0), (instructions, 200.0)],
+        );
+        p.add_sample(
+            &[Frame::function("lean")],
+            &[(cycles, 100.0), (instructions, 400.0)],
+        );
+        p.add_sample(&[Frame::function("noinst")], &[(cycles, 50.0)]);
+        (p, cycles, instructions)
+    }
+
+    #[test]
+    fn cpi_derivation() {
+        let (mut p, cycles, instructions) = base();
+        let cpi = derive_metric(
+            &mut p,
+            "cpi",
+            MetricUnit::Ratio,
+            &MetricExpr::ratio(cycles, instructions),
+        );
+        let hot = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "hot")
+            .unwrap();
+        let lean = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "lean")
+            .unwrap();
+        assert_eq!(p.value(hot, cpi), 4.0);
+        assert_eq!(p.value(lean, cpi), 0.25);
+        assert_eq!(p.metric(cpi).kind, MetricKind::Point);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let (mut p, cycles, instructions) = base();
+        let cpi = derive_metric(
+            &mut p,
+            "cpi",
+            MetricUnit::Ratio,
+            &MetricExpr::ratio(cycles, instructions),
+        );
+        let noinst = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "noinst")
+            .unwrap();
+        assert_eq!(p.value(noinst, cpi), 0.0);
+    }
+
+    #[test]
+    fn compound_expressions() {
+        let (mut p, cycles, instructions) = base();
+        // misses-per-kilo-instruction style: (cycles - instructions) * 1000 / instructions
+        let expr = MetricExpr::Div(
+            Box::new(MetricExpr::Mul(
+                Box::new(MetricExpr::Sub(
+                    Box::new(MetricExpr::Metric(cycles)),
+                    Box::new(MetricExpr::Metric(instructions)),
+                )),
+                Box::new(MetricExpr::Const(1000.0)),
+            )),
+            Box::new(MetricExpr::Metric(instructions)),
+        );
+        let mpki = derive_metric(&mut p, "mpki", MetricUnit::Ratio, &expr);
+        let hot = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "hot")
+            .unwrap();
+        assert_eq!(p.value(hot, mpki), 3000.0);
+    }
+
+    #[test]
+    fn derived_metric_is_queryable_by_name() {
+        let (mut p, cycles, _) = base();
+        derive_metric(
+            &mut p,
+            "doubled",
+            MetricUnit::Cycles,
+            &MetricExpr::Mul(
+                Box::new(MetricExpr::Metric(cycles)),
+                Box::new(MetricExpr::Const(2.0)),
+            ),
+        );
+        let d = p.metric_by_name("doubled").unwrap();
+        assert_eq!(p.total(d), 2.0 * (800.0 + 100.0 + 50.0));
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_roundtrip(v in 0.1f64..1e6) {
+            let mut p = Profile::new("t");
+            let m = p.add_metric(MetricDescriptor::new(
+                "m",
+                MetricUnit::Count,
+                MetricKind::Exclusive,
+            ));
+            let n = p.add_sample(&[Frame::function("f")], &[(m, v)]);
+            let expr = MetricExpr::Sub(
+                Box::new(MetricExpr::Add(
+                    Box::new(MetricExpr::Metric(m)),
+                    Box::new(MetricExpr::Const(5.0)),
+                )),
+                Box::new(MetricExpr::Const(5.0)),
+            );
+            prop_assert!((expr.eval(&p, n) - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `ev-analysis` — EasyView's data analysis engine (paper §V).
+//!
+//! The engine operates on the tree representation from `ev-core`:
+//!
+//! * **Tree traversal** (§V-A-a): [`MetricView`] computes
+//!   inclusive/exclusive metrics in one post-order pass; [`prune`]
+//!   removes insignificant nodes; [`collapse_recursion`] folds recursive
+//!   call cycles.
+//! * **Tree transformation** (§V-A-b): [`bottom_up`] reverses call paths
+//!   to surface hot leaf functions and their callers; [`flatten`] elides
+//!   call paths into the program → load-module → file → function
+//!   hierarchy. (The top-down shape is the profile itself.)
+//! * **Operations across multiple profiles** (§V-A-c): [`aggregate`]
+//!   merges profiles into a unified tree with sum/min/max/mean derived
+//!   metrics and a per-node value series (the histograms of Fig. 4);
+//!   [`diff`] differentiates two profiles with the paper's
+//!   `[A]`/`[D]`/`[+]`/`[−]` tags (Fig. 3).
+//! * **Scaling analysis**: [`scaling_diff`] differentiates by division
+//!   instead of subtraction — the memory-scaling measurement of §V-B.
+//! * **Derived metrics**: [`derive_metric`] evaluates an arithmetic
+//!   combination of existing metrics at every node — the built-in subset
+//!   of the customizable analysis of §V-B (the full scripting interface
+//!   lives in `ev-script`).
+//! * **Timeline classification**: [`classify_timeline`] detects the
+//!   memory-leak pattern of the cloud case study (§VII-C1) — sustained
+//!   active memory with no reclamation across snapshots.
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_analysis::MetricView;
+//! use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+//!
+//! let mut p = Profile::new("demo");
+//! let cpu = p.add_metric(MetricDescriptor::new(
+//!     "cpu",
+//!     MetricUnit::Count,
+//!     MetricKind::Exclusive,
+//! ));
+//! p.add_sample(&[Frame::function("main"), Frame::function("f")], &[(cpu, 3.0)]);
+//! p.add_sample(&[Frame::function("main")], &[(cpu, 1.0)]);
+//!
+//! let view = MetricView::compute(&p, cpu);
+//! assert_eq!(view.inclusive(p.root()), 4.0);
+//! ```
+
+mod aggregate;
+mod derived;
+mod diff;
+mod scaling;
+mod timeline;
+mod transform;
+mod traverse;
+
+pub use aggregate::{aggregate, Aggregate, AggregateMetrics};
+pub use derived::{derive_metric, MetricExpr};
+pub use diff::{diff, DiffEntry, DiffProfile, DiffTag};
+pub use scaling::{scaling_diff, ScalingProfile};
+pub use timeline::{classify_timeline, TimelinePattern};
+pub use transform::{bottom_up, flatten, top_down};
+pub use traverse::{collapse_recursion, prune, MetricView};

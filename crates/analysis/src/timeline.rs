@@ -1,0 +1,175 @@
+//! Timeline classification for snapshot series (paper §VII-C1).
+//!
+//! The cloud case study captures a memory snapshot every 0.1 s and
+//! inspects, per allocation context, the series of active-memory values
+//! across snapshots. The paper's leak heuristic: "the active memory in
+//! this call path is continuously high with no clear sign of
+//! reclamation" raises a leak warning, while a context whose usage "is
+//! diminishing at the end of the program execution" is healthy.
+
+use std::fmt;
+
+/// The classification of one context's value series over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimelinePattern {
+    /// Sustained high usage with no reclamation — a potential leak.
+    PotentialLeak,
+    /// Usage diminishes by the end — memory is being reclaimed.
+    Reclaimed,
+    /// No clear trend (or not enough data).
+    Fluctuating,
+}
+
+impl fmt::Display for TimelinePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TimelinePattern::PotentialLeak => "potential-leak",
+            TimelinePattern::Reclaimed => "reclaimed",
+            TimelinePattern::Fluctuating => "fluctuating",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Classifies a per-snapshot value series.
+///
+/// Decision rule (over the non-empty series, peak `max`):
+///
+/// * fewer than 4 snapshots or an all-zero series → `Fluctuating`
+///   (not enough evidence either way);
+/// * final value ≤ 25 % of peak → `Reclaimed`;
+/// * final value ≥ 75 % of peak *and* the series is non-decreasing in
+///   trend (each quartile mean ≥ 90 % of the previous) → `PotentialLeak`;
+/// * otherwise → `Fluctuating`.
+///
+/// # Examples
+///
+/// ```
+/// use ev_analysis::{classify_timeline, TimelinePattern};
+///
+/// let leaking = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0];
+/// assert_eq!(classify_timeline(&leaking), TimelinePattern::PotentialLeak);
+///
+/// let healthy = [10.0, 40.0, 30.0, 20.0, 5.0, 0.0];
+/// assert_eq!(classify_timeline(&healthy), TimelinePattern::Reclaimed);
+/// ```
+pub fn classify_timeline(series: &[f64]) -> TimelinePattern {
+    if series.len() < 4 {
+        return TimelinePattern::Fluctuating;
+    }
+    let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max <= 0.0 {
+        return TimelinePattern::Fluctuating;
+    }
+    let last = *series.last().expect("nonempty");
+    if last <= 0.25 * max {
+        return TimelinePattern::Reclaimed;
+    }
+    if last >= 0.75 * max && quartile_trend_nondecreasing(series) {
+        return TimelinePattern::PotentialLeak;
+    }
+    TimelinePattern::Fluctuating
+}
+
+/// Splits the series into four consecutive windows and checks each
+/// window's mean is at least 90 % of the previous one's.
+fn quartile_trend_nondecreasing(series: &[f64]) -> bool {
+    let q = series.len() / 4;
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let quarters = [
+        mean(&series[..q]),
+        mean(&series[q..2 * q]),
+        mean(&series[2 * q..3 * q]),
+        mean(&series[3 * q..]),
+    ];
+    quarters.windows(2).all(|w| w[1] >= 0.9 * w[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn monotone_growth_is_leak() {
+        let series: Vec<f64> = (1..=20).map(|i| i as f64 * 10.0).collect();
+        assert_eq!(classify_timeline(&series), TimelinePattern::PotentialLeak);
+    }
+
+    #[test]
+    fn plateau_is_leak() {
+        // Grows then stays high with no reclamation — the paper's
+        // newBufWriter pattern.
+        let mut series = vec![10.0, 50.0, 90.0, 100.0];
+        series.extend(std::iter::repeat_n(100.0, 16));
+        assert_eq!(classify_timeline(&series), TimelinePattern::PotentialLeak);
+    }
+
+    #[test]
+    fn diminishing_is_reclaimed() {
+        // The paper's passthrough pattern: active memory diminishes at
+        // the end of execution.
+        let series = [50.0, 80.0, 100.0, 90.0, 60.0, 30.0, 10.0, 2.0];
+        assert_eq!(classify_timeline(&series), TimelinePattern::Reclaimed);
+    }
+
+    #[test]
+    fn sawtooth_is_fluctuating() {
+        let series = [10.0, 100.0, 10.0, 100.0, 10.0, 100.0, 10.0, 60.0];
+        assert_eq!(classify_timeline(&series), TimelinePattern::Fluctuating);
+    }
+
+    #[test]
+    fn short_series_is_inconclusive() {
+        assert_eq!(classify_timeline(&[]), TimelinePattern::Fluctuating);
+        assert_eq!(classify_timeline(&[1.0, 2.0, 3.0]), TimelinePattern::Fluctuating);
+    }
+
+    #[test]
+    fn all_zero_is_inconclusive() {
+        assert_eq!(
+            classify_timeline(&[0.0; 10]),
+            TimelinePattern::Fluctuating
+        );
+    }
+
+    #[test]
+    fn late_spike_without_trend_is_fluctuating() {
+        // Ends high but was low throughout: one late allocation burst,
+        // not a sustained leak.
+        let series = [5.0, 5.0, 4.0, 100.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(classify_timeline(&series), TimelinePattern::Fluctuating);
+    }
+
+    proptest! {
+        #[test]
+        fn scaling_is_invariant(
+            series in proptest::collection::vec(0.0f64..1000.0, 4..64),
+            scale in 0.001f64..1000.0,
+        ) {
+            let scaled: Vec<f64> = series.iter().map(|v| v * scale).collect();
+            prop_assert_eq!(classify_timeline(&series), classify_timeline(&scaled));
+        }
+
+        #[test]
+        fn strictly_increasing_is_always_leak(
+            start in 1.0f64..100.0,
+            step in 1.0f64..50.0,
+            len in 8usize..64,
+        ) {
+            let series: Vec<f64> = (0..len).map(|i| start + step * i as f64).collect();
+            prop_assert_eq!(classify_timeline(&series), TimelinePattern::PotentialLeak);
+        }
+
+        #[test]
+        fn decaying_to_zero_is_reclaimed(
+            peak in 100.0f64..1e6,
+            len in 8usize..64,
+        ) {
+            let series: Vec<f64> = (0..len)
+                .map(|i| peak * (1.0 - i as f64 / (len - 1) as f64))
+                .collect();
+            prop_assert_eq!(classify_timeline(&series), TimelinePattern::Reclaimed);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Tree transformations: top-down, bottom-up, and flat shapes
+//! (paper §V-A-b).
+
+use crate::traverse::MetricView;
+use ev_core::{ContextKind, Frame, MetricId, NodeId, Profile};
+
+/// The top-down shape — rooted at the program entry with callees as
+/// children. The profile already has this shape; the function returns a
+/// clone so all three transforms have the same signature and the caller
+/// can mutate the result freely.
+pub fn top_down(profile: &Profile) -> Profile {
+    profile.clone()
+}
+
+/// Builds the bottom-up tree for `metric`: every monitoring point's call
+/// path is reversed, so the first level holds leaf functions (the
+/// paper's "hot functions") and descending shows *where they are called
+/// from* (Fig. 6).
+///
+/// Each node's exclusive cost in the source contributes its full value
+/// along the reversed path; the bottom-up tree's exclusive values at the
+/// first level therefore equal the source's per-function exclusive
+/// totals.
+pub fn bottom_up(profile: &Profile, metric: MetricId) -> Profile {
+    let view = MetricView::compute(profile, metric);
+    let mut out = Profile::new(profile.meta().name.clone());
+    *out.meta_mut() = profile.meta().clone();
+    out.meta_mut().description = format!(
+        "bottom-up view of {} by {}",
+        profile.meta().name,
+        profile.metric(metric).name
+    );
+    let m = out.add_metric(profile.metric(metric).clone());
+
+    let mut reversed: Vec<Frame> = Vec::new();
+    for id in profile.node_ids() {
+        if id == NodeId::ROOT {
+            continue;
+        }
+        let value = view.exclusive(id);
+        if value == 0.0 {
+            continue;
+        }
+        reversed.clear();
+        let path = profile.path(id);
+        for &step in path.iter().rev() {
+            reversed.push(profile.resolve_frame(step));
+        }
+        out.add_sample(&reversed, &[(m, value)]);
+    }
+    out
+}
+
+/// Builds the flat tree for `metric`: call paths are elided and
+/// exclusive costs re-attributed into the fixed hierarchy
+/// *load module → file → function* (top level = modules, the paper's
+/// "hot shared libraries, files, and functions").
+pub fn flatten(profile: &Profile, metric: MetricId) -> Profile {
+    let view = MetricView::compute(profile, metric);
+    let mut out = Profile::new(profile.meta().name.clone());
+    *out.meta_mut() = profile.meta().clone();
+    out.meta_mut().description = format!(
+        "flat view of {} by {}",
+        profile.meta().name,
+        profile.metric(metric).name
+    );
+    let m = out.add_metric(profile.metric(metric).clone());
+
+    for id in profile.node_ids() {
+        if id == NodeId::ROOT {
+            continue;
+        }
+        let value = view.exclusive(id);
+        if value == 0.0 {
+            continue;
+        }
+        let frame = profile.resolve_frame(id);
+        let module_name = if frame.module.is_empty() {
+            "(unknown module)".to_owned()
+        } else {
+            frame.module.clone()
+        };
+        let file_name = if frame.file.is_empty() {
+            "(unknown file)".to_owned()
+        } else {
+            frame.file.clone()
+        };
+        let module = out.child(
+            out.root(),
+            &Frame::new(ContextKind::Function, module_name.clone()).with_module(module_name),
+        );
+        let file = out.child(
+            module,
+            &Frame::new(ContextKind::Function, file_name.clone()).with_source(file_name, 0),
+        );
+        // Function level: identified by name only (all lines merge).
+        let func = out.child(
+            file,
+            &Frame::function(frame.name.clone())
+                .with_module(frame.module)
+                .with_source(frame.file, 0),
+        );
+        out.add_value(func, m, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::{MetricDescriptor, MetricKind, MetricUnit};
+    use proptest::prelude::*;
+
+    fn build() -> (Profile, MetricId) {
+        let mut p = Profile::new("t");
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        // malloc is called from two different paths.
+        p.add_sample(
+            &[
+                Frame::function("main").with_module("app").with_source("m.c", 1),
+                Frame::function("parse").with_module("app").with_source("p.c", 5),
+                Frame::function("malloc").with_module("libc.so"),
+            ],
+            &[(m, 7.0)],
+        );
+        p.add_sample(
+            &[
+                Frame::function("main").with_module("app").with_source("m.c", 1),
+                Frame::function("eval").with_module("app").with_source("e.c", 9),
+                Frame::function("malloc").with_module("libc.so"),
+            ],
+            &[(m, 3.0)],
+        );
+        p.add_sample(
+            &[Frame::function("main").with_module("app").with_source("m.c", 1)],
+            &[(m, 2.0)],
+        );
+        (p, m)
+    }
+
+    #[test]
+    fn top_down_is_clone() {
+        let (p, _) = build();
+        let td = top_down(&p);
+        assert_eq!(td, p);
+    }
+
+    #[test]
+    fn bottom_up_merges_hot_leaves() {
+        let (p, m) = build();
+        let bu = bottom_up(&p, m);
+        bu.validate().unwrap();
+        let bm = bu.metric_by_name("cpu").unwrap();
+        // Mass conserved.
+        assert_eq!(bu.total(bm), 12.0);
+        // First level: malloc (10) and main (2).
+        let roots: Vec<(String, f64)> = bu
+            .node(bu.root())
+            .children()
+            .iter()
+            .map(|&c| {
+                let view = MetricView::compute(&bu, bm);
+                (bu.resolve_frame(c).name, view.inclusive(c))
+            })
+            .collect();
+        let malloc = roots.iter().find(|(n, _)| n == "malloc").unwrap();
+        assert_eq!(malloc.1, 10.0);
+        // Under malloc: parse (7) and eval (3) as callers.
+        let malloc_node = bu
+            .node(bu.root())
+            .children()
+            .iter()
+            .copied()
+            .find(|&c| bu.resolve_frame(c).name == "malloc")
+            .unwrap();
+        let callers: Vec<String> = bu
+            .node(malloc_node)
+            .children()
+            .iter()
+            .map(|&c| bu.resolve_frame(c).name)
+            .collect();
+        assert!(callers.contains(&"parse".to_owned()));
+        assert!(callers.contains(&"eval".to_owned()));
+    }
+
+    #[test]
+    fn flat_groups_by_module_file_function() {
+        let (p, m) = build();
+        let flat = flatten(&p, m);
+        flat.validate().unwrap();
+        let fm = flat.metric_by_name("cpu").unwrap();
+        assert_eq!(flat.total(fm), 12.0);
+        // Top level: libc.so (10) and app (2).
+        let view = MetricView::compute(&flat, fm);
+        let mut tops: Vec<(String, f64)> = flat
+            .node(flat.root())
+            .children()
+            .iter()
+            .map(|&c| (flat.resolve_frame(c).name, view.inclusive(c)))
+            .collect();
+        tops.sort_by(|a, b| b.1.total_cmp(&a.1));
+        assert_eq!(tops[0], ("libc.so".to_owned(), 10.0));
+        assert_eq!(tops[1], ("app".to_owned(), 2.0));
+        // Depth is exactly 3: module -> file -> function.
+        for id in flat.node_ids() {
+            assert!(flat.depth(id) <= 3);
+        }
+    }
+
+    #[test]
+    fn flat_merges_same_function_across_paths() {
+        let (p, m) = build();
+        let flat = flatten(&p, m);
+        let mallocs: Vec<NodeId> = flat
+            .node_ids()
+            .filter(|&id| flat.resolve_frame(id).name == "malloc")
+            .collect();
+        assert_eq!(mallocs.len(), 1);
+    }
+
+    fn arb_profile() -> impl Strategy<Value = Profile> {
+        proptest::collection::vec(
+            (proptest::collection::vec(0u8..5, 1..6), 0.0f64..50.0),
+            1..30,
+        )
+        .prop_map(|samples| {
+            let mut p = Profile::new("arb");
+            let m = p.add_metric(MetricDescriptor::new(
+                "m",
+                MetricUnit::Count,
+                MetricKind::Exclusive,
+            ));
+            for (path, value) in samples {
+                let frames: Vec<Frame> = path
+                    .iter()
+                    .map(|i| {
+                        Frame::function(format!("f{i}"))
+                            .with_module(format!("mod{}", i % 2))
+                            .with_source(format!("file{}.c", i % 3), 1)
+                    })
+                    .collect();
+                p.add_sample(&frames, &[(m, value)]);
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn transforms_conserve_mass(p in arb_profile()) {
+            let m = p.metric_by_name("m").unwrap();
+            let total = p.total(m);
+            let bu = bottom_up(&p, m);
+            let flat = flatten(&p, m);
+            prop_assert!((bu.total(bu.metric_by_name("m").unwrap()) - total).abs() < 1e-6);
+            prop_assert!((flat.total(flat.metric_by_name("m").unwrap()) - total).abs() < 1e-6);
+            bu.validate().unwrap();
+            flat.validate().unwrap();
+        }
+
+        #[test]
+        fn bottom_up_first_level_matches_function_totals(p in arb_profile()) {
+            let m = p.metric_by_name("m").unwrap();
+            // Per-function exclusive totals in the source...
+            let mut by_name: std::collections::HashMap<String, f64> = Default::default();
+            for id in p.node_ids() {
+                if id == NodeId::ROOT { continue; }
+                *by_name.entry(p.resolve_frame(id).name).or_default() += p.value(id, m);
+            }
+            by_name.retain(|_, v| *v != 0.0);
+            // ...must equal the inclusive value of each first-level
+            // bottom-up node.
+            let bu = bottom_up(&p, m);
+            let bm = bu.metric_by_name("m").unwrap();
+            let view = MetricView::compute(&bu, bm);
+            let mut got: std::collections::HashMap<String, f64> = Default::default();
+            for &c in bu.node(bu.root()).children() {
+                got.insert(bu.resolve_frame(c).name, view.inclusive(c));
+            }
+            prop_assert_eq!(by_name.len(), got.len());
+            for (name, v) in by_name {
+                let g = got.get(&name).copied().unwrap_or(f64::NAN);
+                prop_assert!((g - v).abs() < 1e-6, "{}: {} vs {}", name, g, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Traversal-based analyses: inclusive/exclusive metrics, pruning, and
+//! recursion collapsing (paper §V-A-a).
+
+use ev_core::{ContextKind, Frame, MetricId, MetricKind, NodeId, Profile};
+
+/// Inclusive and exclusive values of one metric over a profile, computed
+/// in a single post-order pass.
+///
+/// The stored profile values are interpreted per the metric's
+/// [`MetricKind`]:
+///
+/// * `Exclusive` — stored values are self costs; inclusive values are
+///   derived by summing subtrees.
+/// * `Inclusive` — stored values already include callees (HPCToolkit
+///   `(I)` style); exclusive values are derived by subtracting children.
+/// * `Point` — both views return the stored value unchanged.
+#[derive(Debug, Clone)]
+pub struct MetricView {
+    metric: MetricId,
+    inclusive: Vec<f64>,
+    exclusive: Vec<f64>,
+}
+
+impl MetricView {
+    /// Computes the view for `metric` over `profile`.
+    pub fn compute(profile: &Profile, metric: MetricId) -> MetricView {
+        let n = profile.node_count();
+        let mut inclusive = vec![0.0; n];
+        let mut exclusive = vec![0.0; n];
+        match profile.metric(metric).kind {
+            MetricKind::Exclusive => {
+                for id in profile.node_ids() {
+                    let v = profile.value(id, metric);
+                    exclusive[id.index()] = v;
+                    inclusive[id.index()] = v;
+                }
+                // Post-order: children are finalized before parents.
+                for id in profile.post_order() {
+                    if let Some(parent) = profile.node(id).parent() {
+                        inclusive[parent.index()] += inclusive[id.index()];
+                    }
+                }
+            }
+            MetricKind::Inclusive => {
+                for id in profile.node_ids() {
+                    inclusive[id.index()] = profile.value(id, metric);
+                }
+                for id in profile.node_ids() {
+                    let child_sum: f64 = profile
+                        .node(id)
+                        .children()
+                        .iter()
+                        .map(|c| inclusive[c.index()])
+                        .sum();
+                    exclusive[id.index()] = inclusive[id.index()] - child_sum;
+                }
+                // A zero-valued interior node (common for synthetic roots)
+                // inherits its children's total.
+                for id in profile.post_order() {
+                    if inclusive[id.index()] == 0.0 {
+                        let child_sum: f64 = profile
+                            .node(id)
+                            .children()
+                            .iter()
+                            .map(|c| inclusive[c.index()])
+                            .sum();
+                        inclusive[id.index()] = child_sum;
+                        exclusive[id.index()] = 0.0;
+                    }
+                }
+            }
+            MetricKind::Point => {
+                for id in profile.node_ids() {
+                    let v = profile.value(id, metric);
+                    inclusive[id.index()] = v;
+                    exclusive[id.index()] = v;
+                }
+            }
+        }
+        MetricView {
+            metric,
+            inclusive,
+            exclusive,
+        }
+    }
+
+    /// The metric this view describes.
+    pub fn metric(&self) -> MetricId {
+        self.metric
+    }
+
+    /// Inclusive (subtree) value at `node`.
+    pub fn inclusive(&self, node: NodeId) -> f64 {
+        self.inclusive[node.index()]
+    }
+
+    /// Exclusive (self) value at `node`.
+    pub fn exclusive(&self, node: NodeId) -> f64 {
+        self.exclusive[node.index()]
+    }
+
+    /// Total program cost (inclusive value at the root).
+    pub fn total(&self) -> f64 {
+        self.inclusive[NodeId::ROOT.index()]
+    }
+}
+
+/// Copies `profile`, dropping every subtree whose inclusive share of
+/// `metric` is below `threshold` (a fraction of the total). Dropped
+/// siblings are folded into a single `«pruned»` child so totals are
+/// conserved.
+///
+/// This is the paper's "pruning insignificant tree nodes", used before
+/// rendering very large profiles.
+///
+/// # Panics
+///
+/// Panics if `threshold` is not in `[0, 1]`.
+pub fn prune(profile: &Profile, metric: MetricId, threshold: f64) -> Profile {
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be a fraction"
+    );
+    let view = MetricView::compute(profile, metric);
+    let cutoff = view.total() * threshold;
+
+    let mut out = Profile::new(profile.meta().name.clone());
+    *out.meta_mut() = profile.meta().clone();
+    for m in profile.metrics() {
+        out.add_metric(m.clone());
+    }
+
+    // (source node, destination parent) work list.
+    let mut work: Vec<(NodeId, NodeId)> = vec![(profile.root(), out.root())];
+    while let Some((src, dst)) = work.pop() {
+        for v in profile.node(src).values() {
+            out.add_value(dst, v.0, v.1);
+        }
+        let mut pruned_total = 0.0;
+        for &child in profile.node(src).children() {
+            if view.inclusive(child) >= cutoff {
+                let frame = profile.resolve_frame(child);
+                let new_child = out.child(dst, &frame);
+                work.push((child, new_child));
+            } else {
+                pruned_total += view.inclusive(child);
+            }
+        }
+        if pruned_total > 0.0 {
+            let pruned = out.child(dst, &Frame::function("«pruned»"));
+            out.add_value(pruned, metric, pruned_total);
+        }
+    }
+    out
+}
+
+/// Copies `profile`, collapsing runs of recursive frames: consecutive
+/// path steps whose (kind, name, module) agree merge into one node, so a
+/// 10 000-deep recursive descent becomes a single frame with accumulated
+/// costs — the paper's "collapsing deep and recursive call paths".
+pub fn collapse_recursion(profile: &Profile) -> Profile {
+    let mut out = Profile::new(profile.meta().name.clone());
+    *out.meta_mut() = profile.meta().clone();
+    for m in profile.metrics() {
+        out.add_metric(m.clone());
+    }
+    let mut work: Vec<(NodeId, NodeId)> = vec![(profile.root(), out.root())];
+    while let Some((src, dst)) = work.pop() {
+        for v in profile.node(src).values() {
+            out.add_value(dst, v.0, v.1);
+        }
+        for &child in profile.node(src).children() {
+            let child_frame = profile.resolve_frame(child);
+            let dst_frame = out.resolve_frame(dst);
+            let recursive = child_frame.kind == dst_frame.kind
+                && child_frame.kind != ContextKind::Root
+                && child_frame.name == dst_frame.name
+                && child_frame.module == dst_frame.module;
+            let new_dst = if recursive {
+                dst
+            } else {
+                out.child(dst, &child_frame)
+            };
+            work.push((child, new_dst));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::{MetricDescriptor, MetricUnit};
+    use proptest::prelude::*;
+
+    fn exclusive_metric(p: &mut Profile) -> MetricId {
+        p.add_metric(MetricDescriptor::new(
+            "m",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ))
+    }
+
+    #[test]
+    fn inclusive_sums_subtrees() {
+        let mut p = Profile::new("t");
+        let m = exclusive_metric(&mut p);
+        p.add_sample(
+            &[Frame::function("main"), Frame::function("a"), Frame::function("b")],
+            &[(m, 4.0)],
+        );
+        p.add_sample(&[Frame::function("main"), Frame::function("a")], &[(m, 1.0)]);
+        p.add_sample(&[Frame::function("main"), Frame::function("c")], &[(m, 5.0)]);
+        let view = MetricView::compute(&p, m);
+        let a = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "a")
+            .unwrap();
+        assert_eq!(view.inclusive(a), 5.0);
+        assert_eq!(view.exclusive(a), 1.0);
+        assert_eq!(view.total(), 10.0);
+    }
+
+    #[test]
+    fn inclusive_kind_derives_exclusive() {
+        let mut p = Profile::new("t");
+        let m = p.add_metric(MetricDescriptor::new(
+            "inc",
+            MetricUnit::Count,
+            MetricKind::Inclusive,
+        ));
+        let main = p.child(p.root(), &Frame::function("main"));
+        let a = p.child(main, &Frame::function("a"));
+        p.set_value(main, m, 10.0);
+        p.set_value(a, m, 7.0);
+        let view = MetricView::compute(&p, m);
+        assert_eq!(view.inclusive(main), 10.0);
+        assert_eq!(view.exclusive(main), 3.0);
+        assert_eq!(view.exclusive(a), 7.0);
+        // Root has no stored value: inherits children.
+        assert_eq!(view.total(), 10.0);
+    }
+
+    #[test]
+    fn point_kind_passes_through() {
+        let mut p = Profile::new("t");
+        let m = p.add_metric(MetricDescriptor::new(
+            "hwm",
+            MetricUnit::Bytes,
+            MetricKind::Point,
+        ));
+        let n = p.add_sample(&[Frame::function("f")], &[(m, 100.0)]);
+        let view = MetricView::compute(&p, m);
+        assert_eq!(view.inclusive(n), 100.0);
+        assert_eq!(view.exclusive(n), 100.0);
+        // No subtree summation for point metrics.
+        assert_eq!(view.inclusive(p.root()), 0.0);
+    }
+
+    #[test]
+    fn prune_folds_small_subtrees() {
+        let mut p = Profile::new("t");
+        let m = exclusive_metric(&mut p);
+        p.add_sample(&[Frame::function("big")], &[(m, 95.0)]);
+        p.add_sample(&[Frame::function("tiny1")], &[(m, 3.0)]);
+        p.add_sample(&[Frame::function("tiny2")], &[(m, 2.0)]);
+        let pruned = prune(&p, m, 0.05);
+        pruned.validate().unwrap();
+        // tiny1/tiny2 fold into «pruned»; totals conserved.
+        assert_eq!(pruned.total(m), 100.0);
+        let names: Vec<String> = pruned
+            .node_ids()
+            .map(|id| pruned.resolve_frame(id).name)
+            .collect();
+        assert!(names.contains(&"big".to_owned()));
+        assert!(names.contains(&"«pruned»".to_owned()));
+        assert!(!names.contains(&"tiny1".to_owned()));
+    }
+
+    #[test]
+    fn prune_zero_threshold_is_identity_shape() {
+        let mut p = Profile::new("t");
+        let m = exclusive_metric(&mut p);
+        p.add_sample(&[Frame::function("a"), Frame::function("b")], &[(m, 1.0)]);
+        let pruned = prune(&p, m, 0.0);
+        assert_eq!(pruned.node_count(), p.node_count());
+        assert_eq!(pruned.total(m), p.total(m));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn prune_rejects_bad_threshold() {
+        let mut p = Profile::new("t");
+        let m = exclusive_metric(&mut p);
+        prune(&p, m, 1.5);
+    }
+
+    #[test]
+    fn collapse_merges_recursive_chains() {
+        let mut p = Profile::new("t");
+        let m = exclusive_metric(&mut p);
+        // main -> fib -> fib -> fib -> leaf
+        p.add_sample(
+            &[
+                Frame::function("main"),
+                Frame::function("fib"),
+                Frame::function("fib"),
+                Frame::function("fib"),
+                Frame::function("leaf"),
+            ],
+            &[(m, 1.0)],
+        );
+        // Values on intermediate recursive frames accumulate.
+        let mut node = p.root();
+        for name in ["main", "fib", "fib"] {
+            node = p.child(node, &Frame::function(name));
+        }
+        p.add_value(node, m, 2.0);
+
+        let collapsed = collapse_recursion(&p);
+        collapsed.validate().unwrap();
+        let fibs: Vec<NodeId> = collapsed
+            .node_ids()
+            .filter(|&id| collapsed.resolve_frame(id).name == "fib")
+            .collect();
+        assert_eq!(fibs.len(), 1);
+        assert_eq!(collapsed.value(fibs[0], m), 2.0);
+        assert_eq!(collapsed.total(m), 3.0);
+        // leaf now hangs directly off the single fib.
+        let leaf = collapsed
+            .node_ids()
+            .find(|&id| collapsed.resolve_frame(id).name == "leaf")
+            .unwrap();
+        assert_eq!(collapsed.node(leaf).parent(), Some(fibs[0]));
+    }
+
+    #[test]
+    fn collapse_keeps_distinct_lines_of_same_function() {
+        // Recursion detection ignores line numbers: f:1 -> f:2 merges.
+        let mut p = Profile::new("t");
+        let m = exclusive_metric(&mut p);
+        p.add_sample(
+            &[
+                Frame::function("f").with_source("a.c", 1),
+                Frame::function("f").with_source("a.c", 2),
+            ],
+            &[(m, 1.0)],
+        );
+        let collapsed = collapse_recursion(&p);
+        let fs: Vec<NodeId> = collapsed
+            .node_ids()
+            .filter(|&id| collapsed.resolve_frame(id).name == "f")
+            .collect();
+        assert_eq!(fs.len(), 1);
+    }
+
+    /// Random profile generator for property tests.
+    fn arb_profile() -> impl Strategy<Value = Profile> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0u8..6, 1..8), // path of function indices
+                0.0f64..100.0,
+            ),
+            1..40,
+        )
+        .prop_map(|samples| {
+            let mut p = Profile::new("arb");
+            let m = p.add_metric(MetricDescriptor::new(
+                "m",
+                MetricUnit::Count,
+                MetricKind::Exclusive,
+            ));
+            for (path, value) in samples {
+                let frames: Vec<Frame> = path
+                    .iter()
+                    .map(|i| Frame::function(format!("f{i}")))
+                    .collect();
+                p.add_sample(&frames, &[(m, value)]);
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn inclusive_equals_exclusive_plus_children(p in arb_profile()) {
+            let m = p.metric_by_name("m").unwrap();
+            let view = MetricView::compute(&p, m);
+            for id in p.node_ids() {
+                let child_sum: f64 = p
+                    .node(id)
+                    .children()
+                    .iter()
+                    .map(|c| view.inclusive(*c))
+                    .sum();
+                let expect = view.exclusive(id) + child_sum;
+                prop_assert!((view.inclusive(id) - expect).abs() < 1e-9);
+            }
+            prop_assert!((view.total() - p.total(m)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prune_conserves_totals(p in arb_profile(), threshold in 0.0f64..0.5) {
+            let m = p.metric_by_name("m").unwrap();
+            let pruned = prune(&p, m, threshold);
+            pruned.validate().unwrap();
+            prop_assert!((pruned.total(m) - p.total(m)).abs() < 1e-6);
+            prop_assert!(pruned.node_count() <= p.node_count() + 64);
+        }
+
+        #[test]
+        fn collapse_conserves_totals(p in arb_profile()) {
+            let m = p.metric_by_name("m").unwrap();
+            let collapsed = collapse_recursion(&p);
+            collapsed.validate().unwrap();
+            prop_assert!((collapsed.total(m) - p.total(m)).abs() < 1e-6);
+            // Collapsing never grows the tree.
+            prop_assert!(collapsed.node_count() <= p.node_count());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Ablation benches for the analysis/visualization stages behind the
+//! views (DESIGN.md design-choice ablations):
+//!
+//! * prefix-merged CCT construction vs. the profile sizes it absorbs;
+//! * the three tree transforms (top-down is a clone; bottom-up and flat
+//!   re-attribute);
+//! * aggregation and differentiation across profiles (§V-A-c);
+//! * flame-graph layout (the per-frame geometry pass);
+//! * the EVscript interpreter on a traversal-heavy customization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ev_analysis::{aggregate, bottom_up, diff, flatten, MetricView};
+use ev_core::{MetricId, Profile};
+use ev_flame::FlameGraph;
+use ev_gen::grpc_leak;
+use ev_gen::synthetic::SyntheticSpec;
+use ev_script::ScriptHost;
+
+fn test_profile(samples: usize) -> (Profile, MetricId) {
+    let p = SyntheticSpec {
+        samples,
+        seed: 99,
+        ..SyntheticSpec::default()
+    }
+    .build();
+    let m = p.metric_by_name("cpu").expect("metric");
+    (p, m)
+}
+
+fn transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms");
+    group.sample_size(20);
+    for samples in [2_000usize, 20_000] {
+        let (p, m) = test_profile(samples);
+        group.bench_with_input(BenchmarkId::new("metric_view", samples), &p, |b, p| {
+            b.iter(|| MetricView::compute(std::hint::black_box(p), m));
+        });
+        group.bench_with_input(BenchmarkId::new("bottom_up", samples), &p, |b, p| {
+            b.iter(|| bottom_up(std::hint::black_box(p), m));
+        });
+        group.bench_with_input(BenchmarkId::new("flatten", samples), &p, |b, p| {
+            b.iter(|| flatten(std::hint::black_box(p), m));
+        });
+        group.bench_with_input(BenchmarkId::new("flame_layout", samples), &p, |b, p| {
+            b.iter(|| FlameGraph::top_down(std::hint::black_box(p), m));
+        });
+    }
+    group.finish();
+}
+
+fn multi_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_profile");
+    group.sample_size(20);
+    let snaps = grpc_leak::snapshots(100, 11);
+    let refs: Vec<&Profile> = snaps.iter().collect();
+    group.bench_function("aggregate_100_snapshots", |b| {
+        b.iter(|| aggregate(std::hint::black_box(&refs), "inuse_space").expect("agg"));
+    });
+    let (p1, _) = test_profile(5_000);
+    let (p2, _) = test_profile(5_000);
+    group.bench_function("diff_5k_samples", |b| {
+        b.iter(|| {
+            diff(
+                std::hint::black_box(&p1),
+                std::hint::black_box(&p2),
+                "cpu",
+                0.0,
+            )
+            .expect("diff")
+        });
+    });
+    group.finish();
+}
+
+fn script(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evscript");
+    group.sample_size(10);
+    let (p, _) = test_profile(2_000);
+    group.bench_function("visit_all_nodes", |b| {
+        b.iter_batched(
+            || p.clone(),
+            |mut p| {
+                ScriptHost::new(&mut p)
+                    .run(
+                        r#"
+                        let hot = 0;
+                        let threshold = total("cpu") * 0.001;
+                        visit(fn(n) {
+                            if value(n, "cpu") > threshold { hot = hot + 1; }
+                        });
+                        "#,
+                    )
+                    .expect("script")
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, transforms, multi_profile, script);
+criterion_main!(benches);

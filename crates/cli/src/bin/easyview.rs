@@ -1,0 +1,25 @@
+//! The `easyview` binary: parse arguments, run the command, print.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match ev_cli::parse_args(&argv) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("easyview: {err}");
+            eprintln!("try `easyview help`");
+            return ExitCode::from(2);
+        }
+    };
+    match ev_cli::run(command) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("easyview: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Command implementations. All return their output as a `String` so
+//! they are testable without capturing stdout.
+
+use crate::args::{Command, Options, Shape};
+use crate::{CliError, USAGE};
+use ev_analysis::{aggregate, classify_timeline, diff, MetricView};
+use ev_core::{MetricId, Profile};
+use ev_flame::{render, DiffFlameGraph, FlameGraph, Histogram, TreeTable};
+use ev_script::ScriptHost;
+use std::fmt::Write as _;
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing message on I/O, format, or analysis errors.
+pub fn run(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Info { input } => info(&input),
+        Command::View { input, options } => view(&input, &options),
+        Command::Table { input, options } => table(&input, &options),
+        Command::Diff {
+            before,
+            after,
+            options,
+        } => diff_cmd(&before, &after, &options),
+        Command::Aggregate { inputs, options } => aggregate_cmd(&inputs, &options),
+        Command::Search { input, query } => search(&input, &query),
+        Command::Script { input, script } => script_cmd(&input, &script),
+        Command::Convert { input, output } => convert(&input, &output),
+    }
+}
+
+fn load(path: &str) -> Result<Profile, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    ev_formats::parse_auto(&bytes).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn pick_metric(profile: &Profile, options: &Options) -> Result<MetricId, CliError> {
+    match &options.metric {
+        Some(name) => profile.metric_by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = profile.metrics().iter().map(|m| m.name.as_str()).collect();
+            CliError(format!(
+                "no metric {name:?}; profile has: {}",
+                known.join(", ")
+            ))
+        }),
+        None => {
+            if profile.metrics().is_empty() {
+                Err(CliError("profile has no metrics".to_owned()))
+            } else {
+                Ok(MetricId::from_index(0))
+            }
+        }
+    }
+}
+
+fn maybe_pruned(profile: &Profile, metric: MetricId, options: &Options) -> Profile {
+    if options.threshold > 0.0 {
+        ev_analysis::prune(profile, metric, options.threshold)
+    } else {
+        profile.clone()
+    }
+}
+
+fn info(input: &str) -> Result<String, CliError> {
+    let profile = load(input)?;
+    let mut out = String::new();
+    let meta = profile.meta();
+    let _ = writeln!(out, "profile : {}", meta.name);
+    if !meta.profiler.is_empty() {
+        let _ = writeln!(out, "profiler: {}", meta.profiler);
+    }
+    let _ = writeln!(out, "contexts: {}", profile.node_count());
+    if !profile.links().is_empty() {
+        let _ = writeln!(out, "links   : {}", profile.links().len());
+    }
+    let _ = writeln!(out, "metrics :");
+    for (i, m) in profile.metrics().iter().enumerate() {
+        let total = profile.total(MetricId::from_index(i));
+        let _ = writeln!(out, "  {:<20} total {}", m.name, m.unit.format(total));
+    }
+    if let Some(first) = profile.metrics().first() {
+        let metric = profile.metric_by_name(&first.name).expect("exists");
+        let view = MetricView::compute(&profile, metric);
+        let mut hot: Vec<_> = profile
+            .node_ids()
+            .map(|id| (id, view.exclusive(id)))
+            .filter(|&(_, v)| v > 0.0)
+            .collect();
+        hot.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let _ = writeln!(out, "hottest contexts by self {}:", first.name);
+        for (id, v) in hot.into_iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {:<44} {}",
+                profile.resolve_frame(id).to_string(),
+                first.unit.format(v)
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn layout(profile: &Profile, metric: MetricId, shape: Shape) -> FlameGraph {
+    match shape {
+        Shape::TopDown => FlameGraph::top_down(profile, metric),
+        Shape::BottomUp => FlameGraph::bottom_up(profile, metric),
+        Shape::Flat => FlameGraph::flat(profile, metric),
+    }
+}
+
+fn view(input: &str, options: &Options) -> Result<String, CliError> {
+    let profile = load(input)?;
+    let metric = pick_metric(&profile, options)?;
+    let profile = maybe_pruned(&profile, metric, options);
+    let graph = layout(&profile, metric, options.shape);
+    let mut out = render::ansi(&graph, options.width, options.color);
+    if graph.elided() > 0 {
+        let _ = writeln!(out, "({} sub-pixel frames elided)", graph.elided());
+    }
+    if let Some(path) = &options.svg {
+        let svg = render::svg(&graph, &render::SvgOptions::default());
+        std::fs::write(path, &svg)
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+fn table(input: &str, options: &Options) -> Result<String, CliError> {
+    let profile = load(input)?;
+    let metric = pick_metric(&profile, options)?;
+    let base = maybe_pruned(&profile, metric, options);
+    let shaped = match options.shape {
+        Shape::TopDown => base,
+        Shape::BottomUp => ev_analysis::bottom_up(&base, metric),
+        Shape::Flat => ev_analysis::flatten(&base, metric),
+    };
+    let metric = pick_metric(&shaped, options)?;
+    let mut t = TreeTable::new(&shaped, &[metric]);
+    t.expand_to_depth(options.depth);
+    Ok(t.render())
+}
+
+fn diff_cmd(before: &str, after: &str, options: &Options) -> Result<String, CliError> {
+    let p1 = load(before)?;
+    let p2 = load(after)?;
+    let metric = pick_metric(&p1, options)?;
+    let metric_name = p1.metric(metric).name.clone();
+    let dfg = DiffFlameGraph::new(&p1, &p2, &metric_name).map_err(|i| {
+        CliError(format!(
+            "{} lacks metric {metric_name:?}",
+            if i == 0 { before } else { after }
+        ))
+    })?;
+    let mut out = render::ansi(dfg.graph(), options.width, options.color);
+    let _ = writeln!(out);
+    for (tag, count) in dfg.diff().tag_counts() {
+        let _ = writeln!(out, "{tag}  {count} context(s)");
+    }
+    let d = diff(&p1, &p2, &metric_name, 0.0).expect("checked above");
+    let unit = p1.metric(metric).unit;
+    let _ = writeln!(
+        out,
+        "total: {} -> {} ({:+.1}%)",
+        unit.format(d.profile.total(d.before)),
+        unit.format(d.profile.total(d.after)),
+        (d.profile.total(d.after) / d.profile.total(d.before).max(f64::MIN_POSITIVE) - 1.0)
+            * 100.0
+    );
+    if let Some(path) = &options.svg {
+        let svg = render::svg(dfg.graph(), &render::SvgOptions::default());
+        std::fs::write(path, &svg)
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+fn aggregate_cmd(inputs: &[String], options: &Options) -> Result<String, CliError> {
+    let profiles: Vec<Profile> = inputs
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<_, _>>()?;
+    let metric_name = match &options.metric {
+        Some(name) => name.clone(),
+        None => profiles[0]
+            .metrics()
+            .first()
+            .map(|m| m.name.clone())
+            .ok_or_else(|| CliError("first profile has no metrics".to_owned()))?,
+    };
+    let refs: Vec<&Profile> = profiles.iter().collect();
+    let agg = aggregate(&refs, &metric_name)
+        .map_err(|i| CliError(format!("{} lacks metric {metric_name:?}", inputs[i])))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aggregated {} profiles over {metric_name:?} ({} contexts)",
+        inputs.len(),
+        agg.profile.node_count()
+    );
+    let _ = writeln!(out, "\nper-context timelines (leaves):");
+    for node in agg.profile.node_ids() {
+        if !agg.profile.node(node).children().is_empty() {
+            continue;
+        }
+        let frame = agg.profile.resolve_frame(node);
+        if frame.name.is_empty() {
+            continue;
+        }
+        let series = agg.series(node);
+        let hist = Histogram::new(series);
+        let _ = writeln!(
+            out,
+            "  {:<44} {} {}",
+            frame.name,
+            hist.sparkline(),
+            classify_timeline(series)
+        );
+    }
+    let graph = FlameGraph::top_down(&agg.profile, agg.metrics.sum);
+    let _ = writeln!(out, "\nsum view:");
+    out.push_str(&render::ansi(&graph, options.width, options.color));
+    Ok(out)
+}
+
+fn search(input: &str, query: &str) -> Result<String, CliError> {
+    let profile = load(input)?;
+    let needle = query.to_lowercase();
+    let mut out = String::new();
+    let mut count = 0;
+    for id in profile.node_ids() {
+        let frame = profile.resolve_frame(id);
+        if frame.name.to_lowercase().contains(&needle) {
+            count += 1;
+            let path: Vec<String> = profile
+                .path(id)
+                .iter()
+                .map(|&n| profile.resolve_frame(n).name)
+                .collect();
+            let _ = writeln!(out, "{}", path.join(";"));
+        }
+    }
+    let _ = writeln!(out, "{count} match(es)");
+    Ok(out)
+}
+
+fn script_cmd(input: &str, script_path: &str) -> Result<String, CliError> {
+    let mut profile = load(input)?;
+    let source = std::fs::read_to_string(script_path)
+        .map_err(|e| CliError(format!("cannot read {script_path}: {e}")))?;
+    let output = ScriptHost::new(&mut profile)
+        .run(&source)
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(output.stdout)
+}
+
+fn convert(input: &str, output: &str) -> Result<String, CliError> {
+    let profile = load(input)?;
+    let bytes: Vec<u8> = if output.ends_with(".evpf") {
+        ev_core::format::to_bytes(&profile)
+    } else if output.ends_with(".pprof") || output.ends_with(".pb.gz") {
+        ev_formats::pprof::write(&profile, ev_formats::pprof::WriteOptions::default())
+    } else if output.ends_with(".folded") || output.ends_with(".collapsed") {
+        ev_formats::collapsed::write(&profile).into_bytes()
+    } else if output.ends_with(".speedscope.json") || output.ends_with(".json") {
+        ev_formats::speedscope::write(&profile).into_bytes()
+    } else {
+        return Err(CliError(format!(
+            "cannot infer output format from {output:?} (.evpf | .pprof | .folded | .speedscope.json)"
+        )));
+    };
+    std::fs::write(output, &bytes)
+        .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
+    Ok(format!("wrote {output} ({} bytes)\n", bytes.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_args;
+    use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit};
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ev-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_profile(name: &str, samples: &[(&[&str], f64)]) -> String {
+        let mut p = Profile::new(name);
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        for &(path, v) in samples {
+            let frames: Vec<Frame> = path
+                .iter()
+                .map(|&n| Frame::function(n).with_source(format!("{n}.c"), 1))
+                .collect();
+            p.add_sample(&frames, &[(m, v)]);
+        }
+        let path = tmpdir().join(format!("{name}.evpf"));
+        std::fs::write(&path, ev_core::format::to_bytes(&p)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = line.iter().map(|s| s.to_string()).collect();
+        run(parse_args(&argv)?)
+    }
+
+    #[test]
+    fn info_lists_metrics_and_hotspots() {
+        let path = write_profile("info", &[(&["main", "hot"], 90.0), (&["main"], 10.0)]);
+        let out = run_line(&["info", &path]).unwrap();
+        assert!(out.contains("contexts: 3"), "{out}");
+        assert!(out.contains("cpu"), "{out}");
+        assert!(out.contains("hot"), "{out}");
+    }
+
+    #[test]
+    fn view_renders_all_shapes() {
+        let path = write_profile("view", &[(&["main", "a"], 70.0), (&["main", "b"], 30.0)]);
+        for shape in ["topdown", "bottomup", "flat"] {
+            let out = run_line(&["view", &path, "--shape", shape, "--width", "60"]).unwrap();
+            assert!(out.lines().count() >= 2, "{shape}: {out}");
+        }
+    }
+
+    #[test]
+    fn view_writes_svg() {
+        let path = write_profile("svg", &[(&["main"], 1.0)]);
+        let svg_path = tmpdir().join("out.svg");
+        let out = run_line(&["view", &path, "--svg", svg_path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let svg = std::fs::read_to_string(svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn table_respects_depth() {
+        let path = write_profile("table", &[(&["a", "b", "c", "d"], 1.0)]);
+        let shallow = run_line(&["table", &path, "--depth", "1"]).unwrap();
+        let deep = run_line(&["table", &path, "--depth", "8"]).unwrap();
+        assert!(deep.lines().count() > shallow.lines().count());
+        assert!(deep.contains("cpu(I)"));
+    }
+
+    #[test]
+    fn diff_tags_and_totals() {
+        let p1 = write_profile("diff1", &[(&["main", "gone"], 50.0), (&["main", "same"], 10.0)]);
+        let p2 = write_profile("diff2", &[(&["main", "new"], 20.0), (&["main", "same"], 10.0)]);
+        let out = run_line(&["diff", &p1, &p2]).unwrap();
+        assert!(out.contains("[A]  1 context(s)"), "{out}");
+        assert!(out.contains("[D]  1 context(s)"), "{out}");
+        assert!(out.contains("total: 60 -> 30"), "{out}");
+    }
+
+    #[test]
+    fn aggregate_classifies_timelines() {
+        let mut paths = Vec::new();
+        for k in 0..6 {
+            paths.push(write_profile(
+                &format!("agg{k}"),
+                &[(&["main", "leaky"], f64::from(k + 1) * 10.0)],
+            ));
+        }
+        let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+        let mut argv = vec!["aggregate"];
+        argv.extend(refs);
+        let out = run_line(&argv).unwrap();
+        assert!(out.contains("leaky"), "{out}");
+        assert!(out.contains("potential-leak"), "{out}");
+    }
+
+    #[test]
+    fn search_prints_full_paths() {
+        let path = write_profile("search", &[(&["main", "alpha", "beta"], 1.0)]);
+        let out = run_line(&["search", &path, "BETA"]).unwrap();
+        assert!(out.contains("main;alpha;beta"), "{out}");
+        assert!(out.contains("1 match(es)"), "{out}");
+    }
+
+    #[test]
+    fn script_runs_from_file() {
+        let path = write_profile("script", &[(&["main"], 5.0)]);
+        let script = tmpdir().join("s.evs");
+        std::fs::write(&script, "print(\"total\", total(\"cpu\"));").unwrap();
+        let out = run_line(&["script", &path, script.to_str().unwrap()]).unwrap();
+        assert_eq!(out, "total 5\n");
+    }
+
+    #[test]
+    fn convert_roundtrips_through_every_extension() {
+        let path = write_profile("conv", &[(&["main", "f"], 7.0)]);
+        for ext in ["evpf", "pprof", "folded", "speedscope.json"] {
+            let out_path = tmpdir().join(format!("conv-out.{ext}"));
+            let out = run_line(&["convert", &path, out_path.to_str().unwrap()]).unwrap();
+            assert!(out.contains("wrote"), "{out}");
+            // Converted output parses back and conserves the total.
+            let bytes = std::fs::read(&out_path).unwrap();
+            let p = ev_formats::parse_auto(&bytes).unwrap();
+            let m = ev_core::MetricId::from_index(0);
+            assert_eq!(p.total(m), 7.0, "{ext}");
+        }
+        assert!(run_line(&["convert", &path, "out.unknown"]).is_err());
+    }
+
+    #[test]
+    fn missing_file_and_bad_metric_are_clean_errors() {
+        assert!(run_line(&["info", "/nonexistent/file"]).is_err());
+        let path = write_profile("err", &[(&["main"], 1.0)]);
+        let err = run_line(&["view", &path, "--metric", "nope"]).unwrap_err();
+        assert!(err.0.contains("profile has: cpu"), "{err}");
+    }
+
+    #[test]
+    fn help_text() {
+        let out = run_line(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

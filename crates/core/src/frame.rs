@@ -1,0 +1,376 @@
+//! Profiling contexts: frames and their granularities.
+
+use crate::string_table::{StringId, StringTable};
+use std::fmt;
+
+/// The granularity of a profiling context (paper §IV-A).
+///
+/// Profilers report insights for code regions at different granularities,
+/// and — for data-centric profilers like Perf-mem, DrCCTProf, Cheetah, or
+/// MemProf — for *data objects*: heap objects identified by their
+/// allocation call path and static objects identified by symbol name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ContextKind {
+    /// The synthetic tree root (program entry).
+    Root,
+    /// A function / procedure frame.
+    #[default]
+    Function,
+    /// A loop within a function.
+    Loop,
+    /// A basic block.
+    BasicBlock,
+    /// A single instruction.
+    Instruction,
+    /// A source line (used by line-granularity profilers such as Scalene).
+    Line,
+    /// A heap object, named by its allocation site.
+    HeapObject,
+    /// A static/global object, named by its symbol.
+    StaticObject,
+    /// A thread or process boundary frame.
+    Thread,
+}
+
+impl ContextKind {
+    /// Stable numeric encoding used by the binary format.
+    pub fn to_code(self) -> u64 {
+        match self {
+            ContextKind::Root => 0,
+            ContextKind::Function => 1,
+            ContextKind::Loop => 2,
+            ContextKind::BasicBlock => 3,
+            ContextKind::Instruction => 4,
+            ContextKind::Line => 5,
+            ContextKind::HeapObject => 6,
+            ContextKind::StaticObject => 7,
+            ContextKind::Thread => 8,
+        }
+    }
+
+    /// Inverse of [`ContextKind::to_code`]; unknown codes map to
+    /// [`ContextKind::Function`], keeping old readers forward-compatible
+    /// with schema growth (mirroring protobuf enum semantics).
+    pub fn from_code(code: u64) -> ContextKind {
+        match code {
+            0 => ContextKind::Root,
+            2 => ContextKind::Loop,
+            3 => ContextKind::BasicBlock,
+            4 => ContextKind::Instruction,
+            5 => ContextKind::Line,
+            6 => ContextKind::HeapObject,
+            7 => ContextKind::StaticObject,
+            8 => ContextKind::Thread,
+            _ => ContextKind::Function,
+        }
+    }
+
+    /// `true` for the data-object kinds (heap/static).
+    pub fn is_data(self) -> bool {
+        matches!(self, ContextKind::HeapObject | ContextKind::StaticObject)
+    }
+}
+
+impl fmt::Display for ContextKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ContextKind::Root => "root",
+            ContextKind::Function => "function",
+            ContextKind::Loop => "loop",
+            ContextKind::BasicBlock => "basic-block",
+            ContextKind::Instruction => "instruction",
+            ContextKind::Line => "line",
+            ContextKind::HeapObject => "heap-object",
+            ContextKind::StaticObject => "static-object",
+            ContextKind::Thread => "thread",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A frame specification with owned strings — the user-facing way to
+/// describe a profiling context before it is interned into a profile.
+///
+/// Code mapping fields follow the paper's §IV-A list: load module, source
+/// file and line, and instruction address.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::Frame;
+///
+/// let f = Frame::function("CalcHourglassForceForElems")
+///     .with_module("lulesh2.0")
+///     .with_source("lulesh.cc", 2310)
+///     .with_address(0x41f2c0);
+/// assert_eq!(f.line, 2310);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Frame {
+    /// Granularity of the context.
+    pub kind: ContextKind,
+    /// Function name, loop label, or data-object name.
+    pub name: String,
+    /// Load module (executable or shared library), empty if unknown.
+    pub module: String,
+    /// Source file path, empty if unknown.
+    pub file: String,
+    /// 1-based source line, 0 if unknown.
+    pub line: u32,
+    /// Instruction pointer / module offset, 0 if unknown.
+    pub address: u64,
+}
+
+impl Frame {
+    /// Creates a function frame with only a name.
+    pub fn function(name: impl Into<String>) -> Frame {
+        Frame {
+            kind: ContextKind::Function,
+            name: name.into(),
+            ..Frame::default()
+        }
+    }
+
+    /// Creates a frame of an arbitrary kind.
+    pub fn new(kind: ContextKind, name: impl Into<String>) -> Frame {
+        Frame {
+            kind,
+            name: name.into(),
+            ..Frame::default()
+        }
+    }
+
+    /// Creates a heap-object frame (data-centric profiling).
+    pub fn heap_object(name: impl Into<String>) -> Frame {
+        Frame::new(ContextKind::HeapObject, name)
+    }
+
+    /// Creates a thread frame.
+    pub fn thread(name: impl Into<String>) -> Frame {
+        Frame::new(ContextKind::Thread, name)
+    }
+
+    /// Sets the load module.
+    pub fn with_module(mut self, module: impl Into<String>) -> Frame {
+        self.module = module.into();
+        self
+    }
+
+    /// Sets the source file and line.
+    pub fn with_source(mut self, file: impl Into<String>, line: u32) -> Frame {
+        self.file = file.into();
+        self.line = line;
+        self
+    }
+
+    /// Sets the instruction address.
+    pub fn with_address(mut self, address: u64) -> Frame {
+        self.address = address;
+        self
+    }
+
+    /// Returns `true` if source mapping (file + line) is available —
+    /// EasyView's color semantics use this to darken unmapped frames
+    /// (paper §VI-B).
+    pub fn has_source_mapping(&self) -> bool {
+        !self.file.is_empty() && self.line != 0
+    }
+
+    /// Interns this frame's strings into `table`, producing the compact
+    /// stored form.
+    pub fn intern(&self, table: &mut StringTable) -> FrameRef {
+        FrameRef {
+            kind: self.kind,
+            name: table.intern(&self.name),
+            module: table.intern(&self.module),
+            file: table.intern(&self.file),
+            line: self.line,
+            address: self.address,
+        }
+    }
+}
+
+impl fmt::Display for Frame {
+    /// Renders as `name (module!file:line)` with unknown parts elided.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind == ContextKind::Root {
+            return f.write_str("<root>");
+        }
+        write!(f, "{}", self.name)?;
+        let has_module = !self.module.is_empty();
+        let has_file = !self.file.is_empty();
+        if has_module || has_file {
+            f.write_str(" (")?;
+            if has_module {
+                write!(f, "{}", self.module)?;
+                if has_file {
+                    f.write_str("!")?;
+                }
+            }
+            if has_file {
+                write!(f, "{}", self.file)?;
+                if self.line != 0 {
+                    write!(f, ":{}", self.line)?;
+                }
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The interned form of a [`Frame`], stored in profile nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameRef {
+    /// Granularity of the context.
+    pub kind: ContextKind,
+    /// Interned name.
+    pub name: StringId,
+    /// Interned load module ([`StringId::EMPTY`] = unknown).
+    pub module: StringId,
+    /// Interned source file ([`StringId::EMPTY`] = unknown).
+    pub file: StringId,
+    /// 1-based source line, 0 if unknown.
+    pub line: u32,
+    /// Instruction address, 0 if unknown.
+    pub address: u64,
+}
+
+impl FrameRef {
+    /// The synthetic root frame.
+    pub fn root() -> FrameRef {
+        FrameRef {
+            kind: ContextKind::Root,
+            name: StringId::EMPTY,
+            module: StringId::EMPTY,
+            file: StringId::EMPTY,
+            line: 0,
+            address: 0,
+        }
+    }
+
+    /// Resolves back to an owned [`Frame`] using `table`.
+    pub fn resolve(&self, table: &StringTable) -> Frame {
+        Frame {
+            kind: self.kind,
+            name: table.resolve(self.name).to_owned(),
+            module: table.resolve(self.module).to_owned(),
+            file: table.resolve(self.file).to_owned(),
+            line: self.line,
+            address: self.address,
+        }
+    }
+
+    /// The identity key used when merging call-path prefixes: two frames
+    /// merge into one CCT node iff all their fields agree.
+    pub fn merge_key(&self) -> (ContextKind, StringId, StringId, StringId, u32, u64) {
+        (
+            self.kind, self.name, self.module, self.file, self.line, self.address,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_kind_codes_roundtrip() {
+        for kind in [
+            ContextKind::Root,
+            ContextKind::Function,
+            ContextKind::Loop,
+            ContextKind::BasicBlock,
+            ContextKind::Instruction,
+            ContextKind::Line,
+            ContextKind::HeapObject,
+            ContextKind::StaticObject,
+            ContextKind::Thread,
+        ] {
+            assert_eq!(ContextKind::from_code(kind.to_code()), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_code_maps_to_function() {
+        assert_eq!(ContextKind::from_code(999), ContextKind::Function);
+    }
+
+    #[test]
+    fn data_kinds() {
+        assert!(ContextKind::HeapObject.is_data());
+        assert!(ContextKind::StaticObject.is_data());
+        assert!(!ContextKind::Function.is_data());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let f = Frame::function("f")
+            .with_module("libc.so")
+            .with_source("malloc.c", 3)
+            .with_address(0x10);
+        assert_eq!(f.kind, ContextKind::Function);
+        assert_eq!(f.module, "libc.so");
+        assert_eq!(f.file, "malloc.c");
+        assert_eq!(f.line, 3);
+        assert_eq!(f.address, 0x10);
+        assert!(f.has_source_mapping());
+        assert!(!Frame::function("g").has_source_mapping());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Frame::function("f").to_string(), "f");
+        assert_eq!(
+            Frame::function("f").with_module("m.so").to_string(),
+            "f (m.so)"
+        );
+        assert_eq!(
+            Frame::function("f").with_source("a.c", 7).to_string(),
+            "f (a.c:7)"
+        );
+        assert_eq!(
+            Frame::function("f")
+                .with_module("m.so")
+                .with_source("a.c", 7)
+                .to_string(),
+            "f (m.so!a.c:7)"
+        );
+        assert_eq!(
+            Frame::new(ContextKind::Root, "ignored").to_string(),
+            "<root>"
+        );
+    }
+
+    #[test]
+    fn intern_resolve_roundtrip() {
+        let mut table = StringTable::new();
+        let f = Frame::function("brk")
+            .with_module("libc-2.31.so")
+            .with_source("brk.c", 31)
+            .with_address(0xfeed);
+        let r = f.intern(&mut table);
+        assert_eq!(r.resolve(&table), f);
+    }
+
+    #[test]
+    fn merge_key_distinguishes_fields() {
+        let mut table = StringTable::new();
+        let base = Frame::function("f").with_source("a.c", 1).intern(&mut table);
+        let same = Frame::function("f").with_source("a.c", 1).intern(&mut table);
+        let diff_line = Frame::function("f").with_source("a.c", 2).intern(&mut table);
+        let diff_kind = Frame::new(ContextKind::Loop, "f")
+            .with_source("a.c", 1)
+            .intern(&mut table);
+        assert_eq!(base.merge_key(), same.merge_key());
+        assert_ne!(base.merge_key(), diff_line.merge_key());
+        assert_ne!(base.merge_key(), diff_kind.merge_key());
+    }
+
+    #[test]
+    fn root_frame_ref() {
+        let table = StringTable::new();
+        let root = FrameRef::root();
+        assert_eq!(root.resolve(&table).kind, ContextKind::Root);
+    }
+}

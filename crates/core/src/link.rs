@@ -1,0 +1,183 @@
+//! Cross-context links: metrics that span multiple monitoring points.
+//!
+//! The paper's representation can "associate multiple contexts and
+//! monitoring points to a single metric" (§IV-A) — the feature powering
+//! the correlated flame graphs of §VI-A and the LULESH locality case
+//! study (§VII-C2, Fig. 7). A [`ContextLink`] records one such tuple:
+//! e.g. a data-reuse pair (use context, reuse context, and optionally the
+//! allocation context of the object), a redundant/killing pair, the two
+//! racing accesses of a data race, or the two ping-ponging accesses of
+//! false sharing.
+
+use crate::metric::MetricId;
+use crate::profile::NodeId;
+use std::fmt;
+
+/// The analysis that produced a [`ContextLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Data reuse: endpoints are `[allocation, use, reuse]` contexts
+    /// (DrCCTProf-style locality analysis).
+    UseReuse,
+    /// Computation redundancy: endpoints are `[redundant, killing]`
+    /// contexts (RedSpy/LoadSpy-style).
+    RedundantKilling,
+    /// A data race: the two conflicting access contexts.
+    DataRace,
+    /// False sharing: the two contexts ping-ponging on one cache line.
+    FalseSharing,
+    /// A heap object's allocation context linked to its access contexts
+    /// (data-centric memory profiling).
+    AllocAccess,
+    /// An application-defined link.
+    Custom,
+}
+
+impl LinkKind {
+    /// Stable numeric encoding used by the binary format.
+    pub fn to_code(self) -> u64 {
+        match self {
+            LinkKind::UseReuse => 0,
+            LinkKind::RedundantKilling => 1,
+            LinkKind::DataRace => 2,
+            LinkKind::FalseSharing => 3,
+            LinkKind::AllocAccess => 4,
+            LinkKind::Custom => 5,
+        }
+    }
+
+    /// Inverse of [`LinkKind::to_code`]; unknown codes decode as
+    /// [`LinkKind::Custom`].
+    pub fn from_code(code: u64) -> LinkKind {
+        match code {
+            0 => LinkKind::UseReuse,
+            1 => LinkKind::RedundantKilling,
+            2 => LinkKind::DataRace,
+            3 => LinkKind::FalseSharing,
+            4 => LinkKind::AllocAccess,
+            _ => LinkKind::Custom,
+        }
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LinkKind::UseReuse => "use-reuse",
+            LinkKind::RedundantKilling => "redundant-killing",
+            LinkKind::DataRace => "data-race",
+            LinkKind::FalseSharing => "false-sharing",
+            LinkKind::AllocAccess => "alloc-access",
+            LinkKind::Custom => "custom",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One metric tuple spanning several contexts of the same profile.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::{ContextLink, LinkKind, MetricId, NodeId};
+///
+/// let link = ContextLink::new(LinkKind::UseReuse)
+///     .with_endpoint(NodeId::ROOT) // allocation context
+///     .with_endpoint(NodeId::ROOT) // use context
+///     .with_endpoint(NodeId::ROOT) // reuse context
+///     .with_value(MetricId::from_index(0), 1024.0);
+/// assert_eq!(link.endpoints().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextLink {
+    kind: LinkKind,
+    endpoints: Vec<NodeId>,
+    values: Vec<(MetricId, f64)>,
+}
+
+impl ContextLink {
+    /// Creates an empty link of the given kind.
+    pub fn new(kind: LinkKind) -> ContextLink {
+        ContextLink {
+            kind,
+            endpoints: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends a context endpoint. Endpoint order is meaningful and
+    /// kind-specific (see [`LinkKind`]).
+    pub fn with_endpoint(mut self, node: NodeId) -> ContextLink {
+        self.endpoints.push(node);
+        self
+    }
+
+    /// Attaches a metric value to the link as a whole.
+    pub fn with_value(mut self, metric: MetricId, value: f64) -> ContextLink {
+        self.values.push((metric, value));
+        self
+    }
+
+    /// The link kind.
+    pub fn kind(&self) -> LinkKind {
+        self.kind
+    }
+
+    /// The contexts this link connects, in kind-specific order.
+    pub fn endpoints(&self) -> &[NodeId] {
+        &self.endpoints
+    }
+
+    /// Metric values attached to the link.
+    pub fn values(&self) -> &[(MetricId, f64)] {
+        &self.values
+    }
+
+    /// The value of `metric` on this link, 0 if absent.
+    pub fn value(&self, metric: MetricId) -> f64 {
+        self.values
+            .iter()
+            .find(|&&(m, _)| m == metric)
+            .map_or(0.0, |&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for kind in [
+            LinkKind::UseReuse,
+            LinkKind::RedundantKilling,
+            LinkKind::DataRace,
+            LinkKind::FalseSharing,
+            LinkKind::AllocAccess,
+            LinkKind::Custom,
+        ] {
+            assert_eq!(LinkKind::from_code(kind.to_code()), kind);
+        }
+        assert_eq!(LinkKind::from_code(99), LinkKind::Custom);
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let m = MetricId::from_index(3);
+        let link = ContextLink::new(LinkKind::DataRace)
+            .with_endpoint(NodeId::from_index(1))
+            .with_endpoint(NodeId::from_index(2))
+            .with_value(m, 7.0);
+        assert_eq!(link.kind(), LinkKind::DataRace);
+        assert_eq!(link.endpoints().len(), 2);
+        assert_eq!(link.value(m), 7.0);
+        assert_eq!(link.value(MetricId::from_index(9)), 0.0);
+        assert_eq!(link.values(), [(m, 7.0)]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LinkKind::UseReuse.to_string(), "use-reuse");
+        assert_eq!(LinkKind::FalseSharing.to_string(), "false-sharing");
+    }
+}

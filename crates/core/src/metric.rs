@@ -1,0 +1,254 @@
+//! Metric descriptors: the typed measurement channels of a profile.
+
+use std::fmt;
+
+/// A handle to a metric registered in a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(pub(crate) u16);
+
+impl MetricId {
+    /// The raw index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a raw index (used by deserialization).
+    pub fn from_index(index: usize) -> MetricId {
+        MetricId(index as u16)
+    }
+}
+
+/// How a metric's values relate to the calling context tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MetricKind {
+    /// Attributed to the exact node where it was measured; inclusive
+    /// values are derived by summing over subtrees (paper §V-A).
+    #[default]
+    Exclusive,
+    /// Already includes callee costs (some profilers report these
+    /// directly, e.g. HPCToolkit's `(I)` metrics).
+    Inclusive,
+    /// A point observation where summation is meaningless (e.g. a
+    /// high-water mark); aggregation uses min/max/mean instead.
+    Point,
+}
+
+impl MetricKind {
+    /// Stable numeric encoding used by the binary format.
+    pub fn to_code(self) -> u64 {
+        match self {
+            MetricKind::Exclusive => 0,
+            MetricKind::Inclusive => 1,
+            MetricKind::Point => 2,
+        }
+    }
+
+    /// Inverse of [`MetricKind::to_code`]; unknown codes decode as
+    /// [`MetricKind::Exclusive`].
+    pub fn from_code(code: u64) -> MetricKind {
+        match code {
+            1 => MetricKind::Inclusive,
+            2 => MetricKind::Point,
+            _ => MetricKind::Exclusive,
+        }
+    }
+}
+
+/// The unit a metric is measured in, used for display formatting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MetricUnit {
+    /// A unitless count (samples, occurrences, instructions).
+    #[default]
+    Count,
+    /// Nanoseconds of time.
+    Nanoseconds,
+    /// Bytes of memory.
+    Bytes,
+    /// CPU cycles.
+    Cycles,
+    /// A ratio or percentage in [0, 1].
+    Ratio,
+}
+
+impl MetricUnit {
+    /// Stable numeric encoding used by the binary format.
+    pub fn to_code(self) -> u64 {
+        match self {
+            MetricUnit::Count => 0,
+            MetricUnit::Nanoseconds => 1,
+            MetricUnit::Bytes => 2,
+            MetricUnit::Cycles => 3,
+            MetricUnit::Ratio => 4,
+        }
+    }
+
+    /// Inverse of [`MetricUnit::to_code`]; unknown codes decode as
+    /// [`MetricUnit::Count`].
+    pub fn from_code(code: u64) -> MetricUnit {
+        match code {
+            1 => MetricUnit::Nanoseconds,
+            2 => MetricUnit::Bytes,
+            3 => MetricUnit::Cycles,
+            4 => MetricUnit::Ratio,
+            _ => MetricUnit::Count,
+        }
+    }
+
+    /// Formats `value` in a human-readable form for this unit
+    /// (`1.50 ms`, `2.0 MiB`, `37.2%`, …).
+    pub fn format(self, value: f64) -> String {
+        match self {
+            MetricUnit::Count => {
+                if value == value.trunc() && value.abs() < 1e15 {
+                    format!("{}", value as i64)
+                } else {
+                    format!("{value:.2}")
+                }
+            }
+            MetricUnit::Nanoseconds => {
+                let abs = value.abs();
+                if abs >= 1e9 {
+                    format!("{:.2} s", value / 1e9)
+                } else if abs >= 1e6 {
+                    format!("{:.2} ms", value / 1e6)
+                } else if abs >= 1e3 {
+                    format!("{:.2} µs", value / 1e3)
+                } else {
+                    format!("{value:.0} ns")
+                }
+            }
+            MetricUnit::Bytes => {
+                let abs = value.abs();
+                if abs >= 1024.0 * 1024.0 * 1024.0 {
+                    format!("{:.2} GiB", value / (1024.0 * 1024.0 * 1024.0))
+                } else if abs >= 1024.0 * 1024.0 {
+                    format!("{:.2} MiB", value / (1024.0 * 1024.0))
+                } else if abs >= 1024.0 {
+                    format!("{:.2} KiB", value / 1024.0)
+                } else {
+                    format!("{value:.0} B")
+                }
+            }
+            MetricUnit::Cycles => format!("{value:.0} cyc"),
+            MetricUnit::Ratio => format!("{:.1}%", value * 100.0),
+        }
+    }
+}
+
+impl fmt::Display for MetricUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MetricUnit::Count => "count",
+            MetricUnit::Nanoseconds => "ns",
+            MetricUnit::Bytes => "bytes",
+            MetricUnit::Cycles => "cycles",
+            MetricUnit::Ratio => "ratio",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Describes one metric channel of a profile.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::{MetricDescriptor, MetricKind, MetricUnit};
+///
+/// let alloc = MetricDescriptor::new("alloc_space", MetricUnit::Bytes, MetricKind::Exclusive)
+///     .with_description("bytes allocated, attributed to the allocation call path");
+/// assert_eq!(alloc.name, "alloc_space");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricDescriptor {
+    /// Short name (`cpu`, `alloc_space`, `cache_misses`).
+    pub name: String,
+    /// Measurement unit.
+    pub unit: MetricUnit,
+    /// Attribution semantics.
+    pub kind: MetricKind,
+    /// Optional human-readable description.
+    pub description: String,
+}
+
+impl MetricDescriptor {
+    /// Creates a descriptor.
+    pub fn new(name: impl Into<String>, unit: MetricUnit, kind: MetricKind) -> MetricDescriptor {
+        MetricDescriptor {
+            name: name.into(),
+            unit,
+            kind,
+            description: String::new(),
+        }
+    }
+
+    /// Sets a description.
+    pub fn with_description(mut self, description: impl Into<String>) -> MetricDescriptor {
+        self.description = description.into();
+        self
+    }
+}
+
+impl fmt::Display for MetricDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_unit_codes_roundtrip() {
+        for kind in [MetricKind::Exclusive, MetricKind::Inclusive, MetricKind::Point] {
+            assert_eq!(MetricKind::from_code(kind.to_code()), kind);
+        }
+        for unit in [
+            MetricUnit::Count,
+            MetricUnit::Nanoseconds,
+            MetricUnit::Bytes,
+            MetricUnit::Cycles,
+            MetricUnit::Ratio,
+        ] {
+            assert_eq!(MetricUnit::from_code(unit.to_code()), unit);
+        }
+    }
+
+    #[test]
+    fn unknown_codes_fall_back() {
+        assert_eq!(MetricKind::from_code(77), MetricKind::Exclusive);
+        assert_eq!(MetricUnit::from_code(77), MetricUnit::Count);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(MetricUnit::Count.format(42.0), "42");
+        assert_eq!(MetricUnit::Count.format(0.5), "0.50");
+        assert_eq!(MetricUnit::Nanoseconds.format(500.0), "500 ns");
+        assert_eq!(MetricUnit::Nanoseconds.format(1_500.0), "1.50 µs");
+        assert_eq!(MetricUnit::Nanoseconds.format(2_000_000.0), "2.00 ms");
+        assert_eq!(MetricUnit::Nanoseconds.format(3e9), "3.00 s");
+        assert_eq!(MetricUnit::Bytes.format(512.0), "512 B");
+        assert_eq!(MetricUnit::Bytes.format(2048.0), "2.00 KiB");
+        assert_eq!(MetricUnit::Bytes.format(3.0 * 1024.0 * 1024.0), "3.00 MiB");
+        assert_eq!(
+            MetricUnit::Bytes.format(1.5 * 1024.0 * 1024.0 * 1024.0),
+            "1.50 GiB"
+        );
+        assert_eq!(MetricUnit::Cycles.format(100.0), "100 cyc");
+        assert_eq!(MetricUnit::Ratio.format(0.372), "37.2%");
+    }
+
+    #[test]
+    fn descriptor_display() {
+        let d = MetricDescriptor::new("cpu", MetricUnit::Nanoseconds, MetricKind::Exclusive);
+        assert_eq!(d.to_string(), "cpu [ns]");
+    }
+
+    #[test]
+    fn metric_id_index_roundtrip() {
+        let id = MetricId::from_index(5);
+        assert_eq!(id.index(), 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Interned strings shared across a profile.
+//!
+//! Function names, file paths, and load-module names repeat heavily in
+//! call-path profiles; interning them once keeps the calling context tree
+//! compact (paper §IV-A: "minimizes the storage in both memory and disk").
+
+use crate::fast_hash::FxHashMap;
+
+/// A handle to an interned string in a [`StringTable`].
+///
+/// `StringId(0)` is always the empty string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StringId(pub(crate) u32);
+
+impl StringId {
+    /// The id of the empty string, present in every table.
+    pub const EMPTY: StringId = StringId(0);
+
+    /// The raw index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a raw index (used by deserialization).
+    pub fn from_index(index: usize) -> StringId {
+        StringId(index as u32)
+    }
+}
+
+/// A deduplicating string table.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::StringTable;
+///
+/// let mut t = StringTable::new();
+/// let a = t.intern("main");
+/// let b = t.intern("main");
+/// assert_eq!(a, b);
+/// assert_eq!(t.resolve(a), "main");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StringTable {
+    strings: Vec<String>,
+    index: FxHashMap<String, StringId>,
+}
+
+impl StringTable {
+    /// Creates a table containing only the empty string.
+    pub fn new() -> StringTable {
+        let mut table = StringTable {
+            strings: Vec::new(),
+            index: FxHashMap::default(),
+        };
+        table.intern("");
+        table
+    }
+
+    /// Interns `s`, returning its id; repeated calls with equal strings
+    /// return equal ids.
+    pub fn intern(&mut self, s: &str) -> StringId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = StringId(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table (or a table whose
+    /// contents this one was deserialized from).
+    pub fn resolve(&self, id: StringId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Fallible lookup, for ids from untrusted serialized data.
+    pub fn get(&self, id: StringId) -> Option<&str> {
+        self.strings.get(id.index()).map(String::as_str)
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<StringId> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of interned strings (including the empty string).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Always `false`: the empty string is interned at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the interned strings in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
+    }
+
+    /// Rebuilds a table from serialized contents. The first entry must be
+    /// the empty string; if absent it is prepended, preserving relative
+    /// order of the rest (this only happens for hand-built inputs).
+    pub fn from_strings(strings: Vec<String>) -> StringTable {
+        let mut table = StringTable::new();
+        for s in &strings {
+            table.intern(s);
+        }
+        table
+    }
+}
+
+impl PartialEq for StringTable {
+    fn eq(&self, other: &StringTable) -> bool {
+        self.strings == other.strings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_string_is_id_zero() {
+        let mut t = StringTable::new();
+        assert_eq!(t.intern(""), StringId::EMPTY);
+        assert_eq!(t.resolve(StringId::EMPTY), "");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = StringTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("bar");
+        let c = t.intern("foo");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut t = StringTable::new();
+        assert_eq!(t.lookup("x"), None);
+        let id = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(id));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_is_fallible() {
+        let t = StringTable::new();
+        assert_eq!(t.get(StringId(99)), None);
+        assert_eq!(t.get(StringId::EMPTY), Some(""));
+    }
+
+    #[test]
+    fn from_strings_roundtrip() {
+        let mut t = StringTable::new();
+        for s in ["alpha", "beta", "gamma"] {
+            t.intern(s);
+        }
+        let rebuilt = StringTable::from_strings(t.iter().map(str::to_owned).collect());
+        assert_eq!(t, rebuilt);
+    }
+
+    proptest! {
+        #[test]
+        fn resolve_inverts_intern(strings in proptest::collection::vec("\\PC{0,20}", 0..50)) {
+            let mut t = StringTable::new();
+            let ids: Vec<_> = strings.iter().map(|s| t.intern(s)).collect();
+            for (s, id) in strings.iter().zip(ids) {
+                prop_assert_eq!(t.resolve(id), s.as_str());
+            }
+        }
+
+        #[test]
+        fn ids_are_dense(strings in proptest::collection::vec("[a-f]{1,4}", 0..50)) {
+            let mut t = StringTable::new();
+            for s in &strings {
+                t.intern(s);
+            }
+            // Every id below len() resolves.
+            for i in 0..t.len() {
+                prop_assert!(t.get(StringId::from_index(i)).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The per-context histogram widget (paper §VI-A-b, Fig. 4).
+//!
+//! In the aggregate view, clicking a frame pops a histogram of that
+//! context's metric across all input profiles — for snapshot series,
+//! across time. The widget renders to text with Unicode block glyphs
+//! (the same geometry the GUI would draw).
+
+/// A laid-out histogram over a value series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    values: Vec<f64>,
+    max: f64,
+}
+
+impl Histogram {
+    /// Lays out `values` (one bar per entry, in order).
+    pub fn new(values: &[f64]) -> Histogram {
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        Histogram {
+            values: values.to_vec(),
+            max,
+        }
+    }
+
+    /// The input series.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The tallest bar's value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normalized bar heights in `[0, 1]`.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.max <= 0.0 {
+            return vec![0.0; self.values.len()];
+        }
+        self.values.iter().map(|v| (v / self.max).clamp(0.0, 1.0)).collect()
+    }
+
+    /// One-line sparkline using the eight block glyphs (`▁`–`█`).
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        self.normalized()
+            .iter()
+            .map(|&h| {
+                if h <= 0.0 {
+                    ' '
+                } else {
+                    GLYPHS[((h * 7.0).round() as usize).min(7)]
+                }
+            })
+            .collect()
+    }
+
+    /// Multi-row rendering, `height` rows tall, one column per value.
+    pub fn render(&self, height: usize) -> String {
+        assert!(height > 0, "height must be positive");
+        let heights = self.normalized();
+        let mut out = String::new();
+        for row in (0..height).rev() {
+            let floor = row as f64 / height as f64;
+            for &h in &heights {
+                out.push(if h > floor { '█' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let h = Histogram::new(&[0.0, 5.0, 10.0]);
+        assert_eq!(h.max(), 10.0);
+        assert_eq!(h.normalized(), [0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn all_zero_series() {
+        let h = Histogram::new(&[0.0, 0.0]);
+        assert_eq!(h.normalized(), [0.0, 0.0]);
+        assert_eq!(h.sparkline(), "  ");
+    }
+
+    #[test]
+    fn empty_series() {
+        let h = Histogram::new(&[]);
+        assert_eq!(h.sparkline(), "");
+        assert_eq!(h.render(3), "\n\n\n");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let h = Histogram::new(&[1.0, 4.0, 8.0]);
+        let s: Vec<char> = h.sparkline().chars().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2], '█');
+        // Monotone input gives monotone glyph heights.
+        assert!(s[0] < s[1] || s[0] == '▁');
+    }
+
+    #[test]
+    fn render_geometry() {
+        let h = Histogram::new(&[10.0, 5.0]);
+        let render = h.render(2);
+        let rows: Vec<&str> = render.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], "█ ", "only the max reaches the top row");
+        assert_eq!(rows[1], "██");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_height_panics() {
+        Histogram::new(&[1.0]).render(0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Flame-graph layout: the geometry below the rendering boundary.
+
+use crate::color::{Color, ColorScheme};
+use ev_analysis::MetricView;
+use ev_core::{MetricId, NodeId, Profile};
+
+/// Rectangles narrower than this fraction of the total width are elided
+/// from the layout (they would be sub-pixel at any realistic viewport);
+/// the count of elided frames is kept for display.
+const MIN_WIDTH: f64 = 1e-5;
+
+/// One frame rectangle of a laid-out flame graph.
+///
+/// `x` and `width` are normalized to `[0, 1]`; `depth` counts from 0 at
+/// the root row. Multiply by the viewport size to get pixels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameRect {
+    /// The node this rectangle represents (an id in
+    /// [`FlameGraph::profile`]).
+    pub node: NodeId,
+    /// Row index (0 = root).
+    pub depth: usize,
+    /// Left edge in `[0, 1]`.
+    pub x: f64,
+    /// Width in `[0, 1]`, proportional to the inclusive metric.
+    pub width: f64,
+    /// Display label (function name, or the diff-tagged name).
+    pub label: String,
+    /// Inclusive metric value.
+    pub value: f64,
+    /// Exclusive (self) metric value.
+    pub self_value: f64,
+    /// Fill color under the active [`ColorScheme`].
+    pub color: Color,
+    /// Whether the frame has file/line mapping (drives the code-link
+    /// action availability).
+    pub mapped: bool,
+}
+
+/// A laid-out flame graph over an owned profile.
+///
+/// Owning the (possibly transformed) profile keeps `NodeId`s in
+/// [`FlameRect::node`] valid for hit-testing, code links, and hovers.
+#[derive(Debug, Clone)]
+pub struct FlameGraph {
+    profile: Profile,
+    metric: MetricId,
+    rects: Vec<FlameRect>,
+    max_depth: usize,
+    elided: usize,
+    total: f64,
+}
+
+impl FlameGraph {
+    /// Lays out the top-down view (paper Fig. 4): root at depth 0,
+    /// callees below, width ∝ inclusive metric.
+    pub fn top_down(profile: &Profile, metric: MetricId) -> FlameGraph {
+        Self::from_owned(profile.clone(), metric)
+    }
+
+    /// Lays out the bottom-up view (paper Fig. 6): leaf functions at the
+    /// first level, callers below.
+    pub fn bottom_up(profile: &Profile, metric: MetricId) -> FlameGraph {
+        let transformed = ev_analysis::bottom_up(profile, metric);
+        let m = transformed
+            .metric_by_name(&profile.metric(metric).name)
+            .expect("transform keeps the metric");
+        Self::from_owned(transformed, m)
+    }
+
+    /// Lays out the flat view: load modules → files → functions.
+    pub fn flat(profile: &Profile, metric: MetricId) -> FlameGraph {
+        let transformed = ev_analysis::flatten(profile, metric);
+        let m = transformed
+            .metric_by_name(&profile.metric(metric).name)
+            .expect("transform keeps the metric");
+        Self::from_owned(transformed, m)
+    }
+
+    /// Lays out an owned profile directly (used by the diff and
+    /// correlated views, which pre-shape their trees).
+    pub fn from_owned(profile: Profile, metric: MetricId) -> FlameGraph {
+        Self::with_scheme(profile, metric, ColorScheme::default())
+    }
+
+    /// Layout with an explicit color scheme.
+    pub fn with_scheme(profile: Profile, metric: MetricId, scheme: ColorScheme) -> FlameGraph {
+        let view = MetricView::compute(&profile, metric);
+        let total = view.total().max(f64::MIN_POSITIVE);
+        let mut rects = Vec::with_capacity(profile.node_count());
+        let mut max_depth = 0usize;
+        let mut elided = 0usize;
+
+        // Work list of (node, depth, left edge).
+        let mut work: Vec<(NodeId, usize, f64)> = vec![(profile.root(), 0, 0.0)];
+        while let Some((node, depth, x)) = work.pop() {
+            let inclusive = view.inclusive(node);
+            let width = inclusive / total;
+            if width < MIN_WIDTH && node != NodeId::ROOT {
+                elided += 1;
+                continue;
+            }
+            let frame = profile.resolve_frame(node);
+            let label = if node == NodeId::ROOT {
+                "ROOT".to_owned()
+            } else {
+                frame.name.clone()
+            };
+            rects.push(FlameRect {
+                node,
+                depth,
+                x,
+                width: if node == NodeId::ROOT { 1.0 } else { width },
+                label,
+                value: inclusive,
+                self_value: view.exclusive(node),
+                color: scheme.color_for(&frame),
+                mapped: frame.has_source_mapping(),
+            });
+            max_depth = max_depth.max(depth);
+            // Children laid out left-to-right by decreasing value
+            // (classic flame-graph ordering), each offset by the
+            // cumulative width of its earlier siblings.
+            let mut children: Vec<(NodeId, f64)> = profile
+                .node(node)
+                .children()
+                .iter()
+                .map(|&c| (c, view.inclusive(c)))
+                .collect();
+            children.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let mut cursor = x;
+            for (child, inclusive) in children {
+                work.push((child, depth + 1, cursor));
+                cursor += inclusive / total;
+            }
+        }
+        rects.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.x.total_cmp(&b.x)));
+        FlameGraph {
+            profile,
+            metric,
+            rects,
+            max_depth,
+            elided,
+            total,
+        }
+    }
+
+    /// The laid-out rectangles, sorted by (depth, x).
+    pub fn rects(&self) -> &[FlameRect] {
+        &self.rects
+    }
+
+    /// The profile backing the layout (possibly a transformed copy).
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The laid-out metric.
+    pub fn metric(&self) -> MetricId {
+        self.metric
+    }
+
+    /// Deepest row index.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of frames elided for being sub-pixel.
+    pub fn elided(&self) -> usize {
+        self.elided
+    }
+
+    /// Total metric value (the root's inclusive value).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    pub(crate) fn replace_rects(&mut self, rects: Vec<FlameRect>) {
+        self.rects = rects;
+    }
+
+    /// Case-insensitive substring search over frame labels — "all the
+    /// flame graphs are searchable" (§VI-A-a). Returns indices into
+    /// [`FlameGraph::rects`].
+    pub fn search(&self, needle: &str) -> Vec<usize> {
+        let needle = needle.to_lowercase();
+        self.rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.label.to_lowercase().contains(&needle))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Hit test: the deepest rectangle containing normalized point
+    /// `(x, depth)` — the click target for code links (§VI-B).
+    pub fn rect_at(&self, x: f64, depth: usize) -> Option<&FlameRect> {
+        self.rects
+            .iter()
+            .filter(|r| r.depth == depth)
+            .find(|r| x >= r.x && x < r.x + r.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit};
+    use proptest::prelude::*;
+
+    fn profile() -> (Profile, MetricId) {
+        let mut p = Profile::new("t");
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[Frame::function("main"), Frame::function("a"), Frame::function("x")],
+            &[(m, 60.0)],
+        );
+        p.add_sample(&[Frame::function("main"), Frame::function("b")], &[(m, 30.0)]);
+        p.add_sample(&[Frame::function("main")], &[(m, 10.0)]);
+        (p, m)
+    }
+
+    #[test]
+    fn widths_proportional_to_inclusive() {
+        let (p, m) = profile();
+        let fg = FlameGraph::top_down(&p, m);
+        let rect = |label: &str| fg.rects().iter().find(|r| r.label == label).unwrap();
+        assert!((rect("main").width - 1.0).abs() < 1e-9);
+        assert!((rect("a").width - 0.6).abs() < 1e-9);
+        assert!((rect("b").width - 0.3).abs() < 1e-9);
+        assert_eq!(rect("main").self_value, 10.0);
+        assert_eq!(fg.max_depth(), 3);
+    }
+
+    #[test]
+    fn children_sorted_by_value() {
+        let (p, m) = profile();
+        let fg = FlameGraph::top_down(&p, m);
+        let a = fg.rects().iter().find(|r| r.label == "a").unwrap();
+        let b = fg.rects().iter().find(|r| r.label == "b").unwrap();
+        assert!(a.x < b.x, "larger child lays out first");
+        assert!((b.x - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_is_case_insensitive() {
+        let (p, m) = profile();
+        let fg = FlameGraph::top_down(&p, m);
+        assert_eq!(fg.search("MAIN").len(), 1);
+        assert_eq!(fg.search("nothing").len(), 0);
+        // Substring matches.
+        assert_eq!(fg.search("ai").len(), 1);
+    }
+
+    #[test]
+    fn hit_testing() {
+        let (p, m) = profile();
+        let fg = FlameGraph::top_down(&p, m);
+        assert_eq!(fg.rect_at(0.5, 0).unwrap().label, "ROOT");
+        assert_eq!(fg.rect_at(0.3, 2).unwrap().label, "a");
+        assert_eq!(fg.rect_at(0.7, 2).unwrap().label, "b");
+        assert!(fg.rect_at(0.95, 2).is_none(), "main's self time has no child");
+        assert!(fg.rect_at(0.5, 9).is_none());
+    }
+
+    #[test]
+    fn bottom_up_layout_leaves_first() {
+        let (p, m) = profile();
+        let fg = FlameGraph::bottom_up(&p, m);
+        // Depth-1 rects are the hot functions.
+        let depth1: Vec<&str> = fg
+            .rects()
+            .iter()
+            .filter(|r| r.depth == 1)
+            .map(|r| r.label.as_str())
+            .collect();
+        assert!(depth1.contains(&"x"));
+        assert!(depth1.contains(&"b"));
+        assert!(depth1.contains(&"main"));
+    }
+
+    #[test]
+    fn flat_layout_modules_first() {
+        let (p, m) = profile();
+        let fg = FlameGraph::flat(&p, m);
+        let depth1: Vec<&str> = fg
+            .rects()
+            .iter()
+            .filter(|r| r.depth == 1)
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(depth1, ["(unknown module)"]);
+    }
+
+    #[test]
+    fn tiny_frames_elided() {
+        let mut p = Profile::new("t");
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(&[Frame::function("big")], &[(m, 1e9)]);
+        p.add_sample(&[Frame::function("tiny")], &[(m, 1.0)]);
+        let fg = FlameGraph::top_down(&p, m);
+        assert_eq!(fg.elided(), 1);
+        assert!(fg.rects().iter().all(|r| r.label != "tiny"));
+    }
+
+    #[test]
+    fn empty_profile_lays_out_root_only() {
+        let mut p = Profile::new("empty");
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        let fg = FlameGraph::top_down(&p, m);
+        assert_eq!(fg.rects().len(), 1);
+        assert_eq!(fg.rects()[0].label, "ROOT");
+    }
+
+    fn arb_profile() -> impl Strategy<Value = Profile> {
+        proptest::collection::vec(
+            (proptest::collection::vec(0u8..6, 1..7), 0.5f64..100.0),
+            1..40,
+        )
+        .prop_map(|samples| {
+            let mut p = Profile::new("arb");
+            let m = p.add_metric(MetricDescriptor::new(
+                "m",
+                MetricUnit::Count,
+                MetricKind::Exclusive,
+            ));
+            for (path, v) in samples {
+                let frames: Vec<Frame> =
+                    path.iter().map(|i| Frame::function(format!("f{i}"))).collect();
+                p.add_sample(&frames, &[(m, v)]);
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn layout_invariants(p in arb_profile()) {
+            let m = p.metric_by_name("m").unwrap();
+            let fg = FlameGraph::top_down(&p, m);
+            for rect in fg.rects() {
+                // Geometry is inside the unit strip.
+                prop_assert!(rect.x >= -1e-9 && rect.x + rect.width <= 1.0 + 1e-9);
+                prop_assert!(rect.width >= 0.0);
+            }
+            // Siblings at the same depth do not overlap: sorted by x,
+            // consecutive same-depth rects must not intersect.
+            for pair in fg.rects().windows(2) {
+                if pair[0].depth == pair[1].depth {
+                    prop_assert!(pair[0].x + pair[0].width <= pair[1].x + 1e-9);
+                }
+            }
+            // Every rect is contained in its parent's span.
+            for rect in fg.rects() {
+                if let Some(parent) = fg.profile().node(rect.node).parent() {
+                    if let Some(pr) = fg.rects().iter().find(|r| r.node == parent) {
+                        prop_assert!(rect.x >= pr.x - 1e-9);
+                        prop_assert!(rect.x + rect.width <= pr.x + pr.width + 1e-9);
+                        prop_assert_eq!(rect.depth, pr.depth + 1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! LSB-first bit readers and writers over byte buffers.
+//!
+//! DEFLATE packs data elements starting at the least-significant bit of
+//! each byte; Huffman codes are packed most-significant-bit first *within
+//! the code* but the code's bits still fill bytes LSB-first (RFC 1951
+//! §3.1.1). The reader below exposes `bits()` for integer fields and
+//! leaves code-bit assembly to the Huffman decoder.
+
+use crate::FlateError;
+
+/// An LSB-first bit cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    input: &'a [u8],
+    /// Next byte to load.
+    pos: usize,
+    /// Bit accumulator, LSB = next bit.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit of `input`.
+    pub fn new(input: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            input,
+            pos: 0,
+            acc: 0,
+            count: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.count <= 56 && self.pos < self.input.len() {
+            self.acc |= u64::from(self.input[self.pos]) << self.count;
+            self.pos += 1;
+            self.count += 8;
+        }
+    }
+
+    /// Reads `n` bits (0–32) as an integer, LSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlateError::UnexpectedEof`] if fewer than `n` bits remain.
+    pub fn bits(&mut self, n: u32) -> Result<u32, FlateError> {
+        debug_assert!(n <= 32);
+        if self.count < n {
+            self.refill();
+            if self.count < n {
+                return Err(FlateError::UnexpectedEof);
+            }
+        }
+        let value = if n == 0 {
+            0
+        } else {
+            (self.acc & ((1u64 << n) - 1)) as u32
+        };
+        self.acc >>= n;
+        self.count -= n;
+        Ok(value)
+    }
+
+    /// Reads a single bit.
+    pub fn bit(&mut self) -> Result<u32, FlateError> {
+        self.bits(1)
+    }
+
+    /// Discards buffered bits up to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let drop = self.count % 8;
+        self.acc >>= drop;
+        self.count -= drop;
+    }
+
+    /// Copies `n` raw bytes into `out`; the reader must be byte-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlateError::UnexpectedEof`] if fewer than `n` bytes remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the reader is not byte-aligned.
+    pub fn copy_bytes(&mut self, n: usize, out: &mut Vec<u8>) -> Result<(), FlateError> {
+        debug_assert_eq!(self.count % 8, 0, "copy_bytes requires byte alignment");
+        let mut remaining = n;
+        // Drain whole bytes buffered in the accumulator first.
+        while remaining > 0 && self.count >= 8 {
+            out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.count -= 8;
+            remaining -= 1;
+        }
+        if self.input.len() - self.pos < remaining {
+            return Err(FlateError::UnexpectedEof);
+        }
+        out.extend_from_slice(&self.input[self.pos..self.pos + remaining]);
+        self.pos += remaining;
+        Ok(())
+    }
+}
+
+/// An LSB-first bit accumulator that appends to a byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    count: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the low `n` bits of `value`, LSB first.
+    pub fn bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || u64::from(value) < (1u64 << n));
+        self.acc |= u64::from(value) << self.count;
+        self.count += n;
+        while self.count >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.count -= 8;
+        }
+    }
+
+    /// Appends a Huffman code of `len` bits. DEFLATE stores Huffman codes
+    /// with the most-significant code bit first, so the code is
+    /// bit-reversed before packing.
+    pub fn huffman_code(&mut self, code: u32, len: u32) {
+        let mut reversed = 0u32;
+        for i in 0..len {
+            reversed |= ((code >> i) & 1) << (len - 1 - i);
+        }
+        self.bits(reversed, len);
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        if self.count > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc = 0;
+            self.count = 0;
+        }
+    }
+
+    /// Appends raw bytes; the writer must be byte-aligned.
+    pub fn raw_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.count, 0, "raw_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns it.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_single_bits_lsb_first() {
+        // 0b1010_0110 → bits come out 0,1,1,0,0,1,0,1.
+        let mut r = BitReader::new(&[0xa6]);
+        let got: Vec<u32> = (0..8).map(|_| r.bit().unwrap()).collect();
+        assert_eq!(got, [0, 1, 1, 0, 0, 1, 0, 1]);
+        assert_eq!(r.bit(), Err(FlateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn read_multibit_fields() {
+        // Bytes 0xe5 0x03 → LSB stream; 3 bits = 0b101 = 5, then 7 bits.
+        let mut r = BitReader::new(&[0xe5, 0x03]);
+        assert_eq!(r.bits(3).unwrap(), 5);
+        assert_eq!(r.bits(7).unwrap(), 0x7c);
+    }
+
+    #[test]
+    fn zero_width_read() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn align_then_copy() {
+        let mut r = BitReader::new(&[0xff, 0xab, 0xcd]);
+        r.bits(3).unwrap();
+        r.align_to_byte();
+        let mut out = Vec::new();
+        r.copy_bytes(2, &mut out).unwrap();
+        assert_eq!(out, [0xab, 0xcd]);
+    }
+
+    #[test]
+    fn copy_bytes_eof() {
+        let mut r = BitReader::new(&[0x01]);
+        let mut out = Vec::new();
+        assert_eq!(r.copy_bytes(2, &mut out), Err(FlateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn writer_packs_lsb_first() {
+        let mut w = BitWriter::new();
+        w.bits(0b101, 3);
+        w.bits(0b11111, 5);
+        assert_eq!(w.into_bytes(), [0b1111_1101]);
+    }
+
+    #[test]
+    fn huffman_code_is_bit_reversed() {
+        let mut w = BitWriter::new();
+        // Code 0b110 (MSB-first) must appear as 0,1,1 in the bit stream.
+        w.huffman_code(0b110, 3);
+        w.bits(0, 5);
+        let byte = w.into_bytes()[0];
+        assert_eq!(byte & 0b111, 0b011);
+    }
+
+    proptest! {
+        #[test]
+        fn write_read_roundtrip(fields in proptest::collection::vec((0u32..=0xffff, 1u32..=16), 0..64)) {
+            let mut w = BitWriter::new();
+            for &(value, width) in &fields {
+                w.bits(value & ((1 << width) - 1), width);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(value, width) in &fields {
+                prop_assert_eq!(r.bits(width).unwrap(), value & ((1 << width) - 1));
+            }
+        }
+
+        #[test]
+        fn copy_roundtrip(prefix_bits in 0u32..8, data: Vec<u8>) {
+            let mut w = BitWriter::new();
+            w.bits(0, prefix_bits);
+            w.align_to_byte();
+            w.raw_bytes(&data);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            r.bits(prefix_bits).unwrap();
+            r.align_to_byte();
+            let mut out = Vec::new();
+            r.copy_bytes(data.len(), &mut out).unwrap();
+            prop_assert_eq!(out, data);
+        }
+    }
+}

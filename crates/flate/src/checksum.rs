@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3 polynomial), as used by the gzip trailer.
+
+/// Builds the byte-indexed CRC table for the reflected polynomial
+/// 0xEDB88320 at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 of `data` (initial value 0xFFFFFFFF, final XOR),
+/// compatible with gzip, zlib's `crc32()`, and PNG.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ev_flate::crc32(b"123456789"), 0xcbf43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        // The universal CRC catalogue check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_strings() {
+        assert_eq!(crc32(b"a"), 0xe8b7be43);
+        assert_eq!(crc32(b"abc"), 0x352441c2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414fa339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"easyview");
+        let b = crc32(b"easyviews");
+        let c = crc32(b"easyvieW");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

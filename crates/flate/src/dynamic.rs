@@ -1,0 +1,343 @@
+//! Dynamic-Huffman DEFLATE encoding (RFC 1951 §3.2.7).
+//!
+//! The third block type: literal/length and distance codes are built
+//! from the block's own symbol frequencies and shipped in the header,
+//! RLE-compressed through the code-length code. This is what real
+//! compressors emit for text-like data; having it makes `ev-flate` a
+//! complete DEFLATE implementation on both sides and gives the profile
+//! generator zlib-class ratios.
+
+use crate::bits::BitWriter;
+use crate::huffman::{canonical_codes, MAX_BITS};
+
+/// Permuted order of code-length-code lengths (RFC 1951 §3.2.7).
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// One LZ77 token produced by the match finder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference.
+    Match {
+        /// Match length (3–258).
+        len: u16,
+        /// Match distance (1–32768).
+        dist: u16,
+    },
+}
+
+/// Length code lookup: (code index 0–28, extra bits, extra value).
+pub(crate) fn length_code(len: usize) -> (usize, u32, u32) {
+    const BASE: [u16; 29] = [
+        3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+        131, 163, 195, 227, 258,
+    ];
+    const EXTRA: [u8; 29] = [
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+    ];
+    let idx = (0..29).rev().find(|&i| BASE[i] as usize <= len).expect("len >= 3");
+    (idx, u32::from(EXTRA[idx]), (len - BASE[idx] as usize) as u32)
+}
+
+/// Distance code lookup: (code 0–29, extra bits, extra value).
+pub(crate) fn distance_code(dist: usize) -> (usize, u32, u32) {
+    const BASE: [u32; 30] = [
+        1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+        2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+    ];
+    const EXTRA: [u8; 30] = [
+        0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+        13, 13,
+    ];
+    let idx = (0..30).rev().find(|&i| BASE[i] as usize <= dist).expect("dist >= 1");
+    (idx, u32::from(EXTRA[idx]), (dist - BASE[idx] as usize) as u32)
+}
+
+/// Builds length-limited Huffman code lengths from symbol frequencies.
+///
+/// Standard heap-based Huffman, then a Kraft-sum repair pass when any
+/// length exceeds `limit` (zlib's `bl_count` adjustment, expressed
+/// directly): overlong codes are clamped and the code space rebalanced
+/// by lengthening the cheapest symbols until the Kraft inequality holds.
+fn huffman_lengths(freqs: &[u64], limit: u8) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs a 1-bit code.
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap of (weight, node id); internal nodes get ids >= n.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Entry(u64, usize);
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<Entry>> = used
+        .iter()
+        .map(|&i| std::cmp::Reverse(Entry(freqs[i], i)))
+        .collect();
+    // parent[id] for every node; leaves 0..n, internals n..
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let std::cmp::Reverse(Entry(w1, id1)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse(Entry(w2, id2)) = heap.pop().expect("len > 1");
+        let id = next_id;
+        next_id += 1;
+        parent.resize(next_id, usize::MAX);
+        parent[id1] = id;
+        parent[id2] = id;
+        heap.push(std::cmp::Reverse(Entry(w1 + w2, id)));
+    }
+    let root = next_id - 1;
+    for &leaf in &used {
+        let mut depth = 0u32;
+        let mut node = leaf;
+        while node != root {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[leaf] = depth.min(255) as u8;
+    }
+
+    // Clamp and repair the Kraft sum if anything exceeded the limit.
+    if lengths.iter().any(|&l| l > limit) {
+        for l in lengths.iter_mut() {
+            if *l > limit {
+                *l = limit;
+            }
+        }
+        let kraft = |lengths: &[u8]| -> f64 {
+            lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| (0.5f64).powi(i32::from(l)))
+                .sum()
+        };
+        while kraft(&lengths) > 1.0 {
+            // Lengthen the least-frequent symbol that still has room.
+            let victim = used
+                .iter()
+                .copied()
+                .filter(|&i| lengths[i] < limit)
+                .min_by_key(|&i| freqs[i])
+                .expect("some symbol below the limit");
+            lengths[victim] += 1;
+        }
+    }
+    lengths
+}
+
+/// Encodes the token stream as one final dynamic-Huffman block.
+pub(crate) fn write_dynamic_block(w: &mut BitWriter, tokens: &[Token]) {
+    // 1. Frequencies.
+    let mut lit_freq = [0u64; 286];
+    let mut dist_freq = [0u64; 30];
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[257 + length_code(len as usize).0] += 1;
+                dist_freq[distance_code(dist as usize).0] += 1;
+            }
+        }
+    }
+    lit_freq[256] += 1; // end of block
+
+    // 2. Code lengths (limits per spec).
+    let lit_lengths = huffman_lengths(&lit_freq, MAX_BITS as u8);
+    let mut dist_lengths = huffman_lengths(&dist_freq, MAX_BITS as u8);
+    // A block with no matches still must declare >= 1 distance code.
+    if dist_lengths.iter().all(|&l| l == 0) {
+        dist_lengths[0] = 1;
+    }
+
+    let hlit = lit_lengths
+        .iter()
+        .rposition(|&l| l != 0)
+        .map_or(257, |i| (i + 1).max(257));
+    let hdist = dist_lengths
+        .iter()
+        .rposition(|&l| l != 0)
+        .map_or(1, |i| i + 1);
+
+    // 3. RLE the combined length array through symbols 16/17/18.
+    let mut all_lengths: Vec<u8> = Vec::with_capacity(hlit + hdist);
+    all_lengths.extend_from_slice(&lit_lengths[..hlit]);
+    all_lengths.extend_from_slice(&dist_lengths[..hdist]);
+    #[derive(Clone, Copy)]
+    enum Clc {
+        Len(u8),
+        CopyPrev(u8),  // 16 + 2 extra bits (3-6)
+        ZeroShort(u8), // 17 + 3 extra bits (3-10)
+        ZeroLong(u8),  // 18 + 7 extra bits (11-138)
+    }
+    let mut clc_stream: Vec<Clc> = Vec::new();
+    let mut i = 0usize;
+    while i < all_lengths.len() {
+        let value = all_lengths[i];
+        let mut run = 1usize;
+        while i + run < all_lengths.len() && all_lengths[i + run] == value {
+            run += 1;
+        }
+        if value == 0 {
+            let mut remaining = run;
+            while remaining >= 11 {
+                let take = remaining.min(138);
+                clc_stream.push(Clc::ZeroLong(take as u8));
+                remaining -= take;
+            }
+            while remaining >= 3 {
+                let take = remaining.min(10);
+                clc_stream.push(Clc::ZeroShort(take as u8));
+                remaining -= take;
+            }
+            for _ in 0..remaining {
+                clc_stream.push(Clc::Len(0));
+            }
+        } else {
+            clc_stream.push(Clc::Len(value));
+            let mut remaining = run - 1;
+            while remaining >= 3 {
+                let take = remaining.min(6);
+                clc_stream.push(Clc::CopyPrev(take as u8));
+                remaining -= take;
+            }
+            for _ in 0..remaining {
+                clc_stream.push(Clc::Len(value));
+            }
+        }
+        i += run;
+    }
+
+    // 4. The code-length code itself.
+    let mut clc_freq = [0u64; 19];
+    for entry in &clc_stream {
+        let symbol = match entry {
+            Clc::Len(l) => *l as usize,
+            Clc::CopyPrev(_) => 16,
+            Clc::ZeroShort(_) => 17,
+            Clc::ZeroLong(_) => 18,
+        };
+        clc_freq[symbol] += 1;
+    }
+    let clc_lengths = huffman_lengths(&clc_freq, 7);
+    let hclen = CLC_ORDER
+        .iter()
+        .rposition(|&idx| clc_lengths[idx] != 0)
+        .map_or(4, |i| (i + 1).max(4));
+
+    // 5. Emit: header, code-length code, lengths, tokens.
+    w.bits(1, 1); // BFINAL
+    w.bits(2, 2); // dynamic
+    w.bits((hlit - 257) as u32, 5);
+    w.bits((hdist - 1) as u32, 5);
+    w.bits((hclen - 4) as u32, 4);
+    for &idx in CLC_ORDER.iter().take(hclen) {
+        w.bits(u32::from(clc_lengths[idx]), 3);
+    }
+    let clc_codes = canonical_codes(&clc_lengths);
+    let emit_clc = |w: &mut BitWriter, symbol: usize| {
+        let (code, len) = clc_codes[symbol];
+        debug_assert!(len > 0, "emitting symbol {symbol} with no code");
+        w.huffman_code(code, u32::from(len));
+    };
+    for entry in &clc_stream {
+        match *entry {
+            Clc::Len(l) => emit_clc(w, l as usize),
+            Clc::CopyPrev(n) => {
+                emit_clc(w, 16);
+                w.bits(u32::from(n) - 3, 2);
+            }
+            Clc::ZeroShort(n) => {
+                emit_clc(w, 17);
+                w.bits(u32::from(n) - 3, 3);
+            }
+            Clc::ZeroLong(n) => {
+                emit_clc(w, 18);
+                w.bits(u32::from(n) - 11, 7);
+            }
+        }
+    }
+
+    let lit_codes = canonical_codes(&lit_lengths);
+    let dist_codes = canonical_codes(&dist_lengths);
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => {
+                let (code, len) = lit_codes[b as usize];
+                w.huffman_code(code, u32::from(len));
+            }
+            Token::Match { len, dist } => {
+                let (lidx, lextra_bits, lextra) = length_code(len as usize);
+                let (code, clen) = lit_codes[257 + lidx];
+                w.huffman_code(code, u32::from(clen));
+                w.bits(lextra, lextra_bits);
+                let (didx, dextra_bits, dextra) = distance_code(dist as usize);
+                let (dcode, dlen) = dist_codes[didx];
+                w.huffman_code(dcode, u32::from(dlen));
+                w.bits(dextra, dextra_bits);
+            }
+        }
+    }
+    let (code, len) = lit_codes[256];
+    w.huffman_code(code, u32::from(len));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huffman_lengths_basic() {
+        // Four symbols with balanced frequencies -> 2 bits each.
+        let lengths = huffman_lengths(&[10, 10, 10, 10], 15);
+        assert_eq!(lengths, [2, 2, 2, 2]);
+        // Skewed frequencies -> short code for the hot symbol.
+        let lengths = huffman_lengths(&[100, 1, 1, 1], 15);
+        assert!(lengths[0] <= lengths[1]);
+        // Kraft inequality always holds.
+        let kraft: f64 = lengths.iter().map(|&l| (0.5f64).powi(i32::from(l))).sum();
+        assert!(kraft <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn huffman_lengths_edge_cases() {
+        assert_eq!(huffman_lengths(&[0, 0, 0], 15), [0, 0, 0]);
+        assert_eq!(huffman_lengths(&[0, 7, 0], 15), [0, 1, 0]);
+    }
+
+    #[test]
+    fn huffman_lengths_respects_limit() {
+        // Fibonacci-ish frequencies force deep trees in unlimited
+        // Huffman; the limit must clamp them with a valid Kraft sum.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let lengths = huffman_lengths(&freqs, 15);
+        assert!(lengths.iter().all(|&l| l <= 15 && l > 0));
+        let kraft: f64 = lengths.iter().map(|&l| (0.5f64).powi(i32::from(l))).sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft {kraft}");
+        crate::huffman::Huffman::from_lengths(&lengths).expect("decodable");
+    }
+
+    #[test]
+    fn length_and_distance_code_boundaries() {
+        assert_eq!(length_code(3).0, 0);
+        assert_eq!(length_code(258).0, 28);
+        assert_eq!(distance_code(1).0, 0);
+        assert_eq!(distance_code(32768).0, 29);
+    }
+}

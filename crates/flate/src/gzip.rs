@@ -1,0 +1,220 @@
+//! The gzip container format (RFC 1952) around a DEFLATE stream.
+
+use crate::checksum::crc32;
+use crate::deflate::{deflate_compress, CompressionLevel};
+use crate::inflate::inflate;
+use crate::FlateError;
+
+const MAGIC: [u8; 2] = [0x1f, 0x8b];
+const METHOD_DEFLATE: u8 = 8;
+
+const FTEXT: u8 = 1 << 0;
+const FHCRC: u8 = 1 << 1;
+const FEXTRA: u8 = 1 << 2;
+const FNAME: u8 = 1 << 3;
+const FCOMMENT: u8 = 1 << 4;
+const RESERVED: u8 = 0xe0;
+
+/// Returns `true` if `data` begins with the gzip magic bytes.
+///
+/// EasyView's format auto-detection (`ev-formats`) uses this to decide
+/// whether a profile needs decompression before parsing.
+pub fn is_gzip(data: &[u8]) -> bool {
+    data.len() >= 2 && data[..2] == MAGIC
+}
+
+/// Wraps `data` in a gzip member: header, DEFLATE body, CRC32 + ISIZE
+/// trailer. The header carries no name/comment/extra fields and a zero
+/// mtime, like Go's `compress/gzip` default used by pprof.
+pub fn gzip_compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let body = deflate_compress(data, level);
+    let mut out = Vec::with_capacity(body.len() + 18);
+    out.extend_from_slice(&MAGIC);
+    out.push(METHOD_DEFLATE);
+    out.push(0); // FLG
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME
+    out.push(0); // XFL
+    out.push(255); // OS = unknown
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompresses a gzip member, verifying the CRC32 and ISIZE trailer.
+///
+/// Optional header fields (FEXTRA, FNAME, FCOMMENT, FHCRC) are parsed and
+/// skipped, so output from `gzip(1)` (which records file names) is
+/// accepted.
+///
+/// # Errors
+///
+/// Fails on a missing magic, unsupported method, reserved flags,
+/// truncated input, DEFLATE errors, or trailer mismatches.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
+    if !is_gzip(data) {
+        return Err(FlateError::NotGzip);
+    }
+    if data.len() < 18 {
+        return Err(FlateError::UnexpectedEof);
+    }
+    let method = data[2];
+    if method != METHOD_DEFLATE {
+        return Err(FlateError::UnsupportedMethod(method));
+    }
+    let flags = data[3];
+    if flags & RESERVED != 0 {
+        return Err(FlateError::ReservedFlags(flags & RESERVED));
+    }
+    // Skip MTIME (4), XFL, OS.
+    let mut pos = 10usize;
+
+    if flags & FEXTRA != 0 {
+        if data.len() < pos + 2 {
+            return Err(FlateError::UnexpectedEof);
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [FNAME, FCOMMENT] {
+        if flags & flag != 0 {
+            let nul = data[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(FlateError::UnexpectedEof)?;
+            pos += nul + 1;
+        }
+    }
+    if flags & FHCRC != 0 {
+        pos += 2;
+    }
+    let _ = flags & FTEXT; // advisory only
+
+    if data.len() < pos + 8 {
+        return Err(FlateError::UnexpectedEof);
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate(body)?;
+
+    let trailer = &data[data.len() - 8..];
+    let stored_crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
+    let stored_len = u32::from_le_bytes(trailer[4..].try_into().expect("4 bytes"));
+    let actual_crc = crc32(&out);
+    if stored_crc != actual_crc {
+        return Err(FlateError::ChecksumMismatch {
+            expected: stored_crc,
+            actual: actual_crc,
+        });
+    }
+    let actual_len = out.len() as u32;
+    if stored_len != actual_len {
+        return Err(FlateError::LengthMismatch {
+            expected: stored_len,
+            actual: actual_len,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn detects_magic() {
+        assert!(is_gzip(&[0x1f, 0x8b, 0x08]));
+        assert!(!is_gzip(&[0x1f]));
+        assert!(!is_gzip(b"plain text"));
+    }
+
+    #[test]
+    fn rejects_non_gzip() {
+        assert_eq!(gzip_decompress(b"hello"), Err(FlateError::NotGzip));
+    }
+
+    #[test]
+    fn rejects_bad_method() {
+        let mut gz = gzip_compress(b"x", CompressionLevel::Store);
+        gz[2] = 7;
+        assert_eq!(gzip_decompress(&gz), Err(FlateError::UnsupportedMethod(7)));
+    }
+
+    #[test]
+    fn rejects_reserved_flags() {
+        let mut gz = gzip_compress(b"x", CompressionLevel::Store);
+        gz[3] = 0x20;
+        assert_eq!(gzip_decompress(&gz), Err(FlateError::ReservedFlags(0x20)));
+    }
+
+    #[test]
+    fn detects_corrupted_payload() {
+        let data = b"profile payload for checksum test".repeat(4);
+        let mut gz = gzip_compress(&data, CompressionLevel::Store);
+        // Flip a byte inside the stored payload.
+        let mid = gz.len() / 2;
+        gz[mid] ^= 0xff;
+        let err = gzip_decompress(&gz).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FlateError::ChecksumMismatch { .. } | FlateError::StoredLengthMismatch
+            ),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn detects_bad_isize() {
+        let data = b"some data";
+        let mut gz = gzip_compress(data, CompressionLevel::Store);
+        let n = gz.len();
+        gz[n - 1] ^= 1;
+        assert!(matches!(
+            gzip_decompress(&gz),
+            Err(FlateError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn skips_fname_header() {
+        // Build a member with FNAME set manually.
+        let data = b"named member";
+        let body = crate::deflate::deflate_compress(data, CompressionLevel::Store);
+        let mut gz = vec![0x1f, 0x8b, 8, FNAME, 0, 0, 0, 0, 0, 255];
+        gz.extend_from_slice(b"profile.pb\0");
+        gz.extend_from_slice(&body);
+        gz.extend_from_slice(&crc32(data).to_le_bytes());
+        gz.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_member() {
+        let gz = gzip_compress(b"hello world", CompressionLevel::Fast);
+        for cut in [1, 5, 11, gz.len() - 1] {
+            assert!(gzip_decompress(&gz[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn roundtrip_store(data: Vec<u8>) {
+            let gz = gzip_compress(&data, CompressionLevel::Store);
+            prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_fast(data: Vec<u8>) {
+            let gz = gzip_compress(&data, CompressionLevel::Fast);
+            prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(data: Vec<u8>) {
+            let _ = gzip_decompress(&data);
+        }
+    }
+}

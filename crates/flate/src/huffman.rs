@@ -1,0 +1,241 @@
+//! Canonical Huffman code construction and decoding.
+//!
+//! Decoding uses the counts/offsets scheme from RFC 1951 §3.2.2 (as in
+//! Mark Adler's `puff`): for each code length we know how many codes
+//! exist and which symbol the first code of that length maps to, so a
+//! code can be decoded by walking lengths and comparing against the
+//! running first-code value.
+
+use crate::bits::BitReader;
+use crate::FlateError;
+
+/// Maximum code length permitted by DEFLATE.
+pub const MAX_BITS: usize = 15;
+
+/// A canonical Huffman decoding table built from code lengths.
+#[derive(Debug, Clone)]
+pub struct Huffman {
+    /// `count[len]` = number of codes of length `len` (index 0 unused).
+    count: [u16; MAX_BITS + 1],
+    /// Symbols sorted by (code length, symbol value).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds a decoding table from per-symbol code lengths (0 = unused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlateError::InvalidHuffmanTable`] when the lengths
+    /// over-subscribe the code space. An incomplete (under-subscribed)
+    /// code is accepted only for the single-code case, which DEFLATE
+    /// permits for distance trees; other incomplete codes are accepted
+    /// at build time and fail at decode time if a missing code appears,
+    /// matching zlib's behaviour for degenerate distance tables.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Huffman, FlateError> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &len in lengths {
+            let len = len as usize;
+            if len > MAX_BITS {
+                return Err(FlateError::InvalidHuffmanTable);
+            }
+            count[len] += 1;
+        }
+        // All zero lengths — a table with no codes; decode always fails.
+        count[0] = 0;
+
+        // Check the code space is not over-subscribed.
+        let mut left: i32 = 1;
+        for &n in &count[1..=MAX_BITS] {
+            left <<= 1;
+            left -= i32::from(n);
+            if left < 0 {
+                return Err(FlateError::InvalidHuffmanTable);
+            }
+        }
+
+        // offsets[len] = index into `symbols` of the first symbol with
+        // that code length.
+        let mut offsets = [0usize; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offsets[len + 1] = offsets[len] + count[len] as usize;
+        }
+
+        let total: usize = count[1..].iter().map(|&c| c as usize).sum();
+        let mut symbols = vec![0u16; total];
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize]] = symbol as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+
+        Ok(Huffman { count, symbols })
+    }
+
+    /// Decodes one symbol from the bit stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlateError::InvalidSymbol`] if the bits read do not form
+    /// a code in this table, or [`FlateError::UnexpectedEof`] on truncated
+    /// input.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, FlateError> {
+        let mut code: u32 = 0;
+        let mut first: u32 = 0;
+        let mut index: usize = 0;
+        for len in 1..=MAX_BITS {
+            code |= reader.bit()?;
+            let n = u32::from(self.count[len]);
+            if code < first + n {
+                return Ok(self.symbols[index + (code - first) as usize]);
+            }
+            index += n as usize;
+            first = (first + n) << 1;
+            code <<= 1;
+        }
+        Err(FlateError::InvalidSymbol)
+    }
+}
+
+/// Assigns canonical code values to symbols given their lengths,
+/// returning `(code, length)` pairs. Used by the encoder.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<(u32, u8)> {
+    let mut count = [0u32; MAX_BITS + 1];
+    for &len in lengths {
+        count[len as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next = [0u32; MAX_BITS + 1];
+    let mut code = 0u32;
+    for len in 1..=MAX_BITS {
+        code = (code + count[len - 1]) << 1;
+        next[len] = code;
+    }
+    lengths
+        .iter()
+        .map(|&len| {
+            if len == 0 {
+                (0, 0)
+            } else {
+                let c = next[len as usize];
+                next[len as usize] += 1;
+                (c, len)
+            }
+        })
+        .collect()
+}
+
+/// The fixed literal/length code lengths from RFC 1951 §3.2.6.
+pub fn fixed_literal_lengths() -> Vec<u8> {
+    let mut lengths = vec![8u8; 288];
+    for item in lengths.iter_mut().take(256).skip(144) {
+        *item = 9;
+    }
+    for item in lengths.iter_mut().take(280).skip(256) {
+        *item = 7;
+    }
+    lengths
+}
+
+/// The fixed distance code lengths (all 5 bits).
+pub fn fixed_distance_lengths() -> Vec<u8> {
+    vec![5u8; 30]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    #[test]
+    fn rejects_oversubscribed_lengths() {
+        // Three codes of length 1 cannot exist.
+        assert_eq!(
+            Huffman::from_lengths(&[1, 1, 1]).unwrap_err(),
+            FlateError::InvalidHuffmanTable
+        );
+    }
+
+    #[test]
+    fn rejects_length_over_15() {
+        assert_eq!(
+            Huffman::from_lengths(&[16]).unwrap_err(),
+            FlateError::InvalidHuffmanTable
+        );
+    }
+
+    #[test]
+    fn decodes_two_symbol_code() {
+        // Symbols 0 and 1, both length 1: codes 0 and 1.
+        let table = Huffman::from_lengths(&[1, 1]).unwrap();
+        let mut w = BitWriter::new();
+        w.huffman_code(0, 1);
+        w.huffman_code(1, 1);
+        w.huffman_code(0, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(table.decode(&mut r).unwrap(), 0);
+        assert_eq!(table.decode(&mut r).unwrap(), 1);
+        assert_eq!(table.decode(&mut r).unwrap(), 0);
+    }
+
+    #[test]
+    fn canonical_assignment_matches_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) yield codes
+        // 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        let expected = [
+            (0b010, 3),
+            (0b011, 3),
+            (0b100, 3),
+            (0b101, 3),
+            (0b110, 3),
+            (0b00, 2),
+            (0b1110, 4),
+            (0b1111, 4),
+        ];
+        for (i, &(code, len)) in expected.iter().enumerate() {
+            assert_eq!(codes[i], (code, len), "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_rfc_table() {
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let table = Huffman::from_lengths(&lengths).unwrap();
+        let codes = canonical_codes(&lengths);
+        let sequence: Vec<u16> = vec![5, 0, 7, 6, 3, 5, 1];
+        let mut w = BitWriter::new();
+        for &sym in &sequence {
+            let (code, len) = codes[sym as usize];
+            w.huffman_code(code, u32::from(len));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &sym in &sequence {
+            assert_eq!(table.decode(&mut r).unwrap(), sym);
+        }
+    }
+
+    #[test]
+    fn fixed_tables_are_valid() {
+        Huffman::from_lengths(&fixed_literal_lengths()).unwrap();
+        Huffman::from_lengths(&fixed_distance_lengths()).unwrap();
+    }
+
+    #[test]
+    fn fixed_literal_shape() {
+        let l = fixed_literal_lengths();
+        assert_eq!(l.len(), 288);
+        assert_eq!(l[0], 8);
+        assert_eq!(l[143], 8);
+        assert_eq!(l[144], 9);
+        assert_eq!(l[255], 9);
+        assert_eq!(l[256], 7);
+        assert_eq!(l[279], 7);
+        assert_eq!(l[280], 8);
+        assert_eq!(l[287], 8);
+    }
+}

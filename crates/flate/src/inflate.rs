@@ -1,0 +1,349 @@
+//! DEFLATE decompression (RFC 1951), all three block types.
+
+use crate::bits::BitReader;
+use crate::huffman::{fixed_distance_lengths, fixed_literal_lengths, Huffman};
+use crate::FlateError;
+
+/// Length-code base values for codes 257–285 (RFC 1951 §3.2.5).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+/// Extra bits for length codes 257–285.
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance-code base values for codes 0–29.
+const DIST_BASE: [u32; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+/// Extra bits for distance codes 0–29.
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Permuted order of code-length-code lengths in a dynamic block header.
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Decompresses a raw DEFLATE stream (no gzip/zlib wrapper).
+///
+/// # Errors
+///
+/// Fails on truncated input, reserved block types, malformed Huffman
+/// tables, undecodable symbols, or back-references beyond the produced
+/// output.
+///
+/// # Examples
+///
+/// ```
+/// use ev_flate::{deflate_compress, inflate, CompressionLevel};
+///
+/// # fn main() -> Result<(), ev_flate::FlateError> {
+/// let raw = deflate_compress(b"hello hello hello", CompressionLevel::Fast);
+/// assert_eq!(inflate(&raw)?, b"hello hello hello");
+/// # Ok(())
+/// # }
+/// ```
+pub fn inflate(input: &[u8]) -> Result<Vec<u8>, FlateError> {
+    let mut reader = BitReader::new(input);
+    // Heuristic preallocation: deflate rarely exceeds ~4x expansion on
+    // realistic profile data.
+    let mut out = Vec::with_capacity(input.len().saturating_mul(3));
+    loop {
+        let bfinal = reader.bit()?;
+        let btype = reader.bits(2)?;
+        match btype {
+            0 => inflate_stored(&mut reader, &mut out)?,
+            1 => {
+                let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
+                let dist = Huffman::from_lengths(&fixed_distance_lengths())?;
+                inflate_block(&mut reader, &lit, &dist, &mut out)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(FlateError::InvalidBlockType),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), FlateError> {
+    reader.align_to_byte();
+    let len = reader.bits(16)? as u16;
+    let nlen = reader.bits(16)? as u16;
+    if len != !nlen {
+        return Err(FlateError::StoredLengthMismatch);
+    }
+    reader.copy_bytes(len as usize, out)
+}
+
+fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman), FlateError> {
+    let hlit = reader.bits(5)? as usize + 257;
+    let hdist = reader.bits(5)? as usize + 1;
+    let hclen = reader.bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(FlateError::InvalidHuffmanTable);
+    }
+
+    let mut clc_lengths = [0u8; 19];
+    for &idx in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[idx] = reader.bits(3)? as u8;
+    }
+    let clc = Huffman::from_lengths(&clc_lengths)?;
+
+    // Decode the literal/length and distance code lengths as one run,
+    // since repeat codes may cross the boundary.
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let symbol = clc.decode(reader)?;
+        match symbol {
+            0..=15 => lengths.push(symbol as u8),
+            16 => {
+                let &prev = lengths.last().ok_or(FlateError::InvalidHuffmanTable)?;
+                let repeat = reader.bits(2)? + 3;
+                for _ in 0..repeat {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let repeat = reader.bits(3)? + 3;
+                lengths.extend(std::iter::repeat_n(0, repeat as usize));
+            }
+            18 => {
+                let repeat = reader.bits(7)? + 11;
+                lengths.extend(std::iter::repeat_n(0, repeat as usize));
+            }
+            _ => return Err(FlateError::InvalidSymbol),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(FlateError::InvalidHuffmanTable);
+    }
+    // End-of-block code must be present.
+    if lengths[256] == 0 {
+        return Err(FlateError::InvalidHuffmanTable);
+    }
+    let lit = Huffman::from_lengths(&lengths[..hlit])?;
+    let dist = Huffman::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    lit: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+) -> Result<(), FlateError> {
+    loop {
+        let symbol = lit.decode(reader)?;
+        match symbol {
+            0..=255 => out.push(symbol as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = symbol as usize - 257;
+                let length =
+                    LENGTH_BASE[idx] as usize + reader.bits(u32::from(LENGTH_EXTRA[idx]))? as usize;
+                let dsym = dist.decode(reader)? as usize;
+                if dsym >= 30 {
+                    return Err(FlateError::InvalidSymbol);
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + reader.bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+                if distance > out.len() {
+                    return Err(FlateError::DistanceTooFar {
+                        distance,
+                        produced: out.len(),
+                    });
+                }
+                // Byte-by-byte copy: overlapping copies (distance < length)
+                // are the RLE idiom and must see freshly written bytes.
+                let start = out.len() - distance;
+                for i in 0..length {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(FlateError::InvalidSymbol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+    use crate::huffman::canonical_codes;
+
+    #[test]
+    fn stored_block_roundtrip() {
+        // Hand-build: BFINAL=1, BTYPE=00, align, LEN=5, NLEN=!5, "hello".
+        let mut w = BitWriter::new();
+        w.bits(1, 1);
+        w.bits(0, 2);
+        w.align_to_byte();
+        w.raw_bytes(&5u16.to_le_bytes());
+        w.raw_bytes(&(!5u16).to_le_bytes());
+        w.raw_bytes(b"hello");
+        assert_eq!(inflate(&w.into_bytes()).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn stored_block_bad_nlen() {
+        let mut w = BitWriter::new();
+        w.bits(1, 1);
+        w.bits(0, 2);
+        w.align_to_byte();
+        w.raw_bytes(&5u16.to_le_bytes());
+        w.raw_bytes(&5u16.to_le_bytes());
+        w.raw_bytes(b"hello");
+        assert_eq!(
+            inflate(&w.into_bytes()),
+            Err(FlateError::StoredLengthMismatch)
+        );
+    }
+
+    #[test]
+    fn reserved_block_type() {
+        let mut w = BitWriter::new();
+        w.bits(1, 1);
+        w.bits(3, 2);
+        assert_eq!(inflate(&w.into_bytes()), Err(FlateError::InvalidBlockType));
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert_eq!(inflate(&[]), Err(FlateError::UnexpectedEof));
+    }
+
+    /// Builds a fixed-Huffman block by hand with the given
+    /// literal/length/distance operations.
+    fn fixed_block(ops: &[Op]) -> Vec<u8> {
+        let lit_codes = canonical_codes(&fixed_literal_lengths());
+        let dist_codes = canonical_codes(&fixed_distance_lengths());
+        let mut w = BitWriter::new();
+        w.bits(1, 1); // BFINAL
+        w.bits(1, 2); // fixed
+        for op in ops {
+            match *op {
+                Op::Lit(b) => {
+                    let (code, len) = lit_codes[b as usize];
+                    w.huffman_code(code, u32::from(len));
+                }
+                Op::Match { len, dist } => {
+                    // Find the length code.
+                    let idx = (0..29)
+                        .rev()
+                        .find(|&i| LENGTH_BASE[i] as usize <= len)
+                        .unwrap();
+                    let (code, clen) = lit_codes[257 + idx];
+                    w.huffman_code(code, u32::from(clen));
+                    w.bits(
+                        (len - LENGTH_BASE[idx] as usize) as u32,
+                        u32::from(LENGTH_EXTRA[idx]),
+                    );
+                    let didx = (0..30)
+                        .rev()
+                        .find(|&i| DIST_BASE[i] as usize <= dist)
+                        .unwrap();
+                    let (dcode, dlen) = dist_codes[didx];
+                    w.huffman_code(dcode, u32::from(dlen));
+                    w.bits(
+                        (dist - DIST_BASE[didx] as usize) as u32,
+                        u32::from(DIST_EXTRA[didx]),
+                    );
+                }
+            }
+        }
+        let (code, len) = lit_codes[256];
+        w.huffman_code(code, u32::from(len));
+        w.into_bytes()
+    }
+
+    enum Op {
+        Lit(u8),
+        Match { len: usize, dist: usize },
+    }
+
+    #[test]
+    fn fixed_block_literals() {
+        let block = fixed_block(&[Op::Lit(b'a'), Op::Lit(b'b'), Op::Lit(b'c')]);
+        assert_eq!(inflate(&block).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn fixed_block_backreference() {
+        // "abcabcabc" via one literal run + overlapping match.
+        let block = fixed_block(&[
+            Op::Lit(b'a'),
+            Op::Lit(b'b'),
+            Op::Lit(b'c'),
+            Op::Match { len: 6, dist: 3 },
+        ]);
+        assert_eq!(inflate(&block).unwrap(), b"abcabcabc");
+    }
+
+    #[test]
+    fn fixed_block_rle_distance_one() {
+        let block = fixed_block(&[Op::Lit(b'x'), Op::Match { len: 258, dist: 1 }]);
+        assert_eq!(inflate(&block).unwrap(), vec![b'x'; 259]);
+    }
+
+    #[test]
+    fn distance_before_start_fails() {
+        let block = fixed_block(&[Op::Lit(b'x'), Op::Match { len: 3, dist: 5 }]);
+        assert_eq!(
+            inflate(&block),
+            Err(FlateError::DistanceTooFar {
+                distance: 5,
+                produced: 1
+            })
+        );
+    }
+
+    #[test]
+    fn multi_block_stream() {
+        // Non-final stored block followed by a final fixed block.
+        let mut w = BitWriter::new();
+        w.bits(0, 1);
+        w.bits(0, 2);
+        w.align_to_byte();
+        w.raw_bytes(&2u16.to_le_bytes());
+        w.raw_bytes(&(!2u16).to_le_bytes());
+        w.raw_bytes(b"hi");
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&fixed_block(&[Op::Lit(b'!')]));
+        assert_eq!(inflate(&bytes).unwrap(), b"hi!");
+    }
+
+    #[test]
+    fn system_gzip_compatibility() {
+        // If gzip(1) is available, verify we decode its output (dynamic
+        // Huffman blocks from a real compressor).
+        use std::io::Write as _;
+        use std::process::{Command, Stdio};
+        let data: Vec<u8> = (0..20000u32)
+            .flat_map(|i| format!("frame_{} ", i % 97).into_bytes())
+            .collect();
+        let child = Command::new("gzip")
+            .arg("-c")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn();
+        let Ok(mut child) = child else {
+            eprintln!("gzip not available; skipping");
+            return;
+        };
+        child.stdin.as_mut().unwrap().write_all(&data).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        let decoded = crate::gzip_decompress(&out.stdout).unwrap();
+        assert_eq!(decoded, data);
+    }
+}

@@ -1,0 +1,167 @@
+//! `ev-flate` — a from-scratch DEFLATE (RFC 1951) and gzip (RFC 1952)
+//! implementation, used as the compression substrate for reading and
+//! writing pprof profiles.
+//!
+//! Real pprof profiles — the inputs to EasyView's data binding layer
+//! (paper §IV-B) and to the response-time experiment (§VII-B, Fig. 5) —
+//! are gzip-compressed protobuf messages. Reproducing the end-to-end
+//! "open a profile" path therefore requires a decompressor on the hot
+//! path; this crate provides it without external dependencies.
+//!
+//! Three encoders are provided, one per DEFLATE block type:
+//!
+//! * [`CompressionLevel::Store`] emits uncompressed stored blocks —
+//!   byte-exact size control, used when calibrating benchmark inputs to a
+//!   target file size.
+//! * [`CompressionLevel::Fast`] runs greedy LZ77 matching over a hash
+//!   chain and codes the result with the fixed Huffman tables.
+//! * [`CompressionLevel::High`] searches matches more deeply and codes
+//!   each block with per-block dynamic Huffman tables (length-limited
+//!   canonical codes shipped through the code-length code) — zlib-class
+//!   ratios.
+//!
+//! The decoder likewise handles all three block types, so it accepts
+//! output from any conforming compressor (zlib, gzip(1), Go's
+//! `compress/gzip` as used by pprof); interop is tested in both
+//! directions against the system `gzip(1)` when present.
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_flate::{gzip_compress, gzip_decompress, CompressionLevel};
+//!
+//! # fn main() -> Result<(), ev_flate::FlateError> {
+//! let data = b"profiles profiles profiles".repeat(10);
+//! let gz = gzip_compress(&data, CompressionLevel::Fast);
+//! assert!(gz.len() < data.len());
+//! assert_eq!(gzip_decompress(&gz)?, data);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bits;
+mod checksum;
+mod deflate;
+mod dynamic;
+mod gzip;
+mod huffman;
+mod inflate;
+
+pub use checksum::crc32;
+pub use deflate::{deflate_compress, CompressionLevel};
+pub use gzip::{gzip_compress, gzip_decompress, is_gzip};
+pub use inflate::inflate;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while compressing or decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlateError {
+    /// The input ended before the stream was complete.
+    UnexpectedEof,
+    /// A block header used the reserved block type 11.
+    InvalidBlockType,
+    /// A stored block's LEN and NLEN fields were not complements.
+    StoredLengthMismatch,
+    /// A Huffman code table was over- or under-subscribed.
+    InvalidHuffmanTable,
+    /// A compressed symbol did not decode to any code in the table.
+    InvalidSymbol,
+    /// A back-reference pointed before the start of the output.
+    DistanceTooFar {
+        /// Requested distance.
+        distance: usize,
+        /// Bytes produced so far.
+        produced: usize,
+    },
+    /// The gzip magic bytes were missing.
+    NotGzip,
+    /// The gzip header used an unsupported compression method.
+    UnsupportedMethod(u8),
+    /// The gzip CRC32 trailer did not match the decompressed data.
+    ChecksumMismatch {
+        /// CRC stored in the trailer.
+        expected: u32,
+        /// CRC computed over the output.
+        actual: u32,
+    },
+    /// The gzip ISIZE trailer did not match the decompressed length.
+    LengthMismatch {
+        /// Length stored in the trailer (mod 2^32).
+        expected: u32,
+        /// Actual decompressed length (mod 2^32).
+        actual: u32,
+    },
+    /// The gzip header declared reserved flag bits.
+    ReservedFlags(u8),
+}
+
+impl fmt::Display for FlateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlateError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
+            FlateError::InvalidBlockType => write!(f, "reserved deflate block type"),
+            FlateError::StoredLengthMismatch => {
+                write!(f, "stored block length check failed")
+            }
+            FlateError::InvalidHuffmanTable => write!(f, "invalid huffman code lengths"),
+            FlateError::InvalidSymbol => write!(f, "undecodable huffman symbol"),
+            FlateError::DistanceTooFar { distance, produced } => {
+                write!(f, "distance {distance} exceeds output size {produced}")
+            }
+            FlateError::NotGzip => write!(f, "missing gzip magic bytes"),
+            FlateError::UnsupportedMethod(m) => {
+                write!(f, "unsupported gzip compression method {m}")
+            }
+            FlateError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "gzip crc mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            FlateError::LengthMismatch { expected, actual } => {
+                write!(f, "gzip length mismatch: stored {expected}, computed {actual}")
+            }
+            FlateError::ReservedFlags(bits) => {
+                write!(f, "gzip header sets reserved flag bits {bits:#04x}")
+            }
+        }
+    }
+}
+
+impl Error for FlateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            FlateError::UnexpectedEof,
+            FlateError::InvalidBlockType,
+            FlateError::StoredLengthMismatch,
+            FlateError::InvalidHuffmanTable,
+            FlateError::InvalidSymbol,
+            FlateError::DistanceTooFar {
+                distance: 9,
+                produced: 1,
+            },
+            FlateError::NotGzip,
+            FlateError::UnsupportedMethod(9),
+            FlateError::ChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            FlateError::LengthMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            FlateError::ReservedFlags(0xe0),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The Chrome profiler binding: the Trace Event JSON format emitted by
+//! `chrome://tracing`, the DevTools performance panel, and many
+//! user-space tracers.
+//!
+//! Two layouts are accepted (per the spec): a bare JSON array of events,
+//! or an object with a `traceEvents` array. Supported event phases:
+//!
+//! * `B`/`E` — nested duration begin/end per (pid, tid);
+//! * `X` — complete events with `dur`, nested by timestamp containment.
+//!
+//! Durations become a `wall` metric in nanoseconds (trace timestamps are
+//! microseconds), attributed exclusively: a parent's self time excludes
+//! its children.
+
+use crate::FormatError;
+use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+use ev_json::Value;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Complete {
+    name: String,
+    cat: String,
+    start: f64,
+    duration: f64,
+}
+
+/// Parses a Chrome trace into a profile with one exclusive `wall`
+/// metric (nanoseconds).
+///
+/// # Errors
+///
+/// Fails on malformed JSON, a missing `traceEvents` array, unbalanced
+/// `B`/`E` pairs, or events with non-numeric timestamps.
+pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let root = ev_json::parse(text)?;
+    let events = match &root {
+        Value::Array(items) => items.as_slice(),
+        Value::Object(_) => root
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .ok_or_else(|| FormatError::Schema("missing traceEvents array".to_owned()))?,
+        _ => return Err(FormatError::Schema("trace must be array or object".to_owned())),
+    };
+
+    let mut profile = Profile::new("chrome-trace");
+    profile.meta_mut().profiler = "chrome".to_owned();
+    let wall = profile.add_metric(MetricDescriptor::new(
+        "wall",
+        MetricUnit::Nanoseconds,
+        MetricKind::Exclusive,
+    ));
+
+    // Group events per (pid, tid) track.
+    type OpenFrame = (String, String, f64);
+    let mut completes: HashMap<(i64, i64), Vec<Complete>> = HashMap::new();
+    let mut open_stacks: HashMap<(i64, i64), Vec<OpenFrame>> = HashMap::new();
+
+    for (i, event) in events.iter().enumerate() {
+        let ph = event.get("ph").and_then(Value::as_str).unwrap_or("");
+        match ph {
+            "X" | "B" | "E" => {}
+            // Metadata, counters, async, flows… not call structure.
+            _ => continue,
+        }
+        let ts = event
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| FormatError::Schema(format!("event {i}: missing ts")))?;
+        let pid = event.get("pid").and_then(Value::as_i64).unwrap_or(0);
+        let tid = event.get("tid").and_then(Value::as_i64).unwrap_or(0);
+        let key = (pid, tid);
+        let name = event
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("(unnamed)")
+            .to_owned();
+        let cat = event
+            .get("cat")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_owned();
+        match ph {
+            "X" => {
+                let dur = event.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+                completes.entry(key).or_default().push(Complete {
+                    name,
+                    cat,
+                    start: ts,
+                    duration: dur,
+                });
+            }
+            "B" => {
+                open_stacks.entry(key).or_default().push((name, cat, ts));
+            }
+            "E" => {
+                let stack = open_stacks.entry(key).or_default();
+                let (bname, bcat, bts) = stack.pop().ok_or_else(|| {
+                    FormatError::Schema(format!("event {i}: E without matching B"))
+                })?;
+                completes.entry(key).or_default().push(Complete {
+                    name: bname,
+                    cat: bcat,
+                    start: bts,
+                    duration: ts - bts,
+                });
+            }
+            _ => unreachable!(),
+        }
+    }
+    for (key, stack) in &open_stacks {
+        if !stack.is_empty() {
+            return Err(FormatError::Schema(format!(
+                "track {key:?}: {} unclosed B events",
+                stack.len()
+            )));
+        }
+    }
+
+    // Nest complete events by interval containment per track.
+    for ((pid, tid), mut track) in completes {
+        // Sort by start ascending, then duration descending so parents
+        // precede their children.
+        track.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.duration
+                        .partial_cmp(&a.duration)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        let thread_frame = Frame::thread(format!("pid {pid} tid {tid}"));
+        let thread_node = profile.child(profile.root(), &thread_frame);
+        // Stack of (node, end_ts) for currently containing events.
+        let mut stack: Vec<(ev_core::NodeId, f64)> = Vec::new();
+        for event in &track {
+            let end = event.start + event.duration;
+            while let Some(&(_, parent_end)) = stack.last() {
+                if event.start >= parent_end {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let parent = stack.last().map_or(thread_node, |&(node, _)| node);
+            let mut frame = Frame::function(&event.name);
+            if !event.cat.is_empty() {
+                frame = frame.with_module(&event.cat);
+            }
+            let node = profile.child(parent, &frame);
+            // Exclusive attribution: add own duration, subtract from parent.
+            let nanos = event.duration * 1000.0;
+            profile.add_value(node, wall, nanos);
+            if parent != thread_node {
+                profile.add_value(parent, wall, -nanos);
+            }
+            stack.push((node, end));
+        }
+    }
+
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_events_nest_by_containment() {
+        let trace = r#"{"traceEvents": [
+            {"ph": "X", "name": "main", "ts": 0, "dur": 100, "pid": 1, "tid": 1},
+            {"ph": "X", "name": "child", "ts": 10, "dur": 30, "pid": 1, "tid": 1},
+            {"ph": "X", "name": "child", "ts": 50, "dur": 20, "pid": 1, "tid": 1}
+        ]}"#;
+        let p = parse(trace).unwrap();
+        p.validate().unwrap();
+        let wall = p.metric_by_name("wall").unwrap();
+        // Total = 100 µs = 100_000 ns.
+        assert_eq!(p.total(wall), 100_000.0);
+        let main = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "main")
+            .unwrap();
+        // Exclusive: 100 - 30 - 20 = 50 µs.
+        assert_eq!(p.value(main, wall), 50_000.0);
+        // Both child events merged into one CCT node.
+        let child = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "child")
+            .unwrap();
+        assert_eq!(p.value(child, wall), 50_000.0);
+        assert_eq!(p.node(main).children().len(), 1);
+    }
+
+    #[test]
+    fn begin_end_pairs() {
+        let trace = r#"[
+            {"ph": "B", "name": "outer", "ts": 0, "pid": 1, "tid": 1},
+            {"ph": "B", "name": "inner", "ts": 5, "pid": 1, "tid": 1},
+            {"ph": "E", "ts": 15, "pid": 1, "tid": 1},
+            {"ph": "E", "ts": 40, "pid": 1, "tid": 1}
+        ]"#;
+        let p = parse(trace).unwrap();
+        let wall = p.metric_by_name("wall").unwrap();
+        let outer = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "outer")
+            .unwrap();
+        let inner = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "inner")
+            .unwrap();
+        assert_eq!(p.value(outer, wall), 30_000.0);
+        assert_eq!(p.value(inner, wall), 10_000.0);
+        assert_eq!(p.node(inner).parent(), Some(outer));
+    }
+
+    #[test]
+    fn tracks_are_separate_subtrees() {
+        let trace = r#"[
+            {"ph": "X", "name": "a", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+            {"ph": "X", "name": "a", "ts": 0, "dur": 10, "pid": 1, "tid": 2}
+        ]"#;
+        let p = parse(trace).unwrap();
+        // root -> two thread frames -> one "a" each.
+        assert_eq!(p.node(p.root()).children().len(), 2);
+        assert_eq!(p.node_count(), 5);
+    }
+
+    #[test]
+    fn metadata_events_ignored() {
+        let trace = r#"[
+            {"ph": "M", "name": "process_name", "ts": 0, "pid": 1, "tid": 1},
+            {"ph": "X", "name": "work", "ts": 0, "dur": 5, "pid": 1, "tid": 1}
+        ]"#;
+        let p = parse(trace).unwrap();
+        assert!(p.node_ids().any(|id| p.resolve_frame(id).name == "work"));
+        assert!(!p
+            .node_ids()
+            .any(|id| p.resolve_frame(id).name == "process_name"));
+    }
+
+    #[test]
+    fn category_becomes_module() {
+        let trace = r#"[{"ph": "X", "name": "f", "cat": "v8", "ts": 0, "dur": 1, "pid": 1, "tid": 1}]"#;
+        let p = parse(trace).unwrap();
+        let f = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "f")
+            .unwrap();
+        assert_eq!(p.resolve_frame(f).module, "v8");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("not json").is_err());
+        assert!(parse(r#"{"noTraceEvents": []}"#).is_err());
+        assert!(parse(r#""scalar""#).is_err());
+        // E without B.
+        assert!(parse(r#"[{"ph": "E", "ts": 1, "pid": 1, "tid": 1}]"#).is_err());
+        // Unclosed B.
+        assert!(parse(r#"[{"ph": "B", "name": "x", "ts": 1, "pid": 1, "tid": 1}]"#).is_err());
+        // Missing ts.
+        assert!(parse(r#"[{"ph": "X", "name": "x", "dur": 1}]"#).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! The folded/collapsed stacks binding — Brendan Gregg's FlameGraph
+//! intermediate format (`stackcollapse-*.pl` output), one line per
+//! unique call path:
+//!
+//! ```text
+//! main;parse;read_token 105
+//! main;eval 240
+//! ```
+//!
+//! Many profilers can emit this format, which makes it the lingua franca
+//! for flame-graph tooling; supporting it gives EasyView a binding to
+//! every one of them at once.
+
+use crate::FormatError;
+use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+
+/// Quick structural sniff used by [`crate::detect`]: at least one
+/// non-empty line, and every non-empty line is `frames... <integer>` with
+/// `;`-separated frames.
+pub fn looks_like(text: &str) -> bool {
+    let mut any = false;
+    for line in text.lines().take(50) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            return false;
+        };
+        if stack.is_empty() || count.parse::<f64>().is_err() {
+            return false;
+        }
+        any = true;
+    }
+    any
+}
+
+/// Parses folded stacks into a profile with one `samples` count metric.
+///
+/// FlameGraph annotation suffixes (`_[k]`, `_[i]`, `_[j]` for
+/// kernel/inlined/jit) are preserved verbatim in the frame name; frames
+/// of the form `name (module)` put the module into the code-mapping
+/// field.
+///
+/// # Errors
+///
+/// Fails on lines without a trailing number.
+pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let mut profile = Profile::new("collapsed");
+    profile.meta_mut().profiler = "collapsed".to_owned();
+    let samples = profile.add_metric(MetricDescriptor::new(
+        "samples",
+        MetricUnit::Count,
+        MetricKind::Exclusive,
+    ));
+
+    let mut path: Vec<Frame> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, count) = line.rsplit_once(' ').ok_or_else(|| {
+            FormatError::Schema(format!("line {}: missing sample count", lineno + 1))
+        })?;
+        let count: f64 = count.parse().map_err(|_| {
+            FormatError::Schema(format!("line {}: bad sample count {count:?}", lineno + 1))
+        })?;
+        path.clear();
+        for part in stack.split(';') {
+            // "name (module)" keeps the module as code mapping.
+            if let Some((name, module)) = part.rsplit_once(" (") {
+                if let Some(module) = module.strip_suffix(')') {
+                    path.push(Frame::function(name).with_module(module));
+                    continue;
+                }
+            }
+            path.push(Frame::function(part));
+        }
+        profile.add_sample(&path, &[(samples, count)]);
+    }
+    Ok(profile)
+}
+
+/// Writes a profile as folded stacks: one line per node that carries a
+/// value of `metric_index` 0. The inverse of [`parse`] up to line order.
+pub fn write(profile: &Profile) -> String {
+    let mut out = String::new();
+    let Some(metric) = profile.metrics().first() else {
+        return out;
+    };
+    let metric = profile
+        .metric_by_name(&metric.name)
+        .expect("first metric exists");
+    for node in profile.node_ids() {
+        let value = profile.value(node, metric);
+        if value == 0.0 {
+            continue;
+        }
+        let path = profile.path(node);
+        if path.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = path
+            .iter()
+            .map(|&id| {
+                let f = profile.resolve_frame(id);
+                if f.module.is_empty() {
+                    f.name
+                } else {
+                    format!("{} ({})", f.name, f.module)
+                }
+            })
+            .collect();
+        out.push_str(&names.join(";"));
+        out.push(' ');
+        if value == value.trunc() {
+            out.push_str(&format!("{}\n", value as i64));
+        } else {
+            out.push_str(&format!("{value}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sniffing() {
+        assert!(looks_like("main;a 1\nmain;b 2\n"));
+        assert!(looks_like("single 42"));
+        assert!(!looks_like("just some words without trailing count x"));
+        assert!(!looks_like(""));
+        assert!(!looks_like("no-count-here"));
+    }
+
+    #[test]
+    fn parse_builds_merged_cct() {
+        let p = parse("main;a;b 5\nmain;a;c 3\nmain 2\n").unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.node_count(), 5); // root, main, a, b, c
+        let m = p.metric_by_name("samples").unwrap();
+        assert_eq!(p.total(m), 10.0);
+    }
+
+    #[test]
+    fn module_annotation_parsed() {
+        let p = parse("main (app);brk (libc-2.31.so) 7\n").unwrap();
+        let brk = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "brk")
+            .unwrap();
+        assert_eq!(p.resolve_frame(brk).module, "libc-2.31.so");
+    }
+
+    #[test]
+    fn bad_lines_error() {
+        assert!(parse("main;a notanumber\n").is_err());
+        // A line that is a bare word has no space separator.
+        assert!(parse("mainonly\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let p = parse("\n\nmain 1\n\n").unwrap();
+        assert_eq!(p.node_count(), 2);
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let input = "main;a;b 5\nmain;a;c 3\nmain 2\n";
+        let p = parse(input).unwrap();
+        let emitted = write(&p);
+        let q = parse(&emitted).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn fractional_counts_accepted() {
+        let p = parse("main 2.5\n").unwrap();
+        let m = p.metric_by_name("samples").unwrap();
+        assert_eq!(p.total(m), 2.5);
+    }
+}

@@ -1,0 +1,236 @@
+//! The Linux `perf` binding, via `perf script` text output.
+//!
+//! `perf script` prints one sample header line followed by indented
+//! stack frames (leaf first) and a blank line:
+//!
+//! ```text
+//! prog 12345 4001.123456:     250000 cycles:
+//!         ffffffff8104f45a do_sys_open+0x1a ([kernel.kallsyms])
+//!              55d6e34a1b2c parse_input+0x3c (/usr/bin/prog)
+//!              55d6e34a1000 main+0x40 (/usr/bin/prog)
+//!
+//! ```
+//!
+//! The converter accumulates one exclusive metric per event name seen
+//! (`cycles`, `instructions`, …), attributing the sample period from the
+//! header to the leaf of each stack.
+
+use crate::FormatError;
+use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, MetricUnit, Profile};
+use std::collections::HashMap;
+
+/// Structural sniff for [`crate::detect`]: a header line ending in
+/// `<event>:` followed by an indented hex-address frame line.
+pub fn looks_like(text: &str) -> bool {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let Some(header) = lines.next() else {
+        return false;
+    };
+    if header.starts_with(|c: char| c.is_whitespace()) || !header.trim_end().ends_with(':') {
+        return false;
+    }
+    let Some(frame) = lines.next() else {
+        return false;
+    };
+    frame.starts_with(|c: char| c.is_whitespace()) && parse_frame_line(frame).is_some()
+}
+
+/// Parses one `perf script` frame line: `ADDR symbol+0xOFF (module)`.
+fn parse_frame_line(line: &str) -> Option<Frame> {
+    let line = line.trim();
+    let (addr_str, rest) = line.split_once(' ')?;
+    let address = u64::from_str_radix(addr_str, 16).ok()?;
+    // Module is the trailing parenthesized component, if present.
+    let (symbol_part, module) = match rest.rfind(" (") {
+        Some(i) if rest.ends_with(')') => (&rest[..i], &rest[i + 2..rest.len() - 1]),
+        _ => (rest, ""),
+    };
+    // Strip the +0x offset from the symbol.
+    let name = symbol_part
+        .rsplit_once("+0x")
+        .map(|(n, _)| n)
+        .unwrap_or(symbol_part);
+    let name = if name.is_empty() || name == "[unknown]" {
+        format!("0x{address:x}")
+    } else {
+        name.to_owned()
+    };
+    Some(Frame::function(name).with_module(module).with_address(address))
+}
+
+/// Parses a sample header: `comm pid [cpu] time: period event:` →
+/// (period, event name). Period defaults to 1 when missing.
+fn parse_header(line: &str) -> Option<(f64, String)> {
+    let line = line.trim_end();
+    let line = line.strip_suffix(':')?;
+    // The event name is the last whitespace token.
+    let (rest, event) = line.rsplit_once(char::is_whitespace)?;
+    // The token before it is the period, when numeric.
+    let period = rest
+        .rsplit_once(char::is_whitespace)
+        .and_then(|(_, p)| p.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    Some((period, event.to_owned()))
+}
+
+/// Parses `perf script` output.
+///
+/// # Errors
+///
+/// Fails when no samples can be extracted (the input was misdetected).
+pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let mut profile = Profile::new("perf");
+    profile.meta_mut().profiler = "perf".to_owned();
+    let mut metrics: HashMap<String, MetricId> = HashMap::new();
+    let mut samples = 0usize;
+
+    // Leaf-first stack for the sample being accumulated.
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut current: Option<(f64, MetricId)> = None;
+
+    let flush =
+        |profile: &mut Profile, stack: &mut Vec<Frame>, current: &mut Option<(f64, MetricId)>| {
+            if let Some((period, metric)) = current.take() {
+                if !stack.is_empty() {
+                    stack.reverse(); // outermost first
+                    profile.add_sample(stack, &[(metric, period)]);
+                }
+            }
+            stack.clear();
+        };
+
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            flush(&mut profile, &mut stack, &mut current);
+            continue;
+        }
+        if !line.starts_with(|c: char| c.is_whitespace()) {
+            flush(&mut profile, &mut stack, &mut current);
+            if let Some((period, event)) = parse_header(line) {
+                let unit = if event.contains("cycles") {
+                    MetricUnit::Cycles
+                } else {
+                    MetricUnit::Count
+                };
+                let metric = *metrics.entry(event.clone()).or_insert_with(|| {
+                    profile.add_metric(MetricDescriptor::new(
+                        event.clone(),
+                        unit,
+                        MetricKind::Exclusive,
+                    ))
+                });
+                current = Some((period, metric));
+                samples += 1;
+            }
+            continue;
+        }
+        if current.is_some() {
+            if let Some(frame) = parse_frame_line(line) {
+                stack.push(frame);
+            }
+        }
+    }
+    flush(&mut profile, &mut stack, &mut current);
+
+    if samples == 0 {
+        return Err(FormatError::Schema(
+            "no perf samples found in input".to_owned(),
+        ));
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+prog 12345 4001.123456:     250000 cycles:
+\tffffffff8104f45a do_sys_open+0x1a ([kernel.kallsyms])
+\t    55d6e34a1b2c parse_input+0x3c (/usr/bin/prog)
+\t    55d6e34a1000 main+0x40 (/usr/bin/prog)
+
+prog 12345 4001.133456:     250000 cycles:
+\t    55d6e34a2fff compute+0x8ff (/usr/bin/prog)
+\t    55d6e34a1000 main+0x40 (/usr/bin/prog)
+
+";
+
+    #[test]
+    fn sniffing() {
+        assert!(looks_like(SAMPLE));
+        assert!(!looks_like("main;a 1\n"));
+        assert!(!looks_like(""));
+    }
+
+    #[test]
+    fn frame_line_parsing() {
+        let f = parse_frame_line("\t    55d6e34a1b2c parse_input+0x3c (/usr/bin/prog)").unwrap();
+        assert_eq!(f.name, "parse_input");
+        assert_eq!(f.module, "/usr/bin/prog");
+        assert_eq!(f.address, 0x55d6e34a1b2c);
+
+        let f = parse_frame_line("\tffffffff8104f45a [unknown] ([kernel.kallsyms])").unwrap();
+        assert_eq!(f.name, "0xffffffff8104f45a");
+
+        assert!(parse_frame_line("not hex at all").is_none());
+    }
+
+    #[test]
+    fn header_parsing() {
+        let (period, event) = parse_header("prog 12345 4001.123456:     250000 cycles:").unwrap();
+        assert_eq!(period, 250000.0);
+        assert_eq!(event, "cycles");
+        // Headers without an explicit period default to 1.
+        let (period, event) = parse_header("prog 1 1.0: instructions:").unwrap();
+        assert_eq!(period, 1.0);
+        assert_eq!(event, "instructions");
+        assert!(parse_header("no trailing colon").is_none());
+    }
+
+    #[test]
+    fn parse_builds_cct() {
+        let p = parse(SAMPLE).unwrap();
+        p.validate().unwrap();
+        // root, main, parse_input, do_sys_open, compute
+        assert_eq!(p.node_count(), 5);
+        let cycles = p.metric_by_name("cycles").unwrap();
+        assert_eq!(p.total(cycles), 500_000.0);
+        assert_eq!(p.metric(cycles).unit, MetricUnit::Cycles);
+        // The leaf frame do_sys_open sits under parse_input under main.
+        let leaf = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "do_sys_open")
+            .unwrap();
+        let mid = p.node(leaf).parent().unwrap();
+        assert_eq!(p.resolve_frame(mid).name, "parse_input");
+    }
+
+    #[test]
+    fn trailing_sample_without_blank_line_flushes() {
+        let text = "p 1 1.0: 5 cycles:\n\tdeadbeef f+0x1 (m)\n";
+        let p = parse(text).unwrap();
+        let m = p.metric_by_name("cycles").unwrap();
+        assert_eq!(p.total(m), 5.0);
+    }
+
+    #[test]
+    fn multiple_events_make_multiple_metrics() {
+        let text = "\
+p 1 1.0: 5 cycles:
+\tdeadbeef f+0x1 (m)
+
+p 1 1.1: 9 instructions:
+\tdeadbeef f+0x1 (m)
+
+";
+        let p = parse(text).unwrap();
+        assert_eq!(p.metrics().len(), 2);
+        assert_eq!(p.total(p.metric_by_name("instructions").unwrap()), 9.0);
+    }
+
+    #[test]
+    fn no_samples_is_error() {
+        assert!(parse("just\nnoise\n").is_err());
+    }
+}

@@ -1,0 +1,697 @@
+//! The pprof binding: Google's `profile.proto`, the de-facto profile
+//! format for Go (and the container `perf_to_profile` and Cloud Profiler
+//! emit).
+//!
+//! The paper calls pprof's format "a subset of EasyView representation in
+//! Protocol Buffer" (§VII-A); this module implements both directions —
+//! parsing pprof files into the generic representation (the hot path of
+//! the Fig. 5 response-time experiment) and writing them back out (used
+//! by `ev-gen` to fabricate size-calibrated benchmark inputs).
+//!
+//! Field numbers below follow `github.com/google/pprof/proto/profile.proto`
+//! exactly, so real pprof files are accepted byte-for-byte. Files may be
+//! raw protobuf or gzip members (Go always gzips).
+
+use crate::FormatError;
+use ev_core::{ContextKind, FrameRef, MetricDescriptor, MetricId, MetricKind, MetricUnit, Profile, StringId};
+use ev_flate::{gzip_compress, gzip_decompress, is_gzip, CompressionLevel};
+use ev_wire::{Reader, Writer};
+use ev_core::fast_hash::FxHashMap;
+use std::collections::HashMap;
+
+/// One decoded `Location` message.
+#[derive(Debug, Default, Clone)]
+struct Location {
+    id: u64,
+    mapping_id: u64,
+    address: u64,
+    /// Innermost (leaf-most inline frame) first, per the spec.
+    lines: Vec<Line>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Line {
+    function_id: u64,
+    line: i64,
+}
+
+/// One decoded `Function` message (string-table indices).
+#[derive(Debug, Default, Clone, Copy)]
+struct Function {
+    id: u64,
+    name: i64,
+    filename: i64,
+}
+
+/// One decoded `Mapping` message (string-table indices).
+#[derive(Debug, Default, Clone, Copy)]
+struct Mapping {
+    id: u64,
+    filename: i64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ValueType {
+    r#type: i64,
+    unit: i64,
+}
+
+/// Maps a pprof unit string to an EasyView metric unit.
+fn unit_from_str(unit: &str) -> MetricUnit {
+    match unit {
+        "nanoseconds" => MetricUnit::Nanoseconds,
+        "bytes" => MetricUnit::Bytes,
+        "cycles" => MetricUnit::Cycles,
+        _ => MetricUnit::Count,
+    }
+}
+
+fn unit_to_str(unit: MetricUnit) -> &'static str {
+    match unit {
+        MetricUnit::Nanoseconds => "nanoseconds",
+        MetricUnit::Bytes => "bytes",
+        MetricUnit::Cycles => "cycles",
+        MetricUnit::Count | MetricUnit::Ratio => "count",
+    }
+}
+
+/// Parses a pprof profile (raw protobuf or gzip member) into the generic
+/// representation. Sample values become exclusive metrics attributed to
+/// the leaf of each call path; inline frames in a `Location` expand into
+/// separate CCT frames.
+///
+/// # Errors
+///
+/// Fails on gzip/wire-level corruption or dangling ids.
+pub fn parse(data: &[u8]) -> Result<Profile, FormatError> {
+    let decompressed;
+    let body: &[u8] = if is_gzip(data) {
+        decompressed = gzip_decompress(data)?;
+        &decompressed
+    } else {
+        data
+    };
+
+    let mut strings: Vec<String> = Vec::new();
+    let mut sample_types: Vec<ValueType> = Vec::new();
+    let mut locations: Vec<Location> = Vec::new();
+    let mut functions: Vec<Function> = Vec::new();
+    let mut mappings: Vec<Mapping> = Vec::new();
+    let mut time_nanos: i64 = 0;
+
+    let mut r = Reader::new(body);
+    while let Some((field, ty)) = r.read_tag()? {
+        match field {
+            1 => {
+                let mut m = r.read_message()?;
+                let mut vt = ValueType::default();
+                while let Some((f, t)) = m.read_tag()? {
+                    match f {
+                        1 => vt.r#type = m.read_int64()?,
+                        2 => vt.unit = m.read_int64()?,
+                        _ => m.skip(t)?,
+                    }
+                }
+                sample_types.push(vt);
+            }
+            2 => {
+                // Samples are replayed in a second pass, once the
+                // location/function tables are known; skip here.
+                r.skip(ty)?;
+            }
+            3 => {
+                let mut m = r.read_message()?;
+                let mut mp = Mapping::default();
+                while let Some((f, t)) = m.read_tag()? {
+                    match f {
+                        1 => mp.id = m.read_varint()?,
+                        5 => mp.filename = m.read_int64()?,
+                        _ => m.skip(t)?,
+                    }
+                }
+                mappings.push(mp);
+            }
+            4 => {
+                let mut m = r.read_message()?;
+                let mut loc = Location::default();
+                while let Some((f, t)) = m.read_tag()? {
+                    match f {
+                        1 => loc.id = m.read_varint()?,
+                        2 => loc.mapping_id = m.read_varint()?,
+                        3 => loc.address = m.read_varint()?,
+                        4 => {
+                            let mut lm = m.read_message()?;
+                            let mut line = Line::default();
+                            while let Some((lf, lt)) = lm.read_tag()? {
+                                match lf {
+                                    1 => line.function_id = lm.read_varint()?,
+                                    2 => line.line = lm.read_int64()?,
+                                    _ => lm.skip(lt)?,
+                                }
+                            }
+                            loc.lines.push(line);
+                        }
+                        _ => m.skip(t)?,
+                    }
+                }
+                locations.push(loc);
+            }
+            5 => {
+                let mut m = r.read_message()?;
+                let mut func = Function::default();
+                while let Some((f, t)) = m.read_tag()? {
+                    match f {
+                        1 => func.id = m.read_varint()?,
+                        2 => func.name = m.read_int64()?,
+                        4 => func.filename = m.read_int64()?,
+                        _ => m.skip(t)?,
+                    }
+                }
+                functions.push(func);
+            }
+            6 => strings.push(r.read_string()?.to_owned()),
+            9 => time_nanos = r.read_int64()?,
+            _ => r.skip(ty)?,
+        }
+    }
+
+    let string_at = |idx: i64| -> &str {
+        strings
+            .get(idx.max(0) as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    };
+
+    let functions_by_id: HashMap<u64, Function> =
+        functions.iter().map(|f| (f.id, *f)).collect();
+    let mappings_by_id: HashMap<u64, Mapping> = mappings.iter().map(|m| (m.id, *m)).collect();
+    let mut profile = Profile::new("pprof");
+    profile.meta_mut().profiler = "pprof".to_owned();
+    profile.meta_mut().timestamp_nanos = time_nanos.max(0) as u64;
+
+    let metric_ids: Vec<MetricId> = sample_types
+        .iter()
+        .map(|vt| {
+            let name = string_at(vt.r#type).to_owned();
+            let unit = unit_from_str(string_at(vt.unit));
+            profile.add_metric(MetricDescriptor::new(
+                if name.is_empty() { "samples".to_owned() } else { name },
+                unit,
+                MetricKind::Exclusive,
+            ))
+        })
+        .collect();
+
+    // Pre-resolve each location into its expanded frame list, interned
+    // once up front (outermost inline frame first). Samples then walk
+    // the CCT with cheap Copy `FrameRef`s instead of re-hashing strings
+    // per sample — the "avoids unnecessary data movement" optimization
+    // of paper §V-C.
+    let mut frames_cache: FxHashMap<u64, Vec<FrameRef>> = FxHashMap::default();
+    for loc in &locations {
+        let module_sid = mappings_by_id
+            .get(&loc.mapping_id)
+            .map(|m| profile.intern(string_at(m.filename)))
+            .unwrap_or(StringId::EMPTY);
+        let mut frames: Vec<FrameRef> = Vec::with_capacity(loc.lines.len().max(1));
+        if loc.lines.is_empty() {
+            // Unsymbolized location: synthesize a frame from the address.
+            frames.push(FrameRef {
+                kind: ContextKind::Function,
+                name: profile.intern(&format!("0x{:x}", loc.address)),
+                module: module_sid,
+                file: StringId::EMPTY,
+                line: 0,
+                address: loc.address,
+            });
+        } else {
+            // lines[0] is the leaf-most inline frame; emit outermost first.
+            for line in loc.lines.iter().rev() {
+                let func = functions_by_id.get(&line.function_id).copied().unwrap_or_default();
+                let name = profile.intern(string_at(func.name));
+                let file = profile.intern(string_at(func.filename));
+                frames.push(FrameRef {
+                    kind: ContextKind::Function,
+                    name,
+                    module: module_sid,
+                    file,
+                    line: line.line.max(0) as u32,
+                    address: loc.address,
+                });
+            }
+        }
+        frames_cache.insert(loc.id, frames);
+    }
+
+    // Second pass: replay the sample records with reused buffers —
+    // nothing per-sample is materialized (paper §V-C's "avoids
+    // unnecessary data movement").
+    let root = profile.root();
+    let mut location_ids: Vec<u64> = Vec::new();
+    let mut values: Vec<i64> = Vec::new();
+    let mut r = Reader::new(body);
+    while let Some((field, ty)) = r.read_tag()? {
+        if field != 2 {
+            r.skip(ty)?;
+            continue;
+        }
+        let mut m = r.read_message()?;
+        location_ids.clear();
+        values.clear();
+        while let Some((f, t)) = m.read_tag()? {
+            match f {
+                1 => m.read_packed_uint64(&mut location_ids)?,
+                2 => m.read_packed_int64(&mut values)?,
+                _ => m.skip(t)?,
+            }
+        }
+        let mut node = root;
+        // location_ids are leaf-first; the CCT wants outermost first.
+        for &loc_id in location_ids.iter().rev() {
+            match frames_cache.get(&loc_id) {
+                Some(frames) => {
+                    for &frame in frames {
+                        node = profile.child_ref(node, frame);
+                    }
+                }
+                None => {
+                    return Err(FormatError::Schema(format!(
+                        "sample references unknown location {loc_id}"
+                    )))
+                }
+            }
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if let Some(&metric) = metric_ids.get(i) {
+                if v != 0 {
+                    profile.add_value(node, metric, v as f64);
+                }
+            }
+        }
+    }
+
+    Ok(profile)
+}
+
+/// Options for [`write()`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Wrap the protobuf body in a gzip member (Go's default).
+    pub gzip: bool,
+    /// Compression level when gzipping.
+    pub level: CompressionLevel,
+}
+
+impl Default for WriteOptions {
+    fn default() -> WriteOptions {
+        WriteOptions {
+            gzip: true,
+            level: CompressionLevel::Fast,
+        }
+    }
+}
+
+/// Serializes a profile as a pprof file.
+///
+/// Each profile metric becomes a `sample_type`; every node carrying
+/// values becomes a `Sample` whose location chain is its call path
+/// (leaf first). One `Location`/`Function` pair is emitted per distinct
+/// frame, one `Mapping` per distinct load module.
+pub fn write(profile: &Profile, options: WriteOptions) -> Vec<u8> {
+    let mut strings: Vec<String> = vec![String::new()];
+    let mut string_ids: HashMap<String, i64> = HashMap::new();
+    string_ids.insert(String::new(), 0);
+
+    fn intern_in(
+        s: &str,
+        strings: &mut Vec<String>,
+        string_ids: &mut HashMap<String, i64>,
+    ) -> i64 {
+        if let Some(&id) = string_ids.get(s) {
+            return id;
+        }
+        let id = strings.len() as i64;
+        strings.push(s.to_owned());
+        string_ids.insert(s.to_owned(), id);
+        id
+    }
+
+    // Assign location/function/mapping ids per distinct frame identity.
+    struct Tables {
+        functions: Vec<(u64, i64, i64)>,          // id, name sid, file sid
+        function_ids: HashMap<(i64, i64), u64>,   // (name, file) -> id
+        mappings: Vec<(u64, i64)>,                // id, filename sid
+        mapping_ids: HashMap<i64, u64>,           // filename -> id
+        locations: Vec<(u64, u64, u64, u64, i64)>, // id, mapping, address, function, line
+        location_ids: HashMap<(u64, u64, u64, i64), u64>,
+    }
+    let mut t = Tables {
+        functions: Vec::new(),
+        function_ids: HashMap::new(),
+        mappings: Vec::new(),
+        mapping_ids: HashMap::new(),
+        locations: Vec::new(),
+        location_ids: HashMap::new(),
+    };
+
+    // Location id per CCT node, computed once per node (0 = not yet).
+    let mut loc_of_node: Vec<u64> = vec![0; profile.node_count()];
+    let loc_for = |node: ev_core::NodeId,
+                       t: &mut Tables,
+                       strings: &mut Vec<String>,
+                       string_ids: &mut HashMap<String, i64>,
+                       loc_of_node: &mut Vec<u64>|
+     -> u64 {
+        if loc_of_node[node.index()] != 0 {
+            return loc_of_node[node.index()];
+        }
+        let frame = profile.resolve_frame(node);
+        let name_sid = intern_in(&frame.name, strings, string_ids);
+        let file_sid = intern_in(&frame.file, strings, string_ids);
+        let func_id = *t
+            .function_ids
+            .entry((name_sid, file_sid))
+            .or_insert_with(|| {
+                let id = t.functions.len() as u64 + 1;
+                t.functions.push((id, name_sid, file_sid));
+                id
+            });
+        let module_sid = intern_in(&frame.module, strings, string_ids);
+        let mapping_id = *t.mapping_ids.entry(module_sid).or_insert_with(|| {
+            let id = t.mappings.len() as u64 + 1;
+            t.mappings.push((id, module_sid));
+            id
+        });
+        let key = (mapping_id, frame.address, func_id, i64::from(frame.line));
+        let loc_id = *t.location_ids.entry(key).or_insert_with(|| {
+            let id = t.locations.len() as u64 + 1;
+            t.locations
+                .push((id, mapping_id, frame.address, func_id, i64::from(frame.line)));
+            id
+        });
+        loc_of_node[node.index()] = loc_id;
+        loc_id
+    };
+
+    let mut samples: Vec<(Vec<u64>, Vec<i64>)> = Vec::new();
+    for node in profile.node_ids() {
+        let n = profile.node(node);
+        if n.values().is_empty() {
+            continue;
+        }
+        // Walk parent pointers: leaf-first, exactly pprof's order.
+        let mut loc_chain: Vec<u64> = Vec::new();
+        let mut step = Some(node);
+        while let Some(current) = step {
+            if current == profile.root() {
+                break;
+            }
+            loc_chain.push(loc_for(
+                current,
+                &mut t,
+                &mut strings,
+                &mut string_ids,
+                &mut loc_of_node,
+            ));
+            step = profile.node(current).parent();
+        }
+        let values: Vec<i64> = profile
+            .metrics()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| profile.value(node, MetricId::from_index(i)) as i64)
+            .collect();
+        samples.push((loc_chain, values));
+    }
+
+    let mut sample_type_sids: Vec<(i64, i64)> = Vec::new();
+    for metric in profile.metrics() {
+        let ty = intern_in(&metric.name, &mut strings, &mut string_ids);
+        let unit = intern_in(unit_to_str(metric.unit), &mut strings, &mut string_ids);
+        sample_type_sids.push((ty, unit));
+    }
+
+    let mut w = Writer::with_capacity(samples.len() * 32 + strings.len() * 16);
+    for &(ty, unit) in &sample_type_sids {
+        w.write_message_with(1, |m| {
+            if ty != 0 {
+                m.write_int64(1, ty);
+            }
+            if unit != 0 {
+                m.write_int64(2, unit);
+            }
+        });
+    }
+    for (loc_chain, values) in &samples {
+        w.write_message_with(2, |m| {
+            m.write_packed_uint64(1, loc_chain);
+            m.write_packed_int64(2, values);
+        });
+    }
+    for &(id, filename) in &t.mappings {
+        w.write_message_with(3, |m| {
+            m.write_uint64(1, id);
+            if filename != 0 {
+                m.write_int64(5, filename);
+            }
+        });
+    }
+    for &(id, mapping, address, function, line) in &t.locations {
+        w.write_message_with(4, |m| {
+            m.write_uint64(1, id);
+            if mapping != 0 {
+                m.write_uint64(2, mapping);
+            }
+            if address != 0 {
+                m.write_uint64(3, address);
+            }
+            m.write_message_with(4, |lm| {
+                lm.write_uint64(1, function);
+                if line != 0 {
+                    lm.write_int64(2, line);
+                }
+            });
+        });
+    }
+    for &(id, name, filename) in &t.functions {
+        w.write_message_with(5, |m| {
+            m.write_uint64(1, id);
+            if name != 0 {
+                m.write_int64(2, name);
+            }
+            if filename != 0 {
+                m.write_int64(4, filename);
+            }
+        });
+    }
+    for s in &strings {
+        w.write_string(6, s);
+    }
+    if profile.meta().timestamp_nanos != 0 {
+        w.write_int64(9, profile.meta().timestamp_nanos as i64);
+    }
+
+    let body = w.into_bytes();
+    if options.gzip {
+        gzip_compress(&body, options.level)
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::{Frame, NodeId};
+
+    fn sample_profile() -> Profile {
+        let mut p = Profile::new("s");
+        let cpu = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Nanoseconds,
+            MetricKind::Exclusive,
+        ));
+        let allocs = p.add_metric(MetricDescriptor::new(
+            "alloc_space",
+            MetricUnit::Bytes,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[
+                Frame::function("main").with_module("app").with_source("main.go", 10),
+                Frame::function("handler").with_module("app").with_source("h.go", 20),
+            ],
+            &[(cpu, 500.0), (allocs, 1024.0)],
+        );
+        p.add_sample(
+            &[
+                Frame::function("main").with_module("app").with_source("main.go", 10),
+                Frame::function("gc").with_module("runtime"),
+            ],
+            &[(cpu, 300.0)],
+        );
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_totals() {
+        let p = sample_profile();
+        let bytes = write(&p, WriteOptions::default());
+        assert!(is_gzip(&bytes));
+        let q = parse(&bytes).unwrap();
+        q.validate().unwrap();
+        assert_eq!(q.node_count(), p.node_count());
+        assert_eq!(q.metrics().len(), 2);
+        assert!(q.metric_by_name("cpu").is_some());
+        let cpu = q.metric_by_name("cpu").unwrap();
+        assert_eq!(q.total(cpu), 800.0);
+        let alloc = q.metric_by_name("alloc_space").unwrap();
+        assert_eq!(q.total(alloc), 1024.0);
+        // Units survive.
+        assert_eq!(q.metric(cpu).unit, MetricUnit::Nanoseconds);
+        assert_eq!(q.metric(alloc).unit, MetricUnit::Bytes);
+    }
+
+    #[test]
+    fn roundtrip_uncompressed() {
+        let p = sample_profile();
+        let bytes = write(
+            &p,
+            WriteOptions {
+                gzip: false,
+                level: CompressionLevel::Store,
+            },
+        );
+        assert!(!is_gzip(&bytes));
+        let q = parse(&bytes).unwrap();
+        assert_eq!(q.node_count(), p.node_count());
+    }
+
+    #[test]
+    fn call_paths_survive() {
+        let p = sample_profile();
+        let q = parse(&write(&p, WriteOptions::default())).unwrap();
+        // Find handler and verify its parent is main.
+        let handler = q
+            .node_ids()
+            .find(|&id| q.resolve_frame(id).name == "handler")
+            .unwrap();
+        let parent = q.node(handler).parent().unwrap();
+        assert_eq!(q.resolve_frame(parent).name, "main");
+        assert_eq!(q.resolve_frame(parent).line, 10);
+        assert_eq!(q.resolve_frame(handler).file, "h.go");
+        assert_eq!(q.resolve_frame(handler).module, "app");
+    }
+
+    #[test]
+    fn hand_built_pprof_with_inlining() {
+        // Build a raw pprof message by hand: one sample through a
+        // location with two inline lines.
+        let mut w = Writer::new();
+        // sample_type { type: "cpu"(1), unit: "count"(2) }
+        w.write_message_with(1, |m| {
+            m.write_int64(1, 1);
+            m.write_int64(2, 2);
+        });
+        // sample { location_id: [1], value: [7] }
+        w.write_message_with(2, |m| {
+            m.write_packed_uint64(1, &[1]);
+            m.write_packed_int64(2, &[7]);
+        });
+        // location { id: 1, line: [{fn 1, line 5}, {fn 2, line 50}] }
+        // line[0] = leaf-most inline frame (callee).
+        w.write_message_with(4, |m| {
+            m.write_uint64(1, 1);
+            m.write_message_with(4, |lm| {
+                lm.write_uint64(1, 1);
+                lm.write_int64(2, 5);
+            });
+            m.write_message_with(4, |lm| {
+                lm.write_uint64(1, 2);
+                lm.write_int64(2, 50);
+            });
+        });
+        // functions: 1 = "inlined_callee", 2 = "caller"
+        w.write_message_with(5, |m| {
+            m.write_uint64(1, 1);
+            m.write_int64(2, 3);
+        });
+        w.write_message_with(5, |m| {
+            m.write_uint64(1, 2);
+            m.write_int64(2, 4);
+        });
+        for s in ["", "cpu", "count", "inlined_callee", "caller"] {
+            w.write_string(6, s);
+        }
+        let profile = parse(w.as_bytes()).unwrap();
+        profile.validate().unwrap();
+        // Expect root -> caller -> inlined_callee with value at the leaf.
+        let leaf = profile
+            .node_ids()
+            .find(|&id| profile.resolve_frame(id).name == "inlined_callee")
+            .unwrap();
+        let caller = profile.node(leaf).parent().unwrap();
+        assert_eq!(profile.resolve_frame(caller).name, "caller");
+        let cpu = profile.metric_by_name("cpu").unwrap();
+        assert_eq!(profile.value(leaf, cpu), 7.0);
+        assert_eq!(profile.value(caller, cpu), 0.0);
+    }
+
+    #[test]
+    fn unknown_location_is_schema_error() {
+        let mut w = Writer::new();
+        w.write_message_with(2, |m| {
+            m.write_packed_uint64(1, &[42]);
+            m.write_packed_int64(2, &[1]);
+        });
+        w.write_string(6, "");
+        let err = parse(w.as_bytes()).unwrap_err();
+        assert!(matches!(err, FormatError::Schema(_)), "{err:?}");
+    }
+
+    #[test]
+    fn unsymbolized_location_synthesizes_address_frame() {
+        let mut w = Writer::new();
+        w.write_message_with(1, |m| {
+            m.write_int64(1, 1);
+            m.write_int64(2, 2);
+        });
+        w.write_message_with(2, |m| {
+            m.write_packed_uint64(1, &[1]);
+            m.write_packed_int64(2, &[3]);
+        });
+        w.write_message_with(4, |m| {
+            m.write_uint64(1, 1);
+            m.write_uint64(3, 0xdeadbeef);
+        });
+        for s in ["", "samples", "count"] {
+            w.write_string(6, s);
+        }
+        let profile = parse(w.as_bytes()).unwrap();
+        let leaf = profile
+            .node_ids()
+            .find(|&id| profile.node(id).children().is_empty() && id != NodeId::ROOT)
+            .unwrap();
+        assert_eq!(profile.resolve_frame(leaf).name, "0xdeadbeef");
+        assert_eq!(profile.resolve_frame(leaf).address, 0xdeadbeef);
+    }
+
+    #[test]
+    fn empty_profile_parses() {
+        let profile = parse(&[]).unwrap();
+        assert_eq!(profile.node_count(), 1);
+        assert!(profile.metrics().is_empty());
+    }
+
+    #[test]
+    fn corrupted_gzip_is_container_error() {
+        let p = sample_profile();
+        let mut bytes = write(&p, WriteOptions::default());
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xff;
+        assert!(matches!(
+            parse(&bytes),
+            Err(FormatError::Container(_)) | Err(FormatError::Schema(_))
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! The pyinstrument binding: the JSON session dump of the pyinstrument
+//! Python profiler (`--renderer json`), one of the converters the paper
+//! lists explicitly (§IV-B).
+//!
+//! The layout is a recursive `root_frame` object:
+//!
+//! ```json
+//! {"root_frame": {"function": "main", "file_path": "app.py",
+//!                 "line_no": 3, "time": 1.25, "children": [...]}}
+//! ```
+//!
+//! `time` is inclusive seconds; the converter derives exclusive time by
+//! subtracting children so the stored metric follows EasyView's
+//! exclusive-attribution convention.
+
+use crate::FormatError;
+use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, MetricUnit, NodeId, Profile};
+use ev_json::Value;
+
+/// Parses a pyinstrument JSON session.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a missing/ill-typed `root_frame`.
+pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let root = ev_json::parse(text)?;
+    let root_frame = root
+        .get("root_frame")
+        .ok_or_else(|| FormatError::Schema("missing root_frame".to_owned()))?;
+
+    let mut profile = Profile::new(
+        root.get("program")
+            .and_then(Value::as_str)
+            .unwrap_or("pyinstrument"),
+    );
+    profile.meta_mut().profiler = "pyinstrument".to_owned();
+    if let Some(ts) = root.get("start_time").and_then(Value::as_f64) {
+        profile.meta_mut().timestamp_nanos = (ts * 1e9) as u64;
+    }
+    let time = profile.add_metric(MetricDescriptor::new(
+        "time",
+        MetricUnit::Nanoseconds,
+        MetricKind::Exclusive,
+    ));
+
+    let parent = profile.root();
+    convert_frame(&mut profile, time, parent, root_frame, 0)?;
+    Ok(profile)
+}
+
+const MAX_DEPTH: usize = 4096;
+
+/// Converts one frame object, returning its inclusive time (seconds).
+fn convert_frame(
+    profile: &mut Profile,
+    time: MetricId,
+    parent: NodeId,
+    value: &Value,
+    depth: usize,
+) -> Result<f64, FormatError> {
+    if depth > MAX_DEPTH {
+        return Err(FormatError::Schema("frame nesting too deep".to_owned()));
+    }
+    let function = value
+        .get("function")
+        .and_then(Value::as_str)
+        .ok_or_else(|| FormatError::Schema("frame missing function".to_owned()))?;
+    let mut frame = Frame::function(function);
+    if let Some(file) = value.get("file_path").and_then(Value::as_str) {
+        let line = value
+            .get("line_no")
+            .and_then(Value::as_i64)
+            .unwrap_or(0)
+            .max(0) as u32;
+        frame = frame.with_source(file, line);
+    }
+    let node = profile.child(parent, &frame);
+    let inclusive = value.get("time").and_then(Value::as_f64).unwrap_or(0.0);
+
+    let mut child_total = 0.0;
+    if let Some(children) = value.get("children").and_then(Value::as_array) {
+        for child in children {
+            child_total += convert_frame(profile, time, node, child, depth + 1)?;
+        }
+    }
+    // Exclusive nanoseconds; clamp tiny negative residue from float noise.
+    let exclusive = ((inclusive - child_total) * 1e9).max(0.0);
+    profile.add_value(node, time, exclusive);
+    Ok(inclusive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SESSION: &str = r#"{
+        "program": "app.py",
+        "start_time": 1700000000.5,
+        "root_frame": {
+            "function": "main", "file_path": "app.py", "line_no": 3, "time": 2.0,
+            "children": [
+                {"function": "load", "file_path": "io.py", "line_no": 10, "time": 0.5, "children": []},
+                {"function": "train", "file_path": "ml.py", "line_no": 50, "time": 1.25,
+                 "children": [
+                    {"function": "step", "file_path": "ml.py", "line_no": 80, "time": 1.0, "children": []}
+                 ]}
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn converts_tree_with_exclusive_times() {
+        let p = parse(SESSION).unwrap();
+        p.validate().unwrap();
+        let t = p.metric_by_name("time").unwrap();
+        // Total exclusive must equal root inclusive: 2 s.
+        assert!((p.total(t) - 2e9).abs() < 1.0);
+        let main = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "main")
+            .unwrap();
+        // main self = 2.0 - 0.5 - 1.25 = 0.25 s.
+        assert!((p.value(main, t) - 0.25e9).abs() < 1.0);
+        let step = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "step")
+            .unwrap();
+        assert!((p.value(step, t) - 1e9).abs() < 1.0);
+        assert_eq!(p.resolve_frame(step).file, "ml.py");
+        assert_eq!(p.resolve_frame(step).line, 80);
+        assert_eq!(p.meta().profiler, "pyinstrument");
+        assert_eq!(p.meta().name, "app.py");
+        assert_eq!(p.meta().timestamp_nanos, 1_700_000_000_500_000_000);
+    }
+
+    #[test]
+    fn missing_root_frame_is_error() {
+        assert!(parse(r#"{"program": "x"}"#).is_err());
+        assert!(parse("[]").is_err());
+        assert!(parse("{bad json").is_err());
+    }
+
+    #[test]
+    fn frame_without_function_is_error() {
+        assert!(parse(r#"{"root_frame": {"time": 1.0}}"#).is_err());
+    }
+
+    #[test]
+    fn negative_residue_clamped() {
+        // Children report slightly more than the parent (float noise).
+        let text = r#"{"root_frame": {"function": "m", "time": 1.0,
+            "children": [{"function": "c", "time": 1.0000001, "children": []}]}}"#;
+        let p = parse(text).unwrap();
+        let t = p.metric_by_name("time").unwrap();
+        let m = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "m")
+            .unwrap();
+        assert_eq!(p.value(m, t), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The Scalene binding: the JSON output of the Scalene Python
+//! CPU+memory profiler (paper §IV-B lists Scalene among the supported
+//! converters).
+//!
+//! Scalene reports *line-granularity* data per file rather than call
+//! paths:
+//!
+//! ```json
+//! {"files": {"app.py": {"lines": [
+//!     {"lineno": 12, "n_cpu_percent_python": 31.5,
+//!      "n_cpu_percent_c": 2.0, "n_malloc_mb": 10.5, ...}
+//! ]}}, "elapsed_time_sec": 12.5}
+//! ```
+//!
+//! The converter maps each file to a [`ContextKind::Function`]-like file
+//! frame and each line to a [`ContextKind::Line`] child, exercising the
+//! representation's sub-function granularity (paper §IV-A).
+
+use crate::FormatError;
+use ev_core::{ContextKind, Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+use ev_json::Value;
+
+/// Parses a Scalene JSON profile.
+///
+/// Percentages are converted to nanoseconds against `elapsed_time_sec`
+/// when present (so totals match wall time), and kept as ratios
+/// otherwise. Memory is reported in bytes.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a missing `files` object.
+pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let root = ev_json::parse(text)?;
+    let files = root
+        .get("files")
+        .and_then(Value::as_object)
+        .ok_or_else(|| FormatError::Schema("missing files object".to_owned()))?;
+
+    let elapsed_sec = root
+        .get("elapsed_time_sec")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+
+    let mut profile = Profile::new("scalene");
+    profile.meta_mut().profiler = "scalene".to_owned();
+
+    let (cpu_python, cpu_native, malloc) = if elapsed_sec > 0.0 {
+        (
+            profile.add_metric(MetricDescriptor::new(
+                "cpu_python",
+                MetricUnit::Nanoseconds,
+                MetricKind::Exclusive,
+            )),
+            profile.add_metric(MetricDescriptor::new(
+                "cpu_native",
+                MetricUnit::Nanoseconds,
+                MetricKind::Exclusive,
+            )),
+            profile.add_metric(MetricDescriptor::new(
+                "malloc",
+                MetricUnit::Bytes,
+                MetricKind::Exclusive,
+            )),
+        )
+    } else {
+        (
+            profile.add_metric(MetricDescriptor::new(
+                "cpu_python",
+                MetricUnit::Ratio,
+                MetricKind::Exclusive,
+            )),
+            profile.add_metric(MetricDescriptor::new(
+                "cpu_native",
+                MetricUnit::Ratio,
+                MetricKind::Exclusive,
+            )),
+            profile.add_metric(MetricDescriptor::new(
+                "malloc",
+                MetricUnit::Bytes,
+                MetricKind::Exclusive,
+            )),
+        )
+    };
+    let cpu_scale = if elapsed_sec > 0.0 {
+        elapsed_sec * 1e9 / 100.0
+    } else {
+        0.01
+    };
+
+    for (path, file) in files {
+        let Some(lines) = file.get("lines").and_then(Value::as_array) else {
+            continue;
+        };
+        let file_node = profile.child(
+            profile.root(),
+            &Frame::function(path.clone()).with_source(path.clone(), 0),
+        );
+        for line in lines {
+            let lineno = line
+                .get("lineno")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| FormatError::Schema("line missing lineno".to_owned()))?
+                .max(0) as u32;
+            let py = line
+                .get("n_cpu_percent_python")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let native = line
+                .get("n_cpu_percent_c")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let mb = line.get("n_malloc_mb").and_then(Value::as_f64).unwrap_or(0.0);
+            if py == 0.0 && native == 0.0 && mb == 0.0 {
+                continue;
+            }
+            let node = profile.child(
+                file_node,
+                &Frame::new(ContextKind::Line, format!("{path}:{lineno}"))
+                    .with_source(path.clone(), lineno),
+            );
+            if py != 0.0 {
+                profile.add_value(node, cpu_python, py * cpu_scale);
+            }
+            if native != 0.0 {
+                profile.add_value(node, cpu_native, native * cpu_scale);
+            }
+            if mb != 0.0 {
+                profile.add_value(node, malloc, mb * 1024.0 * 1024.0);
+            }
+        }
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALENE: &str = r#"{
+        "elapsed_time_sec": 10.0,
+        "files": {
+            "app.py": {"lines": [
+                {"lineno": 12, "n_cpu_percent_python": 40.0, "n_cpu_percent_c": 10.0, "n_malloc_mb": 2.0},
+                {"lineno": 30, "n_cpu_percent_python": 0.0, "n_cpu_percent_c": 0.0, "n_malloc_mb": 0.0},
+                {"lineno": 31, "n_cpu_percent_python": 5.0}
+            ]},
+            "util.py": {"lines": [
+                {"lineno": 4, "n_cpu_percent_python": 45.0}
+            ]}
+        }
+    }"#;
+
+    #[test]
+    fn converts_lines_to_contexts() {
+        let p = parse(SCALENE).unwrap();
+        p.validate().unwrap();
+        // root + 2 file nodes + 3 nonzero line nodes.
+        assert_eq!(p.node_count(), 6);
+        let py = p.metric_by_name("cpu_python").unwrap();
+        // 90% of 10 s = 9e9 ns.
+        assert!((p.total(py) - 9e9).abs() < 1.0);
+        let line12 = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "app.py:12")
+            .unwrap();
+        assert_eq!(p.resolve_frame(line12).kind, ContextKind::Line);
+        assert_eq!(p.resolve_frame(line12).line, 12);
+        let malloc = p.metric_by_name("malloc").unwrap();
+        assert_eq!(p.value(line12, malloc), 2.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn zero_lines_elided() {
+        let p = parse(SCALENE).unwrap();
+        assert!(!p.node_ids().any(|id| p.resolve_frame(id).name == "app.py:30"));
+    }
+
+    #[test]
+    fn without_elapsed_time_uses_ratios() {
+        let text = r#"{"files": {"a.py": {"lines": [
+            {"lineno": 1, "n_cpu_percent_python": 50.0}
+        ]}}}"#;
+        let p = parse(text).unwrap();
+        let py = p.metric_by_name("cpu_python").unwrap();
+        assert_eq!(p.metric(py).unit, MetricUnit::Ratio);
+        assert_eq!(p.total(py), 0.5);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(r#"{"nofiles": 1}"#).is_err());
+        assert!(parse("[1,2]").is_err());
+        assert!(
+            parse(r#"{"files": {"a.py": {"lines": [{"n_cpu_percent_python": 1.0}]}}}"#).is_err(),
+            "line without lineno"
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! The speedscope binding: the JSON file format of
+//! <https://www.speedscope.app>, itself a common export target for many
+//! profilers (py-spy, rbspy, Hermes, pprof conversions…).
+//!
+//! A file holds a `shared.frames` array and one or more profiles, either
+//! `"type": "sampled"` (a `samples` array of frame-index stacks plus
+//! `weights`) or `"type": "evented"` (open/close frame events). Both are
+//! supported; all profiles in the file land in one CCT under per-profile
+//! thread frames.
+
+use crate::FormatError;
+use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, MetricUnit, Profile};
+use ev_json::Value;
+
+fn frame_from_shared(value: &Value) -> Frame {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("(anonymous)");
+    let mut frame = Frame::function(name);
+    if let Some(file) = value.get("file").and_then(Value::as_str) {
+        let line = value
+            .get("line")
+            .and_then(Value::as_i64)
+            .unwrap_or(0)
+            .max(0) as u32;
+        frame = frame.with_source(file, line);
+    }
+    frame
+}
+
+fn unit_from_str(unit: Option<&str>) -> MetricUnit {
+    match unit {
+        Some("nanoseconds") | Some("microseconds") | Some("milliseconds") | Some("seconds") => {
+            MetricUnit::Nanoseconds
+        }
+        Some("bytes") => MetricUnit::Bytes,
+        _ => MetricUnit::Count,
+    }
+}
+
+fn unit_scale(unit: Option<&str>) -> f64 {
+    match unit {
+        Some("seconds") => 1e9,
+        Some("milliseconds") => 1e6,
+        Some("microseconds") => 1e3,
+        _ => 1.0,
+    }
+}
+
+/// Parses a speedscope file.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, missing `shared.frames`/`profiles`,
+/// out-of-range frame indices, or unbalanced evented profiles.
+pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let root = ev_json::parse(text)?;
+    let frames: Vec<Frame> = root
+        .get("shared")
+        .and_then(|s| s.get("frames"))
+        .and_then(Value::as_array)
+        .ok_or_else(|| FormatError::Schema("missing shared.frames".to_owned()))?
+        .iter()
+        .map(frame_from_shared)
+        .collect();
+    let profiles = root
+        .get("profiles")
+        .and_then(Value::as_array)
+        .ok_or_else(|| FormatError::Schema("missing profiles".to_owned()))?;
+
+    let mut out = Profile::new(
+        root.get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("speedscope"),
+    );
+    out.meta_mut().profiler = "speedscope".to_owned();
+
+    let frame_at = |idx: i64| -> Result<&Frame, FormatError> {
+        frames
+            .get(idx.max(0) as usize)
+            .ok_or_else(|| FormatError::Schema(format!("frame index {idx} out of range")))
+    };
+
+    for (pi, prof) in profiles.iter().enumerate() {
+        let ty = prof.get("type").and_then(Value::as_str).unwrap_or("");
+        let name = prof
+            .get("name")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("profile {pi}"));
+        let unit = prof.get("unit").and_then(Value::as_str);
+        let metric: MetricId = match out.metric_by_name("weight") {
+            Some(m) => m,
+            None => out.add_metric(MetricDescriptor::new(
+                "weight",
+                unit_from_str(unit),
+                MetricKind::Exclusive,
+            )),
+        };
+        let scale = unit_scale(unit);
+        let thread = out.child(out.root(), &Frame::thread(&name));
+
+        match ty {
+            "sampled" => {
+                let samples = prof
+                    .get("samples")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| FormatError::Schema("sampled profile missing samples".to_owned()))?;
+                let weights = prof
+                    .get("weights")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| FormatError::Schema("sampled profile missing weights".to_owned()))?;
+                if samples.len() != weights.len() {
+                    return Err(FormatError::Schema(
+                        "samples/weights length mismatch".to_owned(),
+                    ));
+                }
+                for (stack, weight) in samples.iter().zip(weights) {
+                    let stack = stack
+                        .as_array()
+                        .ok_or_else(|| FormatError::Schema("sample is not an array".to_owned()))?;
+                    let weight = weight.as_f64().unwrap_or(0.0) * scale;
+                    let mut node = thread;
+                    // speedscope stacks are root-first.
+                    for idx in stack {
+                        let idx = idx
+                            .as_i64()
+                            .ok_or_else(|| FormatError::Schema("frame index not an int".to_owned()))?;
+                        let frame = frame_at(idx)?.clone();
+                        node = out.child(node, &frame);
+                    }
+                    out.add_value(node, metric, weight);
+                }
+            }
+            "evented" => {
+                let events = prof
+                    .get("events")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| FormatError::Schema("evented profile missing events".to_owned()))?;
+                // Stack of (node, open timestamp, child time so far).
+                let mut stack: Vec<(ev_core::NodeId, f64, f64)> = Vec::new();
+                for event in events {
+                    let ty = event.get("type").and_then(Value::as_str).unwrap_or("");
+                    let at = event.get("at").and_then(Value::as_f64).unwrap_or(0.0);
+                    match ty {
+                        "O" => {
+                            let idx = event
+                                .get("frame")
+                                .and_then(Value::as_i64)
+                                .ok_or_else(|| FormatError::Schema("O event missing frame".to_owned()))?;
+                            let frame = frame_at(idx)?.clone();
+                            let parent = stack.last().map_or(thread, |&(n, _, _)| n);
+                            let node = out.child(parent, &frame);
+                            stack.push((node, at, 0.0));
+                        }
+                        "C" => {
+                            let (node, opened, child_time) = stack.pop().ok_or_else(|| {
+                                FormatError::Schema("C event without matching O".to_owned())
+                            })?;
+                            let total = at - opened;
+                            out.add_value(node, metric, (total - child_time) * scale);
+                            if let Some(top) = stack.last_mut() {
+                                top.2 += total;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !stack.is_empty() {
+                    return Err(FormatError::Schema(format!(
+                        "profile {name:?}: {} unclosed O events",
+                        stack.len()
+                    )));
+                }
+            }
+            other => {
+                return Err(FormatError::Schema(format!(
+                    "unsupported profile type {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes a profile as a single speedscope "sampled" profile over
+/// the first metric: one sample per valued node, stacks root-first. The
+/// counterpart of [`parse`], used to hand EasyView data to
+/// speedscope-based tooling.
+pub fn write(profile: &Profile) -> String {
+    use ev_core::NodeId;
+    let mut frames: Vec<Value> = Vec::new();
+    let mut frame_index: std::collections::HashMap<(String, String, u32), i64> =
+        std::collections::HashMap::new();
+    let metric = profile
+        .metrics()
+        .first()
+        .and_then(|m| profile.metric_by_name(&m.name));
+
+    let mut samples: Vec<Value> = Vec::new();
+    let mut weights: Vec<Value> = Vec::new();
+    if let Some(metric) = metric {
+        for node in profile.node_ids() {
+            let value = profile.value(node, metric);
+            if value == 0.0 || node == NodeId::ROOT {
+                continue;
+            }
+            let mut stack: Vec<Value> = Vec::new();
+            for &step in &profile.path(node) {
+                let f = profile.resolve_frame(step);
+                let key = (f.name.clone(), f.file.clone(), f.line);
+                let idx = *frame_index.entry(key).or_insert_with(|| {
+                    let idx = frames.len() as i64;
+                    let mut obj = vec![("name", Value::from(f.name.clone()))];
+                    if !f.file.is_empty() {
+                        obj.push(("file", Value::from(f.file.clone())));
+                        obj.push(("line", Value::Int(i64::from(f.line))));
+                    }
+                    frames.push(Value::object(obj));
+                    idx
+                });
+                stack.push(Value::Int(idx));
+            }
+            samples.push(Value::Array(stack));
+            weights.push(Value::Float(value));
+        }
+    }
+
+    let unit = match metric.map(|m| profile.metric(m).unit) {
+        Some(ev_core::MetricUnit::Nanoseconds) => "nanoseconds",
+        Some(ev_core::MetricUnit::Bytes) => "bytes",
+        _ => "none",
+    };
+    let doc = Value::object([
+        (
+            "$schema",
+            Value::from("https://www.speedscope.app/file-format-schema.json"),
+        ),
+        ("name", Value::from(profile.meta().name.clone())),
+        ("shared", Value::object([("frames", Value::Array(frames))])),
+        (
+            "profiles",
+            Value::Array(vec![Value::object([
+                ("type", Value::from("sampled")),
+                ("name", Value::from(profile.meta().name.clone())),
+                ("unit", Value::from(unit)),
+                ("samples", Value::Array(samples)),
+                ("weights", Value::Array(weights)),
+            ])]),
+        ),
+    ]);
+    ev_json::to_string(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLED: &str = r#"{
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": "example",
+        "shared": {"frames": [
+            {"name": "main", "file": "main.py", "line": 1},
+            {"name": "work"},
+            {"name": "idle"}
+        ]},
+        "profiles": [{
+            "type": "sampled", "name": "thread 0", "unit": "milliseconds",
+            "samples": [[0, 1], [0, 1], [0, 2]],
+            "weights": [10, 5, 1]
+        }]
+    }"#;
+
+    #[test]
+    fn sampled_profiles() {
+        let p = parse(SAMPLED).unwrap();
+        p.validate().unwrap();
+        let w = p.metric_by_name("weight").unwrap();
+        // 16 ms = 16e6 ns.
+        assert_eq!(p.total(w), 16e6);
+        let work = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "work")
+            .unwrap();
+        assert_eq!(p.value(work, w), 15e6);
+        let main = p.node(work).parent().unwrap();
+        assert_eq!(p.resolve_frame(main).name, "main");
+        assert_eq!(p.resolve_frame(main).file, "main.py");
+    }
+
+    #[test]
+    fn evented_profiles() {
+        let text = r#"{
+            "shared": {"frames": [{"name": "a"}, {"name": "b"}]},
+            "profiles": [{
+                "type": "evented", "name": "t", "unit": "microseconds",
+                "events": [
+                    {"type": "O", "frame": 0, "at": 0},
+                    {"type": "O", "frame": 1, "at": 10},
+                    {"type": "C", "frame": 1, "at": 30},
+                    {"type": "C", "frame": 0, "at": 100}
+                ]
+            }]
+        }"#;
+        let p = parse(text).unwrap();
+        let w = p.metric_by_name("weight").unwrap();
+        let a = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "a")
+            .unwrap();
+        let b = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "b")
+            .unwrap();
+        // a self: (100 - 0) - 20 = 80 µs = 80_000 ns; b: 20 µs.
+        assert_eq!(p.value(a, w), 80_000.0);
+        assert_eq!(p.value(b, w), 20_000.0);
+        assert_eq!(p.node(b).parent(), Some(a));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("{}").is_err());
+        assert!(parse(r#"{"shared": {"frames": []}, "profiles": [{"type": "weird"}]}"#).is_err());
+        // Frame index out of range.
+        let bad = r#"{
+            "shared": {"frames": [{"name": "a"}]},
+            "profiles": [{"type": "sampled", "samples": [[5]], "weights": [1]}]
+        }"#;
+        assert!(parse(bad).is_err());
+        // Unbalanced evented.
+        let bad = r#"{
+            "shared": {"frames": [{"name": "a"}]},
+            "profiles": [{"type": "evented", "events": [{"type": "O", "frame": 0, "at": 0}]}]
+        }"#;
+        assert!(parse(bad).is_err());
+        // Length mismatch.
+        let bad = r#"{
+            "shared": {"frames": [{"name": "a"}]},
+            "profiles": [{"type": "sampled", "samples": [[0]], "weights": [1, 2]}]
+        }"#;
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn multiple_profiles_share_one_metric() {
+        let text = r#"{
+            "shared": {"frames": [{"name": "a"}]},
+            "profiles": [
+                {"type": "sampled", "name": "t1", "samples": [[0]], "weights": [1]},
+                {"type": "sampled", "name": "t2", "samples": [[0]], "weights": [2]}
+            ]
+        }"#;
+        let p = parse(text).unwrap();
+        assert_eq!(p.metrics().len(), 1);
+        let w = p.metric_by_name("weight").unwrap();
+        assert_eq!(p.total(w), 3.0);
+        assert_eq!(p.node(p.root()).children().len(), 2);
+    }
+
+    #[test]
+    fn write_parse_roundtrip_conserves_totals() {
+        use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+        let mut p = Profile::new("export");
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Nanoseconds,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[Frame::function("main").with_source("m.rs", 1), Frame::function("work")],
+            &[(m, 700.0)],
+        );
+        p.add_sample(&[Frame::function("main").with_source("m.rs", 1)], &[(m, 300.0)]);
+        let json = write(&p);
+        assert!(crate::detect(json.as_bytes()) == crate::Format::Speedscope);
+        let q = parse(&json).unwrap();
+        q.validate().unwrap();
+        let w = q.metric_by_name("weight").unwrap();
+        assert_eq!(q.total(w), 1000.0);
+        let work = q
+            .node_ids()
+            .find(|&id| q.resolve_frame(id).name == "work")
+            .unwrap();
+        assert_eq!(q.value(work, w), 700.0);
+        // Source mapping survives.
+        let main = q.node(work).parent().unwrap();
+        assert_eq!(q.resolve_frame(main).file, "m.rs");
+    }
+
+    #[test]
+    fn write_empty_profile_is_valid() {
+        let p = ev_core::Profile::new("empty");
+        let json = write(&p);
+        // No metric -> empty but well-formed document.
+        assert!(ev_json::parse(&json).is_ok());
+    }
+}

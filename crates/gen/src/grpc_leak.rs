@@ -1,0 +1,230 @@
+//! The cloud case-study workload (paper §VII-C1, Fig. 4): periodic heap
+//! snapshots of a gRPC client under high concurrency, with leaking and
+//! healthy allocation sites.
+//!
+//! The paper profiles `rpcx-benchmark` clients with PProf, capturing an
+//! in-use-memory snapshot every 0.1 s. Two allocation contexts
+//! (`transport.newBufWriter`, `bufio.NewReaderSize` — both reached when
+//! creating new HTTP clients) exhibit the leak pattern: active memory
+//! stays high with no reclamation. `passthrough` is the healthy
+//! counterexample whose usage diminishes by the end. This generator
+//! reproduces exactly that signal structure with deterministic noise.
+
+use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How one allocation site's active memory evolves over snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteBehavior {
+    /// Grows then plateaus; never reclaimed — the leak signature.
+    Leak,
+    /// Grows then is reclaimed toward the end of the run.
+    Healthy,
+    /// Bounces with allocation/free cycles.
+    Churn,
+}
+
+/// One allocation site in the simulated client.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Leaf allocation function.
+    pub name: &'static str,
+    /// File of the allocation frame.
+    pub file: &'static str,
+    /// Line of the allocation frame.
+    pub line: u32,
+    /// Call path from `main` down to (excluding) the leaf.
+    pub path: &'static [&'static str],
+    /// Peak active bytes.
+    pub peak: f64,
+    /// Temporal behavior.
+    pub behavior: SiteBehavior,
+}
+
+/// The simulated gRPC client's allocation sites, shaped after the
+/// paper's findings.
+pub fn sites() -> Vec<Site> {
+    vec![
+        Site {
+            name: "transport.newBufWriter",
+            file: "internal/transport/http2_client.go",
+            line: 354,
+            path: &["main", "benchmark.runClients", "grpc.NewClient", "transport.NewHTTP2Client"],
+            peak: 64.0 * 1024.0 * 1024.0,
+            behavior: SiteBehavior::Leak,
+        },
+        Site {
+            name: "bufio.NewReaderSize",
+            file: "bufio/bufio.go",
+            line: 57,
+            path: &["main", "benchmark.runClients", "grpc.NewClient", "transport.NewHTTP2Client"],
+            peak: 48.0 * 1024.0 * 1024.0,
+            behavior: SiteBehavior::Leak,
+        },
+        Site {
+            name: "passthrough.(*passthroughResolver).start",
+            file: "internal/resolver/passthrough/passthrough.go",
+            line: 48,
+            path: &["main", "benchmark.runClients", "grpc.NewClient"],
+            peak: 16.0 * 1024.0 * 1024.0,
+            behavior: SiteBehavior::Healthy,
+        },
+        Site {
+            name: "proto.Marshal",
+            file: "proto/encode.go",
+            line: 110,
+            path: &["main", "benchmark.runClients", "benchmark.sendRequest"],
+            peak: 24.0 * 1024.0 * 1024.0,
+            behavior: SiteBehavior::Churn,
+        },
+        Site {
+            name: "metadata.New",
+            file: "metadata/metadata.go",
+            line: 92,
+            path: &["main", "benchmark.runClients", "benchmark.sendRequest"],
+            peak: 4.0 * 1024.0 * 1024.0,
+            behavior: SiteBehavior::Churn,
+        },
+    ]
+}
+
+/// Active bytes of a site at snapshot `k` of `n`.
+fn level(site: &Site, k: usize, n: usize, rng: &mut StdRng) -> f64 {
+    let t = k as f64 / (n - 1).max(1) as f64;
+    let noise = 1.0 + rng.gen_range(-0.03..0.03);
+    let shape = match site.behavior {
+        // Ramp up over the first third, then plateau at peak.
+        SiteBehavior::Leak => (t * 3.0).min(1.0),
+        // Ramp up, then drain over the last third.
+        SiteBehavior::Healthy => {
+            if t < 0.5 {
+                t * 2.0
+            } else {
+                (1.0 - t) * 2.0
+            }
+        }
+        // Sawtooth between 30 % and 90 % of peak.
+        SiteBehavior::Churn => 0.3 + 0.6 * ((t * 8.0 * std::f64::consts::PI).sin().abs()),
+    };
+    (site.peak * shape * noise).max(0.0)
+}
+
+/// Generates `n` in-use-memory snapshots at 0.1 s spacing.
+///
+/// Each snapshot is a full profile (as pprof heap snapshots are) with an
+/// `inuse_space` metric attributed to allocation call paths, plus the
+/// capture timestamp in its metadata.
+pub fn snapshots(n: usize, seed: u64) -> Vec<Profile> {
+    assert!(n >= 2, "need at least two snapshots");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sites = sites();
+    (0..n)
+        .map(|k| {
+            let mut p = Profile::new(format!("heap-snapshot-{k:04}"));
+            p.meta_mut().profiler = "pprof".to_owned();
+            p.meta_mut().timestamp_nanos = 1_700_000_000_000_000_000 + (k as u64) * 100_000_000;
+            let inuse = p.add_metric(MetricDescriptor::new(
+                "inuse_space",
+                MetricUnit::Bytes,
+                MetricKind::Exclusive,
+            ));
+            for site in &sites {
+                let bytes = level(site, k, n, &mut rng);
+                if bytes < 1.0 {
+                    continue;
+                }
+                let mut path: Vec<Frame> = site
+                    .path
+                    .iter()
+                    .map(|&f| Frame::function(f).with_module("rpcx-client"))
+                    .collect();
+                path.push(
+                    Frame::function(site.name)
+                        .with_module("rpcx-client")
+                        .with_source(site.file, site.line),
+                );
+                p.add_sample(&path, &[(inuse, bytes.round())]);
+            }
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_analysis::{aggregate, classify_timeline, TimelinePattern};
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(snapshots(10, 3)[4], snapshots(10, 3)[4]);
+    }
+
+    #[test]
+    fn snapshots_have_timestamps_in_order() {
+        let snaps = snapshots(5, 1);
+        for pair in snaps.windows(2) {
+            assert!(pair[0].meta().timestamp_nanos < pair[1].meta().timestamp_nanos);
+        }
+    }
+
+    #[test]
+    fn leak_sites_classified_as_leaks() {
+        let snaps = snapshots(40, 7);
+        let refs: Vec<&Profile> = snaps.iter().collect();
+        let agg = aggregate(&refs, "inuse_space").unwrap();
+        let classify = |name: &str| {
+            let node = agg
+                .profile
+                .node_ids()
+                .find(|&id| agg.profile.resolve_frame(id).name == name)
+                .unwrap_or_else(|| panic!("site {name} missing"));
+            classify_timeline(agg.series(node))
+        };
+        assert_eq!(
+            classify("transport.newBufWriter"),
+            TimelinePattern::PotentialLeak
+        );
+        assert_eq!(
+            classify("bufio.NewReaderSize"),
+            TimelinePattern::PotentialLeak
+        );
+        assert_eq!(
+            classify("passthrough.(*passthroughResolver).start"),
+            TimelinePattern::Reclaimed
+        );
+        assert_ne!(classify("proto.Marshal"), TimelinePattern::PotentialLeak);
+    }
+
+    #[test]
+    fn allocation_paths_lead_through_client_creation() {
+        let snaps = snapshots(4, 1);
+        let p = &snaps[3];
+        let leaf = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "transport.newBufWriter")
+            .unwrap();
+        let path: Vec<String> = p
+            .path(leaf)
+            .iter()
+            .map(|&id| p.resolve_frame(id).name)
+            .collect();
+        assert_eq!(
+            path,
+            [
+                "main",
+                "benchmark.runClients",
+                "grpc.NewClient",
+                "transport.NewHTTP2Client",
+                "transport.newBufWriter"
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_snapshot() {
+        snapshots(1, 0);
+    }
+}

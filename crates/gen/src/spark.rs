@@ -1,0 +1,178 @@
+//! The Spark differential workload (paper §VI-A, Fig. 3): the same
+//! SparkBench query executed through the RDD API (P₁) and the SQL
+//! Dataset API (P₂), profiled by Async-Profiler.
+//!
+//! Fig. 3's reading: the SQL run *deletes* the expensive shuffle
+//! (`BypassMergeSortShuffleWriter`, Scala iterator chains) and *adds*
+//! the SQL engine's generated code, with the shared Spark executor spine
+//! (`ThreadPoolExecutor` → `Executor$TaskRunner` → `ShuffleMapTask`)
+//! shrinking overall.
+
+use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, MetricUnit, Profile};
+
+const SPINE: &[&str] = &[
+    "java.lang.Thread.run",
+    "java.util.concurrent.ThreadPoolExecutor$Worker.run",
+    "java.util.concurrent.ThreadPoolExecutor.runWorker",
+    "spark.executor.Executor$TaskRunner.run",
+    "spark.scheduler.Task.run",
+    "spark.scheduler.ShuffleMapTask.runTask",
+];
+
+fn build(name: &str, leaves: &[(&[&str], f64)]) -> Profile {
+    let mut p = Profile::new(name);
+    p.meta_mut().profiler = "async-profiler".to_owned();
+    let cpu = p.add_metric(MetricDescriptor::new(
+        "cpu",
+        MetricUnit::Nanoseconds,
+        MetricKind::Exclusive,
+    ));
+    let second = 1e9;
+    for &(path, weight) in leaves {
+        let frames: Vec<Frame> = SPINE
+            .iter()
+            .chain(path.iter())
+            .map(|&f| Frame::function(f).with_module("spark"))
+            .collect();
+        p.add_sample(&frames, &[(cpu, weight * second)]);
+    }
+    p
+}
+
+/// The cpu metric's name in both profiles.
+pub fn metric_name() -> &'static str {
+    "cpu"
+}
+
+/// P₁: the RDD-API run, dominated by shuffle and iterator overhead.
+pub fn rdd_profile() -> Profile {
+    build(
+        "spark-rdd",
+        &[
+            (
+                &[
+                    "spark.shuffle.sort.BypassMergeSortShuffleWriter.write",
+                    "spark.util.collection.ExternalSorter.insertAll",
+                ],
+                28.0,
+            ),
+            (
+                &[
+                    "spark.shuffle.sort.BypassMergeSortShuffleWriter.write",
+                    "spark.storage.DiskBlockObjectWriter.write",
+                ],
+                14.0,
+            ),
+            (
+                &[
+                    "scala.collection.Iterator$$anon$11.next",
+                    "scala.collection.Iterator$$anon$10.next",
+                    "com.ibm.sparktc.sparkbench.CartesianProduct",
+                ],
+                22.0,
+            ),
+            (
+                &[
+                    "spark.rdd.RDD.iterator",
+                    "spark.rdd.MapPartitionsRDD.compute",
+                    "scala.collection.generic.Growable.addAll",
+                ],
+                16.0,
+            ),
+            (&["spark.rdd.CartesianRDD.compute"], 10.0),
+        ],
+    )
+}
+
+/// P₂: the SQL-Dataset run — shuffle bypassed, codegen added, faster
+/// overall (the paper: "SQL DataSet APIs outperform RDD APIs").
+pub fn sql_profile() -> Profile {
+    build(
+        "spark-sql",
+        &[
+            (
+                &[
+                    "spark.sql.execution.WholeStageCodegenExec.doExecute",
+                    "spark.sql.catalyst.expressions.GeneratedClass$GeneratedIterator.processNext",
+                ],
+                18.0,
+            ),
+            (
+                &[
+                    "spark.sql.execution.exchange.ShuffleExchangeExec.doExecute",
+                    "spark.sql.execution.UnsafeRowSerializer.serialize",
+                ],
+                8.0,
+            ),
+            (
+                &[
+                    "spark.rdd.RDD.iterator",
+                    "spark.rdd.MapPartitionsRDD.compute",
+                    "scala.collection.generic.Growable.addAll",
+                ],
+                9.0,
+            ),
+        ],
+    )
+}
+
+/// Total runtime ratio P₁/P₂ — the headline "SQL wins" factor.
+pub fn speedup() -> f64 {
+    let p1 = rdd_profile();
+    let p2 = sql_profile();
+    let m1: MetricId = p1.metric_by_name(metric_name()).expect("metric");
+    let m2: MetricId = p2.metric_by_name(metric_name()).expect("metric");
+    p1.total(m1) / p2.total(m2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_analysis::{diff, DiffTag};
+
+    #[test]
+    fn sql_is_faster() {
+        assert!(speedup() > 1.5, "speedup {}", speedup());
+    }
+
+    #[test]
+    fn differential_reproduces_fig3_tags() {
+        let d = diff(&rdd_profile(), &sql_profile(), metric_name(), 0.0).unwrap();
+        let tag_of = |needle: &str| {
+            d.profile
+                .node_ids()
+                .find(|&id| d.profile.resolve_frame(id).name.contains(needle))
+                .map(|id| d.entry(id).tag)
+        };
+        // The shuffle writer is deleted in P2.
+        assert_eq!(
+            tag_of("BypassMergeSortShuffleWriter").unwrap(),
+            DiffTag::Deleted
+        );
+        // The SQL engine appears.
+        assert_eq!(tag_of("WholeStageCodegenExec").unwrap(), DiffTag::Added);
+        // The shared RDD compute path shrinks.
+        assert_eq!(
+            tag_of("Growable.addAll").unwrap(),
+            DiffTag::Decreased
+        );
+        // The executor spine is present in both with zero self time.
+        assert_eq!(tag_of("ThreadPoolExecutor.runWorker").unwrap(), DiffTag::Unchanged);
+    }
+
+    #[test]
+    fn spine_matches_fig3() {
+        let p = rdd_profile();
+        let leaf = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name.contains("ExternalSorter"))
+            .unwrap();
+        let path: Vec<String> = p
+            .path(leaf)
+            .iter()
+            .map(|&id| p.resolve_frame(id).name)
+            .collect();
+        assert_eq!(path[0], "java.lang.Thread.run");
+        assert!(path.contains(&"spark.scheduler.ShuffleMapTask.runTask".to_owned()));
+    }
+}

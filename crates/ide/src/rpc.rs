@@ -1,0 +1,273 @@
+//! JSON-RPC 2.0 messages with LSP-style `Content-Length` framing.
+//!
+//! LSP frames each message as
+//! `Content-Length: N\r\n\r\n<N bytes of JSON>`; EVP reuses that
+//! framing so existing editor plumbing (VSCode's `vscode-jsonrpc`,
+//! JetBrains' LSP client) can carry it unchanged.
+
+use ev_json::Value;
+
+/// Standard JSON-RPC error codes used by EVP.
+pub mod codes {
+    /// The JSON was not a valid request object.
+    pub const INVALID_REQUEST: i64 = -32600;
+    /// Unknown method.
+    pub const METHOD_NOT_FOUND: i64 = -32601;
+    /// Missing or ill-typed params.
+    pub const INVALID_PARAMS: i64 = -32602;
+    /// Server-side failure while handling the request.
+    pub const INTERNAL_ERROR: i64 = -32603;
+    /// EVP: the referenced profile id is not loaded.
+    pub const UNKNOWN_PROFILE: i64 = -32001;
+    /// EVP: the referenced node/metric does not exist.
+    pub const UNKNOWN_ENTITY: i64 = -32002;
+}
+
+/// A request (or notification, when `id` is `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request id; notifications have none.
+    pub id: Option<i64>,
+    /// Method name, e.g. `profile/codeLink`.
+    pub method: String,
+    /// Parameters object.
+    pub params: Value,
+}
+
+impl Request {
+    /// Builds a request.
+    pub fn new(id: i64, method: impl Into<String>, params: Value) -> Request {
+        Request {
+            id: Some(id),
+            method: method.into(),
+            params,
+        }
+    }
+
+    /// Serializes to a JSON value.
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("jsonrpc", Value::from("2.0")),
+            ("method", Value::from(self.method.clone())),
+            ("params", self.params.clone()),
+        ];
+        if let Some(id) = self.id {
+            pairs.push(("id", Value::Int(id)));
+        }
+        Value::object(pairs)
+    }
+
+    /// Parses from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the value is not a request object.
+    pub fn from_value(value: &Value) -> Result<Request, String> {
+        let method = value
+            .get("method")
+            .and_then(Value::as_str)
+            .ok_or("missing method")?
+            .to_owned();
+        let id = value.get("id").and_then(Value::as_i64);
+        let params = value.get("params").cloned().unwrap_or(Value::Null);
+        Ok(Request { id, method, params })
+    }
+}
+
+/// A response: either a result or an error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Mirrors the request id.
+    pub id: i64,
+    /// `Ok(result)` or `Err((code, message))`.
+    pub outcome: Result<Value, (i64, String)>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: i64, result: Value) -> Response {
+        Response {
+            id,
+            outcome: Ok(result),
+        }
+    }
+
+    /// An error response.
+    pub fn error(id: i64, code: i64, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            outcome: Err((code, message.into())),
+        }
+    }
+
+    /// Serializes to a JSON value.
+    pub fn to_value(&self) -> Value {
+        match &self.outcome {
+            Ok(result) => Value::object([
+                ("jsonrpc", Value::from("2.0")),
+                ("id", Value::Int(self.id)),
+                ("result", result.clone()),
+            ]),
+            Err((code, message)) => Value::object([
+                ("jsonrpc", Value::from("2.0")),
+                ("id", Value::Int(self.id)),
+                (
+                    "error",
+                    Value::object([
+                        ("code", Value::Int(*code)),
+                        ("message", Value::from(message.clone())),
+                    ]),
+                ),
+            ]),
+        }
+    }
+
+    /// Parses from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the value is not a response object.
+    pub fn from_value(value: &Value) -> Result<Response, String> {
+        let id = value
+            .get("id")
+            .and_then(Value::as_i64)
+            .ok_or("missing id")?;
+        if let Some(err) = value.get("error") {
+            let code = err.get("code").and_then(Value::as_i64).unwrap_or(0);
+            let message = err
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned();
+            return Ok(Response::error(id, code, message));
+        }
+        let result = value.get("result").cloned().ok_or("missing result")?;
+        Ok(Response::ok(id, result))
+    }
+}
+
+/// Frames a JSON payload with a `Content-Length` header.
+pub fn encode_frame(payload: &Value) -> Vec<u8> {
+    let body = ev_json::to_string(payload);
+    let mut out = Vec::with_capacity(body.len() + 32);
+    out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Decodes one frame from the front of `input`, returning the payload
+/// and the bytes consumed, or `None` when the buffer does not yet hold a
+/// complete frame.
+///
+/// # Errors
+///
+/// Returns a description on malformed headers or JSON.
+pub fn decode_frame(input: &[u8]) -> Result<Option<(Value, usize)>, String> {
+    let header_end = match find_subslice(input, b"\r\n\r\n") {
+        Some(i) => i,
+        None => return Ok(None),
+    };
+    let header = std::str::from_utf8(&input[..header_end]).map_err(|_| "non-utf8 header")?;
+    let mut length: Option<usize> = None;
+    for line in header.split("\r\n") {
+        if let Some(rest) = line.strip_prefix("Content-Length:") {
+            length = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| "bad Content-Length value")?,
+            );
+        }
+    }
+    let length = length.ok_or("missing Content-Length header")?;
+    let body_start = header_end + 4;
+    if input.len() < body_start + length {
+        return Ok(None);
+    }
+    let body = std::str::from_utf8(&input[body_start..body_start + length])
+        .map_err(|_| "non-utf8 body")?;
+    let value = ev_json::parse(body).map_err(|e| e.to_string())?;
+    Ok(Some((value, body_start + length)))
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(7, "profile/open", Value::object([("name", Value::from("x"))]));
+        let parsed = Request::from_value(&req.to_value()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn notification_has_no_id() {
+        let note = Request {
+            id: None,
+            method: "initialized".to_owned(),
+            params: Value::Null,
+        };
+        let value = note.to_value();
+        assert!(value.get("id").is_none());
+        assert_eq!(Request::from_value(&value).unwrap().id, None);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let ok = Response::ok(1, Value::Int(42));
+        assert_eq!(Response::from_value(&ok.to_value()).unwrap(), ok);
+        let err = Response::error(2, codes::METHOD_NOT_FOUND, "nope");
+        assert_eq!(Response::from_value(&err.to_value()).unwrap(), err);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let value = Value::object([("k", Value::from("v"))]);
+        let frame = encode_frame(&value);
+        let (decoded, used) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(decoded, value);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn partial_frames_wait() {
+        let value = Value::object([("k", Value::from("v"))]);
+        let frame = encode_frame(&value);
+        for cut in 0..frame.len() {
+            assert_eq!(decode_frame(&frame[..cut]).unwrap(), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer() {
+        let a = Value::Int(1);
+        let b = Value::Int(2);
+        let mut buf = encode_frame(&a);
+        buf.extend_from_slice(&encode_frame(&b));
+        let (first, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(first, a);
+        let (second, used2) = decode_frame(&buf[used..]).unwrap().unwrap();
+        assert_eq!(second, b);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn malformed_frames_error() {
+        assert!(decode_frame(b"Content-Length: x\r\n\r\n{}").is_err());
+        assert!(decode_frame(b"No-Header: 1\r\n\r\n{}").is_err());
+        assert!(decode_frame(b"Content-Length: 2\r\n\r\n{]").is_err());
+    }
+
+    #[test]
+    fn multiple_headers_tolerated() {
+        let buf = b"Content-Type: application/evp\r\nContent-Length: 4\r\n\r\nnull";
+        let (v, _) = decode_frame(buf).unwrap().unwrap();
+        assert!(v.is_null());
+    }
+}

@@ -1,0 +1,754 @@
+//! The EVP server: the profile-side endpoint an editor talks to.
+
+use crate::rpc::{codes, decode_frame, encode_frame, Request, Response};
+use ev_analysis::{aggregate, classify_timeline, diff, MetricView};
+use ev_core::{MetricId, NodeId, Profile};
+use ev_flame::FlameGraph;
+use ev_json::Value;
+use ev_script::ScriptHost;
+use std::collections::HashMap;
+
+/// Hex encoding used to carry binary profiles inside JSON params.
+fn hex_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex".to_owned());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| "bad hex digit".to_owned()))
+        .collect()
+}
+
+/// Serializes a profile for the `profile/open` request.
+pub(crate) fn profile_to_param(profile: &Profile) -> Value {
+    Value::object([
+        ("format", Value::from("evpf-hex")),
+        (
+            "data",
+            Value::from(hex_encode(&ev_core::format::to_bytes(profile))),
+        ),
+    ])
+}
+
+/// The EVP server: holds loaded profiles and answers EVP requests.
+///
+/// Stateless apart from the profile table, so one server instance can
+/// back many editor panes.
+#[derive(Debug, Default)]
+pub struct EvpServer {
+    profiles: HashMap<i64, Profile>,
+    /// Per-node value series for profiles created by `profile/aggregate`
+    /// (the data behind `profile/histogram`).
+    series: HashMap<i64, Vec<Vec<f64>>>,
+    next_id: i64,
+}
+
+impl EvpServer {
+    /// Creates a server with no profiles loaded.
+    pub fn new() -> EvpServer {
+        EvpServer::default()
+    }
+
+    /// Number of loaded profiles.
+    pub fn profile_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Processes every complete frame in `input`, returning the framed
+    /// responses and the number of input bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on transport-level corruption.
+    pub fn handle_bytes(&mut self, input: &[u8]) -> Result<(Vec<u8>, usize), String> {
+        let mut consumed = 0usize;
+        let mut out = Vec::new();
+        while let Some((value, used)) = decode_frame(&input[consumed..])? {
+            consumed += used;
+            match Request::from_value(&value) {
+                Ok(request) => {
+                    if let Some(response) = self.handle(&request) {
+                        out.extend_from_slice(&encode_frame(&response.to_value()));
+                    }
+                }
+                Err(err) => {
+                    let response = Response::error(0, codes::INVALID_REQUEST, err);
+                    out.extend_from_slice(&encode_frame(&response.to_value()));
+                }
+            }
+        }
+        Ok((out, consumed))
+    }
+
+    /// Handles one request; notifications return `None`.
+    pub fn handle(&mut self, request: &Request) -> Option<Response> {
+        let id = request.id?;
+        let outcome = self.dispatch(&request.method, &request.params);
+        Some(match outcome {
+            Ok(result) => Response::ok(id, result),
+            Err((code, message)) => Response::error(id, code, message),
+        })
+    }
+
+    fn dispatch(&mut self, method: &str, params: &Value) -> Result<Value, (i64, String)> {
+        match method {
+            "initialize" => Ok(Value::object([
+                ("name", Value::from("easyview")),
+                ("version", Value::from(env!("CARGO_PKG_VERSION"))),
+                (
+                    "capabilities",
+                    [
+                        "profile/open",
+                        "profile/flameGraph",
+                        "profile/treeTable",
+                        "profile/codeLink",
+                        "profile/codeLens",
+                        "profile/hover",
+                        "profile/summary",
+                        "profile/search",
+                        "profile/script",
+                        "profile/aggregate",
+                        "profile/diff",
+                        "profile/histogram",
+                        "profile/correlated",
+                    ]
+                    .iter()
+                    .map(|&s| Value::from(s))
+                    .collect(),
+                ),
+            ])),
+            "profile/open" => self.open(params),
+            "profile/flameGraph" => self.flame_graph(params),
+            "profile/treeTable" => self.tree_table(params),
+            "profile/codeLink" => self.code_link(params),
+            "profile/codeLens" => self.code_lens(params),
+            "profile/hover" => self.hover(params),
+            "profile/summary" => self.summary(params),
+            "profile/search" => self.search(params),
+            "profile/script" => self.script(params),
+            "profile/close" => self.close(params),
+            "profile/aggregate" => self.aggregate(params),
+            "profile/diff" => self.diff(params),
+            "profile/histogram" => self.histogram(params),
+            "profile/correlated" => self.correlated(params),
+            other => Err((
+                codes::METHOD_NOT_FOUND,
+                format!("unknown method {other:?}"),
+            )),
+        }
+    }
+
+    fn profile(&self, params: &Value) -> Result<(i64, &Profile), (i64, String)> {
+        let id = params
+            .get("profileId")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing profileId".to_owned()))?;
+        let profile = self
+            .profiles
+            .get(&id)
+            .ok_or((codes::UNKNOWN_PROFILE, format!("profile {id} not loaded")))?;
+        Ok((id, profile))
+    }
+
+    fn metric(&self, profile: &Profile, params: &Value) -> Result<MetricId, (i64, String)> {
+        let name = params
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing metric".to_owned()))?;
+        profile
+            .metric_by_name(name)
+            .ok_or((codes::UNKNOWN_ENTITY, format!("unknown metric {name:?}")))
+    }
+
+    fn open(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let format = params.get("format").and_then(Value::as_str).unwrap_or("");
+        if format != "evpf-hex" {
+            return Err((
+                codes::INVALID_PARAMS,
+                format!("unsupported payload format {format:?}"),
+            ));
+        }
+        let data = params
+            .get("data")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing data".to_owned()))?;
+        let bytes = hex_decode(data).map_err(|e| (codes::INVALID_PARAMS, e))?;
+        let profile = ev_core::format::from_bytes(&bytes)
+            .map_err(|e| (codes::INTERNAL_ERROR, e.to_string()))?;
+        self.next_id += 1;
+        let id = self.next_id;
+        let result = Value::object([
+            ("profileId", Value::Int(id)),
+            ("name", Value::from(profile.meta().name.clone())),
+            ("profiler", Value::from(profile.meta().profiler.clone())),
+            ("nodes", Value::Int(profile.node_count() as i64)),
+            (
+                "metrics",
+                profile
+                    .metrics()
+                    .iter()
+                    .map(|m| Value::from(m.name.clone()))
+                    .collect(),
+            ),
+        ]);
+        self.profiles.insert(id, profile);
+        Ok(result)
+    }
+
+    fn close(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (id, _) = self.profile(params)?;
+        self.profiles.remove(&id);
+        self.series.remove(&id);
+        Ok(Value::Bool(true))
+    }
+
+    fn register(&mut self, profile: Profile) -> i64 {
+        self.next_id += 1;
+        self.profiles.insert(self.next_id, profile);
+        self.next_id
+    }
+
+    /// Multi-profile aggregation over the wire (§V-A-c): merges the
+    /// referenced profiles into a new server-side profile carrying
+    /// sum/min/max/mean channels, and retains the per-node series for
+    /// `profile/histogram`.
+    fn aggregate(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let ids: Vec<i64> = params
+            .get("profileIds")
+            .and_then(Value::as_array)
+            .ok_or((codes::INVALID_PARAMS, "missing profileIds".to_owned()))?
+            .iter()
+            .filter_map(Value::as_i64)
+            .collect();
+        if ids.is_empty() {
+            return Err((codes::INVALID_PARAMS, "profileIds is empty".to_owned()));
+        }
+        let metric = params
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing metric".to_owned()))?
+            .to_owned();
+        let mut inputs: Vec<&Profile> = Vec::with_capacity(ids.len());
+        for id in &ids {
+            inputs.push(self.profiles.get(id).ok_or((
+                codes::UNKNOWN_PROFILE,
+                format!("profile {id} not loaded"),
+            ))?);
+        }
+        let agg = aggregate(&inputs, &metric).map_err(|i| {
+            (
+                codes::UNKNOWN_ENTITY,
+                format!("profile {} lacks metric {metric:?}", ids[i]),
+            )
+        })?;
+        let node_count = agg.profile.node_count();
+        let series: Vec<Vec<f64>> = (0..node_count)
+            .map(|i| agg.series(NodeId::from_index(i)).to_vec())
+            .collect();
+        let metrics: Value = agg
+            .profile
+            .metrics()
+            .iter()
+            .map(|m| Value::from(m.name.clone()))
+            .collect();
+        let new_id = self.register(agg.profile);
+        self.series.insert(new_id, series);
+        Ok(Value::object([
+            ("profileId", Value::Int(new_id)),
+            ("profiles", Value::Int(ids.len() as i64)),
+            ("nodes", Value::Int(node_count as i64)),
+            ("metrics", metrics),
+        ]))
+    }
+
+    /// Differentiation over the wire (§V-A-c): registers the union tree
+    /// (with before/after/delta channels) as a new profile.
+    fn diff(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let base = params
+            .get("baseId")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing baseId".to_owned()))?;
+        let other = params
+            .get("otherId")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing otherId".to_owned()))?;
+        let metric = params
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing metric".to_owned()))?
+            .to_owned();
+        let first = self
+            .profiles
+            .get(&base)
+            .ok_or((codes::UNKNOWN_PROFILE, format!("profile {base} not loaded")))?;
+        let second = self.profiles.get(&other).ok_or((
+            codes::UNKNOWN_PROFILE,
+            format!("profile {other} not loaded"),
+        ))?;
+        let d = diff(first, second, &metric, 0.0).map_err(|i| {
+            (
+                codes::UNKNOWN_ENTITY,
+                format!(
+                    "profile {} lacks metric {metric:?}",
+                    if i == 0 { base } else { other }
+                ),
+            )
+        })?;
+        let tags: Value = Value::object(
+            d.tag_counts()
+                .iter()
+                .map(|(tag, count)| {
+                    let key = match tag {
+                        ev_analysis::DiffTag::Added => "added",
+                        ev_analysis::DiffTag::Deleted => "deleted",
+                        ev_analysis::DiffTag::Increased => "increased",
+                        ev_analysis::DiffTag::Decreased => "decreased",
+                        ev_analysis::DiffTag::Unchanged => "unchanged",
+                    };
+                    (key, Value::Int(*count as i64))
+                })
+                .collect::<Vec<_>>(),
+        );
+        let new_id = self.register(d.profile.clone());
+        Ok(Value::object([
+            ("profileId", Value::Int(new_id)),
+            ("tags", tags),
+        ]))
+    }
+
+    /// The correlated view (§VI-A-b, Fig. 7): walks a profile's
+    /// cross-context links pane by pane. `position` selects which
+    /// endpoint pane to lay out; `selection` holds the endpoints chosen
+    /// in earlier panes.
+    fn correlated(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let metric = self.metric(profile, params)?;
+        let kind = match params.get("kind").and_then(Value::as_str) {
+            Some("useReuse") | None => ev_core::LinkKind::UseReuse,
+            Some("redundantKilling") => ev_core::LinkKind::RedundantKilling,
+            Some("dataRace") => ev_core::LinkKind::DataRace,
+            Some("falseSharing") => ev_core::LinkKind::FalseSharing,
+            Some("allocAccess") => ev_core::LinkKind::AllocAccess,
+            Some(other) => {
+                return Err((
+                    codes::INVALID_PARAMS,
+                    format!("unknown link kind {other:?}"),
+                ))
+            }
+        };
+        let position = params
+            .get("position")
+            .and_then(Value::as_i64)
+            .unwrap_or(0)
+            .max(0) as usize;
+        let selection: Vec<NodeId> = params
+            .get("selection")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_i64)
+            .map(|n| NodeId::from_index(n.max(0) as usize))
+            .collect();
+        for &node in &selection {
+            if node.index() >= profile.node_count() {
+                return Err((codes::UNKNOWN_ENTITY, "selection node out of range".to_owned()));
+            }
+        }
+        let view = ev_flame::CorrelatedView::new(profile, kind, metric);
+        let endpoints: Value = view
+            .endpoints(position, &selection)
+            .into_iter()
+            .map(|node| {
+                Value::object([
+                    ("node", Value::Int(node.index() as i64)),
+                    (
+                        "label",
+                        Value::from(profile.resolve_frame(node).name),
+                    ),
+                ])
+            })
+            .collect();
+        let pane = view.pane(position, &selection);
+        let rects: Value = pane
+            .rects()
+            .iter()
+            .map(|r| {
+                Value::object([
+                    ("depth", Value::Int(r.depth as i64)),
+                    ("x", Value::Float(r.x)),
+                    ("width", Value::Float(r.width)),
+                    ("label", Value::from(r.label.clone())),
+                    ("value", Value::Float(r.value)),
+                ])
+            })
+            .collect();
+        Ok(Value::object([
+            ("endpoints", endpoints),
+            ("rects", rects),
+        ]))
+    }
+
+    /// The per-context histogram of the aggregate view (Fig. 4's hover):
+    /// the value series of one node across the aggregated profiles, with
+    /// its timeline classification.
+    fn histogram(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (id, profile) = self.profile(params)?;
+        let node = params
+            .get("node")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing node".to_owned()))?;
+        if node < 0 || node as usize >= profile.node_count() {
+            return Err((codes::UNKNOWN_ENTITY, format!("unknown node {node}")));
+        }
+        let series = self.series.get(&id).ok_or((
+            codes::INVALID_PARAMS,
+            "profile is not an aggregate".to_owned(),
+        ))?;
+        let values = &series[node as usize];
+        let pattern = classify_timeline(values);
+        Ok(Value::object([
+            ("series", values.iter().map(|&v| Value::Float(v)).collect()),
+            ("pattern", Value::from(pattern.to_string())),
+        ]))
+    }
+
+    fn flame_graph(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let metric = self.metric(profile, params)?;
+        let view = params
+            .get("view")
+            .and_then(Value::as_str)
+            .unwrap_or("topDown");
+        let graph = match view {
+            "topDown" => FlameGraph::top_down(profile, metric),
+            "bottomUp" => FlameGraph::bottom_up(profile, metric),
+            "flat" => FlameGraph::flat(profile, metric),
+            other => {
+                return Err((
+                    codes::INVALID_PARAMS,
+                    format!("unknown view {other:?} (topDown|bottomUp|flat)"),
+                ))
+            }
+        };
+        let limit = params
+            .get("limit")
+            .and_then(Value::as_i64)
+            .unwrap_or(100_000)
+            .max(0) as usize;
+        let rects: Value = graph
+            .rects()
+            .iter()
+            .take(limit)
+            .map(|r| {
+                Value::object([
+                    ("node", Value::Int(r.node.index() as i64)),
+                    ("depth", Value::Int(r.depth as i64)),
+                    ("x", Value::Float(r.x)),
+                    ("width", Value::Float(r.width)),
+                    ("label", Value::from(r.label.clone())),
+                    ("value", Value::Float(r.value)),
+                    ("self", Value::Float(r.self_value)),
+                    ("color", Value::from(r.color.to_hex())),
+                    ("mapped", Value::Bool(r.mapped)),
+                ])
+            })
+            .collect();
+        Ok(Value::object([
+            ("total", Value::Float(graph.total())),
+            ("maxDepth", Value::Int(graph.max_depth() as i64)),
+            ("elided", Value::Int(graph.elided() as i64)),
+            ("rects", rects),
+        ]))
+    }
+
+    fn tree_table(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let metric = self.metric(profile, params)?;
+        let depth = params
+            .get("depth")
+            .and_then(Value::as_i64)
+            .unwrap_or(3)
+            .max(1) as usize;
+        let mut table = ev_flame::TreeTable::new(profile, &[metric]);
+        table.expand_to_depth(depth);
+        let rows: Value = table
+            .rows()
+            .iter()
+            .map(|row| {
+                Value::object([
+                    ("node", Value::Int(row.node.index() as i64)),
+                    ("depth", Value::Int(row.depth as i64)),
+                    ("label", Value::from(row.label.clone())),
+                    ("inclusive", Value::Float(row.values[0].0)),
+                    ("exclusive", Value::Float(row.values[0].1)),
+                    ("expandable", Value::Bool(row.expandable)),
+                ])
+            })
+            .collect();
+        Ok(Value::object([("rows", rows)]))
+    }
+
+    /// The mandatory action (§VI-B-a): resolve a frame to its source
+    /// location so the editor can open, jump, and highlight.
+    fn code_link(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let node = params
+            .get("node")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing node".to_owned()))?;
+        if node < 0 || node as usize >= profile.node_count() {
+            return Err((codes::UNKNOWN_ENTITY, format!("unknown node {node}")));
+        }
+        let frame = profile.resolve_frame(NodeId::from_index(node as usize));
+        if !frame.has_source_mapping() {
+            return Err((
+                codes::UNKNOWN_ENTITY,
+                format!("frame {:?} has no source mapping", frame.name),
+            ));
+        }
+        Ok(Value::object([
+            ("file", Value::from(frame.file)),
+            ("line", Value::Int(i64::from(frame.line))),
+            ("highlight", Value::Bool(true)),
+        ]))
+    }
+
+    /// Code lens (§VI-B-b): per-line annotations for one file.
+    fn code_lens(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let file = params
+            .get("file")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing file".to_owned()))?;
+        // line -> metric -> accumulated exclusive value.
+        let mut lines: HashMap<u32, Vec<f64>> = HashMap::new();
+        for node in profile.node_ids() {
+            let frame = profile.resolve_frame(node);
+            if frame.file != file || frame.line == 0 {
+                continue;
+            }
+            let slot = lines
+                .entry(frame.line)
+                .or_insert_with(|| vec![0.0; profile.metrics().len()]);
+            for &(m, v) in profile.node(node).values() {
+                slot[m.index()] += v;
+            }
+        }
+        let mut entries: Vec<(u32, Vec<f64>)> = lines.into_iter().collect();
+        entries.sort_by_key(|&(line, _)| line);
+        let lenses: Value = entries
+            .into_iter()
+            .map(|(line, values)| {
+                let text = profile
+                    .metrics()
+                    .iter()
+                    .zip(&values)
+                    .filter(|&(_, &v)| v != 0.0)
+                    .map(|(m, &v)| format!("{}: {}", m.name, m.unit.format(v)))
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                Value::object([
+                    ("line", Value::Int(i64::from(line))),
+                    ("text", Value::from(text)),
+                ])
+            })
+            .collect();
+        Ok(Value::object([("lenses", lenses)]))
+    }
+
+    /// Hover (§VI-B-b): all metric values attached to one source line.
+    fn hover(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let file = params
+            .get("file")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing file".to_owned()))?;
+        let line = params
+            .get("line")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing line".to_owned()))? as u32;
+        let mut totals = vec![0.0; profile.metrics().len()];
+        let mut contexts = 0usize;
+        for node in profile.node_ids() {
+            let frame = profile.resolve_frame(node);
+            if frame.file != file || frame.line != line {
+                continue;
+            }
+            contexts += 1;
+            for &(m, v) in profile.node(node).values() {
+                totals[m.index()] += v;
+            }
+        }
+        let contents: Value = profile
+            .metrics()
+            .iter()
+            .zip(&totals)
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(m, &v)| Value::from(format!("{}: {}", m.name, m.unit.format(v))))
+            .collect();
+        Ok(Value::object([
+            ("contexts", Value::Int(contexts as i64)),
+            ("contents", contents),
+        ]))
+    }
+
+    /// Floating window (§VI-B-b): global summary of the whole profile.
+    fn summary(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let mut hottest: Vec<Value> = Vec::new();
+        if let Some(first) = profile.metrics().first() {
+            let metric = profile.metric_by_name(&first.name).expect("exists");
+            let view = MetricView::compute(profile, metric);
+            let mut by_self: Vec<(NodeId, f64)> = profile
+                .node_ids()
+                .map(|id| (id, view.exclusive(id)))
+                .collect();
+            by_self.sort_by(|a, b| b.1.total_cmp(&a.1));
+            hottest = by_self
+                .into_iter()
+                .take(5)
+                .filter(|&(_, v)| v > 0.0)
+                .map(|(id, v)| {
+                    Value::object([
+                        ("label", Value::from(profile.resolve_frame(id).name)),
+                        ("self", Value::Float(v)),
+                    ])
+                })
+                .collect();
+        }
+        let totals: Value = profile
+            .metrics()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let total = profile.total(MetricId::from_index(i));
+                Value::object([
+                    ("metric", Value::from(m.name.clone())),
+                    ("total", Value::Float(total)),
+                    ("formatted", Value::from(m.unit.format(total))),
+                ])
+            })
+            .collect();
+        Ok(Value::object([
+            ("name", Value::from(profile.meta().name.clone())),
+            ("profiler", Value::from(profile.meta().profiler.clone())),
+            ("nodes", Value::Int(profile.node_count() as i64)),
+            ("links", Value::Int(profile.links().len() as i64)),
+            ("totals", totals),
+            ("hottest", Value::Array(hottest)),
+        ]))
+    }
+
+    fn search(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, profile) = self.profile(params)?;
+        let query = params
+            .get("query")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing query".to_owned()))?
+            .to_lowercase();
+        let matches: Value = profile
+            .node_ids()
+            .filter_map(|id| {
+                let frame = profile.resolve_frame(id);
+                if frame.name.to_lowercase().contains(&query) {
+                    Some(Value::object([
+                        ("node", Value::Int(id.index() as i64)),
+                        ("label", Value::from(frame.name)),
+                    ]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Ok(Value::object([("matches", matches)]))
+    }
+
+    /// Customization (§V-B): run an EVscript against the loaded profile.
+    fn script(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let id = params
+            .get("profileId")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing profileId".to_owned()))?;
+        let source = params
+            .get("source")
+            .and_then(Value::as_str)
+            .ok_or((codes::INVALID_PARAMS, "missing source".to_owned()))?
+            .to_owned();
+        let profile = self
+            .profiles
+            .get_mut(&id)
+            .ok_or((codes::UNKNOWN_PROFILE, format!("profile {id} not loaded")))?;
+        let output = ScriptHost::new(profile)
+            .run(&source)
+            .map_err(|e| (codes::INTERNAL_ERROR, e.to_string()))?;
+        Ok(Value::object([("stdout", Value::from(output.stdout))]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0u8, 1, 0xab, 0xff];
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn unknown_method() {
+        let mut server = EvpServer::new();
+        let response = server
+            .handle(&Request::new(1, "bogus/method", Value::Null))
+            .unwrap();
+        assert_eq!(
+            response.outcome.unwrap_err().0,
+            codes::METHOD_NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn notifications_get_no_response() {
+        let mut server = EvpServer::new();
+        let note = Request {
+            id: None,
+            method: "initialized".to_owned(),
+            params: Value::Null,
+        };
+        assert!(server.handle(&note).is_none());
+    }
+
+    #[test]
+    fn unknown_profile_error_code() {
+        let mut server = EvpServer::new();
+        let response = server
+            .handle(&Request::new(
+                1,
+                "profile/summary",
+                Value::object([("profileId", Value::Int(99))]),
+            ))
+            .unwrap();
+        assert_eq!(response.outcome.unwrap_err().0, codes::UNKNOWN_PROFILE);
+    }
+
+    #[test]
+    fn initialize_lists_capabilities() {
+        let mut server = EvpServer::new();
+        let response = server
+            .handle(&Request::new(1, "initialize", Value::Null))
+            .unwrap();
+        let result = response.outcome.unwrap();
+        let caps = result.get("capabilities").unwrap().as_array().unwrap();
+        assert!(caps.iter().any(|c| c.as_str() == Some("profile/codeLink")));
+    }
+}

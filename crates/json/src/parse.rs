@@ -1,0 +1,470 @@
+//! Recursive-descent JSON parser.
+
+use crate::value::Value;
+use crate::{JsonError, JsonErrorKind};
+use std::collections::BTreeMap;
+
+/// Maximum array/object nesting depth.
+const MAX_DEPTH: usize = 512;
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Fails if the input is not exactly one RFC 8259 value (plus optional
+/// surrounding whitespace); the error carries line/column position.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ev_json::JsonError> {
+/// let v = ev_json::parse("[1, 2.5, \"three\", null]")?;
+/// assert_eq!(v.at(0).and_then(ev_json::Value::as_i64), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.value(0)?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.error(JsonErrorKind::TrailingData));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, kind: JsonErrorKind) -> JsonError {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        JsonError { kind, line, column }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(b) if b == byte => Ok(()),
+            Some(b) => {
+                self.pos -= 1;
+                Err(self.error(JsonErrorKind::UnexpectedChar(b as char)))
+            }
+            None => Err(self.error(JsonErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn literal(&mut self, rest: &[u8], value: Value) -> Result<Value, JsonError> {
+        for &expected in rest {
+            match self.bump() {
+                Some(b) if b == expected => {}
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.error(JsonErrorKind::UnexpectedChar(b as char)));
+                }
+                None => return Err(self.error(JsonErrorKind::UnexpectedEof)),
+            }
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(JsonErrorKind::RecursionLimit));
+        }
+        match self.peek() {
+            None => Err(self.error(JsonErrorKind::UnexpectedEof)),
+            Some(b'n') => {
+                self.pos += 1;
+                self.literal(b"ull", Value::Null)
+            }
+            Some(b't') => {
+                self.pos += 1;
+                self.literal(b"rue", Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.pos += 1;
+                self.literal(b"alse", Value::Bool(false))
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.error(JsonErrorKind::UnexpectedChar(b as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.error(JsonErrorKind::UnexpectedChar(b as char)));
+                }
+                None => return Err(self.error(JsonErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.error(JsonErrorKind::UnexpectedChar(b as char)));
+                }
+                None => return Err(self.error(JsonErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let mut value = 0u16;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.error(JsonErrorKind::UnexpectedEof))?;
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.error(JsonErrorKind::InvalidUnicodeEscape)),
+            };
+            value = value * 16 + u16::from(digit);
+        }
+        Ok(value)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: scan a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error(JsonErrorKind::InvalidUtf8))?;
+                out.push_str(chunk);
+            }
+            match self.bump() {
+                None => return Err(self.error(JsonErrorKind::UnexpectedEof)),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => {
+                    let esc = self.bump().ok_or_else(|| self.error(JsonErrorKind::UnexpectedEof))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            if (0xd800..0xdc00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate must follow.
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(self.error(JsonErrorKind::InvalidUnicodeEscape));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.error(JsonErrorKind::InvalidUnicodeEscape));
+                                }
+                                let cp = 0x10000
+                                    + ((u32::from(hi) - 0xd800) << 10)
+                                    + (u32::from(lo) - 0xdc00);
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.error(JsonErrorKind::InvalidUnicodeEscape))?,
+                                );
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(self.error(JsonErrorKind::InvalidUnicodeEscape));
+                            } else {
+                                out.push(
+                                    char::from_u32(u32::from(hi))
+                                        .ok_or_else(|| self.error(JsonErrorKind::InvalidUnicodeEscape))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(self.error(JsonErrorKind::InvalidEscape(other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    self.pos -= 1;
+                    return Err(self.error(JsonErrorKind::ControlCharacterInString));
+                }
+                Some(_) => unreachable!("fast path consumed plain bytes"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0 | [1-9][0-9]*
+        match self.bump() {
+            Some(b'0') => {
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.error(JsonErrorKind::InvalidNumber));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error(JsonErrorKind::InvalidNumber)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error(JsonErrorKind::InvalidNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error(JsonErrorKind::InvalidNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ascii");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error(JsonErrorKind::InvalidNumber))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("0").unwrap(), Value::Int(0));
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("3.25").unwrap(), Value::Float(3.25));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("-1.5E-2").unwrap(), Value::Float(-0.015));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::from("hi"));
+    }
+
+    #[test]
+    fn i64_boundaries_stay_exact() {
+        assert_eq!(
+            parse("9223372036854775807").unwrap(),
+            Value::Int(i64::MAX)
+        );
+        assert_eq!(
+            parse("-9223372036854775808").unwrap(),
+            Value::Int(i64::MIN)
+        );
+        // One past i64::MAX falls back to float.
+        assert!(matches!(
+            parse("9223372036854775808").unwrap(),
+            Value::Float(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        for bad in ["01", "1.", ".5", "+5", "1e", "1e+", "- 1", "--1", "0x10", "NaN", "Infinity"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": {"d": [true]}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().at(1).unwrap().get("b"),
+            Some(&Value::Null)
+        );
+        assert_eq!(
+            v.get("c").unwrap().get("d").unwrap().at(0),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(r#""\"\\\/\b\f\n\r\t""#).unwrap(),
+            Value::from("\"\\/\u{8}\u{c}\n\r\t")
+        );
+        assert_eq!(parse(r#""A""#).unwrap(), Value::from("A"));
+        assert_eq!(parse(r#""é""#).unwrap(), Value::from("é"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::from("😀"));
+    }
+
+    #[test]
+    fn rejects_bad_escapes() {
+        assert!(parse(r#""\x41""#).is_err());
+        assert!(parse(r#""\u12""#).is_err());
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn rejects_control_characters_in_strings() {
+        assert!(parse("\"a\nb\"").is_err());
+        assert!(parse("\"a\tb\"").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_data() {
+        let err = parse("1 2").unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TrailingData);
+        assert!(parse("{} []").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_commas_and_bare_tokens() {
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a":1,}"#).is_err());
+        assert!(parse("[,1]").is_err());
+        assert!(parse("{1:2}").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("nulll").is_err());
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let v = parse(" \t\r\n { \"k\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v.get("k").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deep_nesting_hits_limit_not_stack() {
+        let depth = 100_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push('[');
+        }
+        for _ in 0..depth {
+            s.push(']');
+        }
+        let err = parse(&s).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::RecursionLimit);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("{\n  \"a\": @\n}").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 8));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_input_never_panics(s in "\\PC*") {
+            let _ = parse(&s);
+        }
+
+        #[test]
+        fn integers_roundtrip(i: i64) {
+            prop_assert_eq!(parse(&i.to_string()).unwrap(), Value::Int(i));
+        }
+
+        #[test]
+        fn strings_roundtrip_through_serializer(s in "\\PC*") {
+            let serialized = crate::to_string(&Value::from(s.clone()));
+            prop_assert_eq!(parse(&serialized).unwrap(), Value::from(s));
+        }
+    }
+}

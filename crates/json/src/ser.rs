@@ -1,0 +1,206 @@
+//! JSON serialization: compact and pretty printers.
+
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Serializes a value to compact JSON (no insignificant whitespace).
+///
+/// Object keys are emitted in sorted order (see [`Value`]), so output is
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ev_json::Value;
+/// let v = Value::array([Value::Int(1), Value::from("x")]);
+/// assert_eq!(ev_json::to_string(&v), r#"[1,"x"]"#);
+/// ```
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_f64(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Writes a float in a form that parses back to the same value. JSON has
+/// no NaN/Infinity; they serialize as `null`, matching common JS
+/// `JSON.stringify` behaviour.
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Keep a trailing .0 so the value re-parses as Float, not Int.
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_forms() {
+        assert_eq!(to_string(&Value::Null), "null");
+        assert_eq!(to_string(&Value::Bool(true)), "true");
+        assert_eq!(to_string(&Value::Int(-7)), "-7");
+        assert_eq!(to_string(&Value::Float(1.5)), "1.5");
+        assert_eq!(to_string(&Value::from("a\"b")), r#""a\"b""#);
+        assert_eq!(to_string(&Value::Array(vec![])), "[]");
+        assert_eq!(to_string(&Value::Object(BTreeMap::new())), "{}");
+    }
+
+    #[test]
+    fn float_whole_numbers_keep_point() {
+        assert_eq!(to_string(&Value::Float(2.0)), "2.0");
+        let reparsed = parse(&to_string(&Value::Float(2.0))).unwrap();
+        assert_eq!(reparsed, Value::Float(2.0));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&Value::Float(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Float(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        assert_eq!(to_string(&Value::from("\u{1}")), "\"\\u0001\"");
+        assert_eq!(to_string(&Value::from("\n\t")), r#""\n\t""#);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = Value::object([("a", Value::array([Value::Int(1)]))]);
+        assert_eq!(to_string_pretty(&v), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            // Finite floats only: NaN/Inf intentionally do not roundtrip.
+            any::<f64>()
+                .prop_filter("finite", |f| f.is_finite())
+                .prop_map(Value::Float),
+            "\\PC*".prop_map(Value::from),
+        ];
+        leaf.prop_recursive(4, 48, 6, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+                proptest::collection::btree_map("[a-z]{0,6}", inner, 0..6)
+                    .prop_map(Value::Object),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn parse_to_string_roundtrip(v in arb_value()) {
+            let s = to_string(&v);
+            let reparsed = parse(&s).unwrap();
+            // Floats may lose Int/Float distinction only when we wrote a
+            // trailing .0 — compare via serialization fixpoint instead.
+            prop_assert_eq!(to_string(&reparsed), s);
+        }
+
+        #[test]
+        fn pretty_parses_to_same_value(v in arb_value()) {
+            let compact = parse(&to_string(&v)).unwrap();
+            let pretty = parse(&to_string_pretty(&v)).unwrap();
+            prop_assert_eq!(compact, pretty);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The JSON value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects preserve key order is *not* guaranteed — keys are stored in a
+/// `BTreeMap`, giving deterministic (sorted) serialization, which the
+/// test suites and golden files rely on.
+///
+/// Numbers are kept in their original flavor: integers that fit `i64`
+/// stay exact in [`Value::Int`]; everything else becomes [`Value::Float`].
+/// Profile formats carry 64-bit sample counts, so this distinction is
+/// load-bearing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits in `i64`, kept exact.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Returns the object member named `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Returns the `index`-th element, if this is an array.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` (integers convert losslessly up to
+    /// 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the member map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Builds an object from key/value pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ev_json::Value;
+    /// let obj = Value::object([("a", Value::Int(1))]);
+    /// assert_eq!(obj.get("a"), Some(&Value::Int(1)));
+    /// ```
+    pub fn object<K, I>(pairs: I) -> Value
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::object([
+            ("s", Value::from("str")),
+            ("i", Value::from(7i64)),
+            ("f", Value::from(1.5)),
+            ("b", Value::from(true)),
+            ("n", Value::Null),
+            ("a", Value::array([Value::Int(1), Value::Int(2)])),
+        ]);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("str"));
+        assert_eq!(v.get("i").unwrap().as_i64(), Some(7));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert!(v.get("n").unwrap().is_null());
+        assert_eq!(v.get("a").unwrap().at(1), Some(&Value::Int(2)));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.at(0), None, "object is not an array");
+    }
+
+    #[test]
+    fn int_float_coercions() {
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(1e300).as_i64(), None);
+    }
+
+    #[test]
+    fn from_iterator_collects_array() {
+        let v: Value = (1i64..=3).collect();
+        assert_eq!(v, Value::array([Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::object([("k", Value::Int(1))]);
+        assert_eq!(v.to_string(), r#"{"k":1}"#);
+    }
+}

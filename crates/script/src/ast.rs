@@ -1,0 +1,82 @@
+//! The EVscript abstract syntax tree.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression, annotated with its source line for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: usize,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Number(f64),
+    Str(String),
+    Bool(bool),
+    Nil,
+    Ident(String),
+    List(Vec<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Call(Box<Expr>, Vec<Expr>),
+    Index(Box<Expr>, Box<Expr>),
+    /// Anonymous function literal: `fn(a, b) { ... }`.
+    Function(Vec<String>, Vec<Stmt>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: usize,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name = expr;`
+    Let(String, Expr),
+    /// `name = expr;` or `list[i] = expr;`
+    Assign(Expr, Expr),
+    /// `if cond { ... } else { ... }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while cond { ... }`
+    While(Expr, Vec<Stmt>),
+    /// `for x in expr { ... }`
+    For(String, Expr, Vec<Stmt>),
+    /// `fn name(params) { ... }` — sugar for `let name = fn(...) {...}`.
+    FnDef(String, Vec<String>, Vec<Stmt>),
+    /// `return expr;` / `return;`
+    Return(Option<Expr>),
+    /// `break;` — exit the innermost loop.
+    Break,
+    /// `continue;` — next iteration of the innermost loop.
+    Continue,
+    /// Bare expression statement.
+    Expr(Expr),
+}

@@ -1,0 +1,427 @@
+//! The script host: binds EVscript to an `ev_core::Profile`.
+
+use crate::interp::{Interpreter, ProfileApi, DEFAULT_STEP_LIMIT};
+use crate::parser::parse;
+use crate::ScriptError;
+use ev_core::{MetricDescriptor, MetricKind, MetricUnit, NodeId, Profile};
+
+/// What a script run produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScriptOutput {
+    /// Everything the script `print`ed, newline-separated.
+    pub stdout: String,
+}
+
+/// Runs EVscript programs against a profile — the programming pane of
+/// the paper's GUI (§V-B).
+///
+/// Node handles exposed to scripts are the profile's node indices
+/// (creation order, parents before children; 0 is the root).
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+/// use ev_script::ScriptHost;
+///
+/// let mut p = Profile::new("demo");
+/// let cycles = p.add_metric(MetricDescriptor::new(
+///     "cycles", MetricUnit::Cycles, MetricKind::Exclusive,
+/// ));
+/// let insts = p.add_metric(MetricDescriptor::new(
+///     "instructions", MetricUnit::Count, MetricKind::Exclusive,
+/// ));
+/// p.add_sample(&[Frame::function("hot")], &[(cycles, 900.0), (insts, 300.0)]);
+///
+/// ScriptHost::new(&mut p)
+///     .run(r#"
+///         derive("cpi", fn(n) {
+///             let i = value(n, "instructions");
+///             if i == 0 { return 0; }
+///             return value(n, "cycles") / i;
+///         });
+///     "#)
+///     .unwrap();
+/// let cpi = p.metric_by_name("cpi").unwrap();
+/// assert_eq!(p.total(cpi), 3.0);
+/// ```
+#[derive(Debug)]
+pub struct ScriptHost<'p> {
+    profile: &'p mut Profile,
+    step_limit: u64,
+}
+
+impl<'p> ScriptHost<'p> {
+    /// Creates a host over `profile`.
+    pub fn new(profile: &'p mut Profile) -> ScriptHost<'p> {
+        ScriptHost {
+            profile,
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Overrides the runaway-loop step budget.
+    pub fn with_step_limit(mut self, limit: u64) -> ScriptHost<'p> {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Parses and executes `source`, mutating the profile in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lex, parse, or runtime error with its line.
+    pub fn run(&mut self, source: &str) -> Result<ScriptOutput, ScriptError> {
+        let program = parse(source)?;
+        let mut api = ProfileBinding {
+            profile: self.profile,
+        };
+        let mut interp = Interpreter::new(&mut api, self.step_limit);
+        interp.run(&program)?;
+        Ok(ScriptOutput {
+            stdout: std::mem::take(&mut interp.stdout),
+        })
+    }
+}
+
+struct ProfileBinding<'p> {
+    profile: &'p mut Profile,
+}
+
+impl ProfileBinding<'_> {
+    fn node(&self, node: usize) -> Option<NodeId> {
+        if node < self.profile.node_count() {
+            Some(NodeId::from_index(node))
+        } else {
+            None
+        }
+    }
+
+    fn metric(&self, name: &str) -> Result<ev_core::MetricId, String> {
+        self.profile
+            .metric_by_name(name)
+            .ok_or_else(|| format!("unknown metric {name:?}"))
+    }
+}
+
+impl ProfileApi for ProfileBinding<'_> {
+    fn node_count(&self) -> usize {
+        self.profile.node_count()
+    }
+
+    fn node_name(&self, node: usize) -> Option<String> {
+        Some(self.profile.resolve_frame(self.node(node)?).name)
+    }
+
+    fn node_file(&self, node: usize) -> Option<String> {
+        Some(self.profile.resolve_frame(self.node(node)?).file)
+    }
+
+    fn node_line(&self, node: usize) -> Option<u32> {
+        Some(self.profile.resolve_frame(self.node(node)?).line)
+    }
+
+    fn node_module(&self, node: usize) -> Option<String> {
+        Some(self.profile.resolve_frame(self.node(node)?).module)
+    }
+
+    fn node_parent(&self, node: usize) -> Option<usize> {
+        self.profile
+            .node(self.node(node)?)
+            .parent()
+            .map(NodeId::index)
+    }
+
+    fn node_children(&self, node: usize) -> Option<Vec<usize>> {
+        Some(
+            self.profile
+                .node(self.node(node)?)
+                .children()
+                .iter()
+                .map(|c| c.index())
+                .collect(),
+        )
+    }
+
+    fn get_value(&self, node: usize, metric: &str) -> Result<f64, String> {
+        let id = self.metric(metric)?;
+        let node = self.node(node).ok_or("node out of range")?;
+        Ok(self.profile.value(node, id))
+    }
+
+    fn set_value(&mut self, node: usize, metric: &str, value: f64) -> Result<(), String> {
+        let id = self.metric(metric)?;
+        let node = self.node(node).ok_or("node out of range")?;
+        self.profile.set_value(node, id, value);
+        Ok(())
+    }
+
+    fn add_metric(&mut self, name: &str) -> Result<(), String> {
+        if self.profile.metric_by_name(name).is_none() {
+            self.profile.add_metric(
+                MetricDescriptor::new(name, MetricUnit::Count, MetricKind::Point)
+                    .with_description("script-derived metric"),
+            );
+        }
+        Ok(())
+    }
+
+    fn total(&self, metric: &str) -> Result<f64, String> {
+        let id = self.metric(metric)?;
+        Ok(self.profile.total(id))
+    }
+
+    fn metric_names(&self) -> Vec<String> {
+        self.profile.metrics().iter().map(|m| m.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::Frame;
+
+    fn profile() -> Profile {
+        let mut p = Profile::new("t");
+        let cpu = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[Frame::function("main"), Frame::function("hot").with_source("hot.c", 9)],
+            &[(cpu, 90.0)],
+        );
+        p.add_sample(&[Frame::function("main"), Frame::function("cold")], &[(cpu, 10.0)]);
+        p
+    }
+
+    fn run(p: &mut Profile, src: &str) -> ScriptOutput {
+        ScriptHost::new(p).run(src).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let mut p = profile();
+        let out = run(&mut p, "print(1 + 2 * 3, \"and\", 10 / 4);");
+        assert_eq!(out.stdout, "7 and 2.5\n");
+    }
+
+    #[test]
+    fn variables_loops_functions() {
+        let mut p = profile();
+        let out = run(
+            &mut p,
+            r#"
+            fn fib(n) {
+                if n < 2 { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            let sum = 0;
+            for i in range(5) { sum = sum + fib(i); }
+            let j = 0;
+            while j < 3 { j = j + 1; }
+            print(sum, j);
+        "#,
+        );
+        assert_eq!(out.stdout, "7 3\n");
+    }
+
+    #[test]
+    fn lists_and_indexing() {
+        let mut p = profile();
+        let out = run(
+            &mut p,
+            r#"
+            let xs = [10, 20, 30];
+            xs[1] = 25;
+            push(xs, 40);
+            print(xs, len(xs), xs[3]);
+        "#,
+        );
+        assert_eq!(out.stdout, "[10, 25, 30, 40] 4 40\n");
+    }
+
+    #[test]
+    fn profile_reads() {
+        let mut p = profile();
+        let out = run(
+            &mut p,
+            r#"
+            print(node_count(), total("cpu"));
+            let hot = 0;
+            visit(fn(n) {
+                if name(n) == "hot" { hot = n; }
+            });
+            print(name(hot), value(hot, "cpu"), file(hot), line(hot));
+            print(name(parent(hot)));
+        "#,
+        );
+        assert_eq!(out.stdout, "4 100\nhot 90 hot.c 9\nmain\n");
+    }
+
+    #[test]
+    fn derive_creates_metric() {
+        let mut p = profile();
+        run(
+            &mut p,
+            r#"derive("share", fn(n) { return value(n, "cpu") / total("cpu"); });"#,
+        );
+        let share = p.metric_by_name("share").unwrap();
+        let hot = p
+            .node_ids()
+            .find(|&id| p.resolve_frame(id).name == "hot")
+            .unwrap();
+        assert_eq!(p.value(hot, share), 0.9);
+    }
+
+    #[test]
+    fn visit_can_mutate_values() {
+        let mut p = profile();
+        run(
+            &mut p,
+            r#"
+            add_metric("doubled");
+            visit(fn(n) { set_value(n, "doubled", value(n, "cpu") * 2); });
+        "#,
+        );
+        let d = p.metric_by_name("doubled").unwrap();
+        assert_eq!(p.total(d), 200.0);
+    }
+
+    #[test]
+    fn metrics_listing() {
+        let mut p = profile();
+        let out = run(&mut p, "print(metrics());");
+        assert_eq!(out.stdout, "[cpu]\n");
+    }
+
+    #[test]
+    fn children_traversal() {
+        let mut p = profile();
+        let out = run(
+            &mut p,
+            r#"
+            let names = [];
+            for c in children(0) {
+                for g in children(c) { push(names, name(g)); }
+            }
+            print(names);
+        "#,
+        );
+        assert_eq!(out.stdout, "[hot, cold]\n");
+    }
+
+    #[test]
+    fn runtime_errors() {
+        let mut p = profile();
+        let mut host = ScriptHost::new(&mut p);
+        assert!(host.run("print(1 / 0);").is_err());
+        assert!(host.run("print(undefined_var);").is_err());
+        assert!(host.run("undefined_var = 1;").is_err());
+        assert!(host.run("print(value(0, \"nope\"));").is_err());
+        assert!(host.run("print(value(999, \"cpu\"));").is_err());
+        assert!(host.run("let xs = [1]; print(xs[5]);").is_err());
+        assert!(host.run("if 1 { print(1); }").is_err(), "non-bool condition");
+        assert!(host.run("print(\"a\" - \"b\");").is_err());
+        assert!(host.run("let f = 1; f();").is_err());
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let mut p = profile();
+        let out = run(
+            &mut p,
+            r#"
+            let collected = [];
+            for i in range(10) {
+                if i % 2 == 0 { continue; }
+                if i > 6 { break; }
+                push(collected, i);
+            }
+            let j = 0;
+            while true {
+                j = j + 1;
+                if j == 4 { break; }
+            }
+            print(collected, j);
+        "#,
+        );
+        assert_eq!(out.stdout, "[1, 3, 5] 4
+");
+    }
+
+    #[test]
+    fn break_outside_loop_is_error() {
+        let mut p = profile();
+        let mut host = ScriptHost::new(&mut p);
+        assert!(host.run("break;").is_err());
+        assert!(host.run("continue;").is_err());
+        // break inside a function called from a loop does not escape the
+        // function boundary.
+        assert!(host
+            .run("fn f() { break; } for i in range(3) { f(); }")
+            .is_err());
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut p = profile();
+        let mut host = ScriptHost::new(&mut p).with_step_limit(10_000);
+        let err = host.run("while true { }").unwrap_err();
+        assert!(err.message.contains("step limit"), "{err}");
+    }
+
+    #[test]
+    fn deep_recursion_is_cut_off() {
+        let mut p = profile();
+        let mut host = ScriptHost::new(&mut p);
+        let err = host
+            .run("fn f(n) { return f(n + 1); } f(0);")
+            .unwrap_err();
+        assert!(err.message.contains("stack"), "{err}");
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let mut p = profile();
+        let err = ScriptHost::new(&mut p)
+            .run("let a = 1;\nlet b = 2;\nprint(1 / 0);")
+            .unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn merge_like_analysis_example() {
+        // The paper's example: "users can decide to merge two nodes if
+        // they are mapped to the same source code line" — here a script
+        // accumulates values per source line.
+        let mut p = Profile::new("merge");
+        let cpu = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[Frame::function("a").with_source("x.c", 5)],
+            &[(cpu, 3.0)],
+        );
+        p.add_sample(
+            &[Frame::function("b").with_source("x.c", 5)],
+            &[(cpu, 4.0)],
+        );
+        let out = run(
+            &mut p,
+            r#"
+            let by_line = 0;
+            visit(fn(n) {
+                if file(n) == "x.c" && line(n) == 5 {
+                    by_line = by_line + value(n, "cpu");
+                }
+            });
+            print("x.c:5 =", by_line);
+        "#,
+        );
+        assert_eq!(out.stdout, "x.c:5 = 7\n");
+    }
+}

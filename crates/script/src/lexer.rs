@@ -1,0 +1,401 @@
+//! The EVscript lexer.
+
+use crate::ScriptError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    Number(f64),
+    Str(String),
+    Ident(String),
+    // Keywords.
+    Let,
+    Fn,
+    If,
+    Else,
+    While,
+    For,
+    Break,
+    Continue,
+    In,
+    Return,
+    True,
+    False,
+    Nil,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+/// Tokenizes EVscript source.
+///
+/// # Errors
+///
+/// Fails on unterminated strings, malformed numbers, or bytes that
+/// start no token. `#` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                push!(TokenKind::LParen);
+                pos += 1;
+            }
+            b')' => {
+                push!(TokenKind::RParen);
+                pos += 1;
+            }
+            b'{' => {
+                push!(TokenKind::LBrace);
+                pos += 1;
+            }
+            b'}' => {
+                push!(TokenKind::RBrace);
+                pos += 1;
+            }
+            b'[' => {
+                push!(TokenKind::LBracket);
+                pos += 1;
+            }
+            b']' => {
+                push!(TokenKind::RBracket);
+                pos += 1;
+            }
+            b',' => {
+                push!(TokenKind::Comma);
+                pos += 1;
+            }
+            b';' => {
+                push!(TokenKind::Semicolon);
+                pos += 1;
+            }
+            b'+' => {
+                push!(TokenKind::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                push!(TokenKind::Minus);
+                pos += 1;
+            }
+            b'*' => {
+                push!(TokenKind::Star);
+                pos += 1;
+            }
+            b'/' => {
+                push!(TokenKind::Slash);
+                pos += 1;
+            }
+            b'%' => {
+                push!(TokenKind::Percent);
+                pos += 1;
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Eq);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Assign);
+                    pos += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::NotEq);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Bang);
+                    pos += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::LtEq);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Lt);
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::GtEq);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Gt);
+                    pos += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(pos + 1) == Some(&b'&') {
+                    push!(TokenKind::AndAnd);
+                    pos += 2;
+                } else {
+                    return Err(ScriptError::new("expected '&&'", line));
+                }
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    push!(TokenKind::OrOr);
+                    pos += 2;
+                } else {
+                    return Err(ScriptError::new("expected '||'", line));
+                }
+            }
+            b'"' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None | Some(b'\n') => {
+                            return Err(ScriptError::new("unterminated string", line))
+                        }
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(pos + 1) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => return Err(ScriptError::new("bad escape", line)),
+                            }
+                            pos += 2;
+                        }
+                        Some(&byte) => {
+                            // Collect a full UTF-8 sequence.
+                            let ch_len = match byte {
+                                0x00..=0x7f => 1,
+                                0xc0..=0xdf => 2,
+                                0xe0..=0xef => 3,
+                                _ => 4,
+                            };
+                            let end = (pos + ch_len).min(bytes.len());
+                            s.push_str(
+                                std::str::from_utf8(&bytes[pos..end])
+                                    .map_err(|_| ScriptError::new("bad utf-8", line))?,
+                            );
+                            pos = end;
+                        }
+                    }
+                }
+                push!(TokenKind::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                    pos += 1;
+                }
+                if bytes.get(pos) == Some(&b'.')
+                    && matches!(bytes.get(pos + 1), Some(b'0'..=b'9'))
+                {
+                    pos += 1;
+                    while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                        pos += 1;
+                    }
+                }
+                if matches!(bytes.get(pos), Some(b'e' | b'E')) {
+                    let mut p = pos + 1;
+                    if matches!(bytes.get(p), Some(b'+' | b'-')) {
+                        p += 1;
+                    }
+                    if matches!(bytes.get(p), Some(b'0'..=b'9')) {
+                        pos = p;
+                        while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                            pos += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ScriptError::new(format!("bad number {text:?}"), line))?;
+                push!(TokenKind::Number(value));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = pos;
+                while matches!(
+                    bytes.get(pos),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                ) {
+                    pos += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                let kind = match word {
+                    "let" => TokenKind::Let,
+                    "fn" => TokenKind::Fn,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "break" => TokenKind::Break,
+                    "continue" => TokenKind::Continue,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    "return" => TokenKind::Return,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "nil" => TokenKind::Nil,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                push!(kind);
+            }
+            other => {
+                return Err(ScriptError::new(
+                    format!("unexpected character {:?}", other as char),
+                    line,
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("let x = fn_name"),
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("fn_name".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1 2.5 1e3 2E-2"), vec![
+            TokenKind::Number(1.0),
+            TokenKind::Number(2.5),
+            TokenKind::Number(1000.0),
+            TokenKind::Number(0.02),
+            TokenKind::Eof,
+        ]);
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            kinds("== != <= >= && || ! = < >"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c\\d""#),
+            vec![TokenKind::Str("a\nb\"c\\d".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("\"héllo→\""),
+            vec![TokenKind::Str("héllo→".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let tokens = lex("# comment\nlet x = 1 # trailing\nx").unwrap();
+        assert_eq!(tokens[0].line, 2);
+        assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+        assert_eq!(tokens[4].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("\"bad\\qescape\"").is_err());
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let err = lex("ok\nok\n@").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -1,0 +1,410 @@
+//! Cursor-based decoder for protobuf messages.
+
+use crate::varint::{decode_varint, zigzag_decode};
+use crate::{WireError, WireType};
+
+/// Maximum nesting depth accepted by [`Reader::skip`], protecting against
+/// maliciously deep inputs.
+const MAX_SKIP_DEPTH: u32 = 128;
+
+/// A borrowing cursor over an encoded protobuf message.
+///
+/// The canonical decode loop reads tags until the input is exhausted and
+/// dispatches on field number, skipping unknown fields:
+///
+/// ```
+/// use ev_wire::{Reader, WireType};
+///
+/// # fn main() -> Result<(), ev_wire::WireError> {
+/// # let bytes = {
+/// #   let mut w = ev_wire::Writer::new();
+/// #   w.write_uint64(1, 7);
+/// #   w.write_string(9, "unknown");
+/// #   w.into_bytes()
+/// # };
+/// let mut r = Reader::new(&bytes);
+/// let mut count = 0;
+/// while let Some((field, ty)) = r.read_tag()? {
+///     match field {
+///         1 => count = r.read_varint()?,
+///         _ => r.skip(ty)?,
+///     }
+/// }
+/// assert_eq!(count, 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Reader<'a> {
+        Reader { input, pos: 0 }
+    }
+
+    /// Returns `true` if the entire input has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Bytes remaining to be read.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Current byte offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads the next field tag, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated varints, field number zero, or an invalid wire
+    /// type.
+    pub fn read_tag(&mut self) -> Result<Option<(u32, WireType)>, WireError> {
+        if self.is_at_end() {
+            return Ok(None);
+        }
+        let key = self.read_varint()?;
+        let field = key >> 3;
+        if field == 0 {
+            return Err(WireError::ZeroFieldNumber);
+        }
+        let ty = WireType::from_bits(key)?;
+        Ok(Some((field as u32, ty)))
+    }
+
+    /// Reads a varint value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input is truncated or the varint overflows 64 bits.
+    pub fn read_varint(&mut self) -> Result<u64, WireError> {
+        let (value, used) = decode_varint(&self.input[self.pos..])?;
+        self.pos += used;
+        Ok(value)
+    }
+
+    /// Reads an `int64` (two's-complement varint).
+    pub fn read_int64(&mut self) -> Result<i64, WireError> {
+        Ok(self.read_varint()? as i64)
+    }
+
+    /// Reads an `sint64` (ZigZag varint).
+    pub fn read_sint64(&mut self) -> Result<i64, WireError> {
+        Ok(zigzag_decode(self.read_varint()?))
+    }
+
+    /// Reads a `bool` field; protobuf treats any nonzero varint as true.
+    pub fn read_bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.read_varint()? != 0)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::LengthOutOfBounds {
+                wanted: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `fixed64` field.
+    pub fn read_fixed64(&mut self) -> Result<u64, WireError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `fixed32` field.
+    pub fn read_fixed32(&mut self) -> Result<u32, WireError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `double` field.
+    pub fn read_double(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.read_fixed64()?))
+    }
+
+    /// Reads a `float` field.
+    pub fn read_float(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.read_fixed32()?))
+    }
+
+    /// Reads a length-delimited field, returning its payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the declared length exceeds the remaining input.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.read_varint()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a `string` field, validating UTF-8.
+    pub fn read_string(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.read_bytes()?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a nested message field, returning a sub-reader over its bytes.
+    pub fn read_message(&mut self) -> Result<Reader<'a>, WireError> {
+        Ok(Reader::new(self.read_bytes()?))
+    }
+
+    /// Reads a packed repeated varint field, appending decoded values to
+    /// `out`. Also accepts the unpacked encoding when called per-element by
+    /// the caller (proto3 parsers must accept both).
+    pub fn read_packed_uint64(&mut self, out: &mut Vec<u64>) -> Result<(), WireError> {
+        let mut inner = self.read_message()?;
+        while !inner.is_at_end() {
+            out.push(inner.read_varint()?);
+        }
+        Ok(())
+    }
+
+    /// Reads a packed repeated `int64` field.
+    pub fn read_packed_int64(&mut self, out: &mut Vec<i64>) -> Result<(), WireError> {
+        let mut inner = self.read_message()?;
+        while !inner.is_at_end() {
+            out.push(inner.read_varint()? as i64);
+        }
+        Ok(())
+    }
+
+    /// Reads a packed repeated `double` field.
+    pub fn read_packed_double(&mut self, out: &mut Vec<f64>) -> Result<(), WireError> {
+        let mut inner = self.read_message()?;
+        while !inner.is_at_end() {
+            out.push(inner.read_double()?);
+        }
+        Ok(())
+    }
+
+    /// Skips a field of the given wire type, as a parser must for unknown
+    /// field numbers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn skip(&mut self, ty: WireType) -> Result<(), WireError> {
+        self.skip_guarded(ty, 0)
+    }
+
+    fn skip_guarded(&mut self, ty: WireType, depth: u32) -> Result<(), WireError> {
+        if depth > MAX_SKIP_DEPTH {
+            return Err(WireError::RecursionLimit);
+        }
+        match ty {
+            WireType::Varint => {
+                self.read_varint()?;
+            }
+            WireType::Fixed64 => {
+                self.take(8)?;
+            }
+            WireType::Fixed32 => {
+                self.take(4)?;
+            }
+            WireType::LengthDelimited => {
+                self.read_bytes()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_yields_no_tags() {
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.read_tag().unwrap(), None);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn rejects_zero_field_number() {
+        // key = 0 (field 0, varint).
+        let mut r = Reader::new(&[0x00]);
+        assert_eq!(r.read_tag(), Err(WireError::ZeroFieldNumber));
+    }
+
+    #[test]
+    fn rejects_group_wire_type() {
+        // field 1, wire type 3 (start group) = key 0x0b.
+        let mut r = Reader::new(&[0x0b]);
+        assert_eq!(r.read_tag(), Err(WireError::InvalidWireType(3)));
+    }
+
+    #[test]
+    fn length_overrun_is_reported() {
+        // field 1 LEN, claims 5 bytes, provides 1.
+        let mut r = Reader::new(&[0x0a, 0x05, 0x01]);
+        r.read_tag().unwrap();
+        assert_eq!(
+            r.read_bytes(),
+            Err(WireError::LengthOutOfBounds {
+                wanted: 5,
+                available: 1
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_string() {
+        let mut w = Writer::new();
+        w.write_bytes(1, &[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.read_tag().unwrap();
+        assert_eq!(r.read_string(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn skip_all_wire_types() {
+        let mut w = Writer::new();
+        w.write_uint64(1, 99);
+        w.write_fixed64(2, 0xdead);
+        w.write_fixed32(3, 0xbeef);
+        w.write_bytes(4, b"skip me");
+        w.write_string(5, "keep");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        let mut kept = None;
+        while let Some((field, ty)) = r.read_tag().unwrap() {
+            if field == 5 {
+                kept = Some(r.read_string().unwrap().to_owned());
+            } else {
+                r.skip(ty).unwrap();
+            }
+        }
+        assert_eq!(kept.as_deref(), Some("keep"));
+    }
+
+    #[test]
+    fn nested_message_reader() {
+        let mut w = Writer::new();
+        w.write_message_with(1, |m| {
+            m.write_uint64(1, 5);
+            m.write_string(2, "inner");
+        });
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        let (field, ty) = r.read_tag().unwrap().unwrap();
+        assert_eq!((field, ty), (1, WireType::LengthDelimited));
+        let mut inner = r.read_message().unwrap();
+        inner.read_tag().unwrap();
+        assert_eq!(inner.read_varint().unwrap(), 5);
+        inner.read_tag().unwrap();
+        assert_eq!(inner.read_string().unwrap(), "inner");
+        assert!(inner.is_at_end());
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn packed_roundtrips() {
+        let mut w = Writer::new();
+        w.write_packed_uint64(1, &[0, 1, 127, 128, u64::MAX]);
+        w.write_packed_int64(2, &[-1, 0, 1, i64::MIN, i64::MAX]);
+        w.write_packed_double(3, &[0.0, -1.5, f64::INFINITY]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        let (mut u, mut i, mut d) = (Vec::new(), Vec::new(), Vec::new());
+        while let Some((field, _)) = r.read_tag().unwrap() {
+            match field {
+                1 => r.read_packed_uint64(&mut u).unwrap(),
+                2 => r.read_packed_int64(&mut i).unwrap(),
+                3 => r.read_packed_double(&mut d).unwrap(),
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(u, [0, 1, 127, 128, u64::MAX]);
+        assert_eq!(i, [-1, 0, 1, i64::MIN, i64::MAX]);
+        assert_eq!(d, [0.0, -1.5, f64::INFINITY]);
+    }
+
+    proptest! {
+        #[test]
+        fn scalar_fields_roundtrip(
+            a: u64,
+            b: i64,
+            c: i64,
+            d: f64,
+            e: u32,
+            s in "\\PC*",
+            raw: Vec<u8>,
+        ) {
+            let mut w = Writer::new();
+            w.write_uint64(1, a);
+            w.write_int64(2, b);
+            w.write_sint64(3, c);
+            w.write_double(4, d);
+            w.write_fixed32(5, e);
+            w.write_string(6, &s);
+            w.write_bytes(7, &raw);
+            let bytes = w.into_bytes();
+
+            let mut r = Reader::new(&bytes);
+            prop_assert_eq!(r.read_tag().unwrap().unwrap().0, 1);
+            prop_assert_eq!(r.read_varint().unwrap(), a);
+            prop_assert_eq!(r.read_tag().unwrap().unwrap().0, 2);
+            prop_assert_eq!(r.read_int64().unwrap(), b);
+            prop_assert_eq!(r.read_tag().unwrap().unwrap().0, 3);
+            prop_assert_eq!(r.read_sint64().unwrap(), c);
+            prop_assert_eq!(r.read_tag().unwrap().unwrap().0, 4);
+            prop_assert_eq!(r.read_double().unwrap().to_bits(), d.to_bits());
+            prop_assert_eq!(r.read_tag().unwrap().unwrap().0, 5);
+            prop_assert_eq!(r.read_fixed32().unwrap(), e);
+            prop_assert_eq!(r.read_tag().unwrap().unwrap().0, 6);
+            prop_assert_eq!(r.read_string().unwrap(), s);
+            prop_assert_eq!(r.read_tag().unwrap().unwrap().0, 7);
+            prop_assert_eq!(r.read_bytes().unwrap(), raw);
+            prop_assert!(r.is_at_end());
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(data: Vec<u8>) {
+            // Fuzz the decode loop: it must terminate with Ok or Err,
+            // never panic or loop forever.
+            let mut r = Reader::new(&data);
+            for _ in 0..data.len() + 1 {
+                match r.read_tag() {
+                    Ok(Some((_, ty))) => {
+                        if r.skip(ty).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+
+        #[test]
+        fn packed_uint64_roundtrip(values: Vec<u64>) {
+            prop_assume!(!values.is_empty());
+            let mut w = Writer::new();
+            w.write_packed_uint64(1, &values);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            r.read_tag().unwrap();
+            let mut out = Vec::new();
+            r.read_packed_uint64(&mut out).unwrap();
+            prop_assert_eq!(out, values);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Base-128 varint and ZigZag primitives.
+
+use crate::WireError;
+
+/// Appends `value` to `out` as a base-128 varint (1–10 bytes).
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// ev_wire::encode_varint(150, &mut buf);
+/// assert_eq!(buf, [0x96, 0x01]);
+/// ```
+pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a base-128 varint from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the input ends before the final
+/// byte, and [`WireError::VarintOverflow`] if the encoding runs past the
+/// 10-byte maximum for a `u64`.
+///
+/// # Examples
+///
+/// ```
+/// let (v, n) = ev_wire::decode_varint(&[0x96, 0x01, 0xff]).unwrap();
+/// assert_eq!((v, n), (150, 2));
+/// ```
+pub fn decode_varint(input: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i == 10 {
+            return Err(WireError::VarintOverflow);
+        }
+        // The 10th byte (i == 9) may only contribute the single low bit.
+        if i == 9 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    Err(WireError::UnexpectedEof)
+}
+
+/// Maps a signed integer onto an unsigned one so that values of small
+/// magnitude encode to short varints (`0 → 0`, `-1 → 1`, `1 → 2`, …).
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_known_vectors() {
+        let cases: &[(u64, &[u8])] = &[
+            (0, &[0x00]),
+            (1, &[0x01]),
+            (127, &[0x7f]),
+            (128, &[0x80, 0x01]),
+            (150, &[0x96, 0x01]),
+            (300, &[0xac, 0x02]),
+            (
+                u64::MAX,
+                &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01],
+            ),
+        ];
+        for &(value, bytes) in cases {
+            let mut out = Vec::new();
+            encode_varint(value, &mut out);
+            assert_eq!(out, bytes, "encoding {value}");
+            assert_eq!(decode_varint(bytes).unwrap(), (value, bytes.len()));
+        }
+    }
+
+    #[test]
+    fn decode_truncated_is_eof() {
+        assert_eq!(decode_varint(&[0x80]), Err(WireError::UnexpectedEof));
+        assert_eq!(decode_varint(&[]), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_overlong_is_overflow() {
+        // 11 continuation bytes.
+        let bytes = [0x80u8; 11];
+        assert_eq!(decode_varint(&bytes), Err(WireError::VarintOverflow));
+        // 10 bytes but the last one has bits above the 64-bit range.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert_eq!(decode_varint(&bytes), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_known_vectors() {
+        let cases: &[(i64, u64)] = &[
+            (0, 0),
+            (-1, 1),
+            (1, 2),
+            (-2, 3),
+            (2147483647, 4294967294),
+            (-2147483648, 4294967295),
+            (i64::MAX, u64::MAX - 1),
+            (i64::MIN, u64::MAX),
+        ];
+        for &(signed, unsigned) in cases {
+            assert_eq!(zigzag_encode(signed), unsigned);
+            assert_eq!(zigzag_decode(unsigned), signed);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn varint_roundtrip(v: u64) {
+            let mut buf = Vec::new();
+            encode_varint(v, &mut buf);
+            prop_assert!(buf.len() <= 10);
+            let (decoded, used) = decode_varint(&buf).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn varint_roundtrip_with_suffix(v: u64, suffix: Vec<u8>) {
+            let mut buf = Vec::new();
+            encode_varint(v, &mut buf);
+            let n = buf.len();
+            buf.extend_from_slice(&suffix);
+            let (decoded, used) = decode_varint(&buf).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert_eq!(used, n);
+        }
+
+        #[test]
+        fn zigzag_roundtrip(v: i64) {
+            prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+
+        #[test]
+        fn zigzag_magnitude_ordering(v in -1000i64..1000) {
+            // Small magnitudes must map to small unsigned values so they
+            // encode into short varints.
+            prop_assert!(zigzag_encode(v) <= 2 * v.unsigned_abs());
+        }
+    }
+}

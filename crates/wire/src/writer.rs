@@ -1,0 +1,255 @@
+//! Append-only encoder for protobuf messages.
+
+use crate::varint::{encode_varint, zigzag_encode};
+use crate::WireType;
+
+/// An append-only protobuf message encoder.
+///
+/// Field-writing methods take the field number first, mirroring generated
+/// protobuf code. Nested messages are written through
+/// [`Writer::write_message_with`], which length-prefixes the payload.
+///
+/// # Examples
+///
+/// ```
+/// use ev_wire::Writer;
+///
+/// let mut w = Writer::new();
+/// w.write_int64(1, -3);
+/// w.write_message_with(2, |inner| {
+///     inner.write_string(1, "leaf");
+/// });
+/// assert!(!w.as_bytes().is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer with preallocated capacity in bytes.
+    pub fn with_capacity(capacity: usize) -> Writer {
+        Writer {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded message.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn write_tag(&mut self, field: u32, ty: WireType) {
+        debug_assert!(field != 0, "protobuf field numbers start at 1");
+        encode_varint((u64::from(field) << 3) | ty.bits(), &mut self.buf);
+    }
+
+    /// Writes a `uint64`/`uint32`/enum field as a varint.
+    ///
+    /// Zero values are still emitted; callers following proto3 presence
+    /// semantics should skip default values themselves (as the bindings in
+    /// `ev-core` do).
+    pub fn write_uint64(&mut self, field: u32, value: u64) {
+        self.write_tag(field, WireType::Varint);
+        encode_varint(value, &mut self.buf);
+    }
+
+    /// Writes an `int64` field using two's-complement varint encoding
+    /// (protobuf's default signed encoding: negative values take 10 bytes).
+    pub fn write_int64(&mut self, field: u32, value: i64) {
+        self.write_uint64(field, value as u64);
+    }
+
+    /// Writes an `sint64` field using ZigZag encoding.
+    pub fn write_sint64(&mut self, field: u32, value: i64) {
+        self.write_uint64(field, zigzag_encode(value));
+    }
+
+    /// Writes a `bool` field.
+    pub fn write_bool(&mut self, field: u32, value: bool) {
+        self.write_uint64(field, u64::from(value));
+    }
+
+    /// Writes a `double` field as 8 little-endian bytes.
+    pub fn write_double(&mut self, field: u32, value: f64) {
+        self.write_tag(field, WireType::Fixed64);
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    /// Writes a `fixed64` field.
+    pub fn write_fixed64(&mut self, field: u32, value: u64) {
+        self.write_tag(field, WireType::Fixed64);
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `fixed32` field.
+    pub fn write_fixed32(&mut self, field: u32, value: u32) {
+        self.write_tag(field, WireType::Fixed32);
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `float` field as 4 little-endian bytes.
+    pub fn write_float(&mut self, field: u32, value: f32) {
+        self.write_tag(field, WireType::Fixed32);
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    /// Writes a `bytes` field.
+    pub fn write_bytes(&mut self, field: u32, value: &[u8]) {
+        self.write_tag(field, WireType::LengthDelimited);
+        encode_varint(value.len() as u64, &mut self.buf);
+        self.buf.extend_from_slice(value);
+    }
+
+    /// Writes a `string` field.
+    pub fn write_string(&mut self, field: u32, value: &str) {
+        self.write_bytes(field, value.as_bytes());
+    }
+
+    /// Writes a nested message field; `build` populates the submessage.
+    ///
+    /// The payload is buffered so the length prefix can be emitted first,
+    /// exactly as generated protobuf serializers do for unsized messages.
+    pub fn write_message_with<F>(&mut self, field: u32, build: F)
+    where
+        F: FnOnce(&mut Writer),
+    {
+        let mut inner = Writer::new();
+        build(&mut inner);
+        self.write_bytes(field, &inner.buf);
+    }
+
+    /// Writes a packed repeated varint field (`repeated uint64`/`int64` in
+    /// proto3), the encoding pprof uses for sample values and location ids.
+    ///
+    /// Writes nothing when `values` is empty, matching proto3 semantics.
+    pub fn write_packed_uint64(&mut self, field: u32, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut payload = Vec::with_capacity(values.len());
+        for &v in values {
+            encode_varint(v, &mut payload);
+        }
+        self.write_bytes(field, &payload);
+    }
+
+    /// Writes a packed repeated `int64` field (two's-complement varints).
+    pub fn write_packed_int64(&mut self, field: u32, values: &[i64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut payload = Vec::with_capacity(values.len());
+        for &v in values {
+            encode_varint(v as u64, &mut payload);
+        }
+        self.write_bytes(field, &payload);
+    }
+
+    /// Writes a packed repeated `double` field.
+    pub fn write_packed_double(&mut self, field: u32, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut payload = Vec::with_capacity(values.len() * 8);
+        for &v in values {
+            payload.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.write_bytes(field, &payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_field_one_varint() {
+        // The classic protobuf documentation example: field 1 = 150
+        // encodes to 08 96 01.
+        let mut w = Writer::new();
+        w.write_uint64(1, 150);
+        assert_eq!(w.as_bytes(), [0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn string_field_two() {
+        // field 2 = "testing" encodes to 12 07 74 65 73 74 69 6e 67.
+        let mut w = Writer::new();
+        w.write_string(2, "testing");
+        assert_eq!(
+            w.into_bytes(),
+            [0x12, 0x07, 0x74, 0x65, 0x73, 0x74, 0x69, 0x6e, 0x67]
+        );
+    }
+
+    #[test]
+    fn negative_int64_takes_ten_value_bytes() {
+        let mut w = Writer::new();
+        w.write_int64(1, -1);
+        // 1 tag byte + 10 varint bytes.
+        assert_eq!(w.len(), 11);
+    }
+
+    #[test]
+    fn sint64_is_compact_for_negatives() {
+        let mut w = Writer::new();
+        w.write_sint64(1, -1);
+        assert_eq!(w.as_bytes(), [0x08, 0x01]);
+    }
+
+    #[test]
+    fn nested_message_is_length_prefixed() {
+        let mut w = Writer::new();
+        w.write_message_with(3, |inner| inner.write_uint64(1, 150));
+        // tag(3, LEN)=0x1a, len=3, then 08 96 01.
+        assert_eq!(w.as_bytes(), [0x1a, 0x03, 0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn empty_packed_field_writes_nothing() {
+        let mut w = Writer::new();
+        w.write_packed_uint64(1, &[]);
+        w.write_packed_int64(2, &[]);
+        w.write_packed_double(3, &[]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn packed_uint64_layout() {
+        let mut w = Writer::new();
+        w.write_packed_uint64(4, &[3, 270]);
+        // tag(4, LEN)=0x22, len=3, 0x03, 0x8e 0x02.
+        assert_eq!(w.as_bytes(), [0x22, 0x03, 0x03, 0x8e, 0x02]);
+    }
+
+    #[test]
+    fn double_is_little_endian() {
+        let mut w = Writer::new();
+        w.write_double(1, 1.0);
+        assert_eq!(
+            w.as_bytes(),
+            [0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f]
+        );
+    }
+}

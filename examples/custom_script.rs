@@ -1,0 +1,112 @@
+//! Customizable analysis with EVscript (paper §V-B): the programming
+//! pane where users extend the engine without installing anything.
+//!
+//! Shows the two callback classes the paper defines — node-visit
+//! callbacks and metric-computation callbacks — on a perf-style profile
+//! with cycles and instructions, plus a by-source-line merge (the
+//! paper's own example of a node-visit customization).
+//!
+//! Run with: `cargo run -p ev-bench --example custom_script`
+
+use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+use ev_script::ScriptHost;
+
+fn build_profile() -> Profile {
+    let mut p = Profile::new("perf-session");
+    let cycles = p.add_metric(MetricDescriptor::new(
+        "cycles",
+        MetricUnit::Cycles,
+        MetricKind::Exclusive,
+    ));
+    let instructions = p.add_metric(MetricDescriptor::new(
+        "instructions",
+        MetricUnit::Count,
+        MetricKind::Exclusive,
+    ));
+    type SampleSpec<'a> = (&'a [(&'a str, &'a str, u32)], f64, f64);
+    let samples: &[SampleSpec] = &[
+        (&[("main", "app.c", 10), ("matmul", "math.c", 50)], 9.0e8, 1.2e8),
+        (&[("main", "app.c", 10), ("memcpy_chain", "util.c", 7)], 6.0e8, 5.5e8),
+        (&[("main", "app.c", 10), ("branchy_parse", "parse.c", 90)], 4.0e8, 1.0e8),
+        (&[("main", "app.c", 12), ("matmul", "math.c", 50)], 2.0e8, 0.3e8),
+    ];
+    for &(path, cyc, inst) in samples {
+        let frames: Vec<Frame> = path
+            .iter()
+            .map(|&(n, f, l)| Frame::function(n).with_source(f, l))
+            .collect();
+        p.add_sample(&frames, &[(cycles, cyc), (instructions, inst)]);
+    }
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut profile = build_profile();
+    let mut host = ScriptHost::new(&mut profile);
+
+    // 1. Metric-computation callback: derive cycles-per-instruction
+    //    (the paper's own example formula).
+    let out = host.run(
+        r#"
+        derive("cpi", fn(n) {
+            let i = value(n, "instructions");
+            if i == 0 { return 0; }
+            return value(n, "cycles") / i;
+        });
+        # Rank the contexts by CPI.
+        let worst = 0;
+        visit(fn(n) {
+            if value(n, "cpi") > value(worst, "cpi") { worst = n; }
+        });
+        print("worst CPI:", name(worst), "at", file(worst) + ":" + str(line(worst)),
+              "cpi =", value(worst, "cpi"));
+        "#,
+    )?;
+    print!("{}", out.stdout);
+
+    // 2. Node-visit callback: merge contexts mapped to the same source
+    //    line (the paper: "users can decide to merge two nodes if they
+    //    are mapped to the same source code line").
+    let out = host.run(
+        r#"
+        let lines = [];
+        let totals = [];
+        visit(fn(n) {
+            if value(n, "cycles") == 0 { return; }
+            let key = file(n) + ":" + str(line(n));
+            let found = false;
+            let i = 0;
+            while i < len(lines) {
+                if lines[i] == key {
+                    totals[i] = totals[i] + value(n, "cycles");
+                    found = true;
+                }
+                i = i + 1;
+            }
+            if !found {
+                push(lines, key);
+                push(totals, value(n, "cycles"));
+            }
+        });
+        print("cycles by source line:");
+        let i = 0;
+        while i < len(lines) {
+            print("  " + lines[i], totals[i]);
+            i = i + 1;
+        }
+        "#,
+    )?;
+    print!("{}", out.stdout);
+
+    // 3. The derived metric is now a first-class channel of the profile:
+    //    every view can use it.
+    let cpi = profile.metric_by_name("cpi").ok_or("cpi missing")?;
+    let table = {
+        let mut t = ev_flame::TreeTable::new(&profile, &[cpi]);
+        t.expand_to_depth(8);
+        t
+    };
+    println!("\ntree table over the script-derived metric:");
+    print!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The differential view (paper §VI-A, Fig. 3): Spark executing the
+//! same query through RDD APIs (P₁) vs SQL Dataset APIs (P₂).
+//!
+//! Reproduces the figure's reading: `[D]` tags on the deleted shuffle,
+//! `[A]` tags on the added SQL engine, quantified deltas everywhere —
+//! and shows the same diff re-shaped bottom-up, which prior
+//! color-only differential flame graphs cannot do.
+//!
+//! Run with: `cargo run -p ev-bench --example diff_spark`
+
+use ev_flame::{render, DiffFlameGraph, FlameGraph};
+use ev_gen::spark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rdd = spark::rdd_profile();
+    let sql = spark::sql_profile();
+
+    let dfg = DiffFlameGraph::new(&rdd, &sql, spark::metric_name())
+        .map_err(|i| format!("profile {i} lacks the metric"))?;
+
+    println!("differential flame graph (Fig. 3), P1 = RDD, P2 = SQL Dataset:");
+    print!("{}", render::ansi(dfg.graph(), 96, false));
+
+    println!("\ntag counts:");
+    for (tag, count) in dfg.diff().tag_counts() {
+        println!("  {tag}  {count} context(s)");
+    }
+
+    println!("\nlargest regressions and wins:");
+    let mut entries: Vec<_> = dfg
+        .diff()
+        .entries()
+        .filter(|(_, e)| e.delta() != 0.0)
+        .collect();
+    entries.sort_by(|a, b| b.1.delta().abs().total_cmp(&a.1.delta().abs()));
+    for (node, entry) in entries.iter().take(5) {
+        println!(
+            "  {} {:<64} Δ {:+.1} s",
+            entry.tag,
+            dfg.diff().profile.resolve_frame(*node).name,
+            entry.delta() / 1e9
+        );
+    }
+
+    // The union tree is a plain profile, so the same diff re-shapes into
+    // a bottom-up view — quantified, not just colored.
+    let bottom_up = FlameGraph::bottom_up(&dfg.diff().profile, dfg.diff().delta);
+    println!(
+        "\nbottom-up over the delta metric: {} frames (the paper's point:\n\
+         'more insights into all the three types of flame graphs').",
+        bottom_up.rects().len()
+    );
+
+    println!(
+        "\nconclusion: SQL Dataset run is {:.1}x faster — the gains come\n\
+         from the efficient SQL engine ([A] frames) and bypassing the\n\
+         costly data shuffle ([D] frames), exactly Fig. 3's finding.",
+        spark::speedup()
+    );
+    Ok(())
+}

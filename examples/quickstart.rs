@@ -1,0 +1,68 @@
+//! Quickstart: build a profile, convert foreign formats, and view it —
+//! the 5-minute tour of the EasyView API.
+//!
+//! Run with: `cargo run -p ev-bench --example quickstart`
+
+use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, ProfileBuilder};
+use ev_flame::{render, FlameGraph, TreeTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Produce a profile through the data-builder API — the route a
+    //    profiler takes to emit EasyView's format directly (§IV-B).
+    let mut builder = ProfileBuilder::new("quickstart");
+    builder.profiler("demo-tool");
+    let cpu = builder.add_metric(MetricDescriptor::new(
+        "cpu",
+        MetricUnit::Nanoseconds,
+        MetricKind::Exclusive,
+    ));
+    builder.push(Frame::function("main").with_source("app.rs", 3));
+    builder.push(Frame::function("parse_config").with_source("config.rs", 41));
+    builder.sample(&[(cpu, 12e6)]);
+    builder.pop()?;
+    builder.push(Frame::function("serve_requests").with_source("server.rs", 88));
+    for _ in 0..3 {
+        builder.push(Frame::function("handle_one").with_source("server.rs", 120));
+        builder.sample(&[(cpu, 25e6)]);
+        builder.pop()?;
+    }
+    builder.sample(&[(cpu, 8e6)]);
+    let profile = builder.finish();
+
+    // 2. Serialize / reload in the native binary format.
+    let bytes = ev_core::format::to_bytes(&profile);
+    let reloaded = ev_core::format::from_bytes(&bytes)?;
+    println!(
+        "native format: {} bytes, {} nodes, roundtrip ok = {}",
+        bytes.len(),
+        reloaded.node_count(),
+        reloaded == profile
+    );
+
+    // 3. Convert a foreign format: folded stacks from any FlameGraph
+    //    tooling parse through the same front door.
+    let folded = "main;compute;fft 420\nmain;compute;ifft 180\nmain;io 95\n";
+    let converted = ev_formats::parse_auto(folded.as_bytes())?;
+    println!(
+        "converted collapsed stacks: {} nodes, format detected = {}",
+        converted.node_count(),
+        ev_formats::detect(folded.as_bytes())
+    );
+
+    // 4. Lay out and render the top-down flame graph.
+    let graph = FlameGraph::top_down(&profile, cpu);
+    println!("\ntop-down flame graph ({} frames):", graph.rects().len());
+    print!("{}", render::ansi(&graph, 78, false));
+
+    // 5. The tree-table view with the hot path expanded.
+    let mut table = TreeTable::new(&profile, &[cpu]);
+    table.expand_hot_path(0);
+    println!("\ntree table (hot path expanded):");
+    print!("{}", table.render());
+
+    // 6. SVG output for documents.
+    let svg = render::svg(&graph, &render::SvgOptions::default());
+    std::fs::write("/tmp/quickstart-flame.svg", &svg)?;
+    println!("\nwrote /tmp/quickstart-flame.svg ({} bytes)", svg.len());
+    Ok(())
+}

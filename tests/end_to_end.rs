@@ -1,0 +1,112 @@
+//! End-to-end integration: a profile travels the full system —
+//! generator → pprof bytes → converter → analysis → views → IDE
+//! protocol → customization script — with invariants checked at every
+//! hop.
+
+use ev_core::{MetricId, Profile};
+use ev_flame::{render, FlameGraph, TreeTable};
+use ev_ide::{EditorClient, EvpServer};
+use ev_gen::synthetic::SyntheticSpec;
+use ev_script::ScriptHost;
+
+fn generated() -> (Profile, MetricId) {
+    let bytes = SyntheticSpec {
+        seed: 33,
+        samples: 3_000,
+        ..SyntheticSpec::default()
+    }
+    .build_pprof();
+    let profile = ev_formats::pprof::parse(&bytes).expect("parse generated pprof");
+    let metric = profile.metric_by_name("cpu").expect("cpu metric");
+    (profile, metric)
+}
+
+#[test]
+fn pprof_bytes_to_views() {
+    let (profile, metric) = generated();
+    profile.validate().expect("valid CCT");
+    let total = profile.total(metric);
+    assert!(total > 0.0);
+
+    // All three views conserve mass and satisfy geometry invariants.
+    for graph in [
+        FlameGraph::top_down(&profile, metric),
+        FlameGraph::bottom_up(&profile, metric),
+        FlameGraph::flat(&profile, metric),
+    ] {
+        assert!((graph.total() - total).abs() / total < 1e-9);
+        for rect in graph.rects() {
+            assert!(rect.width >= 0.0 && rect.x + rect.width <= 1.0 + 1e-9);
+        }
+        // Renderers accept every layout.
+        let svg = render::svg(&graph, &render::SvgOptions::default());
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(!render::ansi(&graph, 100, false).is_empty());
+    }
+}
+
+#[test]
+fn native_format_roundtrip_of_converted_profile() {
+    let (profile, _) = generated();
+    let bytes = ev_core::format::to_bytes(&profile);
+    let reloaded = ev_core::format::from_bytes(&bytes).expect("native roundtrip");
+    assert_eq!(reloaded, profile);
+}
+
+#[test]
+fn pprof_reencode_preserves_structure_and_totals() {
+    let (profile, metric) = generated();
+    let bytes = ev_formats::pprof::write(&profile, ev_formats::pprof::WriteOptions::default());
+    let second = ev_formats::pprof::parse(&bytes).expect("reparse");
+    let m2 = second.metric_by_name("cpu").expect("metric");
+    assert_eq!(second.node_count(), profile.node_count());
+    assert!((second.total(m2) - profile.total(metric)).abs() < 1e-6);
+}
+
+#[test]
+fn ide_session_over_generated_profile() {
+    let (profile, _) = generated();
+    let mut client = EditorClient::connect(EvpServer::new());
+    let id = client.open_profile(&profile).expect("open");
+    let rects = client.flame_graph(id, "topDown", "cpu").expect("layout");
+    assert!(rects.len() > 10);
+    // Every mapped frame code-links successfully.
+    let mapped = rects.iter().find(|r| r.mapped).expect("a mapped frame");
+    client.code_link(id, mapped.node).expect("code link");
+    assert!(client.editor().open_file.is_some());
+    // Summary agrees with the profile.
+    let summary = client.summary(id).expect("summary");
+    assert_eq!(
+        summary.get("nodes").and_then(ev_json::Value::as_i64),
+        Some(profile.node_count() as i64)
+    );
+}
+
+#[test]
+fn script_derivation_feeds_views() {
+    let (mut profile, _) = generated();
+    ScriptHost::new(&mut profile)
+        .run(r#"derive("share", fn(n) { return value(n, "cpu") / total("cpu"); });"#)
+        .expect("script");
+    let share = profile.metric_by_name("share").expect("derived metric");
+    // The derived metric drives a tree table like any native one.
+    let mut table = TreeTable::new(&profile, &[share]);
+    table.expand_to_depth(2);
+    assert!(table.rows().len() > 1);
+}
+
+#[test]
+fn analysis_chain_prune_collapse_diff() {
+    let (profile, metric) = generated();
+    let pruned = ev_analysis::prune(&profile, metric, 0.001);
+    pruned.validate().expect("pruned is valid");
+    assert!(pruned.node_count() <= profile.node_count() + 512);
+    let collapsed = ev_analysis::collapse_recursion(&pruned);
+    collapsed.validate().expect("collapsed is valid");
+    let m = collapsed.metric_by_name("cpu").expect("metric survives");
+    assert!((collapsed.total(m) - profile.total(metric)).abs() / profile.total(metric) < 1e-9);
+    // Diffing the pipeline output against the original tags nothing as
+    // changed in the shared prefix beyond what pruning folded.
+    let d = ev_analysis::diff(&profile, &pruned, "cpu", 1e-9).expect("diff");
+    assert!(d.profile.node_count() >= pruned.node_count());
+}

@@ -1,0 +1,189 @@
+//! Cross-format integration: the same logical workload expressed in
+//! different profiler formats converges to consistent profiles through
+//! the binding layer (paper §IV-B's interoperability claim).
+
+use ev_formats::{detect, parse_auto, Format};
+
+/// One workload: main → {compute(70), io(30)} in four formats.
+struct Fixture {
+    format: Format,
+    bytes: Vec<u8>,
+    metric: &'static str,
+    /// Scale of the metric relative to "1 unit" (formats use different
+    /// units).
+    scale: f64,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let collapsed = "main;compute 70\nmain;io 30\n".as_bytes().to_vec();
+
+    let chrome = r#"{"traceEvents": [
+        {"ph": "X", "name": "main", "ts": 0, "dur": 100, "pid": 1, "tid": 1},
+        {"ph": "X", "name": "compute", "ts": 0, "dur": 70, "pid": 1, "tid": 1},
+        {"ph": "X", "name": "io", "ts": 70, "dur": 30, "pid": 1, "tid": 1}
+    ]}"#
+    .as_bytes()
+    .to_vec();
+
+    let speedscope = r#"{
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": [{"name": "main"}, {"name": "compute"}, {"name": "io"}]},
+        "profiles": [{
+            "type": "sampled", "name": "t0",
+            "samples": [[0, 1], [0, 2]],
+            "weights": [70, 30]
+        }]
+    }"#
+    .as_bytes()
+    .to_vec();
+
+    // pprof built through our writer.
+    let pprof = {
+        use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+        let mut p = Profile::new("fixture");
+        let m = p.add_metric(MetricDescriptor::new(
+            "samples",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[Frame::function("main"), Frame::function("compute")],
+            &[(m, 70.0)],
+        );
+        p.add_sample(&[Frame::function("main"), Frame::function("io")], &[(m, 30.0)]);
+        ev_formats::pprof::write(&p, ev_formats::pprof::WriteOptions::default())
+    };
+
+    vec![
+        Fixture {
+            format: Format::Collapsed,
+            bytes: collapsed,
+            metric: "samples",
+            scale: 1.0,
+        },
+        Fixture {
+            format: Format::ChromeTrace,
+            bytes: chrome,
+            metric: "wall",
+            scale: 1000.0, // µs → ns
+        },
+        Fixture {
+            format: Format::Speedscope,
+            bytes: speedscope,
+            metric: "weight",
+            scale: 1.0,
+        },
+        Fixture {
+            format: Format::Pprof,
+            bytes: pprof,
+            metric: "samples",
+            scale: 1.0,
+        },
+    ]
+}
+
+#[test]
+fn detection_is_unambiguous() {
+    for fixture in fixtures() {
+        assert_eq!(
+            detect(&fixture.bytes),
+            fixture.format,
+            "misdetected {:?}",
+            fixture.format
+        );
+    }
+}
+
+#[test]
+fn all_formats_agree_on_the_workload() {
+    for fixture in fixtures() {
+        let profile = parse_auto(&fixture.bytes)
+            .unwrap_or_else(|e| panic!("{:?}: {e}", fixture.format));
+        profile.validate().expect("valid");
+        let metric = profile
+            .metric_by_name(fixture.metric)
+            .unwrap_or_else(|| panic!("{:?}: metric missing", fixture.format));
+        // Total is 100 units (scaled).
+        let total = profile.total(metric);
+        assert!(
+            (total - 100.0 * fixture.scale).abs() < 1e-6,
+            "{:?}: total {total}",
+            fixture.format
+        );
+        // compute carries 70% of the exclusive mass.
+        let compute = profile
+            .node_ids()
+            .find(|&id| profile.resolve_frame(id).name == "compute")
+            .unwrap_or_else(|| panic!("{:?}: compute missing", fixture.format));
+        assert!(
+            (profile.value(compute, metric) - 70.0 * fixture.scale).abs() < 1e-6,
+            "{:?}",
+            fixture.format
+        );
+        // compute's caller chain reaches main.
+        let parent_names: Vec<String> = profile
+            .path(compute)
+            .iter()
+            .map(|&id| profile.resolve_frame(id).name)
+            .collect();
+        assert!(
+            parent_names.contains(&"main".to_owned()),
+            "{:?}: {parent_names:?}",
+            fixture.format
+        );
+    }
+}
+
+#[test]
+fn hpctoolkit_and_perf_also_bind() {
+    // These two formats express structure differently enough that a
+    // shared fixture is awkward; bind them on their own inputs.
+    let perf = "\
+prog 1 1.0: 70 cpu-clock:
+\taaaa compute+0x1 (prog)
+\tbbbb main+0x2 (prog)
+
+prog 1 1.1: 30 cpu-clock:
+\tcccc io+0x3 (prog)
+\tbbbb main+0x2 (prog)
+
+";
+    let p = ev_formats::perf_script::parse(perf).expect("perf");
+    let m = p.metric_by_name("cpu-clock").expect("metric");
+    assert_eq!(p.total(m), 100.0);
+
+    let xml = r#"<HPCToolkitExperiment>
+      <MetricTable><Metric i="0" n="samples" t="exclusive"/></MetricTable>
+      <ProcedureTable>
+        <Procedure i="1" n="main"/><Procedure i="2" n="compute"/><Procedure i="3" n="io"/>
+      </ProcedureTable>
+      <SecCallPathProfileData>
+        <PF i="10" n="1">
+          <PF i="11" n="2"><M n="0" v="70"/></PF>
+          <PF i="12" n="3"><M n="0" v="30"/></PF>
+        </PF>
+      </SecCallPathProfileData>
+    </HPCToolkitExperiment>"#;
+    let p = ev_formats::hpctoolkit::parse(xml).expect("hpctoolkit");
+    let m = p.metric_by_name("samples").expect("metric");
+    assert_eq!(p.total(m), 100.0);
+    let compute = p
+        .node_ids()
+        .find(|&id| p.resolve_frame(id).name == "compute")
+        .expect("compute");
+    assert_eq!(
+        p.resolve_frame(p.node(compute).parent().unwrap()).name,
+        "main"
+    );
+}
+
+#[test]
+fn gzip_wrapped_inputs_auto_decompress() {
+    // pprof fixtures above are already gzip'd; also check a corrupted
+    // member surfaces a container error, not a panic.
+    let fixture = fixtures().pop().expect("pprof fixture");
+    let mut corrupted = fixture.bytes.clone();
+    let n = corrupted.len();
+    corrupted[n / 2] ^= 0x55;
+    assert!(parse_auto(&corrupted).is_err());
+}

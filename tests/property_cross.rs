@@ -1,0 +1,142 @@
+//! Cross-crate property tests: randomized profiles exercise the full
+//! serialization, conversion, analysis, and protocol stack.
+
+use ev_core::{MetricId, Profile};
+use ev_gen::synthetic::SyntheticSpec;
+use ev_ide::EvpServer;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        any::<u64>(),
+        50usize..400,
+        2usize..6,
+        8usize..20,
+        1usize..4,
+    )
+        .prop_map(|(seed, samples, min_depth, max_depth, metrics)| SyntheticSpec {
+            seed,
+            samples,
+            functions: 200,
+            min_depth,
+            max_depth: max_depth.max(min_depth + 1),
+            modules: 4,
+            metrics,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn native_format_roundtrips_generated_profiles(spec in arb_spec()) {
+        let profile = spec.build();
+        profile.validate().unwrap();
+        let bytes = ev_core::format::to_bytes(&profile);
+        let decoded = ev_core::format::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded, profile);
+    }
+
+    #[test]
+    fn pprof_roundtrip_preserves_shape_and_mass(spec in arb_spec()) {
+        let profile = spec.build();
+        let bytes = ev_formats::pprof::write(
+            &profile,
+            ev_formats::pprof::WriteOptions::default(),
+        );
+        let decoded = ev_formats::pprof::parse(&bytes).unwrap();
+        decoded.validate().unwrap();
+        prop_assert_eq!(decoded.node_count(), profile.node_count());
+        for (i, metric) in profile.metrics().iter().enumerate() {
+            let m1 = MetricId::from_index(i);
+            let m2 = decoded.metric_by_name(&metric.name).unwrap();
+            let (t1, t2) = (profile.total(m1), decoded.total(m2));
+            // pprof stores integer values; allow rounding per node.
+            prop_assert!((t1 - t2).abs() <= profile.node_count() as f64, "{t1} vs {t2}");
+        }
+    }
+
+    #[test]
+    fn transforms_conserve_mass_on_generated_profiles(spec in arb_spec()) {
+        let profile = spec.build();
+        let metric = MetricId::from_index(0);
+        let total = profile.total(metric);
+        let name = profile.metric(metric).name.clone();
+        let bu = ev_analysis::bottom_up(&profile, metric);
+        let flat = ev_analysis::flatten(&profile, metric);
+        let m_bu = bu.metric_by_name(&name).unwrap();
+        let m_flat = flat.metric_by_name(&name).unwrap();
+        prop_assert!((bu.total(m_bu) - total).abs() / total < 1e-9);
+        prop_assert!((flat.total(m_flat) - total).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_of_clones_is_scalar_multiple(spec in arb_spec(), n in 2usize..5) {
+        let profile = spec.build();
+        let metric = MetricId::from_index(0);
+        let name = profile.metric(metric).name.clone();
+        let clones: Vec<&Profile> = std::iter::repeat_n(&profile, n).collect();
+        let agg = ev_analysis::aggregate(&clones, &name).unwrap();
+        let total = profile.total(metric);
+        prop_assert!(
+            (agg.profile.total(agg.metrics.sum) - total * n as f64).abs() / total < 1e-9
+        );
+        prop_assert!(
+            (agg.profile.total(agg.metrics.mean) - total).abs() / total < 1e-9
+        );
+        // min == max == per-profile value at every node.
+        for id in agg.profile.node_ids() {
+            let min = agg.profile.value(id, agg.metrics.min);
+            let max = agg.profile.value(id, agg.metrics.max);
+            prop_assert!((min - max).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn evp_server_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut server = EvpServer::new();
+        // Arbitrary bytes: either an error or a partial-frame wait, never
+        // a panic.
+        let _ = server.handle_bytes(&data);
+    }
+
+    #[test]
+    fn evp_server_survives_arbitrary_json_requests(
+        method in "[a-z/]{0,24}",
+        id in any::<i64>(),
+        junk in "[a-zA-Z0-9]{0,16}",
+    ) {
+        let mut server = EvpServer::new();
+        let request = ev_json::Value::object([
+            ("jsonrpc", ev_json::Value::from("2.0")),
+            ("id", ev_json::Value::Int(id)),
+            ("method", ev_json::Value::from(method)),
+            ("params", ev_json::Value::object([
+                ("profileId", ev_json::Value::Int(id)),
+                ("junk", ev_json::Value::from(junk)),
+            ])),
+        ]);
+        let frame = ev_ide::rpc::encode_frame(&request);
+        let (reply, consumed) = server.handle_bytes(&frame).unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        // Every well-formed request gets exactly one well-formed response.
+        let (value, used) = ev_ide::rpc::decode_frame(&reply).unwrap().unwrap();
+        prop_assert_eq!(used, reply.len());
+        prop_assert!(ev_ide::rpc::Response::from_value(&value).is_ok());
+    }
+
+    #[test]
+    fn flame_layout_geometry_on_generated_profiles(spec in arb_spec()) {
+        let profile = spec.build();
+        let metric = MetricId::from_index(0);
+        let graph = ev_flame::FlameGraph::top_down(&profile, metric);
+        for pair in graph.rects().windows(2) {
+            if pair[0].depth == pair[1].depth {
+                prop_assert!(pair[0].x + pair[0].width <= pair[1].x + 1e-9);
+            }
+        }
+        // Search finds every function name that exists.
+        let hit = graph.search("pkg.Function");
+        prop_assert!(hit.len() <= graph.rects().len());
+    }
+}
