@@ -7,6 +7,8 @@
 //! analysis of §VII-C1.
 
 use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, NodeId, Profile};
+use ev_par::{parallel_map, parallel_tasks, ExecPolicy};
+use std::sync::Mutex;
 
 /// The derived statistic channels of an [`Aggregate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +64,97 @@ impl Aggregate {
 ///
 /// Panics when `profiles` is empty.
 pub fn aggregate(profiles: &[&Profile], metric_name: &str) -> Result<Aggregate, usize> {
+    aggregate_with(profiles, metric_name, ExecPolicy::auto())
+}
+
+/// One profile's slice of the reduction: a structure-only tree plus a
+/// per-node value matrix covering a contiguous run of input profiles.
+struct Partial {
+    /// Unified tree of the covered profiles (no metrics, structure and
+    /// interning only).
+    tree: Profile,
+    /// `series[node][j]` = value in the `j`-th covered profile.
+    series: Vec<Vec<f64>>,
+    /// Number of profiles this partial covers.
+    width: usize,
+}
+
+/// Builds the leaf partial for a single input profile: a DFS insertion
+/// identical to the single-profile pass of the sequential algorithm.
+fn build_leaf(profile: &Profile, metric: MetricId) -> Partial {
+    let mut tree = Profile::new("partial");
+    let mut series: Vec<Vec<f64>> = vec![vec![0.0]];
+    let mut work: Vec<(NodeId, NodeId)> = vec![(profile.root(), tree.root())];
+    while let Some((src, dst)) = work.pop() {
+        let value = profile.value(src, metric);
+        if value != 0.0 {
+            series[dst.index()][0] += value;
+        }
+        for &child in profile.node(src).children() {
+            let frame: Frame = profile.resolve_frame(child);
+            let new_dst = tree.child(dst, &frame);
+            if new_dst.index() >= series.len() {
+                series.resize(new_dst.index() + 1, vec![0.0]);
+            }
+            work.push((child, new_dst));
+        }
+    }
+    Partial {
+        tree,
+        series,
+        width: 1,
+    }
+}
+
+/// Merges `b` into `a`. The two cover adjacent profile runs, so their
+/// value columns concatenate; no floating-point value is ever combined
+/// with another, which keeps every thread count bit-identical.
+fn merge_partials(mut a: Partial, b: Partial) -> Partial {
+    let (wa, wb) = (a.width, b.width);
+    let width = wa + wb;
+    for row in &mut a.series {
+        row.resize(width, 0.0);
+    }
+    let mut work: Vec<(NodeId, NodeId)> = vec![(b.tree.root(), a.tree.root())];
+    while let Some((src, dst)) = work.pop() {
+        let row = &b.series[src.index()];
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                a.series[dst.index()][wa + j] = v;
+            }
+        }
+        for &child in b.tree.node(src).children() {
+            let frame: Frame = b.tree.resolve_frame(child);
+            let new_dst = a.tree.child(dst, &frame);
+            if new_dst.index() >= a.series.len() {
+                a.series.resize(new_dst.index() + 1, vec![0.0; width]);
+            }
+            work.push((child, new_dst));
+        }
+    }
+    a.width = width;
+    a
+}
+
+/// [`aggregate`] with an explicit parallelism policy.
+///
+/// The reduction is a balanced binary merge tree whose shape depends
+/// only on `profiles.len()` — never on the thread count — and column
+/// slots are disjoint per profile, so the output is bit-identical for
+/// every [`ExecPolicy`] (threads = 1 runs the same reduction inline).
+///
+/// # Errors
+///
+/// Returns the offending profile's index if it lacks `metric_name`.
+///
+/// # Panics
+///
+/// Panics when `profiles` is empty.
+pub fn aggregate_with(
+    profiles: &[&Profile],
+    metric_name: &str,
+    policy: ExecPolicy,
+) -> Result<Aggregate, usize> {
     assert!(!profiles.is_empty(), "aggregate requires at least one profile");
     let n = profiles.len();
     let source_metrics: Vec<MetricId> = profiles
@@ -70,8 +163,43 @@ pub fn aggregate(profiles: &[&Profile], metric_name: &str) -> Result<Aggregate, 
         .map(|(i, p)| p.metric_by_name(metric_name).ok_or(i))
         .collect::<Result<_, _>>()?;
 
+    // Leaves: one partial per input profile, built concurrently.
+    let indices: Vec<usize> = (0..n).collect();
+    let leaves: Vec<Partial> = parallel_map(&indices, policy, |&k| {
+        build_leaf(profiles[k], source_metrics[k])
+    });
+
+    // Balanced pairwise reduction; merges within a level are
+    // independent and run concurrently, the level order is fixed.
+    let mut current = leaves;
+    while current.len() > 1 {
+        let mut iter = current.into_iter();
+        type PairSlot = Mutex<Option<(Partial, Option<Partial>)>>;
+        let mut pairs: Vec<PairSlot> = Vec::new();
+        while let Some(a) = iter.next() {
+            pairs.push(Mutex::new(Some((a, iter.next()))));
+        }
+        let merged: Vec<Mutex<Option<Partial>>> =
+            (0..pairs.len()).map(|_| Mutex::new(None)).collect();
+        parallel_tasks(pairs.len(), policy, &|i| {
+            let (a, b) = pairs[i].lock().unwrap().take().unwrap();
+            let result = match b {
+                Some(b) => merge_partials(a, b),
+                None => a,
+            };
+            *merged[i].lock().unwrap() = Some(result);
+        });
+        current = merged
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().unwrap())
+            .collect();
+    }
+    let unified = current.pop().unwrap();
+    let series = unified.series;
+    let mut out = unified.tree;
+
     let descriptor = profiles[0].metric(source_metrics[0]).clone();
-    let mut out = Profile::new(format!("aggregate of {n} profiles"));
+    out.meta_mut().name = format!("aggregate of {n} profiles");
     out.meta_mut().profiler = profiles[0].meta().profiler.clone();
     out.meta_mut().description = format!("aggregate over {metric_name}");
     let metrics = AggregateMetrics {
@@ -105,40 +233,26 @@ pub fn aggregate(profiles: &[&Profile], metric_name: &str) -> Result<Aggregate, 
         ),
     };
 
-    // series[node] -> per-profile values; grown as the unified tree grows.
-    let mut series: Vec<Vec<f64>> = vec![vec![0.0; n]];
-
-    for (k, (profile, &metric)) in profiles.iter().zip(&source_metrics).enumerate() {
-        // (source node, unified node) work list.
-        let mut work: Vec<(NodeId, NodeId)> = vec![(profile.root(), out.root())];
-        while let Some((src, dst)) = work.pop() {
-            let value = profile.value(src, metric);
-            if value != 0.0 {
-                series[dst.index()][k] += value;
-            }
-            for &child in profile.node(src).children() {
-                let frame: Frame = profile.resolve_frame(child);
-                let new_dst = out.child(dst, &frame);
-                if new_dst.index() >= series.len() {
-                    series.resize(new_dst.index() + 1, vec![0.0; n]);
-                }
-                work.push((child, new_dst));
-            }
-        }
-    }
-
-    for node in out.node_ids().collect::<Vec<_>>() {
+    // Derived statistics: computed per node concurrently (row order is
+    // fixed, so the summation order is too), applied sequentially.
+    let nodes: Vec<NodeId> = out.node_ids().collect();
+    let stats: Vec<Option<(f64, f64, f64)>> = parallel_map(&nodes, policy, |&node| {
         let values = &series[node.index()];
-        let sum: f64 = values.iter().sum();
         if values.iter().all(|&v| v == 0.0) {
-            continue;
+            return None;
         }
+        let sum: f64 = values.iter().sum();
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        out.set_value(node, metrics.sum, sum);
-        out.set_value(node, metrics.min, min);
-        out.set_value(node, metrics.max, max);
-        out.set_value(node, metrics.mean, sum / n as f64);
+        Some((sum, min, max))
+    });
+    for (node, stat) in nodes.into_iter().zip(stats) {
+        if let Some((sum, min, max)) = stat {
+            out.set_value(node, metrics.sum, sum);
+            out.set_value(node, metrics.min, min);
+            out.set_value(node, metrics.max, max);
+            out.set_value(node, metrics.mean, sum / n as f64);
+        }
     }
 
     Ok(Aggregate {
@@ -153,7 +267,7 @@ pub fn aggregate(profiles: &[&Profile], metric_name: &str) -> Result<Aggregate, 
 mod tests {
     use super::*;
     use ev_core::{MetricUnit, Profile};
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     fn snapshot(values: &[(&str, f64)]) -> Profile {
         let mut p = Profile::new("snap");
@@ -232,11 +346,10 @@ mod tests {
         let _ = aggregate(&[], "m");
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn sum_equals_total_of_totals(
-            snapshots in proptest::collection::vec(
-                proptest::collection::vec((0u8..5, 0.0f64..100.0), 1..10),
+            snapshots in vec(
+                vec((0u8..5, 0.0f64..100.0), 1..10),
                 1..6,
             )
         ) {

@@ -1,0 +1,242 @@
+//! Memoized view cache (paper §VI: views are re-requested constantly as
+//! the user flips between top-down / bottom-up / flat or re-opens a
+//! tab, usually over the *same* profile).
+//!
+//! The cache maps a [`view_key`] — an [`FxHasher`] chain over the
+//! profile's structural fingerprint, the metric, and the transform
+//! chain descriptor — to an `Arc`'d computed view. It is LRU-bounded
+//! and counts hits/misses so the CLI (and the editor extension above
+//! it) can surface cache effectiveness.
+//!
+//! Keys hash profile *content* (tree shape, frames, metric values), so
+//! a mutated profile never aliases a stale entry; the fingerprint walk
+//! is linear and orders of magnitude cheaper than the layouts it
+//! memoizes.
+
+use ev_core::fast_hash::FxHasher;
+use ev_core::{MetricId, Profile};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::Arc;
+
+/// Default number of memoized views kept per cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// Hit/miss counters and occupancy of a [`ViewCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+/// An LRU-bounded memo table from [`view_key`]s to computed views.
+///
+/// Values are returned as `Arc<V>` so callers can hold a view while the
+/// cache evicts it. Eviction scans for the least-recently-used entry —
+/// linear, but capacities are small (tens of views).
+pub struct ViewCache<V> {
+    entries: HashMap<u64, Entry<V>, BuildHasherDefault<FxHasher>>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> ViewCache<V> {
+    /// A cache holding at most `capacity` views (at least 1).
+    pub fn new(capacity: usize) -> ViewCache<V> {
+        ViewCache {
+            entries: HashMap::default(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the view under `key`, computing and inserting it with
+    /// `build` on a miss. Evicts the least-recently-used entry when
+    /// full.
+    pub fn get_or_insert_with(&mut self, key: u64, build: impl FnOnce() -> V) -> Arc<V> {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.hits += 1;
+            return Arc::clone(&entry.value);
+        }
+        self.misses += 1;
+        let value = Arc::new(build());
+        if self.entries.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                last_used: self.tick,
+            },
+        );
+        value
+    }
+
+    /// Current hit/miss counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<V> Default for ViewCache<V> {
+    fn default() -> ViewCache<V> {
+        ViewCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+/// A structural fingerprint of a profile: tree shape, interned frames,
+/// metric schema, and every stored value. Two profiles with the same
+/// content fingerprint alike; any mutation (new sample, renamed metric,
+/// added node) changes it.
+pub fn profile_fingerprint(profile: &Profile) -> u64 {
+    let mut h = FxHasher::default();
+    profile.node_count().hash(&mut h);
+    for m in profile.metrics() {
+        m.name.hash(&mut h);
+        (m.kind as u8).hash(&mut h);
+    }
+    // The string table is covered indirectly: equal trees with different
+    // interning orders hash differently, which only costs a spurious
+    // miss, never a false hit for the same in-memory profile.
+    for id in profile.node_ids() {
+        let node = profile.node(id);
+        let f = node.frame();
+        (f.kind as u8).hash(&mut h);
+        f.name.index().hash(&mut h);
+        f.module.index().hash(&mut h);
+        f.file.index().hash(&mut h);
+        f.line.hash(&mut h);
+        f.address.hash(&mut h);
+        node.parent().map(|p| p.index()).hash(&mut h);
+        for &(metric, value) in node.values() {
+            metric.index().hash(&mut h);
+            value.to_bits().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// The cache key for a view request: the profile fingerprint chained
+/// with the metric and an ordered transform-chain descriptor (e.g.
+/// `["bottom_up", "flame"]` or `["prune:0.01", "top_down"]`).
+pub fn view_key(profile: &Profile, metric: MetricId, transforms: &[&str]) -> u64 {
+    let mut h = FxHasher::default();
+    profile_fingerprint(profile).hash(&mut h);
+    metric.index().hash(&mut h);
+    transforms.len().hash(&mut h);
+    for t in transforms {
+        t.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit};
+
+    fn profile(v: f64) -> Profile {
+        let mut p = Profile::new("t");
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(&[Frame::function("main"), Frame::function("f")], &[(m, v)]);
+        p
+    }
+
+    #[test]
+    fn repeated_requests_hit() {
+        let p = profile(5.0);
+        let m = p.metric_by_name("cpu").unwrap();
+        let mut cache: ViewCache<usize> = ViewCache::new(8);
+        let key = view_key(&p, m, &["top_down"]);
+        let a = cache.get_or_insert_with(key, || 41);
+        let b = cache.get_or_insert_with(key, || 42);
+        assert_eq!(*a, 41);
+        assert_eq!(*b, 41, "second request served from cache");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_transform_chain_misses() {
+        let p = profile(5.0);
+        let m = p.metric_by_name("cpu").unwrap();
+        assert_ne!(
+            view_key(&p, m, &["top_down"]),
+            view_key(&p, m, &["bottom_up"])
+        );
+        assert_ne!(view_key(&p, m, &["a", "b"]), view_key(&p, m, &["ab"]));
+    }
+
+    #[test]
+    fn mutated_profile_changes_fingerprint() {
+        let p1 = profile(5.0);
+        let p2 = profile(6.0);
+        assert_ne!(profile_fingerprint(&p1), profile_fingerprint(&p2));
+        let mut p3 = profile(5.0);
+        assert_eq!(profile_fingerprint(&p1), profile_fingerprint(&p3));
+        let m = p3.metric_by_name("cpu").unwrap();
+        p3.add_sample(&[Frame::function("g")], &[(m, 1.0)]);
+        assert_ne!(profile_fingerprint(&p1), profile_fingerprint(&p3));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut cache: ViewCache<u64> = ViewCache::new(2);
+        cache.get_or_insert_with(1, || 1);
+        cache.get_or_insert_with(2, || 2);
+        cache.get_or_insert_with(1, || 99); // touch 1 so 2 is LRU
+        cache.get_or_insert_with(3, || 3); // evicts 2
+        assert_eq!(cache.stats().len, 2);
+        let v = cache.get_or_insert_with(1, || 11);
+        assert_eq!(*v, 1, "1 survived");
+        let v = cache.get_or_insert_with(2, || 22);
+        assert_eq!(*v, 22, "2 was evicted and rebuilt");
+    }
+
+    #[test]
+    fn arc_keeps_evicted_views_alive() {
+        let mut cache: ViewCache<String> = ViewCache::new(1);
+        let held = cache.get_or_insert_with(1, || "kept".to_owned());
+        cache.get_or_insert_with(2, || "evictor".to_owned());
+        assert_eq!(held.as_str(), "kept");
+    }
+}

@@ -84,7 +84,7 @@ pub fn derive_metric(
 mod tests {
     use super::*;
     use ev_core::Frame;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     fn base() -> (Profile, MetricId, MetricId) {
         let mut p = Profile::new("t");
@@ -186,8 +186,7 @@ mod tests {
         assert_eq!(p.total(d), 2.0 * (800.0 + 100.0 + 50.0));
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn add_sub_roundtrip(v in 0.1f64..1e6) {
             let mut p = Profile::new("t");
             let m = p.add_metric(MetricDescriptor::new(

@@ -18,7 +18,9 @@
 //! [`Profile`]).
 
 use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, NodeId, Profile};
+use ev_par::{parallel_tasks, ExecPolicy};
 use std::fmt;
+use std::sync::Mutex;
 
 /// The difference class of one context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,9 +135,105 @@ pub fn diff(
     metric_name: &str,
     epsilon: f64,
 ) -> Result<DiffProfile, usize> {
+    diff_with(first, second, metric_name, epsilon, ExecPolicy::auto())
+}
+
+/// One side of the differential, prepared independently of the union
+/// tree: a structure-only copy of the source CCT plus the accumulated
+/// exclusive value per node. Building this is the expensive half of a
+/// diff (it walks every source node), and the two sides are
+/// independent, so they run as two parallel tasks.
+struct Side {
+    tree: Profile,
+    values: Vec<f64>,
+}
+
+fn build_side(profile: &Profile, metric: MetricId) -> Side {
+    let mut tree = Profile::new("partial");
+    let mut values: Vec<f64> = vec![0.0];
+    let mut work: Vec<(NodeId, NodeId)> = vec![(profile.root(), tree.root())];
+    while let Some((src, dst)) = work.pop() {
+        values[dst.index()] += profile.value(src, metric);
+        for &child in profile.node(src).children() {
+            let frame: Frame = profile.resolve_frame(child);
+            let new_dst = tree.child(dst, &frame);
+            if new_dst.index() >= values.len() {
+                values.resize(new_dst.index() + 1, 0.0);
+            }
+            work.push((child, new_dst));
+        }
+    }
+    Side { tree, values }
+}
+
+/// Grafts a prepared [`Side`] into the union tree sequentially. The
+/// walk mirrors the direct-insertion walk over the original source
+/// profile (same stack discipline, same children order), so node IDs
+/// and string-table order in `out` are identical to what a purely
+/// sequential diff would produce.
+fn graft_side(
+    out: &mut Profile,
+    side: &Side,
+    accum: &mut Vec<f64>,
+    other: &mut Vec<f64>,
+    present: &mut Vec<bool>,
+    other_present: &mut Vec<bool>,
+) {
+    let mut work: Vec<(NodeId, NodeId)> = vec![(side.tree.root(), out.root())];
+    while let Some((src, dst)) = work.pop() {
+        accum[dst.index()] += side.values[src.index()];
+        present[dst.index()] = true;
+        for &child in side.tree.node(src).children() {
+            let frame: Frame = side.tree.resolve_frame(child);
+            let new_dst = out.child(dst, &frame);
+            if new_dst.index() >= accum.len() {
+                accum.resize(new_dst.index() + 1, 0.0);
+                other.resize(new_dst.index() + 1, 0.0);
+                present.resize(new_dst.index() + 1, false);
+                other_present.resize(new_dst.index() + 1, false);
+            }
+            work.push((child, new_dst));
+        }
+    }
+}
+
+/// [`diff`] with an explicit execution policy.
+///
+/// The two source profiles are scanned concurrently (two independent
+/// tasks); the union tree is then assembled sequentially from the two
+/// prepared sides in a fixed first-then-second order, so the result is
+/// bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Returns `0` if `first` lacks the metric, `1` if `second` does.
+pub fn diff_with(
+    first: &Profile,
+    second: &Profile,
+    metric_name: &str,
+    epsilon: f64,
+    policy: ExecPolicy,
+) -> Result<DiffProfile, usize> {
     let m1 = first.metric_by_name(metric_name).ok_or(0usize)?;
     let m2 = second.metric_by_name(metric_name).ok_or(1usize)?;
     let descriptor = first.metric(m1).clone();
+
+    let (side1, side2) = if policy.threads == 1 {
+        (build_side(first, m1), build_side(second, m2))
+    } else {
+        let slots: [Mutex<Option<Side>>; 2] = [Mutex::new(None), Mutex::new(None)];
+        parallel_tasks(2, policy, &|i| {
+            let side = if i == 0 {
+                build_side(first, m1)
+            } else {
+                build_side(second, m2)
+            };
+            *slots[i].lock().unwrap() = Some(side);
+        });
+        let s1 = slots[0].lock().unwrap().take().expect("side 1 built");
+        let s2 = slots[1].lock().unwrap().take().expect("side 2 built");
+        (s1, s2)
+    };
 
     let mut out = Profile::new(format!(
         "diff: {} vs {}",
@@ -162,43 +260,23 @@ pub fn diff(
     let mut in_first: Vec<bool> = vec![true];
     let mut in_second: Vec<bool> = vec![false];
 
-    {
-        let mut work: Vec<(NodeId, NodeId)> = vec![(first.root(), out.root())];
-        while let Some((src, dst)) = work.pop() {
-            befores[dst.index()] += first.value(src, m1);
-            in_first[dst.index()] = true;
-            for &child in first.node(src).children() {
-                let frame: Frame = first.resolve_frame(child);
-                let new_dst = out.child(dst, &frame);
-                if new_dst.index() >= befores.len() {
-                    befores.resize(new_dst.index() + 1, 0.0);
-                    afters.resize(new_dst.index() + 1, 0.0);
-                    in_first.resize(new_dst.index() + 1, false);
-                    in_second.resize(new_dst.index() + 1, false);
-                }
-                work.push((child, new_dst));
-            }
-        }
-    }
+    graft_side(
+        &mut out,
+        &side1,
+        &mut befores,
+        &mut afters,
+        &mut in_first,
+        &mut in_second,
+    );
     in_second[NodeId::ROOT.index()] = true;
-    {
-        let mut work: Vec<(NodeId, NodeId)> = vec![(second.root(), out.root())];
-        while let Some((src, dst)) = work.pop() {
-            afters[dst.index()] += second.value(src, m2);
-            in_second[dst.index()] = true;
-            for &child in second.node(src).children() {
-                let frame: Frame = second.resolve_frame(child);
-                let new_dst = out.child(dst, &frame);
-                if new_dst.index() >= befores.len() {
-                    befores.resize(new_dst.index() + 1, 0.0);
-                    afters.resize(new_dst.index() + 1, 0.0);
-                    in_first.resize(new_dst.index() + 1, false);
-                    in_second.resize(new_dst.index() + 1, false);
-                }
-                work.push((child, new_dst));
-            }
-        }
-    }
+    graft_side(
+        &mut out,
+        &side2,
+        &mut afters,
+        &mut befores,
+        &mut in_second,
+        &mut in_first,
+    );
 
     let mut entries: Vec<DiffEntry> = Vec::with_capacity(out.node_count());
     for node in out.node_ids().collect::<Vec<_>>() {
@@ -246,7 +324,7 @@ pub fn diff(
 mod tests {
     use super::*;
     use ev_core::MetricUnit;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     fn profile(samples: &[(&[&str], f64)]) -> Profile {
         let mut p = Profile::new("p");
@@ -364,9 +442,9 @@ mod tests {
         assert_eq!(counts[4], (DiffTag::Unchanged, 1)); // a
     }
 
-    fn arb_profile() -> impl Strategy<Value = Profile> {
-        proptest::collection::vec(
-            (proptest::collection::vec(0u8..5, 1..6), 0.5f64..50.0),
+    fn arb_profile() -> impl Gen<Value = Profile> {
+        vec(
+            (vec(0u8..5, 1..6), 0.5f64..50.0),
             1..25,
         )
         .prop_map(|samples| {
@@ -387,8 +465,7 @@ mod tests {
         })
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn diff_with_self_is_all_unchanged(p in arb_profile()) {
             let d = diff(&p, &p, "cpu", 0.0).unwrap();
             for (node, entry) in d.entries() {
@@ -398,7 +475,6 @@ mod tests {
             prop_assert_eq!(d.profile.node_count(), p.node_count());
         }
 
-        #[test]
         fn diff_is_antisymmetric(p in arb_profile(), q in arb_profile()) {
             let d1 = diff(&p, &q, "cpu", 0.0).unwrap();
             let d2 = diff(&q, &p, "cpu", 0.0).unwrap();
@@ -417,7 +493,6 @@ mod tests {
             prop_assert_eq!(c1[4].1, c2[4].1);
         }
 
-        #[test]
         fn delta_totals_match_profile_totals(p in arb_profile(), q in arb_profile()) {
             let d = diff(&p, &q, "cpu", 0.0).unwrap();
             let mp = p.metric_by_name("cpu").unwrap();

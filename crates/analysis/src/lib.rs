@@ -45,6 +45,7 @@
 //! ```
 
 mod aggregate;
+mod cache;
 mod derived;
 mod diff;
 mod scaling;
@@ -52,9 +53,13 @@ mod timeline;
 mod transform;
 mod traverse;
 
-pub use aggregate::{aggregate, Aggregate, AggregateMetrics};
+pub use aggregate::{aggregate, aggregate_with, Aggregate, AggregateMetrics};
+pub use cache::{
+    profile_fingerprint, view_key, CacheStats, ViewCache, DEFAULT_CACHE_CAPACITY,
+};
 pub use derived::{derive_metric, MetricExpr};
-pub use diff::{diff, DiffEntry, DiffProfile, DiffTag};
+pub use diff::{diff, diff_with, DiffEntry, DiffProfile, DiffTag};
+pub use ev_par::ExecPolicy;
 pub use scaling::{scaling_diff, ScalingProfile};
 pub use timeline::{classify_timeline, TimelinePattern};
 pub use transform::{bottom_up, flatten, top_down};

@@ -96,7 +96,7 @@ pub fn scaling_diff(
 mod tests {
     use super::*;
     use ev_core::Frame;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     fn run_at_scale(scale: f64, bad_site_factor: f64) -> Profile {
         let mut p = Profile::new(format!("scale-{scale}"));
@@ -169,8 +169,7 @@ mod tests {
         assert_eq!(scaling_diff(&p2, &p1, "heap").unwrap_err(), 0);
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn self_scaling_is_identity(scale in 0.5f64..8.0) {
             let p = run_at_scale(scale, 1.0);
             let s = scaling_diff(&p, &p, "heap").unwrap();
@@ -182,7 +181,6 @@ mod tests {
             prop_assert!(s.bottlenecks(0.01).is_empty());
         }
 
-        #[test]
         fn uniform_scaling_flags_nothing(factor in 1.1f64..10.0) {
             let p1 = run_at_scale(1.0, 1.0);
             let mut p2 = p1.clone();

@@ -88,7 +88,7 @@ fn quartile_trend_nondecreasing(series: &[f64]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn monotone_growth_is_leak() {
@@ -141,17 +141,15 @@ mod tests {
         assert_eq!(classify_timeline(&series), TimelinePattern::Fluctuating);
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn scaling_is_invariant(
-            series in proptest::collection::vec(0.0f64..1000.0, 4..64),
+            series in vec(0.0f64..1000.0, 4..64),
             scale in 0.001f64..1000.0,
         ) {
             let scaled: Vec<f64> = series.iter().map(|v| v * scale).collect();
             prop_assert_eq!(classify_timeline(&series), classify_timeline(&scaled));
         }
 
-        #[test]
         fn strictly_increasing_is_always_leak(
             start in 1.0f64..100.0,
             step in 1.0f64..50.0,
@@ -161,7 +159,6 @@ mod tests {
             prop_assert_eq!(classify_timeline(&series), TimelinePattern::PotentialLeak);
         }
 
-        #[test]
         fn decaying_to_zero_is_reclaimed(
             peak in 100.0f64..1e6,
             len in 8usize..64,

@@ -109,7 +109,7 @@ pub fn flatten(profile: &Profile, metric: MetricId) -> Profile {
 mod tests {
     use super::*;
     use ev_core::{MetricDescriptor, MetricKind, MetricUnit};
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     fn build() -> (Profile, MetricId) {
         let mut p = Profile::new("t");
@@ -222,9 +222,9 @@ mod tests {
         assert_eq!(mallocs.len(), 1);
     }
 
-    fn arb_profile() -> impl Strategy<Value = Profile> {
-        proptest::collection::vec(
-            (proptest::collection::vec(0u8..5, 1..6), 0.0f64..50.0),
+    fn arb_profile() -> impl Gen<Value = Profile> {
+        vec(
+            (vec(0u8..5, 1..6), 0.0f64..50.0),
             1..30,
         )
         .prop_map(|samples| {
@@ -249,8 +249,7 @@ mod tests {
         })
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn transforms_conserve_mass(p in arb_profile()) {
             let m = p.metric_by_name("m").unwrap();
             let total = p.total(m);
@@ -262,7 +261,6 @@ mod tests {
             flat.validate().unwrap();
         }
 
-        #[test]
         fn bottom_up_first_level_matches_function_totals(p in arb_profile()) {
             let m = p.metric_by_name("m").unwrap();
             // Per-function exclusive totals in the source...

@@ -1,0 +1,86 @@
+//! Parallel scaling of the analysis engine (`ev-par`).
+//!
+//! The acceptance workload from the parallelization work: aggregation
+//! over eight structure-sharing ~100k-node synthetic snapshots must be
+//! at least 2× faster at 4 threads than at `--threads 1`, with
+//! bit-identical output (the equivalence suite checks identity; this
+//! bench checks the speed). MetricView and flame-layout rows are
+//! informative.
+//!
+//! Run with: `cargo bench -p ev-bench --bench par_speedup`
+
+use ev_analysis::{aggregate_with, ExecPolicy, MetricView};
+use ev_bench::timer::{bench, group};
+use ev_core::Profile;
+use ev_flame::FlameGraph;
+use ev_gen::synthetic::SyntheticSpec;
+use ev_par::max_threads;
+
+const TARGET_SPEEDUP: f64 = 2.0;
+
+fn snapshots() -> Vec<Profile> {
+    (0..8u64)
+        .map(|k| {
+            SyntheticSpec {
+                samples: 120_000,
+                functions: 4_000,
+                seed: 7 + k,
+                ..SyntheticSpec::default()
+            }
+            .build()
+        })
+        .collect()
+}
+
+fn main() {
+    let cores = max_threads();
+    println!("hardware threads visible to ev-par: {cores}");
+
+    group("aggregate (8 snapshots)");
+    let snaps = snapshots();
+    println!(
+        "snapshot sizes: {:?} nodes",
+        snaps.iter().map(Profile::node_count).collect::<Vec<_>>()
+    );
+    let refs: Vec<&Profile> = snaps.iter().collect();
+    let mut seq_min = None;
+    let mut four_min = None;
+    for threads in [1usize, 2, 4, 8] {
+        let policy = ExecPolicy::with_threads(threads);
+        let m = bench(&format!("aggregate/threads={threads}"), 10, || {
+            aggregate_with(std::hint::black_box(&refs), "cpu", policy).expect("agg");
+        });
+        match threads {
+            1 => seq_min = Some(m.min),
+            4 => four_min = Some(m.min),
+            _ => {}
+        }
+    }
+    let (t1, t4) = (seq_min.unwrap(), four_min.unwrap());
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    println!("aggregate speedup at 4 threads: {speedup:.2}x (target >= {TARGET_SPEEDUP}x)");
+
+    group("metric view + flame layout (single snapshot)");
+    let p = &snaps[0];
+    let m = p.metric_by_name("cpu").expect("metric");
+    for threads in [1usize, 4] {
+        let policy = ExecPolicy::with_threads(threads);
+        bench(&format!("metric_view/threads={threads}"), 10, || {
+            MetricView::compute_with(std::hint::black_box(p), m, policy);
+        });
+        bench(&format!("flame_top_down/threads={threads}"), 10, || {
+            FlameGraph::top_down_with(std::hint::black_box(p), m, policy);
+        });
+    }
+
+    if cores >= 4 {
+        assert!(
+            speedup >= TARGET_SPEEDUP,
+            "aggregate at 4 threads is only {speedup:.2}x faster than sequential \
+             (target {TARGET_SPEEDUP}x)"
+        );
+        println!("PASS: >= {TARGET_SPEEDUP}x at 4 threads");
+    } else {
+        println!("SKIP speedup assertion: only {cores} hardware threads");
+    }
+}

@@ -2,40 +2,33 @@
 //! pprof profile, for EasyView and both baseline pipelines, across a
 //! sweep of file sizes.
 //!
-//! The paper sweeps ~1 MB → ~1 GB. Criterion runs each point many
-//! times, so the default sweep here stops at 4 MiB to keep
-//! `cargo bench` under a few minutes; set `EV_BENCH_LARGE=1` to add
-//! 32 MiB and 128 MiB points (the `paper_tables e2` harness runs the
-//! larger single-shot sweep).
+//! The paper sweeps ~1 MB → ~1 GB. The default sweep here stops at
+//! 4 MiB to keep `cargo bench` under a few minutes; set
+//! `EV_BENCH_LARGE=1` to add 32 MiB and 128 MiB points (the
+//! `paper_tables e2` harness runs the larger single-shot sweep).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ev_bench::pipeline::Tool;
+use ev_bench::timer::{bench, group};
 use ev_gen::synthetic::pprof_with_size;
 
-fn response_time(c: &mut Criterion) {
+fn main() {
     let mut sizes: Vec<usize> = vec![1 << 20, 4 << 20];
     if std::env::var_os("EV_BENCH_LARGE").is_some() {
         sizes.push(32 << 20);
         sizes.push(128 << 20);
     }
-    let mut group = c.benchmark_group("fig5_response_time");
-    group.sample_size(10);
+    group("fig5_response_time");
     for (i, &size) in sizes.iter().enumerate() {
         let bytes = pprof_with_size(size, 0xBE2C + i as u64);
-        group.throughput(Throughput::Bytes(bytes.len() as u64));
         let label = format!("{:.1}MiB", bytes.len() as f64 / (1 << 20) as f64);
         for tool in Tool::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(tool.name(), &label),
-                &bytes,
-                |b, data| {
-                    b.iter(|| tool.open(std::hint::black_box(data)).expect("open"));
-                },
+            let m = bench(&format!("{}/{label}", tool.name()), 10, || {
+                tool.open(std::hint::black_box(&bytes)).expect("open");
+            });
+            println!(
+                "{:<44} throughput {:>8.1} MiB/s",
+                "", m.mib_per_sec(bytes.len())
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, response_time);
-criterion_main!(benches);

@@ -2,15 +2,14 @@
 //! (DESIGN.md ablations) — gzip inflate, protobuf decode, and the
 //! EasyView native format, isolating where "open a profile" time goes.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ev_bench::timer::{bench, group};
 use ev_flate::{deflate_compress, gzip_compress, gzip_decompress, inflate, CompressionLevel};
 use ev_gen::synthetic::SyntheticSpec;
 
-fn flate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flate");
-    group.sample_size(20);
+fn flate() {
+    group("flate");
     // Realistic payload: an uncompressed pprof body (kept small enough
-    // that the High-level compressor finishes a criterion pass quickly).
+    // that the High-level compressor finishes a pass quickly).
     let body = SyntheticSpec {
         samples: 5_000,
         seed: 5,
@@ -18,27 +17,24 @@ fn flate(c: &mut Criterion) {
     }
     .build_pprof();
     let raw = gzip_decompress(&body).expect("self-made gzip");
-    group.throughput(Throughput::Bytes(raw.len() as u64));
-    group.bench_function("deflate_fast", |b| {
-        b.iter(|| deflate_compress(std::hint::black_box(&raw), CompressionLevel::Fast));
+    bench("deflate_fast", 20, || {
+        deflate_compress(std::hint::black_box(&raw), CompressionLevel::Fast);
     });
-    group.bench_function("deflate_high", |b| {
-        b.iter(|| deflate_compress(std::hint::black_box(&raw), CompressionLevel::High));
+    bench("deflate_high", 20, || {
+        deflate_compress(std::hint::black_box(&raw), CompressionLevel::High);
     });
     let compressed = deflate_compress(&raw, CompressionLevel::Fast);
-    group.bench_function("inflate", |b| {
-        b.iter(|| inflate(std::hint::black_box(&compressed)).expect("inflate"));
+    bench("inflate", 20, || {
+        inflate(std::hint::black_box(&compressed)).expect("inflate");
     });
     let gz = gzip_compress(&raw, CompressionLevel::Fast);
-    group.bench_function("gzip_decompress", |b| {
-        b.iter(|| gzip_decompress(std::hint::black_box(&gz)).expect("gunzip"));
+    bench("gzip_decompress", 20, || {
+        gzip_decompress(std::hint::black_box(&gz)).expect("gunzip");
     });
-    group.finish();
 }
 
-fn formats(c: &mut Criterion) {
-    let mut group = c.benchmark_group("formats");
-    group.sample_size(20);
+fn formats() {
+    group("formats");
     let profile = SyntheticSpec {
         samples: 20_000,
         seed: 6,
@@ -47,19 +43,23 @@ fn formats(c: &mut Criterion) {
     .build();
     let pprof_gz = ev_formats::pprof::write(&profile, ev_formats::pprof::WriteOptions::default());
     let native = ev_core::format::to_bytes(&profile);
-    group.throughput(Throughput::Bytes(pprof_gz.len() as u64));
-    group.bench_function("pprof_parse", |b| {
-        b.iter(|| ev_formats::pprof::parse(std::hint::black_box(&pprof_gz)).expect("parse"));
+    let m = bench("pprof_parse", 20, || {
+        ev_formats::pprof::parse(std::hint::black_box(&pprof_gz)).expect("parse");
     });
-    group.throughput(Throughput::Bytes(native.len() as u64));
-    group.bench_function("native_decode", |b| {
-        b.iter(|| ev_core::format::from_bytes(std::hint::black_box(&native)).expect("decode"));
+    println!(
+        "{:<44} throughput {:>8.1} MiB/s",
+        "",
+        m.mib_per_sec(pprof_gz.len())
+    );
+    bench("native_decode", 20, || {
+        ev_core::format::from_bytes(std::hint::black_box(&native)).expect("decode");
     });
-    group.bench_function("native_encode", |b| {
-        b.iter(|| ev_core::format::to_bytes(std::hint::black_box(&profile)));
+    bench("native_encode", 20, || {
+        ev_core::format::to_bytes(std::hint::black_box(&profile));
     });
-    group.finish();
 }
 
-criterion_group!(benches, flate, formats);
-criterion_main!(benches);
+fn main() {
+    flate();
+    formats();
+}

@@ -8,8 +8,8 @@
 //! * flame-graph layout (the per-frame geometry pass);
 //! * the EVscript interpreter on a traversal-heavy customization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ev_analysis::{aggregate, bottom_up, diff, flatten, MetricView};
+use ev_bench::timer::{bench, group};
 use ev_core::{MetricId, Profile};
 use ev_flame::FlameGraph;
 use ev_gen::grpc_leak;
@@ -27,76 +27,66 @@ fn test_profile(samples: usize) -> (Profile, MetricId) {
     (p, m)
 }
 
-fn transforms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transforms");
-    group.sample_size(20);
+fn transforms() {
+    group("transforms");
     for samples in [2_000usize, 20_000] {
         let (p, m) = test_profile(samples);
-        group.bench_with_input(BenchmarkId::new("metric_view", samples), &p, |b, p| {
-            b.iter(|| MetricView::compute(std::hint::black_box(p), m));
+        bench(&format!("metric_view/{samples}"), 20, || {
+            MetricView::compute(std::hint::black_box(&p), m);
         });
-        group.bench_with_input(BenchmarkId::new("bottom_up", samples), &p, |b, p| {
-            b.iter(|| bottom_up(std::hint::black_box(p), m));
+        bench(&format!("bottom_up/{samples}"), 20, || {
+            bottom_up(std::hint::black_box(&p), m);
         });
-        group.bench_with_input(BenchmarkId::new("flatten", samples), &p, |b, p| {
-            b.iter(|| flatten(std::hint::black_box(p), m));
+        bench(&format!("flatten/{samples}"), 20, || {
+            flatten(std::hint::black_box(&p), m);
         });
-        group.bench_with_input(BenchmarkId::new("flame_layout", samples), &p, |b, p| {
-            b.iter(|| FlameGraph::top_down(std::hint::black_box(p), m));
+        bench(&format!("flame_layout/{samples}"), 20, || {
+            FlameGraph::top_down(std::hint::black_box(&p), m);
         });
     }
-    group.finish();
 }
 
-fn multi_profile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multi_profile");
-    group.sample_size(20);
+fn multi_profile() {
+    group("multi_profile");
     let snaps = grpc_leak::snapshots(100, 11);
     let refs: Vec<&Profile> = snaps.iter().collect();
-    group.bench_function("aggregate_100_snapshots", |b| {
-        b.iter(|| aggregate(std::hint::black_box(&refs), "inuse_space").expect("agg"));
+    bench("aggregate_100_snapshots", 20, || {
+        aggregate(std::hint::black_box(&refs), "inuse_space").expect("agg");
     });
     let (p1, _) = test_profile(5_000);
     let (p2, _) = test_profile(5_000);
-    group.bench_function("diff_5k_samples", |b| {
-        b.iter(|| {
-            diff(
-                std::hint::black_box(&p1),
-                std::hint::black_box(&p2),
-                "cpu",
-                0.0,
-            )
-            .expect("diff")
-        });
+    bench("diff_5k_samples", 20, || {
+        diff(
+            std::hint::black_box(&p1),
+            std::hint::black_box(&p2),
+            "cpu",
+            0.0,
+        )
+        .expect("diff");
     });
-    group.finish();
 }
 
-fn script(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evscript");
-    group.sample_size(10);
+fn script() {
+    group("evscript");
     let (p, _) = test_profile(2_000);
-    group.bench_function("visit_all_nodes", |b| {
-        b.iter_batched(
-            || p.clone(),
-            |mut p| {
-                ScriptHost::new(&mut p)
-                    .run(
-                        r#"
-                        let hot = 0;
-                        let threshold = total("cpu") * 0.001;
-                        visit(fn(n) {
-                            if value(n, "cpu") > threshold { hot = hot + 1; }
-                        });
-                        "#,
-                    )
-                    .expect("script")
-            },
-            criterion::BatchSize::LargeInput,
-        );
+    bench("visit_all_nodes", 10, || {
+        let mut p = p.clone();
+        ScriptHost::new(&mut p)
+            .run(
+                r#"
+                let hot = 0;
+                let threshold = total("cpu") * 0.001;
+                visit(fn(n) {
+                    if value(n, "cpu") > threshold { hot = hot + 1; }
+                });
+                "#,
+            )
+            .expect("script");
     });
-    group.finish();
 }
 
-criterion_group!(benches, transforms, multi_profile, script);
-criterion_main!(benches);
+fn main() {
+    transforms();
+    multi_profile();
+    script();
+}

@@ -13,4 +13,5 @@
 
 pub mod loc;
 pub mod pipeline;
+pub mod timer;
 pub mod userstudy;

@@ -1,0 +1,77 @@
+//! A minimal self-contained benchmark timer (the workspace builds
+//! offline, so the external criterion harness is replaced by this).
+//!
+//! Each measurement runs a warm-up pass, then `samples` timed
+//! iterations, and reports min / median / mean wall-clock time. The
+//! minimum is the headline number: it is the least noisy estimator for
+//! compute-bound work on a shared machine.
+
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+    /// Number of timed iterations.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Throughput in MiB/s for a payload of `bytes`, based on `min`.
+    pub fn mib_per_sec(&self, bytes: usize) -> f64 {
+        bytes as f64 / (1 << 20) as f64 / self.min.as_secs_f64()
+    }
+}
+
+/// Times `f` over `samples` iterations (after one warm-up) and prints a
+/// one-line report.
+pub fn bench<F: FnMut()>(label: &str, samples: usize, mut f: F) -> Measurement {
+    let samples = samples.max(1);
+    f(); // warm-up: faults pages, fills caches, spawns pools
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / samples as u32;
+    let m = Measurement {
+        min,
+        median,
+        mean,
+        samples,
+    };
+    println!(
+        "{label:<44} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({samples} samples)",
+        min, median, mean
+    );
+    m
+}
+
+/// Prints a section header.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_stats() {
+        let m = bench("noop", 5, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m.min <= m.median);
+        assert_eq!(m.samples, 5);
+        assert!(m.mib_per_sec(1 << 20) > 0.0);
+    }
+}

@@ -31,6 +31,11 @@ pub struct Options {
     pub color: bool,
     /// Prune threshold (fraction of total).
     pub threshold: f64,
+    /// Worker threads for the analysis engine; 0 = all hardware
+    /// threads, 1 = sequential.
+    pub threads: usize,
+    /// Print view-cache hit/miss counters after the command.
+    pub cache_stats: bool,
 }
 
 impl Default for Options {
@@ -43,6 +48,8 @@ impl Default for Options {
             svg: None,
             color: false,
             threshold: 0.0,
+            threads: 0,
+            cache_stats: false,
         }
     }
 }
@@ -142,6 +149,15 @@ pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
                     return Err(CliError("--threshold must be in [0, 1]".to_owned()));
                 }
             }
+            "--threads" => {
+                options.threads = take_value(&mut iter, "--threads")?
+                    .parse()
+                    .map_err(|_| CliError("--threads expects an integer".to_owned()))?;
+                if options.threads > 1024 {
+                    return Err(CliError("--threads must be at most 1024".to_owned()));
+                }
+            }
+            "--cache-stats" => options.cache_stats = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError(format!("unknown option {flag}")))
             }
@@ -281,6 +297,21 @@ mod tests {
         assert!(parse(&["aggregate"]).is_err());
         assert!(parse(&["search", "p"]).is_err());
         assert!(parse(&["convert", "in"]).is_err());
+    }
+
+    #[test]
+    fn threads_and_cache_stats_flags() {
+        let cmd = parse(&["view", "p", "--threads", "4", "--cache-stats"]).unwrap();
+        let Command::View { options, .. } = cmd else { panic!() };
+        assert_eq!(options.threads, 4);
+        assert!(options.cache_stats);
+        // Defaults: auto parallelism, no stats.
+        let cmd = parse(&["view", "p"]).unwrap();
+        let Command::View { options, .. } = cmd else { panic!() };
+        assert_eq!(options.threads, 0);
+        assert!(!options.cache_stats);
+        assert!(parse(&["view", "p", "--threads", "many"]).is_err());
+        assert!(parse(&["view", "p", "--threads", "9999"]).is_err());
     }
 
     #[test]

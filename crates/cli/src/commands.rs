@@ -3,11 +3,39 @@
 
 use crate::args::{Command, Options, Shape};
 use crate::{CliError, USAGE};
-use ev_analysis::{aggregate, classify_timeline, diff, MetricView};
+use ev_analysis::{
+    aggregate_with, classify_timeline, diff_with, view_key, ExecPolicy, MetricView, ViewCache,
+};
 use ev_core::{MetricId, Profile};
 use ev_flame::{render, DiffFlameGraph, FlameGraph, Histogram, TreeTable};
 use ev_script::ScriptHost;
 use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// The process-wide memoized flame-graph cache: repeated identical view
+/// requests (same profile content, metric, shape, threshold) skip the
+/// layout entirely.
+fn view_cache() -> &'static Mutex<ViewCache<FlameGraph>> {
+    static CACHE: OnceLock<Mutex<ViewCache<FlameGraph>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(ViewCache::default()))
+}
+
+fn policy(options: &Options) -> ExecPolicy {
+    if options.threads == 0 {
+        ExecPolicy::auto()
+    } else {
+        ExecPolicy::with_threads(options.threads)
+    }
+}
+
+fn cache_stats_line(out: &mut String) {
+    let stats = view_cache().lock().unwrap().stats();
+    let _ = writeln!(
+        out,
+        "view-cache: {} hit(s), {} miss(es), {}/{} resident",
+        stats.hits, stats.misses, stats.len, stats.capacity
+    );
+}
 
 /// Executes a parsed command, returning the text to print.
 ///
@@ -104,19 +132,35 @@ fn info(input: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn layout(profile: &Profile, metric: MetricId, shape: Shape) -> FlameGraph {
+fn layout(profile: &Profile, metric: MetricId, shape: Shape, exec: ExecPolicy) -> FlameGraph {
     match shape {
-        Shape::TopDown => FlameGraph::top_down(profile, metric),
-        Shape::BottomUp => FlameGraph::bottom_up(profile, metric),
-        Shape::Flat => FlameGraph::flat(profile, metric),
+        Shape::TopDown => FlameGraph::top_down_with(profile, metric, exec),
+        Shape::BottomUp => FlameGraph::bottom_up_with(profile, metric, exec),
+        Shape::Flat => FlameGraph::flat_with(profile, metric, exec),
+    }
+}
+
+fn shape_tag(shape: Shape) -> &'static str {
+    match shape {
+        Shape::TopDown => "top_down",
+        Shape::BottomUp => "bottom_up",
+        Shape::Flat => "flat",
     }
 }
 
 fn view(input: &str, options: &Options) -> Result<String, CliError> {
     let profile = load(input)?;
     let metric = pick_metric(&profile, options)?;
-    let profile = maybe_pruned(&profile, metric, options);
-    let graph = layout(&profile, metric, options.shape);
+    let exec = policy(options);
+    // The transform chain descriptor covers everything between the
+    // loaded profile and the rendered geometry. The policy is NOT part
+    // of the key: outputs are bit-identical across thread counts.
+    let threshold_tag = format!("threshold:{}", options.threshold);
+    let key = view_key(&profile, metric, &[shape_tag(options.shape), &threshold_tag]);
+    let graph = view_cache().lock().unwrap().get_or_insert_with(key, || {
+        let pruned = maybe_pruned(&profile, metric, options);
+        layout(&pruned, metric, options.shape, exec)
+    });
     let mut out = render::ansi(&graph, options.width, options.color);
     if graph.elided() > 0 {
         let _ = writeln!(out, "({} sub-pixel frames elided)", graph.elided());
@@ -126,6 +170,9 @@ fn view(input: &str, options: &Options) -> Result<String, CliError> {
         std::fs::write(path, &svg)
             .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "wrote {path}");
+    }
+    if options.cache_stats {
+        cache_stats_line(&mut out);
     }
     Ok(out)
 }
@@ -161,7 +208,7 @@ fn diff_cmd(before: &str, after: &str, options: &Options) -> Result<String, CliE
     for (tag, count) in dfg.diff().tag_counts() {
         let _ = writeln!(out, "{tag}  {count} context(s)");
     }
-    let d = diff(&p1, &p2, &metric_name, 0.0).expect("checked above");
+    let d = diff_with(&p1, &p2, &metric_name, 0.0, policy(options)).expect("checked above");
     let unit = p1.metric(metric).unit;
     let _ = writeln!(
         out,
@@ -194,7 +241,7 @@ fn aggregate_cmd(inputs: &[String], options: &Options) -> Result<String, CliErro
             .ok_or_else(|| CliError("first profile has no metrics".to_owned()))?,
     };
     let refs: Vec<&Profile> = profiles.iter().collect();
-    let agg = aggregate(&refs, &metric_name)
+    let agg = aggregate_with(&refs, &metric_name, policy(options))
         .map_err(|i| CliError(format!("{} lacks metric {metric_name:?}", inputs[i])))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -330,6 +377,50 @@ mod tests {
         for shape in ["topdown", "bottomup", "flat"] {
             let out = run_line(&["view", &path, "--shape", shape, "--width", "60"]).unwrap();
             assert!(out.lines().count() >= 2, "{shape}: {out}");
+        }
+    }
+
+    #[test]
+    fn repeated_view_requests_hit_the_cache() {
+        let path = write_profile(
+            "cache-hit",
+            &[(&["main", "work"], 80.0), (&["main", "idle"], 20.0)],
+        );
+        let first = run_line(&["view", &path, "--cache-stats"]).unwrap();
+        let second = run_line(&["view", &path, "--cache-stats"]).unwrap();
+        // Identical requests render identically and the second one is
+        // served from the cache (counters are process-wide, so compare
+        // the deltas rather than absolute values).
+        let stat = |out: &str, nth: usize| -> u64 {
+            let line = out.lines().find(|l| l.starts_with("view-cache:")).unwrap();
+            line.split_whitespace().nth(nth).unwrap().parse().unwrap()
+        };
+        let (hits, misses) = (|out: &str| stat(out, 1), |out: &str| stat(out, 3));
+        // Counters are process-wide and other tests run concurrently, so
+        // assert monotone deltas, not exact values.
+        assert!(hits(&second) > hits(&first), "{second}");
+        let body = |out: &str| {
+            out.lines()
+                .filter(|l| !l.starts_with("view-cache:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&first), body(&second));
+        // A different shape is a different key: it must miss.
+        let other = run_line(&["view", &path, "--shape", "bottomup", "--cache-stats"]).unwrap();
+        assert!(misses(&other) > misses(&second), "{other}");
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_output() {
+        let path = write_profile(
+            "threads-eq",
+            &[(&["main", "a", "b"], 60.0), (&["main", "c"], 40.0)],
+        );
+        let seq = run_line(&["view", &path, "--threads", "1"]).unwrap();
+        for threads in ["2", "4", "8"] {
+            let par = run_line(&["view", &path, "--threads", threads]).unwrap();
+            assert_eq!(seq, par, "--threads {threads}");
         }
     }
 

@@ -79,4 +79,7 @@ OPTIONS:
     --svg <path>        also write an SVG rendering
     --color             force ANSI colors on
     --threshold <f>     prune subtrees below this fraction (default 0)
+    --threads <n>       analysis worker threads (default 0 = all cores,
+                        1 = sequential; results are identical either way)
+    --cache-stats       print view-cache hit/miss counters
 ";

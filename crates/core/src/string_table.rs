@@ -125,7 +125,7 @@ impl PartialEq for StringTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn empty_string_is_id_zero() {
@@ -173,9 +173,8 @@ mod tests {
         assert_eq!(t, rebuilt);
     }
 
-    proptest! {
-        #[test]
-        fn resolve_inverts_intern(strings in proptest::collection::vec("\\PC{0,20}", 0..50)) {
+    property! {
+        fn resolve_inverts_intern(strings in vec(string_printable(0..21), 0..50)) {
             let mut t = StringTable::new();
             let ids: Vec<_> = strings.iter().map(|s| t.intern(s)).collect();
             for (s, id) in strings.iter().zip(ids) {
@@ -183,8 +182,7 @@ mod tests {
             }
         }
 
-        #[test]
-        fn ids_are_dense(strings in proptest::collection::vec("[a-f]{1,4}", 0..50)) {
+        fn ids_are_dense(strings in vec(string_from("abcdef", 1..5), 0..50)) {
             let mut t = StringTable::new();
             for s in &strings {
                 t.intern(s);

@@ -3,11 +3,16 @@
 use crate::color::{Color, ColorScheme};
 use ev_analysis::MetricView;
 use ev_core::{MetricId, NodeId, Profile};
+use ev_par::{parallel_map, ExecPolicy};
 
 /// Rectangles narrower than this fraction of the total width are elided
 /// from the layout (they would be sub-pixel at any realistic viewport);
 /// the count of elided frames is kept for display.
 const MIN_WIDTH: f64 = 1e-5;
+
+/// Below this node count the level-parallel layout is not worth the
+/// pool round-trip.
+const PAR_NODE_THRESHOLD: usize = 4096;
 
 /// One frame rectangle of a laid-out flame graph.
 ///
@@ -58,23 +63,38 @@ impl FlameGraph {
         Self::from_owned(profile.clone(), metric)
     }
 
+    /// [`FlameGraph::top_down`] with an explicit execution policy.
+    pub fn top_down_with(profile: &Profile, metric: MetricId, policy: ExecPolicy) -> FlameGraph {
+        Self::with_scheme_policy(profile.clone(), metric, ColorScheme::default(), policy)
+    }
+
     /// Lays out the bottom-up view (paper Fig. 6): leaf functions at the
     /// first level, callers below.
     pub fn bottom_up(profile: &Profile, metric: MetricId) -> FlameGraph {
+        Self::bottom_up_with(profile, metric, ExecPolicy::auto())
+    }
+
+    /// [`FlameGraph::bottom_up`] with an explicit execution policy.
+    pub fn bottom_up_with(profile: &Profile, metric: MetricId, policy: ExecPolicy) -> FlameGraph {
         let transformed = ev_analysis::bottom_up(profile, metric);
         let m = transformed
             .metric_by_name(&profile.metric(metric).name)
             .expect("transform keeps the metric");
-        Self::from_owned(transformed, m)
+        Self::with_scheme_policy(transformed, m, ColorScheme::default(), policy)
     }
 
     /// Lays out the flat view: load modules → files → functions.
     pub fn flat(profile: &Profile, metric: MetricId) -> FlameGraph {
+        Self::flat_with(profile, metric, ExecPolicy::auto())
+    }
+
+    /// [`FlameGraph::flat`] with an explicit execution policy.
+    pub fn flat_with(profile: &Profile, metric: MetricId, policy: ExecPolicy) -> FlameGraph {
         let transformed = ev_analysis::flatten(profile, metric);
         let m = transformed
             .metric_by_name(&profile.metric(metric).name)
             .expect("transform keeps the metric");
-        Self::from_owned(transformed, m)
+        Self::with_scheme_policy(transformed, m, ColorScheme::default(), policy)
     }
 
     /// Lays out an owned profile directly (used by the diff and
@@ -85,56 +105,70 @@ impl FlameGraph {
 
     /// Layout with an explicit color scheme.
     pub fn with_scheme(profile: Profile, metric: MetricId, scheme: ColorScheme) -> FlameGraph {
-        let view = MetricView::compute(&profile, metric);
+        Self::with_scheme_policy(profile, metric, scheme, ExecPolicy::auto())
+    }
+
+    /// Layout with an explicit color scheme and execution policy.
+    ///
+    /// A frame's rectangle is a pure function of its `(node, depth, x)`
+    /// placement, and a node's placement depends only on its parent's,
+    /// so rows are laid out level by level with every frame of a level
+    /// in parallel. The final rect list is sorted by a total order
+    /// (depth, x, node id), making the output bit-identical for every
+    /// thread count.
+    pub fn with_scheme_policy(
+        profile: Profile,
+        metric: MetricId,
+        scheme: ColorScheme,
+        policy: ExecPolicy,
+    ) -> FlameGraph {
+        let view = MetricView::compute_with(&profile, metric, policy);
         let total = view.total().max(f64::MIN_POSITIVE);
         let mut rects = Vec::with_capacity(profile.node_count());
         let mut max_depth = 0usize;
         let mut elided = 0usize;
 
-        // Work list of (node, depth, left edge).
-        let mut work: Vec<(NodeId, usize, f64)> = vec![(profile.root(), 0, 0.0)];
-        while let Some((node, depth, x)) = work.pop() {
-            let inclusive = view.inclusive(node);
-            let width = inclusive / total;
-            if width < MIN_WIDTH && node != NodeId::ROOT {
-                elided += 1;
-                continue;
+        if policy.is_sequential() || profile.node_count() < PAR_NODE_THRESHOLD {
+            // Work list of (node, depth, left edge).
+            let mut work: Vec<(NodeId, usize, f64)> = vec![(profile.root(), 0, 0.0)];
+            while let Some((node, depth, x)) = work.pop() {
+                let step = layout_one(&profile, &view, total, scheme, node, depth, x);
+                match step.rect {
+                    Some(rect) => {
+                        max_depth = max_depth.max(depth);
+                        rects.push(rect);
+                        work.extend(step.children);
+                    }
+                    None => elided += 1,
+                }
             }
-            let frame = profile.resolve_frame(node);
-            let label = if node == NodeId::ROOT {
-                "ROOT".to_owned()
-            } else {
-                frame.name.clone()
-            };
-            rects.push(FlameRect {
-                node,
-                depth,
-                x,
-                width: if node == NodeId::ROOT { 1.0 } else { width },
-                label,
-                value: inclusive,
-                self_value: view.exclusive(node),
-                color: scheme.color_for(&frame),
-                mapped: frame.has_source_mapping(),
-            });
-            max_depth = max_depth.max(depth);
-            // Children laid out left-to-right by decreasing value
-            // (classic flame-graph ordering), each offset by the
-            // cumulative width of its earlier siblings.
-            let mut children: Vec<(NodeId, f64)> = profile
-                .node(node)
-                .children()
-                .iter()
-                .map(|&c| (c, view.inclusive(c)))
-                .collect();
-            children.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let mut cursor = x;
-            for (child, inclusive) in children {
-                work.push((child, depth + 1, cursor));
-                cursor += inclusive / total;
+        } else {
+            // Level-synchronous: every frame of a row laid out at once.
+            let mut level: Vec<(NodeId, usize, f64)> = vec![(profile.root(), 0, 0.0)];
+            while !level.is_empty() {
+                let steps = parallel_map(&level, policy, |&(node, depth, x)| {
+                    layout_one(&profile, &view, total, scheme, node, depth, x)
+                });
+                let mut next: Vec<(NodeId, usize, f64)> = Vec::new();
+                for step in steps {
+                    match step.rect {
+                        Some(rect) => {
+                            max_depth = max_depth.max(rect.depth);
+                            rects.push(rect);
+                            next.extend(step.children);
+                        }
+                        None => elided += 1,
+                    }
+                }
+                level = next;
             }
         }
-        rects.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.x.total_cmp(&b.x)));
+        rects.sort_by(|a, b| {
+            a.depth
+                .cmp(&b.depth)
+                .then(a.x.total_cmp(&b.x))
+                .then(a.node.index().cmp(&b.node.index()))
+        });
         FlameGraph {
             profile,
             metric,
@@ -202,11 +236,78 @@ impl FlameGraph {
     }
 }
 
+/// The outcome of laying out one frame: its rectangle (or `None` when
+/// elided as sub-pixel, which also drops the subtree) and the placed
+/// children.
+struct LayoutStep {
+    rect: Option<FlameRect>,
+    children: Vec<(NodeId, usize, f64)>,
+}
+
+/// Lays out a single frame at `(depth, x)`. Pure: depends only on the
+/// profile, the metric view, and the placement — which is what makes
+/// whole rows computable in parallel.
+fn layout_one(
+    profile: &Profile,
+    view: &MetricView,
+    total: f64,
+    scheme: ColorScheme,
+    node: NodeId,
+    depth: usize,
+    x: f64,
+) -> LayoutStep {
+    let inclusive = view.inclusive(node);
+    let width = inclusive / total;
+    if width < MIN_WIDTH && node != NodeId::ROOT {
+        return LayoutStep {
+            rect: None,
+            children: Vec::new(),
+        };
+    }
+    let frame = profile.resolve_frame(node);
+    let label = if node == NodeId::ROOT {
+        "ROOT".to_owned()
+    } else {
+        frame.name.clone()
+    };
+    let rect = FlameRect {
+        node,
+        depth,
+        x,
+        width: if node == NodeId::ROOT { 1.0 } else { width },
+        label,
+        value: inclusive,
+        self_value: view.exclusive(node),
+        color: scheme.color_for(&frame),
+        mapped: frame.has_source_mapping(),
+    };
+    // Children laid out left-to-right by decreasing value (classic
+    // flame-graph ordering), each offset by the cumulative width of its
+    // earlier siblings.
+    let mut ordered: Vec<(NodeId, f64)> = profile
+        .node(node)
+        .children()
+        .iter()
+        .map(|&c| (c, view.inclusive(c)))
+        .collect();
+    ordered.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut children = Vec::with_capacity(ordered.len());
+    let mut cursor = x;
+    for (child, inclusive) in ordered {
+        children.push((child, depth + 1, cursor));
+        cursor += inclusive / total;
+    }
+    LayoutStep {
+        rect: Some(rect),
+        children,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit};
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     fn profile() -> (Profile, MetricId) {
         let mut p = Profile::new("t");
@@ -324,9 +425,9 @@ mod tests {
         assert_eq!(fg.rects()[0].label, "ROOT");
     }
 
-    fn arb_profile() -> impl Strategy<Value = Profile> {
-        proptest::collection::vec(
-            (proptest::collection::vec(0u8..6, 1..7), 0.5f64..100.0),
+    fn arb_profile() -> impl Gen<Value = Profile> {
+        vec(
+            (vec(0u8..6, 1..7), 0.5f64..100.0),
             1..40,
         )
         .prop_map(|samples| {
@@ -345,8 +446,7 @@ mod tests {
         })
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn layout_invariants(p in arb_profile()) {
             let m = p.metric_by_name("m").unwrap();
             let fg = FlameGraph::top_down(&p, m);

@@ -165,7 +165,7 @@ impl BitWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn read_single_bits_lsb_first() {
@@ -225,9 +225,8 @@ mod tests {
         assert_eq!(byte & 0b111, 0b011);
     }
 
-    proptest! {
-        #[test]
-        fn write_read_roundtrip(fields in proptest::collection::vec((0u32..=0xffff, 1u32..=16), 0..64)) {
+    property! {
+        fn write_read_roundtrip(fields in vec((0u32..=0xffff, 1u32..=16), 0..64)) {
             let mut w = BitWriter::new();
             for &(value, width) in &fields {
                 w.bits(value & ((1 << width) - 1), width);
@@ -239,8 +238,7 @@ mod tests {
             }
         }
 
-        #[test]
-        fn copy_roundtrip(prefix_bits in 0u32..8, data: Vec<u8>) {
+        fn copy_roundtrip(prefix_bits in 0u32..8, data in vec(any_u8(), 0..256)) {
             let mut w = BitWriter::new();
             w.bits(0, prefix_bits);
             w.align_to_byte();

@@ -237,7 +237,7 @@ fn deflate_fixed(data: &[u8]) -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::inflate;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn stored_empty_roundtrip() {
@@ -358,30 +358,26 @@ mod tests {
         assert_eq!(distance_code(32768).0, 29);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    property! {
+        #![cases(64)]
 
-        #[test]
-        fn stored_roundtrip(data: Vec<u8>) {
+        fn stored_roundtrip(data in vec(any_u8(), 0..256)) {
             let raw = deflate_compress(&data, CompressionLevel::Store);
             prop_assert_eq!(inflate(&raw).unwrap(), data);
         }
 
-        #[test]
-        fn fast_roundtrip(data: Vec<u8>) {
+        fn fast_roundtrip(data in vec(any_u8(), 0..256)) {
             let raw = deflate_compress(&data, CompressionLevel::Fast);
             prop_assert_eq!(inflate(&raw).unwrap(), data);
         }
 
-        #[test]
-        fn high_roundtrip(data: Vec<u8>) {
+        fn high_roundtrip(data in vec(any_u8(), 0..256)) {
             let raw = deflate_compress(&data, CompressionLevel::High);
             prop_assert_eq!(inflate(&raw).unwrap(), data);
         }
 
-        #[test]
         fn fast_roundtrip_repetitive(
-            seed in proptest::collection::vec(any::<u8>(), 1..32),
+            seed in vec(any_u8(), 1..32),
             repeats in 1usize..200,
         ) {
             let data: Vec<u8> = seed.iter().copied().cycle().take(seed.len() * repeats).collect();

@@ -119,7 +119,7 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn detects_magic() {
@@ -197,23 +197,20 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    property! {
+        #![cases(48)]
 
-        #[test]
-        fn roundtrip_store(data: Vec<u8>) {
+        fn roundtrip_store(data in vec(any_u8(), 0..256)) {
             let gz = gzip_compress(&data, CompressionLevel::Store);
             prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
         }
 
-        #[test]
-        fn roundtrip_fast(data: Vec<u8>) {
+        fn roundtrip_fast(data in vec(any_u8(), 0..256)) {
             let gz = gzip_compress(&data, CompressionLevel::Fast);
             prop_assert_eq!(gzip_decompress(&gz).unwrap(), data);
         }
 
-        #[test]
-        fn arbitrary_bytes_never_panic(data: Vec<u8>) {
+        fn arbitrary_bytes_never_panic(data in vec(any_u8(), 0..256)) {
             let _ = gzip_decompress(&data);
         }
     }

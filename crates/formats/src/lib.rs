@@ -298,18 +298,16 @@ mod tests {
 
     mod fuzz {
         use super::super::*;
-        use proptest::prelude::*;
+        use ev_test::prelude::*;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+        property! {
+            #![cases(64)]
 
-            #[test]
-            fn parse_auto_never_panics(data: Vec<u8>) {
+            fn parse_auto_never_panics(data in vec(any_u8(), 0..256)) {
                 let _ = parse_auto(&data);
             }
 
-            #[test]
-            fn every_converter_survives_arbitrary_text(s in "\\PC{0,256}") {
+            fn every_converter_survives_arbitrary_text(s in string_printable(0..257)) {
                 let _ = collapsed::parse(&s);
                 let _ = perf_script::parse(&s);
                 let _ = chrome::parse(&s);
@@ -319,8 +317,7 @@ mod tests {
                 let _ = hpctoolkit::parse(&s);
             }
 
-            #[test]
-            fn pprof_parser_survives_arbitrary_bytes(data: Vec<u8>) {
+            fn pprof_parser_survives_arbitrary_bytes(data in vec(any_u8(), 0..256)) {
                 if let Ok(p) = pprof::parse(&data) {
                     p.validate().unwrap();
                 }

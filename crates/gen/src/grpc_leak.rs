@@ -11,8 +11,7 @@
 //! reproduces exactly that signal structure with deterministic noise.
 
 use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ev_test::Rng;
 
 /// How one allocation site's active memory evolves over snapshots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +89,7 @@ pub fn sites() -> Vec<Site> {
 }
 
 /// Active bytes of a site at snapshot `k` of `n`.
-fn level(site: &Site, k: usize, n: usize, rng: &mut StdRng) -> f64 {
+fn level(site: &Site, k: usize, n: usize, rng: &mut Rng) -> f64 {
     let t = k as f64 / (n - 1).max(1) as f64;
     let noise = 1.0 + rng.gen_range(-0.03..0.03);
     let shape = match site.behavior {
@@ -117,7 +116,7 @@ fn level(site: &Site, k: usize, n: usize, rng: &mut StdRng) -> f64 {
 /// capture timestamp in its metadata.
 pub fn snapshots(n: usize, seed: u64) -> Vec<Profile> {
     assert!(n >= 2, "need at least two snapshots");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let sites = sites();
     (0..n)
         .map(|k| {

@@ -18,8 +18,7 @@ use ev_core::{
     ContextLink, Frame, LinkKind, MetricDescriptor, MetricId, MetricKind, MetricUnit, NodeId,
     Profile,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ev_test::Rng;
 
 const LULESH: &str = "lulesh2.0";
 const LIBC: &str = "libc-2.31.so";
@@ -46,7 +45,7 @@ fn frame(name: &str, line: u32) -> Frame {
 /// `CalcVolumeForceForElems`/`CalcHourglassForceForElems` dominate the
 /// top-down view.
 pub fn cpu_profile(seed: u64) -> Profile {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut p = Profile::new("lulesh-hpctoolkit");
     p.meta_mut().profiler = "hpctoolkit".to_owned();
     let cpu = p.add_metric(MetricDescriptor::new(
@@ -115,7 +114,7 @@ pub struct ReuseProfile {
 /// `CalcHourglassForceForElems` — the pair whose least-common-ancestor
 /// hoisting the case study performs.
 pub fn reuse_profile(seed: u64) -> ReuseProfile {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let mut p = Profile::new("lulesh-drcctprof");
     p.meta_mut().profiler = "drcctprof".to_owned();
     let bytes = p.add_metric(MetricDescriptor::new(

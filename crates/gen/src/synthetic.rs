@@ -3,8 +3,7 @@
 use ev_core::{Frame, MetricDescriptor, MetricId, MetricKind, MetricUnit, Profile};
 use ev_formats::pprof::{write, WriteOptions};
 use ev_flate::CompressionLevel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ev_test::Rng;
 
 /// Shape parameters for a synthetic profile.
 ///
@@ -46,7 +45,7 @@ impl Default for SyntheticSpec {
 impl SyntheticSpec {
     /// Generates the profile.
     pub fn build(&self) -> Profile {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut profile = Profile::new(format!("synthetic-{}", self.seed));
         profile.meta_mut().profiler = "ev-gen".to_owned();
         let metrics: Vec<MetricId> = (0..self.metrics.max(1))

@@ -323,7 +323,7 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn scalars() {
@@ -450,19 +450,16 @@ mod tests {
         assert_eq!((err.line, err.column), (2, 8));
     }
 
-    proptest! {
-        #[test]
-        fn arbitrary_input_never_panics(s in "\\PC*") {
+    property! {
+        fn arbitrary_input_never_panics(s in string_printable(0..65)) {
             let _ = parse(&s);
         }
 
-        #[test]
-        fn integers_roundtrip(i: i64) {
+        fn integers_roundtrip(i in any_i64()) {
             prop_assert_eq!(parse(&i.to_string()).unwrap(), Value::Int(i));
         }
 
-        #[test]
-        fn strings_roundtrip_through_serializer(s in "\\PC*") {
+        fn strings_roundtrip_through_serializer(s in string_printable(0..65)) {
             let serialized = crate::to_string(&Value::from(s.clone()));
             prop_assert_eq!(parse(&serialized).unwrap(), Value::from(s));
         }

@@ -127,7 +127,7 @@ fn write_escaped(out: &mut String, s: &str) {
 mod tests {
     use super::*;
     use crate::parse;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
     use std::collections::BTreeMap;
 
     #[test]
@@ -166,28 +166,65 @@ mod tests {
         assert_eq!(to_string_pretty(&v), "{\n  \"a\": [\n    1\n  ]\n}");
     }
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        let leaf = prop_oneof![
-            Just(Value::Null),
-            any::<bool>().prop_map(Value::Bool),
-            any::<i64>().prop_map(Value::Int),
-            // Finite floats only: NaN/Inf intentionally do not roundtrip.
-            any::<f64>()
-                .prop_filter("finite", |f| f.is_finite())
-                .prop_map(Value::Float),
-            "\\PC*".prop_map(Value::from),
-        ];
-        leaf.prop_recursive(4, 48, 6, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-                proptest::collection::btree_map("[a-z]{0,6}", inner, 0..6)
-                    .prop_map(Value::Object),
-            ]
-        })
+    /// Recursive documents via the seeded escape hatch: a size budget
+    /// bounds total node count, `depth` bounds nesting.
+    fn arb_value() -> impl Gen<Value = Value> {
+        seeded(1..48, |rng, size| build_value(rng, size, 4))
     }
 
-    proptest! {
-        #[test]
+    fn build_value(rng: &mut ev_test::Rng, size: usize, depth: u32) -> Value {
+        const CHARS: &[char] = &[
+            'a', 'b', 'z', ' ', '"', '\\', '/', '\u{1}', '\n', '\u{7f}', '\u{e9}', '\u{4e2d}',
+        ];
+        let branching = depth > 0 && size > 1;
+        match rng.gen_range(0u8..if branching { 7 } else { 5 }) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_bool(0.5)),
+            2 => Value::Int(rng.next_u64() as i64),
+            3 => {
+                // Finite floats only: NaN/Inf intentionally do not roundtrip.
+                let f = loop {
+                    let f = f64::from_bits(rng.next_u64());
+                    if f.is_finite() {
+                        break f;
+                    }
+                };
+                Value::Float(f)
+            }
+            4 => {
+                let n = rng.gen_range(0usize..12);
+                Value::from(
+                    (0..n)
+                        .map(|_| CHARS[rng.gen_range(0..CHARS.len())])
+                        .collect::<String>(),
+                )
+            }
+            5 => {
+                let n = rng.gen_range(0usize..6.min(size));
+                Value::Array(
+                    (0..n)
+                        .map(|_| build_value(rng, size / n.max(1), depth - 1))
+                        .collect(),
+                )
+            }
+            _ => {
+                let n = rng.gen_range(0usize..6.min(size));
+                Value::Object(
+                    (0..n)
+                        .map(|_| {
+                            let klen = rng.gen_range(0usize..7);
+                            let key: String = (0..klen)
+                                .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                                .collect();
+                            (key, build_value(rng, size / n.max(1), depth - 1))
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    property! {
         fn parse_to_string_roundtrip(v in arb_value()) {
             let s = to_string(&v);
             let reparsed = parse(&s).unwrap();
@@ -196,7 +233,6 @@ mod tests {
             prop_assert_eq!(to_string(&reparsed), s);
         }
 
-        #[test]
         fn pretty_parses_to_same_value(v in arb_value()) {
             let compact = parse(&to_string(&v)).unwrap();
             let pretty = parse(&to_string_pretty(&v)).unwrap();

@@ -1,0 +1,286 @@
+//! `ev-par` — EasyView's from-scratch scoped thread pool.
+//!
+//! The analysis engine (paper §4) must aggregate, diff, and re-lay-out
+//! profiles interactively; those paths are tree traversals and
+//! multi-profile merges that scale with cores. Per the workspace
+//! charter everything is built on std only — no rayon, no crossbeam:
+//! `std::thread` workers, `Mutex<VecDeque>` work-stealing deques, and a
+//! `Condvar` for sleep/wake.
+//!
+//! # Execution model
+//!
+//! A single process-wide pool spawns lazily on first parallel call and
+//! lives for the process. Work enters as *scoped jobs*: the submitting
+//! thread publishes chunk tasks, participates in execution, and does
+//! not return until every task has completed (which is what makes
+//! borrowing stack data from tasks sound). Workers pop their own deque
+//! LIFO and steal from others FIFO.
+//!
+//! # Determinism contract
+//!
+//! Every parallel algorithm built on this crate must produce output
+//! **bit-identical** to its sequential specialization, for any thread
+//! count. The pool itself guarantees nothing about ordering — callers
+//! achieve determinism by fixing the *reduction shape* independently of
+//! [`ExecPolicy::threads`] (e.g. a balanced merge tree keyed only on
+//! input count, or disjoint per-subtree writes with a fixed sequential
+//! accumulation order inside each subtree). `threads == 1` always runs
+//! inline on the caller with no pool involvement at all: that path *is*
+//! the sequential reference implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use ev_par::{parallel_for, ExecPolicy, SharedSlice};
+//!
+//! let mut squares = vec![0u64; 1000];
+//! let shared = SharedSlice::new(&mut squares);
+//! parallel_for(1000, ExecPolicy::auto(), 64, &|range| {
+//!     for i in range {
+//!         // Chunks are disjoint, so each index is written once.
+//!         unsafe { shared.set(i, (i as u64) * (i as u64)) };
+//!     }
+//! });
+//! assert_eq!(squares[31], 961);
+//! ```
+
+mod pool;
+mod slice;
+
+pub use slice::SharedSlice;
+
+use pool::Pool;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// How much parallelism a call may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Upper bound on concurrently executing tasks. `1` means strictly
+    /// sequential inline execution (the reference path).
+    pub threads: usize,
+}
+
+impl ExecPolicy {
+    /// Strictly sequential: run inline on the caller.
+    pub const SEQUENTIAL: ExecPolicy = ExecPolicy { threads: 1 };
+
+    /// Use every available hardware thread.
+    pub fn auto() -> ExecPolicy {
+        ExecPolicy {
+            threads: max_threads(),
+        }
+    }
+
+    /// Use at most `threads` threads (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> ExecPolicy {
+        ExecPolicy {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Whether this policy runs inline without the pool.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> ExecPolicy {
+        ExecPolicy::auto()
+    }
+}
+
+/// Number of hardware threads, bounded to keep deque scans cheap.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 32)
+}
+
+/// Splits `0..n` into `tasks` near-equal chunks, largest first.
+fn chunk_bounds(n: usize, tasks: usize) -> Vec<Range<usize>> {
+    let tasks = tasks.clamp(1, n.max(1));
+    let base = n / tasks;
+    let rem = n % tasks;
+    let mut out = Vec::with_capacity(tasks);
+    let mut start = 0;
+    for i in 0..tasks {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `body` over `0..n` split into contiguous chunks, at most
+/// `policy.threads` at a time. Chunks no smaller than `min_chunk`
+/// (except the tail when `n` is small). With `threads == 1`, or when
+/// the work is too small to split, runs `body(0..n)` inline.
+pub fn parallel_for<F>(n: usize, policy: ExecPolicy, min_chunk: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let max_tasks = if min_chunk == 0 {
+        policy.threads
+    } else {
+        policy.threads.min(n.div_ceil(min_chunk))
+    };
+    if policy.is_sequential() || max_tasks <= 1 {
+        body(0..n);
+        return;
+    }
+    let chunks = chunk_bounds(n, max_tasks);
+    Pool::global().run_scope(chunks.len(), &|i| body(chunks[i].clone()));
+}
+
+/// Runs `tasks` independent closures, at most `policy.threads` at a
+/// time. Sequential policies run them in index order on the caller.
+pub fn parallel_tasks<F>(tasks: usize, policy: ExecPolicy, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    if policy.is_sequential() || tasks <= 1 {
+        for i in 0..tasks {
+            body(i);
+        }
+        return;
+    }
+    Pool::global().run_scope(tasks, body);
+}
+
+/// Maps `f` over `items` in parallel chunks and returns the results in
+/// input order. Output is identical for every policy; only wall-clock
+/// differs.
+pub fn parallel_map<T, R, F>(items: &[T], policy: ExecPolicy, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if policy.is_sequential() || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let pieces: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    parallel_for(items.len(), policy, 1, &|range| {
+        let start = range.start;
+        let piece: Vec<R> = items[range].iter().map(&f).collect();
+        pieces.lock().unwrap().push((start, piece));
+    });
+    let mut pieces = pieces.into_inner().unwrap();
+    pieces.sort_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, piece) in pieces {
+        out.extend(piece);
+    }
+    out
+}
+
+/// Number of workers the global pool runs (spawning it if needed).
+pub fn pool_workers() -> usize {
+    Pool::global().workers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for n in [0usize, 1, 5, 17, 100, 1001] {
+            for tasks in [1usize, 2, 3, 7, 16] {
+                let chunks = chunk_bounds(n, tasks);
+                let mut next = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, next);
+                    next = c.end;
+                }
+                assert_eq!(next, n);
+                if n > 0 {
+                    assert!(chunks.iter().all(|c| !c.is_empty()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let counters: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+        for threads in [1, 2, 4, 8] {
+            counters.iter().for_each(|c| c.store(0, Ordering::Relaxed));
+            parallel_for(5000, ExecPolicy::with_threads(threads), 16, &|range| {
+                for i in range {
+                    counters[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..3000).collect();
+        let seq = parallel_map(&items, ExecPolicy::SEQUENTIAL, |&x| x * 3 + 1);
+        for threads in [2, 4, 8] {
+            let par = parallel_map(&items, ExecPolicy::with_threads(threads), |&x| x * 3 + 1);
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn parallel_tasks_runs_each_task() {
+        let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        parallel_tasks(37, ExecPolicy::with_threads(4), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn shared_slice_parallel_fill() {
+        let mut data = vec![0u64; 10_000];
+        let shared = SharedSlice::new(&mut data);
+        parallel_for(10_000, ExecPolicy::with_threads(8), 64, &|range| {
+            for i in range {
+                unsafe { shared.set(i, i as u64 * 7) };
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 7));
+    }
+
+    #[test]
+    fn panics_propagate_to_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(100, ExecPolicy::with_threads(4), 1, &|range| {
+                if range.contains(&50) {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let total = AtomicUsize::new(0);
+        parallel_tasks(4, ExecPolicy::with_threads(4), &|_outer| {
+            parallel_for(100, ExecPolicy::with_threads(2), 10, &|range| {
+                total.fetch_add(range.len(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn sequential_policy_runs_inline() {
+        let thread_id = std::thread::current().id();
+        parallel_for(100, ExecPolicy::SEQUENTIAL, 1, &|_range| {
+            assert_eq!(std::thread::current().id(), thread_id);
+        });
+    }
+}

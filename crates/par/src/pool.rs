@@ -1,0 +1,233 @@
+//! The process-wide worker pool and scoped job execution.
+//!
+//! One pool is spawned lazily and lives for the process. Each worker
+//! owns a deque: it pops its own back (LIFO, cache-warm) and steals
+//! other deques' fronts (FIFO, oldest work first). Idle workers sleep
+//! on a `Condvar` guarded by a pending-task counter; the counter is
+//! only mutated under the same mutex, so wakeups cannot be lost.
+//!
+//! A *job* is a stack-allocated [`JobCore`] — a lifetime-erased
+//! reference to the task closure plus a completion latch. Workers never
+//! touch a job after bumping its latch to the total, and the submitting
+//! thread does not return (and thus cannot drop the `JobCore`) until
+//! the latch reaches the total, which makes the erasure sound.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A unit of work: which job, and which task index within it.
+#[derive(Clone, Copy)]
+struct Task {
+    job: *const JobCore,
+    index: usize,
+}
+
+// Tasks only travel between threads inside the pool, and the pointed-to
+// JobCore outlives every task referencing it (see module docs).
+unsafe impl Send for Task {}
+
+/// Shared state of a running job.
+struct JobCore {
+    /// The task body, lifetime-erased. Valid for the job's duration.
+    body: *const (dyn Fn(usize) + Sync),
+    /// Completion latch: tasks finished so far.
+    done: Mutex<usize>,
+    /// Signalled when the latch reaches `total`.
+    done_cv: Condvar,
+    /// Total number of tasks in the job.
+    total: usize,
+    /// Set if any task panicked; the submitter re-panics.
+    panicked: AtomicBool,
+}
+
+// The body pointer is only dereferenced while the job is alive, and the
+// closure itself is Sync.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+impl JobCore {
+    /// Runs one task and bumps the completion latch. This is the only
+    /// path that touches a job from a worker; nothing is accessed after
+    /// the latch update's unlock.
+    fn run_task(&self, index: usize) {
+        let body = unsafe { &*self.body };
+        if panic::catch_unwind(AssertUnwindSafe(|| body(index))).is_err() {
+            self.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut done = self.done.lock().unwrap();
+        *done += 1;
+        if *done == self.total {
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Worker-visible pool state.
+struct Shared {
+    /// One deque per worker; callers push round-robin.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Count of queued (not yet claimed) tasks. Mutated only under
+    /// this mutex so sleepers and pushers cannot race.
+    pending: Mutex<usize>,
+    /// Wakes idle workers when tasks arrive.
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Claims a task: own deque from the back, then steals others from
+    /// the front. `me` is the worker's own index (callers pass an
+    /// arbitrary slot).
+    fn claim(&self, me: usize) -> Option<Task> {
+        let n = self.deques.len();
+        if let Some(task) = self.deques[me % n].lock().unwrap().pop_back() {
+            self.settle();
+            return Some(task);
+        }
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(task) = self.deques[victim].lock().unwrap().pop_front() {
+                self.settle();
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Accounts for one claimed task.
+    fn settle(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending = pending.saturating_sub(1);
+    }
+
+    /// Publishes `tasks` across the deques starting at `home` and wakes
+    /// sleepers. Tasks are enqueued before the counter rises, so a
+    /// woken worker always finds what the counter promises.
+    fn publish(&self, home: usize, tasks: impl ExactSizeIterator<Item = Task>) {
+        let n = self.deques.len();
+        let count = tasks.len();
+        for (i, task) in tasks.enumerate() {
+            self.deques[(home + i) % n].lock().unwrap().push_back(task);
+        }
+        let mut pending = self.pending.lock().unwrap();
+        *pending += count;
+        drop(pending);
+        self.wake.notify_all();
+    }
+}
+
+/// The persistent pool.
+pub(crate) struct Pool {
+    shared: &'static Shared,
+    workers: usize,
+}
+
+fn worker_loop(shared: &'static Shared, me: usize) {
+    loop {
+        if let Some(task) = shared.claim(me) {
+            unsafe { (*task.job).run_task(task.index) };
+            continue;
+        }
+        let pending = shared.pending.lock().unwrap();
+        // Re-check under the lock: a publish between our failed scan
+        // and this lock raised the counter, so skip the wait and scan
+        // again rather than sleeping through the notification.
+        if *pending == 0 {
+            drop(shared.wake.wait(pending).unwrap());
+        }
+    }
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The process-wide pool, spawning workers on first use.
+    pub(crate) fn global() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let workers = crate::max_threads();
+            let shared: &'static Shared = Box::leak(Box::new(Shared {
+                deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+                pending: Mutex::new(0),
+                wake: Condvar::new(),
+            }));
+            for me in 0..workers {
+                thread::Builder::new()
+                    .name(format!("ev-par-{me}"))
+                    .spawn(move || worker_loop(shared, me))
+                    .expect("spawn ev-par worker");
+            }
+            Pool { shared, workers }
+        })
+    }
+
+    /// Number of workers in the pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `total` tasks (`body(0..total)`) on the pool and blocks
+    /// until all complete, helping with this job's tasks while waiting.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the calling thread if any task panicked.
+    pub(crate) fn run_scope(&self, total: usize, body: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        if total == 1 {
+            body(0);
+            return;
+        }
+        // Erase the borrow: the JobCore stays on this stack frame and
+        // this function does not return until every task has finished,
+        // so extending the closure's lifetime is sound.
+        let body_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(body) };
+        let job = JobCore {
+            body: body_static,
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            total,
+            panicked: AtomicBool::new(false),
+        };
+        let job_ptr: *const JobCore = &job;
+
+        // Keep the last task for ourselves (submitter participates),
+        // publish the rest.
+        let home = job_ptr as usize / 64; // spread jobs across deques
+        self.shared.publish(
+            home,
+            (0..total - 1).map(|index| Task { job: job_ptr, index }),
+        );
+        job.run_task(total - 1);
+
+        // Help drain while waiting: any task we claim (even from an
+        // unrelated concurrent job) makes progress toward our latch
+        // being reachable.
+        loop {
+            {
+                let done = job.done.lock().unwrap();
+                if *done == job.total {
+                    break;
+                }
+            }
+            match self.shared.claim(home) {
+                Some(task) => unsafe { (*task.job).run_task(task.index) },
+                None => {
+                    let done = job.done.lock().unwrap();
+                    if *done == job.total {
+                        break;
+                    }
+                    drop(job.done_cv.wait(done).unwrap());
+                }
+            }
+        }
+
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("ev-par: a parallel task panicked");
+        }
+    }
+}

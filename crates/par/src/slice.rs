@@ -1,0 +1,96 @@
+//! Disjoint-index shared mutable access to a slice.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A view over `&mut [T]` that multiple tasks may write through, as
+/// long as no index is touched by more than one task.
+///
+/// This is the primitive behind deterministic parallel tree rollups:
+/// tasks own disjoint subtree index sets, so their writes never alias,
+/// but the borrow checker cannot see that — `SharedSlice` carries the
+/// proof obligation into `unsafe` at the call sites instead.
+pub struct SharedSlice<'a, T> {
+    data: *const UnsafeCell<T>,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a uniquely borrowed slice.
+    pub fn new(slice: &'a mut [T]) -> SharedSlice<'a, T> {
+        let len = slice.len();
+        SharedSlice {
+            data: slice.as_mut_ptr() as *const UnsafeCell<T>,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads index `i`.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent task may be writing index `i`.
+    pub unsafe fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        unsafe { *(*self.data.add(i)).get() }
+    }
+
+    /// Writes index `i`.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent task may be reading or writing index `i`.
+    pub unsafe fn set(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { *(*self.data.add(i)).get() = value };
+    }
+
+    /// Mutable reference to index `i`.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent task may hold any reference to index `i`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        unsafe { &mut *(*self.data.add(i)).get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_writes_land() {
+        let mut data = vec![0u32; 16];
+        {
+            let shared = SharedSlice::new(&mut data);
+            for i in 0..16 {
+                unsafe { shared.set(i, i as u32 * 2) };
+            }
+            assert_eq!(shared.len(), 16);
+            assert!(!shared.is_empty());
+            assert_eq!(unsafe { shared.get(3) }, 6);
+        }
+        assert_eq!(data[15], 30);
+    }
+}

@@ -1,0 +1,710 @@
+//! Composable random-value generators with integrated shrinking.
+//!
+//! A [`Gen`] produces a *representation* (`Repr`) from randomness and
+//! *realizes* it into the test value. Shrinking operates on
+//! representations, so it survives [`GenExt::prop_map`]: a profile built
+//! from a shrunk sample list is still a structurally valid profile.
+//!
+//! Plain ranges are generators (`0u8..5`, `0.0f64..100.0`), tuples of
+//! generators are generators, and the combinators in this module cover
+//! collections and strings — enough to express every strategy the test
+//! suite previously wrote against an external property-testing crate.
+
+use crate::rng::Rng;
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A reproducible, shrinkable value generator.
+pub trait Gen {
+    /// The shrinkable intermediate form.
+    type Repr: Clone;
+    /// The value handed to the property body.
+    type Value: Debug;
+
+    /// Draws a fresh representation.
+    fn generate(&self, rng: &mut Rng) -> Self::Repr;
+
+    /// Converts a representation into the test value.
+    fn realize(&self, repr: &Self::Repr) -> Self::Value;
+
+    /// Candidate "smaller" representations, simplest first. An empty
+    /// vector means the representation is minimal.
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        let _ = repr;
+        Vec::new()
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Repr = G::Repr;
+    type Value = G::Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Repr {
+        (**self).generate(rng)
+    }
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        (**self).realize(repr)
+    }
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        (**self).shrink(repr)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar generators: ranges are generators.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int_range_gen {
+    ($($t:ty),*) => {$(
+        impl Gen for Range<$t> {
+            type Repr = $t;
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                shrink_int(self.start, *repr)
+            }
+        }
+
+        impl Gen for RangeInclusive<$t> {
+            type Repr = $t;
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                shrink_int(*self.start(), *repr)
+            }
+        }
+    )*};
+}
+
+impl_int_range_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Shrinks an integer toward the range minimum.
+fn shrink_int<T>(lo: T, v: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + HalfStep,
+{
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo).half();
+        if mid > lo && mid < v {
+            out.push(mid);
+        }
+        let prev = v - T::one();
+        if prev > lo && prev != mid {
+            out.push(prev);
+        }
+    }
+    out
+}
+
+/// Halving/unit steps used by integer shrinking.
+pub trait HalfStep: Sized {
+    /// `self / 2`.
+    fn half(self) -> Self;
+    /// The unit value.
+    fn one() -> Self;
+}
+
+macro_rules! impl_half_step {
+    ($($t:ty),*) => {$(
+        impl HalfStep for $t {
+            fn half(self) -> Self { self / 2 }
+            fn one() -> Self { 1 }
+        }
+    )*};
+}
+
+impl_half_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Gen for Range<f64> {
+    type Repr = f64;
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn realize(&self, repr: &f64) -> f64 {
+        *repr
+    }
+    fn shrink(&self, repr: &f64) -> Vec<f64> {
+        let lo = self.start;
+        let v = *repr;
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2.0;
+            if mid > lo && mid < v {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Any `bool`.
+pub fn any_bool() -> BoolGen {
+    BoolGen
+}
+
+/// Generator for `bool` (shrinks toward `false`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolGen;
+
+impl Gen for BoolGen {
+    type Repr = bool;
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn realize(&self, repr: &bool) -> bool {
+        *repr
+    }
+    fn shrink(&self, repr: &bool) -> Vec<bool> {
+        if *repr { vec![false] } else { Vec::new() }
+    }
+}
+
+/// Full-width generator over every value of an integer type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any_int {
+    ($($fn_name:ident, $t:ty);* $(;)?) => {$(
+        /// Uniform over the full value range of the type.
+        pub fn $fn_name() -> AnyInt<$t> {
+            AnyInt(std::marker::PhantomData)
+        }
+
+        impl Gen for AnyInt<$t> {
+            type Repr = $t;
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                let v = *repr;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    out.push(v / 2);
+                    out.dedup();
+                    out.retain(|&c| c != v);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_any_int! {
+    any_u8, u8;
+    any_u16, u16;
+    any_u32, u32;
+    any_u64, u64;
+    any_i32, i32;
+    any_i64, i64;
+}
+
+/// Any `f64` bit pattern, including NaN and infinities.
+pub fn any_f64() -> AnyF64 {
+    AnyF64 { finite: false }
+}
+
+/// Any finite `f64`.
+pub fn f64_finite() -> AnyF64 {
+    AnyF64 { finite: true }
+}
+
+/// Generator over `f64` bit patterns.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyF64 {
+    finite: bool,
+}
+
+impl Gen for AnyF64 {
+    type Repr = f64;
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if !self.finite || v.is_finite() {
+                return v;
+            }
+        }
+    }
+    fn realize(&self, repr: &f64) -> f64 {
+        *repr
+    }
+    fn shrink(&self, repr: &f64) -> Vec<f64> {
+        let v = *repr;
+        if v == 0.0 || v.is_nan() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        if v.is_finite() {
+            out.push(v / 2.0);
+            out.push(v.trunc());
+        }
+        out.retain(|&c| c.to_bits() != v.to_bits());
+        out.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of generators are generators.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_gen {
+    ($(($($g:ident . $idx:tt),+))*) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Repr = ($($g::Repr,)+);
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Repr {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn realize(&self, repr: &Self::Repr) -> Self::Value {
+                ($(self.$idx.realize(&repr.$idx),)+)
+            }
+
+            fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&repr.$idx) {
+                        let mut next = repr.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_gen! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+// ---------------------------------------------------------------------
+// Collections.
+// ---------------------------------------------------------------------
+
+/// `Vec` of values from `element`, with a length drawn from `len`.
+pub fn vec<G: Gen>(element: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "vec: empty length range");
+    VecGen { element, len }
+}
+
+/// Generator for vectors. Shrinks by dropping elements (never below the
+/// minimum length) and by shrinking individual elements.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    element: G,
+    len: Range<usize>,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Repr = Vec<G::Repr>;
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Repr {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        repr.iter().map(|r| self.element.realize(r)).collect()
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        let min = self.len.start;
+        let mut out: Vec<Vec<G::Repr>> = Vec::new();
+        let n = repr.len();
+        // Structural shrinks first: halves, then single removals.
+        if n > min {
+            let keep_front = min.max(n / 2);
+            out.push(repr[..keep_front].to_vec());
+            if n - min <= 16 {
+                for i in 0..n {
+                    if n > min {
+                        let mut shorter = repr.clone();
+                        shorter.remove(i);
+                        out.push(shorter);
+                    }
+                }
+            } else {
+                let mut tail = repr[n - keep_front..].to_vec();
+                if tail.len() >= min {
+                    out.push(std::mem::take(&mut tail));
+                }
+            }
+        }
+        // Element shrinks, bounded so huge vectors do not explode.
+        for (i, r) in repr.iter().enumerate().take(24) {
+            for candidate in self.element.shrink(r).into_iter().take(3) {
+                let mut next = repr.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// `BTreeMap` with keys from `key`, values from `value`, and a size
+/// drawn from `len` (duplicate keys collapse, so maps may be smaller).
+pub fn btree_map<K: Gen, V: Gen>(key: K, value: V, len: Range<usize>) -> BTreeMapGen<K, V>
+where
+    K::Value: Ord + Clone,
+{
+    BTreeMapGen {
+        entries: vec((key, value), len),
+    }
+}
+
+/// Generator for ordered maps, built on [`VecGen`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapGen<K: Gen, V: Gen> {
+    entries: VecGen<(K, V)>,
+}
+
+impl<K: Gen, V: Gen> Gen for BTreeMapGen<K, V>
+where
+    K::Value: Ord + Clone,
+{
+    type Repr = Vec<(K::Repr, V::Repr)>;
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Repr {
+        self.entries.generate(rng)
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        self.entries.realize(repr).into_iter().collect()
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        self.entries.shrink(repr)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strings.
+// ---------------------------------------------------------------------
+
+/// Strings built from the characters of `alphabet`, with a length (in
+/// characters) drawn from `len`.
+pub fn string_from(alphabet: &str, len: Range<usize>) -> StringGen {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty(), "string_from: empty alphabet");
+    assert!(len.start < len.end, "string_from: empty length range");
+    StringGen { chars, len }
+}
+
+/// Mostly-ASCII printable strings with occasional multi-byte characters
+/// — the stand-in for the old `\PC*` regex strategies.
+pub fn string_printable(len: Range<usize>) -> StringGen {
+    let mut alphabet: String =
+        (' '..='~').filter(|c| *c != '\u{7f}').collect();
+    alphabet.push_str("äöéπλ中日🎈");
+    string_from(&alphabet, len)
+}
+
+/// Generator for strings over a fixed alphabet. Shrinks by shortening
+/// and by moving characters toward the front of the alphabet.
+#[derive(Debug, Clone)]
+pub struct StringGen {
+    chars: Vec<char>,
+    len: Range<usize>,
+}
+
+impl Gen for StringGen {
+    type Repr = Vec<usize>;
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Repr {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| rng.gen_range(0..self.chars.len())).collect()
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> String {
+        repr.iter().map(|&i| self.chars[i]).collect()
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        let n = repr.len();
+        if n > min {
+            out.push(repr[..min.max(n / 2)].to_vec());
+            out.push(repr[..n - 1].to_vec());
+        }
+        for (i, &c) in repr.iter().enumerate().take(16) {
+            if c > 0 {
+                let mut next = repr.clone();
+                next[i] = 0;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combinators.
+// ---------------------------------------------------------------------
+
+/// Extension methods available on every generator.
+pub trait GenExt: Gen + Sized {
+    /// Applies `f` to every generated value. Shrinking happens on the
+    /// underlying representation, so mapped structures keep shrinking.
+    fn prop_map<W: Debug, F: Fn(Self::Value) -> W>(self, f: F) -> MapGen<Self, F> {
+        MapGen { inner: self, f }
+    }
+
+    /// Discards generated values failing `keep` (retrying up to 100
+    /// times per case) and prunes shrink candidates the same way.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, keep: F) -> FilterGen<Self, F> {
+        FilterGen { inner: self, keep }
+    }
+}
+
+impl<G: Gen + Sized> GenExt for G {}
+
+/// See [`GenExt::prop_map`].
+#[derive(Debug, Clone)]
+pub struct MapGen<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G: Gen, W: Debug, F: Fn(G::Value) -> W> Gen for MapGen<G, F> {
+    type Repr = G::Repr;
+    type Value = W;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Repr {
+        self.inner.generate(rng)
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> W {
+        (self.f)(self.inner.realize(repr))
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        self.inner.shrink(repr)
+    }
+}
+
+/// See [`GenExt::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct FilterGen<G, F> {
+    inner: G,
+    keep: F,
+}
+
+impl<G: Gen, F: Fn(&G::Value) -> bool> Gen for FilterGen<G, F> {
+    type Repr = G::Repr;
+    type Value = G::Value;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Repr {
+        for _ in 0..100 {
+            let repr = self.inner.generate(rng);
+            if (self.keep)(&self.inner.realize(&repr)) {
+                return repr;
+            }
+        }
+        panic!("prop_filter: predicate rejected 100 candidates in a row");
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        self.inner.realize(repr)
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        self.inner
+            .shrink(repr)
+            .into_iter()
+            .filter(|r| (self.keep)(&self.inner.realize(r)))
+            .collect()
+    }
+}
+
+/// A generator built from a seed and a size: `build(rng, size)` is free
+/// to construct arbitrarily recursive values. Shrinking reduces the
+/// size budget and re-derives the seed — the escape hatch for
+/// structures (like recursive JSON documents) that have no natural
+/// per-element representation.
+pub fn seeded<V, F>(size: Range<usize>, build: F) -> SeededGen<F>
+where
+    F: Fn(&mut Rng, usize) -> V,
+    V: Debug,
+{
+    assert!(size.start < size.end, "seeded: empty size range");
+    SeededGen { size, build }
+}
+
+/// See [`seeded`].
+#[derive(Debug, Clone)]
+pub struct SeededGen<F> {
+    size: Range<usize>,
+    build: F,
+}
+
+impl<V: Debug, F: Fn(&mut Rng, usize) -> V> Gen for SeededGen<F> {
+    type Repr = (u64, usize);
+    type Value = V;
+
+    fn generate(&self, rng: &mut Rng) -> (u64, usize) {
+        (rng.next_u64(), rng.gen_range(self.size.clone()))
+    }
+
+    fn realize(&self, &(seed, size): &(u64, usize)) -> V {
+        (self.build)(&mut Rng::new(seed), size)
+    }
+
+    fn shrink(&self, &(seed, size): &(u64, usize)) -> Vec<(u64, usize)> {
+        let min = self.size.start;
+        let mut out = Vec::new();
+        if size > min {
+            out.push((seed, min));
+            let mid = min + (size - min) / 2;
+            if mid != min && mid != size {
+                out.push((seed, mid));
+            }
+            out.push((seed, size - 1));
+            out.dedup();
+        }
+        out
+    }
+}
+
+/// A constant generator.
+pub fn just<V: Debug + Clone>(value: V) -> JustGen<V> {
+    JustGen { value }
+}
+
+/// See [`just`].
+#[derive(Debug, Clone)]
+pub struct JustGen<V> {
+    value: V,
+}
+
+impl<V: Debug + Clone> Gen for JustGen<V> {
+    type Repr = ();
+    type Value = V;
+    fn generate(&self, _rng: &mut Rng) {}
+    fn realize(&self, _repr: &()) -> V {
+        self.value.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let g = 3u8..9;
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            let r = g.generate(&mut rng);
+            assert!((3..9).contains(&g.realize(&r)));
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_minimum() {
+        let g = 2u32..100;
+        let shrunk = g.shrink(&50);
+        assert!(shrunk.contains(&2));
+        assert!(shrunk.iter().all(|&c| (2..50).contains(&c)));
+        assert!(g.shrink(&2).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let g = vec(0u8..10, 2..8);
+        let repr = vec![1, 2, 3, 4, 5];
+        for candidate in g.shrink(&repr) {
+            assert!(candidate.len() >= 2, "{candidate:?}");
+        }
+    }
+
+    #[test]
+    fn map_shrinks_through_transformation() {
+        let g = vec(0u32..50, 1..10).prop_map(|v| v.iter().sum::<u32>());
+        let mut rng = Rng::new(9);
+        let repr = g.generate(&mut rng);
+        let _sum: u32 = g.realize(&repr);
+        // Shrinking still works on the underlying vector repr.
+        if repr.len() > 1 {
+            assert!(!g.shrink(&repr).is_empty());
+        }
+    }
+
+    #[test]
+    fn filter_keeps_predicate_true() {
+        let g = (0i64..100).prop_filter(|v| v % 2 == 0);
+        let mut rng = Rng::new(4);
+        for _ in 0..50 {
+            let r = g.generate(&mut rng);
+            assert_eq!(g.realize(&r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn string_gen_uses_alphabet() {
+        let g = string_from("ab", 1..5);
+        let mut rng = Rng::new(2);
+        for _ in 0..50 {
+            let s = g.realize(&g.generate(&mut rng));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            assert!(!s.is_empty() && s.len() < 5);
+        }
+    }
+
+    #[test]
+    fn tuple_gen_shrinks_componentwise() {
+        let g = (0u8..10, 0u8..10);
+        let candidates = g.shrink(&(5, 7));
+        assert!(candidates.iter().any(|&(a, b)| a < 5 && b == 7));
+        assert!(candidates.iter().any(|&(a, b)| a == 5 && b < 7));
+    }
+
+    #[test]
+    fn seeded_gen_is_reproducible() {
+        let g = seeded(1..10, |rng, size| {
+            (0..size).map(|_| rng.gen_range(0u8..5)).collect::<Vec<_>>()
+        });
+        let mut rng = Rng::new(8);
+        let repr = g.generate(&mut rng);
+        assert_eq!(g.realize(&repr), g.realize(&repr));
+        for (seed, size) in g.shrink(&repr) {
+            assert_eq!(seed, repr.0);
+            assert!(size < repr.1 || repr.1 == 1);
+        }
+    }
+}

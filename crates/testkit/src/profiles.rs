@@ -1,0 +1,179 @@
+//! `Arbitrary`-style generators for `ev-core` profiles and CCT shapes.
+//!
+//! Profiles are generated from a *sample list* representation —
+//! `Vec<(path, value)>` — and realized through `Profile::add_sample`,
+//! so every generated profile is structurally valid by construction
+//! (prefix-merged, indexed, validated). Shrinking drops samples and
+//! shortens paths, which translates to smaller trees.
+
+use crate::gen::{vec, Gen, GenExt, MapGen, VecGen};
+use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+use std::ops::Range;
+
+/// Names drawn from a small pool so prefixes merge and trees branch.
+const FUNCTIONS: [&str; 12] = [
+    "main", "run", "parse", "compute", "flush", "alloc", "read", "write", "hash", "merge", "sort",
+    "emit",
+];
+
+/// A call path: indices into [`FUNCTIONS`].
+type PathRepr = Vec<usize>;
+
+/// A single sample: a call path plus a metric value.
+pub type SampleSpec = (Vec<String>, f64);
+
+/// Generator for a call path (1..=max_depth frames).
+#[allow(clippy::type_complexity)]
+fn path_gen(max_depth: usize) -> MapGen<VecGen<Range<usize>>, fn(Vec<usize>) -> Vec<String>> {
+    vec(0..FUNCTIONS.len(), 1..max_depth + 1)
+        .prop_map(|ids| ids.into_iter().map(|i| FUNCTIONS[i].to_string()).collect())
+}
+
+/// Generator for a list of samples: paths of at most `max_depth`
+/// frames, values in `[0, 1000)`, count drawn from `samples`.
+pub fn samples(
+    samples: Range<usize>,
+    max_depth: usize,
+) -> impl Gen<Value = Vec<SampleSpec>, Repr = Vec<(PathRepr, f64)>> {
+    vec((path_gen(max_depth), 0.0f64..1000.0), samples)
+}
+
+/// Builds a profile named `name` with one exclusive `cpu` metric from a
+/// sample list. This is the canonical realization used by all profile
+/// generators, and useful directly when a test wants to construct the
+/// same profile twice.
+pub fn profile_from_samples(name: &str, samples: &[SampleSpec]) -> Profile {
+    profile_from_samples_kind(name, samples, MetricKind::Exclusive)
+}
+
+/// As [`profile_from_samples`] with an explicit metric kind.
+pub fn profile_from_samples_kind(
+    name: &str,
+    samples: &[SampleSpec],
+    kind: MetricKind,
+) -> Profile {
+    let mut profile = Profile::new(name);
+    let metric = profile.add_metric(MetricDescriptor::new("cpu", MetricUnit::Count, kind));
+    for (path, value) in samples {
+        let frames: Vec<Frame> = path.iter().map(Frame::function).collect();
+        profile.add_sample(&frames, &[(metric, *value)]);
+    }
+    profile
+}
+
+/// Generator for arbitrary CCT profiles: up to `max_samples` samples,
+/// paths up to `max_depth` deep, a single exclusive `cpu` metric.
+/// Shrinking removes samples and shortens paths, so counterexamples
+/// come out as near-minimal trees.
+pub fn arb_profile(
+    max_samples: usize,
+    max_depth: usize,
+) -> impl Gen<Value = Profile, Repr = Vec<(PathRepr, f64)>> {
+    samples(0..max_samples + 1, max_depth)
+        .prop_map(|s| profile_from_samples("generated", &s))
+}
+
+/// Generator for profiles guaranteed to carry at least one sample.
+pub fn arb_nonempty_profile(
+    max_samples: usize,
+    max_depth: usize,
+) -> impl Gen<Value = Profile, Repr = Vec<(PathRepr, f64)>> {
+    samples(1..max_samples.max(1) + 1, max_depth)
+        .prop_map(|s| profile_from_samples("generated", &s))
+}
+
+/// Generator for a *pair* of structurally overlapping profiles (shared
+/// name pool ⇒ shared subtrees) — the interesting input shape for
+/// `diff` and multi-profile `aggregate`.
+#[allow(clippy::type_complexity)]
+pub fn arb_profile_pair(
+    max_samples: usize,
+    max_depth: usize,
+) -> impl Gen<Value = (Profile, Profile), Repr = (Vec<(PathRepr, f64)>, Vec<(PathRepr, f64)>)> {
+    (
+        samples(0..max_samples + 1, max_depth),
+        samples(0..max_samples + 1, max_depth),
+    )
+        .prop_map(|(a, b)| {
+            (
+                profile_from_samples("first", &a),
+                profile_from_samples("second", &b),
+            )
+        })
+}
+
+/// Generator for a batch of `count` profiles for aggregate tests.
+pub fn arb_profile_batch(
+    count: Range<usize>,
+    max_samples: usize,
+    max_depth: usize,
+) -> impl Gen<Value = Vec<Profile>, Repr = Vec<Vec<(PathRepr, f64)>>> {
+    vec(samples(0..max_samples + 1, max_depth), count).prop_map(|batch| {
+        batch
+            .iter()
+            .map(|s| profile_from_samples("member", s))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn generated_profiles_validate() {
+        let gen = arb_profile(40, 8);
+        let mut rng = Rng::new(17);
+        for _ in 0..50 {
+            let profile = gen.realize(&gen.generate(&mut rng));
+            profile.validate().expect("generated profile is valid");
+        }
+    }
+
+    #[test]
+    fn nonempty_profiles_have_samples() {
+        let gen = arb_nonempty_profile(10, 5);
+        let mut rng = Rng::new(3);
+        for _ in 0..50 {
+            let profile = gen.realize(&gen.generate(&mut rng));
+            assert!(profile.node_count() > 1);
+        }
+    }
+
+    #[test]
+    fn shrinking_produces_valid_smaller_profiles() {
+        let gen = arb_profile(30, 6);
+        let mut rng = Rng::new(23);
+        let repr = gen.generate(&mut rng);
+        for candidate in gen.shrink(&repr) {
+            let profile = gen.realize(&candidate);
+            profile.validate().expect("shrunk profile is valid");
+        }
+    }
+
+    #[test]
+    fn profile_from_samples_is_deterministic() {
+        let samples = vec![
+            (vec!["main".to_string(), "run".to_string()], 5.0),
+            (vec!["main".to_string()], 2.0),
+        ];
+        let a = profile_from_samples("p", &samples);
+        let b = profile_from_samples("p", &samples);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pair_gen_produces_overlapping_structures() {
+        let gen = arb_profile_pair(30, 6);
+        let mut rng = Rng::new(5);
+        let mut overlapped = false;
+        for _ in 0..20 {
+            let (a, b) = gen.realize(&gen.generate(&mut rng));
+            if a.node_count() > 1 && b.node_count() > 1 {
+                overlapped = true;
+            }
+        }
+        assert!(overlapped);
+    }
+}

@@ -1,0 +1,240 @@
+//! A splittable xorshift128+ PRNG.
+//!
+//! The whole substrate is offline and from-scratch, so the test harness
+//! carries its own generator instead of pulling in `rand`. xorshift128+
+//! is tiny, fast, and passes the statistical bar for test-case
+//! generation; *splittability* (deriving an independent stream from a
+//! parent) lets generators hand child generators to sub-structures
+//! without perturbing the parent sequence.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic 128-bit xorshift+ generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s0: u64,
+    s1: u64,
+}
+
+/// SplitMix64 step — used to expand a single seed word into full
+/// generator state and to decorrelate split streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a single seed word. Equal seeds give
+    /// byte-identical streams on every platform.
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s0 = splitmix64(&mut sm);
+        let s1 = splitmix64(&mut sm);
+        Rng {
+            // xorshift128+ must not start at the all-zero state.
+            s0: if s0 == 0 && s1 == 0 { 1 } else { s0 },
+            s1,
+        }
+    }
+
+    /// Convenience alias mirroring the `rand` API the generators were
+    /// originally written against.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng::new(seed)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Splits off an independent generator; the parent advances by two
+    /// outputs, the child stream is decorrelated through SplitMix64.
+    pub fn split(&mut self) -> Rng {
+        let a = self.next_u64();
+        let b = self.next_u64();
+        let mut sm = a ^ 0x6A09_E667_F3BC_C909;
+        let s0 = splitmix64(&mut sm) ^ b;
+        let s1 = splitmix64(&mut sm);
+        Rng {
+            s0: if s0 == 0 && s1 == 0 { 1 } else { s0 },
+            s1,
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoSampleBounds<T>,
+    {
+        let (lo, hi_inclusive) = range.into_bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+}
+
+/// Types drawable uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait IntoSampleBounds<T> {
+    /// Returns `(lo, hi)` with `hi` inclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform + Decrementable> IntoSampleBounds<T> for Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        (self.start, self.end.decrement())
+    }
+}
+
+impl<T: SampleUniform + Copy> IntoSampleBounds<T> for RangeInclusive<T> {
+    fn into_bounds(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one.
+pub trait Decrementable: Copy {
+    /// The largest value strictly below `self` (for floats, `self`
+    /// itself — float ranges are treated as half-open already).
+    fn decrement(self) -> Self;
+}
+
+macro_rules! impl_dec_int {
+    ($($t:ty),*) => {$(
+        impl Decrementable for $t {
+            fn decrement(self) -> Self {
+                self.checked_sub(1).expect("gen_range: empty range")
+            }
+        }
+    )*};
+}
+
+impl_dec_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Decrementable for f64 {
+    fn decrement(self) -> Self {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Rng::new(1);
+        let mut child = parent.split();
+        let child_head: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        let parent_head: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        assert_ne!(child_head, parent_head);
+        // Splitting is itself deterministic.
+        let mut parent2 = Rng::new(1);
+        let mut child2 = parent2.split();
+        let child2_head: Vec<u64> = (0..8).map(|_| child2.next_u64()).collect();
+        assert_eq!(child_head, child2_head);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(42);
+        for _ in 0..1000 {
+            let v: u8 = rng.gen_range(0u8..5);
+            assert!(v < 5);
+            let w: usize = rng.gen_range(1..=3usize);
+            assert!((1..=3).contains(&w));
+            let x: i64 = rng.gen_range(-10i64..10);
+            assert!((-10..10).contains(&x));
+            let f: f64 = rng.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_ranges_do_not_overflow() {
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            let _: u64 = rng.gen_range(0u64..=u64::MAX);
+            let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = Rng::new(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = Rng::new(11);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0usize..8)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "{buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The property-check driver: case generation, failure detection via
+//! `catch_unwind`, greedy shrinking, and seed reporting.
+//!
+//! Every run derives per-case seeds from a master seed, so a failure is
+//! reproducible from a single printed number:
+//!
+//! ```text
+//! EV_TEST_SEED=0x1b2c3d4e5f607182 cargo test -q failing_test_name
+//! ```
+
+use crate::gen::Gen;
+use crate::rng::Rng;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Default number of cases per property when `EV_TEST_CASES` is unset
+/// and the property does not override it.
+pub const DEFAULT_CASES: u32 = 48;
+
+/// Maximum shrink steps before reporting the best counterexample found.
+const MAX_SHRINK_STEPS: usize = 2_000;
+
+thread_local! {
+    /// While `true`, the installed panic hook swallows panic output —
+    /// used during shrinking, where panics are expected and noisy.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Installs (once per process) a panic hook that respects [`QUIET`].
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Marker payload thrown by [`prop_assume!`](crate::prop_assume) to
+/// discard a case without failing it.
+#[doc(hidden)]
+pub struct CaseRejected;
+
+/// What happened when a case ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Pass,
+    Fail,
+    /// `prop_assume!` discarded the case.
+    Reject,
+}
+
+/// Runs `body` with panic output suppressed.
+fn run_case<F: FnOnce()>(body: F) -> Outcome {
+    QUIET.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    QUIET.with(|q| q.set(false));
+    match result {
+        Ok(()) => Outcome::Pass,
+        Err(payload) if payload.is::<CaseRejected>() => Outcome::Reject,
+        Err(_) => Outcome::Fail,
+    }
+}
+
+/// Per-property configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw:?} is not a valid u64"),
+    }
+}
+
+/// Derives a stable master seed for a named property. Deterministic
+/// across runs and platforms so CI failures reproduce locally.
+fn master_seed(name: &str) -> u64 {
+    if let Some(seed) = env_u64("EV_TEST_SEED") {
+        return seed;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Checks `body` against `cases` values drawn from `gen`.
+///
+/// On failure the counterexample is greedily shrunk and the run panics
+/// with the minimal value, the case seed, and replay instructions.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) if any case fails.
+pub fn check<G, F>(name: &str, config: Config, gen: &G, body: F)
+where
+    G: Gen,
+    F: Fn(G::Value),
+{
+    install_quiet_hook();
+    let cases = match env_u64("EV_TEST_CASES") {
+        Some(n) => u32::try_from(n).expect("EV_TEST_CASES out of range"),
+        None => config.cases,
+    };
+    let mut master = Rng::new(master_seed(name));
+
+    for case in 0..cases {
+        // Each case gets its own seed so a failure replays alone.
+        let case_seed = master.next_u64();
+        let mut rng = Rng::new(case_seed);
+        let repr = gen.generate(&mut rng);
+        if run_case(|| body(gen.realize(&repr))) == Outcome::Fail {
+            let minimal = shrink_failure(gen, repr, &body);
+            let value = gen.realize(&minimal);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, seed {case_seed:#018x})\n\
+                 minimal counterexample: {value:?}\n\
+                 replay with: EV_TEST_SEED={seed:#018x} cargo test {name}",
+                seed = master_seed(name),
+            );
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails.
+fn shrink_failure<G, F>(gen: &G, mut repr: G::Repr, body: &F) -> G::Repr
+where
+    G: Gen,
+    F: Fn(G::Value),
+{
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for candidate in gen.shrink(&repr) {
+            steps += 1;
+            if steps >= MAX_SHRINK_STEPS {
+                break 'outer;
+            }
+            if run_case(|| body(gen.realize(&candidate))) == Outcome::Fail {
+                repr = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    repr
+}
+
+/// Defines property tests. Mirrors the shape of the `proptest!` macro
+/// the repo's tests were originally written with:
+///
+/// ```
+/// use ev_test::property;
+///
+/// property! {
+///     #![cases(32)]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a `#[test]`. The bindings after `in` are
+/// generators (ranges, tuples, or combinator expressions); multiple
+/// bindings are drawn from a tuple generator. `#![cases(n)]` overrides
+/// the per-property case count (default [`DEFAULT_CASES`]).
+#[macro_export]
+macro_rules! property {
+    // With a case-count header.
+    (
+        #![cases($cases:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                let config = $crate::runner::Config { cases: $cases };
+                $crate::property!(@run $name, config, $($arg in $gen),+, $body);
+            }
+        )*
+    };
+    // Default case count.
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                let config = $crate::runner::Config::default();
+                $crate::property!(@run $name, config, $($arg in $gen),+, $body);
+            }
+        )*
+    };
+    (@run $name:ident, $config:expr, $arg:ident in $gen:expr, $body:block) => {
+        {
+            let gen = $gen;
+            $crate::runner::check(stringify!($name), $config, &gen, |$arg| {
+                $body
+            });
+        }
+    };
+    (@run $name:ident, $config:expr, $($arg:ident in $gen:expr),+, $body:block) => {
+        {
+            let gen = ($($gen,)+);
+            $crate::runner::check(stringify!($name), $config, &gen, |($($arg,)+)| {
+                $body
+            });
+        }
+    };
+}
+
+/// Asserts inside a property body. Alias of `assert!` kept for source
+/// compatibility with the ported test suites.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::runner::CaseRejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{vec, GenExt};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "passing_property",
+            Config { cases: 10 },
+            &(0u8..10),
+            |_v| {
+                counter.set(counter.get() + 1);
+            },
+        );
+        seen += counter.get();
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "failing_property",
+                Config { cases: 64 },
+                &(0u32..1000),
+                |v| {
+                    assert!(v < 50, "too big");
+                },
+            );
+        });
+        let err = result.expect_err("property should fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        // Greedy shrinking should land exactly on the boundary.
+        assert!(
+            msg.contains("minimal counterexample: 50"),
+            "unexpected report: {msg}"
+        );
+        assert!(msg.contains("EV_TEST_SEED="), "report lacks seed: {msg}");
+    }
+
+    #[test]
+    fn vec_counterexamples_shrink_structurally() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "vec_shrink",
+                Config { cases: 64 },
+                &vec(0u32..100, 0..20),
+                |v| {
+                    let sum: u32 = v.iter().sum();
+                    assert!(sum < 150);
+                },
+            );
+        });
+        let err = result.expect_err("property should fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        // The minimal failing vector should be short (shrinking dropped
+        // irrelevant elements).
+        let start = msg.find('[').expect("vector in report");
+        let end = msg[start..].find(']').unwrap() + start;
+        let elems = msg[start + 1..end]
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .count();
+        assert!(elems <= 3, "not shrunk enough: {msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let values = std::cell::RefCell::new(Vec::new());
+            check(
+                "determinism_probe",
+                Config { cases: 12 },
+                &(0u64..=u64::MAX),
+                |v| values.borrow_mut().push(v),
+            );
+            values.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn mapped_gen_shrinks_in_runner() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "mapped_shrink",
+                Config { cases: 64 },
+                &vec(1u32..10, 1..12).prop_map(|v| v.iter().product::<u32>()),
+                |product| {
+                    assert!(product < 24);
+                },
+            );
+        });
+        assert!(result.is_err());
+    }
+}

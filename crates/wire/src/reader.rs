@@ -225,7 +225,7 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
     use crate::Writer;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn empty_input_yields_no_tags() {
@@ -338,16 +338,15 @@ mod tests {
         assert_eq!(d, [0.0, -1.5, f64::INFINITY]);
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn scalar_fields_roundtrip(
-            a: u64,
-            b: i64,
-            c: i64,
-            d: f64,
-            e: u32,
-            s in "\\PC*",
-            raw: Vec<u8>,
+            a in any_u64(),
+            b in any_i64(),
+            c in any_i64(),
+            d in any_f64(),
+            e in any_u32(),
+            s in string_printable(0..64),
+            raw in vec(any_u8(), 0..128),
         ) {
             let mut w = Writer::new();
             w.write_uint64(1, a);
@@ -377,8 +376,7 @@ mod tests {
             prop_assert!(r.is_at_end());
         }
 
-        #[test]
-        fn arbitrary_bytes_never_panic(data: Vec<u8>) {
+        fn arbitrary_bytes_never_panic(data in vec(any_u8(), 0..256)) {
             // Fuzz the decode loop: it must terminate with Ok or Err,
             // never panic or loop forever.
             let mut r = Reader::new(&data);
@@ -394,8 +392,7 @@ mod tests {
             }
         }
 
-        #[test]
-        fn packed_uint64_roundtrip(values: Vec<u64>) {
+        fn packed_uint64_roundtrip(values in vec(any_u64(), 0..64)) {
             prop_assume!(!values.is_empty());
             let mut w = Writer::new();
             w.write_packed_uint64(1, &values);

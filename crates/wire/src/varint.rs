@@ -71,7 +71,7 @@ pub fn zigzag_decode(value: u64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ev_test::prelude::*;
 
     #[test]
     fn encode_known_vectors() {
@@ -129,9 +129,8 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn varint_roundtrip(v: u64) {
+    property! {
+        fn varint_roundtrip(v in any_u64()) {
             let mut buf = Vec::new();
             encode_varint(v, &mut buf);
             prop_assert!(buf.len() <= 10);
@@ -140,8 +139,7 @@ mod tests {
             prop_assert_eq!(used, buf.len());
         }
 
-        #[test]
-        fn varint_roundtrip_with_suffix(v: u64, suffix: Vec<u8>) {
+        fn varint_roundtrip_with_suffix(v in any_u64(), suffix in vec(any_u8(), 0..64)) {
             let mut buf = Vec::new();
             encode_varint(v, &mut buf);
             let n = buf.len();
@@ -151,12 +149,10 @@ mod tests {
             prop_assert_eq!(used, n);
         }
 
-        #[test]
-        fn zigzag_roundtrip(v: i64) {
+        fn zigzag_roundtrip(v in any_i64()) {
             prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
         }
 
-        #[test]
         fn zigzag_magnitude_ordering(v in -1000i64..1000) {
             // Small magnitudes must map to small unsigned values so they
             // encode into short varints.

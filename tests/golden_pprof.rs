@@ -1,0 +1,169 @@
+//! Golden round-trip tests over checked-in gzip'd pprof fixtures.
+//!
+//! Each fixture runs the full substrate stack — `ev-flate` gzip
+//! inflate → `ev-wire` protobuf decode → EasyView profile — and is
+//! pinned to golden numbers (node count, exact total bits), so any
+//! change to the decoding pipeline that alters output is caught against
+//! bytes that never change. The decoded profile must also survive a
+//! native-format re-encode round trip and produce bit-identical views
+//! through the parallel and cached paths.
+//!
+//! Regenerate the fixtures (after an intentional generator change)
+//! with:
+//!
+//! ```text
+//! cargo test -p ev-bench --test golden_pprof -- --ignored regenerate
+//! ```
+//!
+//! and update the golden constants from the test's output.
+
+use ev_analysis::{profile_fingerprint, view_key, ExecPolicy, MetricView, ViewCache};
+use ev_core::Profile;
+use ev_flate::{gzip_decompress, is_gzip};
+use ev_gen::{grpc_leak, synthetic::SyntheticSpec};
+use std::path::PathBuf;
+
+struct Golden {
+    file: &'static str,
+    nodes: usize,
+    metric: &'static str,
+    /// `total(metric).to_bits()` — exact, not approximate.
+    total_bits: u64,
+}
+
+const GOLDENS: [Golden; 2] = [
+    Golden {
+        file: "synthetic_cpu.pb.gz",
+        nodes: 2202,
+        metric: "cpu",
+        total_bits: 0x4162_fa83_a000_0000,
+    },
+    Golden {
+        file: "grpc_leak.pb.gz",
+        nodes: 10,
+        metric: "inuse_space",
+        total_bits: 0x419d_9803_7800_0000,
+    },
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn fixture_sources() -> Vec<(&'static str, Vec<u8>)> {
+    let synthetic = SyntheticSpec {
+        samples: 2_000,
+        seed: 11,
+        ..SyntheticSpec::default()
+    }
+    .build_pprof();
+    let leak = grpc_leak::snapshots(3, 11).pop().expect("snapshots");
+    let leak_gz = ev_formats::pprof::write(&leak, ev_formats::pprof::WriteOptions::default());
+    vec![
+        ("synthetic_cpu.pb.gz", synthetic),
+        ("grpc_leak.pb.gz", leak_gz),
+    ]
+}
+
+#[test]
+#[ignore = "writes tests/fixtures and prints golden constants"]
+fn regenerate() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, bytes) in fixture_sources() {
+        std::fs::write(dir.join(name), &bytes).unwrap();
+        let p = ev_formats::pprof::parse(&bytes).unwrap();
+        let m = ev_core::MetricId::from_index(0);
+        println!(
+            "{name}: nodes={} metric={:?} total_bits={:#x} ({} bytes)",
+            p.node_count(),
+            p.metrics()[0].name,
+            p.total(m).to_bits(),
+            bytes.len()
+        );
+    }
+}
+
+fn load_fixture(golden: &Golden) -> (Vec<u8>, Profile) {
+    let path = fixture_dir().join(golden.file);
+    let bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see regenerate()", path.display()));
+    let profile = ev_formats::pprof::parse(&bytes).expect("fixture parses");
+    (bytes, profile)
+}
+
+#[test]
+fn fixtures_decode_to_golden_profiles() {
+    for golden in &GOLDENS {
+        let (bytes, profile) = load_fixture(golden);
+        assert!(is_gzip(&bytes), "{}: fixture is gzip'd", golden.file);
+        // The inflate and wire-decode stages are separable: inflating
+        // first and decoding the raw body yields the same profile.
+        let raw = gzip_decompress(&bytes).expect("fixture inflates");
+        let from_raw = ev_formats::pprof::parse(&raw).expect("raw body decodes");
+        assert_eq!(
+            ev_formats::easyview::write(&from_raw),
+            ev_formats::easyview::write(&profile),
+            "{}",
+            golden.file
+        );
+
+        assert_eq!(profile.node_count(), golden.nodes, "{}", golden.file);
+        let m = profile
+            .metric_by_name(golden.metric)
+            .unwrap_or_else(|| panic!("{}: metric {}", golden.file, golden.metric));
+        assert_eq!(
+            profile.total(m).to_bits(),
+            golden.total_bits,
+            "{}: total {} != golden",
+            golden.file,
+            profile.total(m)
+        );
+        profile.validate().unwrap();
+    }
+}
+
+#[test]
+fn fixtures_round_trip_through_native_format() {
+    for golden in &GOLDENS {
+        let (_, profile) = load_fixture(golden);
+        let native = ev_formats::easyview::write(&profile);
+        let back = ev_formats::easyview::parse(&native).expect("native parses");
+        // Re-encoding the re-decoded profile is byte-stable.
+        assert_eq!(ev_formats::easyview::write(&back), native, "{}", golden.file);
+        assert_eq!(back.node_count(), profile.node_count(), "{}", golden.file);
+    }
+}
+
+#[test]
+fn fixtures_views_stable_across_parallel_and_cached_paths() {
+    for golden in &GOLDENS {
+        let (bytes, profile) = load_fixture(golden);
+        let m = profile.metric_by_name(golden.metric).unwrap();
+        let seq = MetricView::compute_with(&profile, m, ExecPolicy::SEQUENTIAL);
+        for threads in [2, 4, 8] {
+            let par = MetricView::compute_with(&profile, m, ExecPolicy::with_threads(threads));
+            for id in profile.node_ids() {
+                assert_eq!(
+                    par.inclusive(id).to_bits(),
+                    seq.inclusive(id).to_bits(),
+                    "{} threads={threads}",
+                    golden.file
+                );
+            }
+        }
+        // Two independent parses of the same bytes fingerprint alike, so
+        // a view computed for one is a cache hit for the other.
+        let reparsed = ev_formats::pprof::parse(&bytes).unwrap();
+        assert_eq!(profile_fingerprint(&profile), profile_fingerprint(&reparsed));
+        let key = view_key(&profile, m, &["top_down"]);
+        assert_eq!(key, view_key(&reparsed, m, &["top_down"]));
+        let mut cache: ViewCache<u64> = ViewCache::new(4);
+        cache.get_or_insert_with(key, || seq.total().to_bits());
+        let hit = cache.get_or_insert_with(view_key(&reparsed, m, &["top_down"]), || {
+            panic!("must be served from cache")
+        });
+        assert_eq!(*hit, seq.total().to_bits());
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

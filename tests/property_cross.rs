@@ -4,11 +4,11 @@
 use ev_core::{MetricId, Profile};
 use ev_gen::synthetic::SyntheticSpec;
 use ev_ide::EvpServer;
-use proptest::prelude::*;
+use ev_test::prelude::*;
 
-fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+fn arb_spec() -> impl Gen<Value = SyntheticSpec> {
     (
-        any::<u64>(),
+        any_u64(),
         50usize..400,
         2usize..6,
         8usize..20,
@@ -25,10 +25,9 @@ fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+property! {
+    #![cases(24)]
 
-    #[test]
     fn native_format_roundtrips_generated_profiles(spec in arb_spec()) {
         let profile = spec.build();
         profile.validate().unwrap();
@@ -37,7 +36,6 @@ proptest! {
         prop_assert_eq!(decoded, profile);
     }
 
-    #[test]
     fn pprof_roundtrip_preserves_shape_and_mass(spec in arb_spec()) {
         let profile = spec.build();
         let bytes = ev_formats::pprof::write(
@@ -56,7 +54,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn transforms_conserve_mass_on_generated_profiles(spec in arb_spec()) {
         let profile = spec.build();
         let metric = MetricId::from_index(0);
@@ -70,7 +67,6 @@ proptest! {
         prop_assert!((flat.total(m_flat) - total).abs() / total < 1e-9);
     }
 
-    #[test]
     fn aggregate_of_clones_is_scalar_multiple(spec in arb_spec(), n in 2usize..5) {
         let profile = spec.build();
         let metric = MetricId::from_index(0);
@@ -92,19 +88,17 @@ proptest! {
         }
     }
 
-    #[test]
-    fn evp_server_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn evp_server_never_panics_on_arbitrary_bytes(data in vec(any_u8(), 0..512)) {
         let mut server = EvpServer::new();
         // Arbitrary bytes: either an error or a partial-frame wait, never
         // a panic.
         let _ = server.handle_bytes(&data);
     }
 
-    #[test]
     fn evp_server_survives_arbitrary_json_requests(
-        method in "[a-z/]{0,24}",
-        id in any::<i64>(),
-        junk in "[a-zA-Z0-9]{0,16}",
+        method in string_from("abcdefghijklmnopqrstuvwxyz/", 0..25),
+        id in any_i64(),
+        junk in string_from("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", 0..17),
     ) {
         let mut server = EvpServer::new();
         let request = ev_json::Value::object([
@@ -125,7 +119,6 @@ proptest! {
         prop_assert!(ev_ide::rpc::Response::from_value(&value).is_ok());
     }
 
-    #[test]
     fn flame_layout_geometry_on_generated_profiles(spec in arb_spec()) {
         let profile = spec.build();
         let metric = MetricId::from_index(0);
