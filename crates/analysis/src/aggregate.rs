@@ -155,6 +155,7 @@ pub fn aggregate_with(
     metric_name: &str,
     policy: ExecPolicy,
 ) -> Result<Aggregate, usize> {
+    let _span = ev_trace::span("analysis.aggregate");
     assert!(!profiles.is_empty(), "aggregate requires at least one profile");
     let n = profiles.len();
     let source_metrics: Vec<MetricId> = profiles

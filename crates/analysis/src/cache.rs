@@ -17,7 +17,25 @@ use ev_core::fast_hash::FxHasher;
 use ev_core::{MetricId, Profile};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handles for the global `cache.*` counters. Per-instance
+/// [`CacheStats`] stay authoritative for a single cache; these feed the
+/// process-wide metrics registry behind `easyview stats`.
+fn hit_counter() -> &'static ev_trace::Counter {
+    static HANDLE: OnceLock<&'static ev_trace::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("cache.hit"))
+}
+
+fn miss_counter() -> &'static ev_trace::Counter {
+    static HANDLE: OnceLock<&'static ev_trace::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("cache.miss"))
+}
+
+fn evict_counter() -> &'static ev_trace::Counter {
+    static HANDLE: OnceLock<&'static ev_trace::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("cache.evict"))
+}
 
 /// Default number of memoized views kept per cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 32;
@@ -73,9 +91,11 @@ impl<V> ViewCache<V> {
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.tick;
             self.hits += 1;
+            hit_counter().inc();
             return Arc::clone(&entry.value);
         }
         self.misses += 1;
+        miss_counter().inc();
         let value = Arc::new(build());
         if self.entries.len() >= self.capacity {
             if let Some(&oldest) = self
@@ -85,6 +105,7 @@ impl<V> ViewCache<V> {
                 .map(|(k, _)| k)
             {
                 self.entries.remove(&oldest);
+                evict_counter().inc();
             }
         }
         self.entries.insert(
@@ -230,6 +251,22 @@ mod tests {
         assert_eq!(*v, 1, "1 survived");
         let v = cache.get_or_insert_with(2, || 22);
         assert_eq!(*v, 22, "2 was evicted and rebuilt");
+    }
+
+    #[test]
+    fn registry_counters_track_cache_activity() {
+        // Counters are process-global and monotone, so assert on deltas
+        // with >= (other tests in this binary may bump them too).
+        let hits = ev_trace::counter_value("cache.hit");
+        let misses = ev_trace::counter_value("cache.miss");
+        let evicts = ev_trace::counter_value("cache.evict");
+        let mut cache: ViewCache<u64> = ViewCache::new(1);
+        cache.get_or_insert_with(10, || 1); // miss
+        cache.get_or_insert_with(10, || 1); // hit
+        cache.get_or_insert_with(11, || 2); // miss + evict
+        assert!(ev_trace::counter_value("cache.hit") > hits);
+        assert!(ev_trace::counter_value("cache.miss") >= misses + 2);
+        assert!(ev_trace::counter_value("cache.evict") > evicts);
     }
 
     #[test]

@@ -214,6 +214,7 @@ pub fn diff_with(
     epsilon: f64,
     policy: ExecPolicy,
 ) -> Result<DiffProfile, usize> {
+    let _span = ev_trace::span("analysis.diff");
     let m1 = first.metric_by_name(metric_name).ok_or(0usize)?;
     let m2 = second.metric_by_name(metric_name).ok_or(1usize)?;
     let descriptor = first.metric(m1).clone();

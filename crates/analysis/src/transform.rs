@@ -22,6 +22,7 @@ pub fn top_down(profile: &Profile) -> Profile {
 /// first level therefore equal the source's per-function exclusive
 /// totals.
 pub fn bottom_up(profile: &Profile, metric: MetricId) -> Profile {
+    let _span = ev_trace::span("analysis.bottom_up");
     let view = MetricView::compute(profile, metric);
     let mut out = Profile::new(profile.meta().name.clone());
     *out.meta_mut() = profile.meta().clone();
@@ -56,6 +57,7 @@ pub fn bottom_up(profile: &Profile, metric: MetricId) -> Profile {
 /// *load module → file → function* (top level = modules, the paper's
 /// "hot shared libraries, files, and functions").
 pub fn flatten(profile: &Profile, metric: MetricId) -> Profile {
+    let _span = ev_trace::span("analysis.flatten");
     let view = MetricView::compute(profile, metric);
     let mut out = Profile::new(profile.meta().name.clone());
     *out.meta_mut() = profile.meta().clone();

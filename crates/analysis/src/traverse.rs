@@ -41,6 +41,7 @@ impl MetricView {
     /// interior nodes above the frontier sequentially. The result is
     /// bit-identical for every thread count.
     pub fn compute_with(profile: &Profile, metric: MetricId, policy: ExecPolicy) -> MetricView {
+        let _span = ev_trace::span("analysis.metric_view");
         let n = profile.node_count();
         if policy.is_sequential() || n < PAR_NODE_THRESHOLD {
             return Self::compute_seq(profile, metric);
@@ -332,6 +333,7 @@ fn subtree_zero_fix(
 ///
 /// Panics if `threshold` is not in `[0, 1]`.
 pub fn prune(profile: &Profile, metric: MetricId, threshold: f64) -> Profile {
+    let _span = ev_trace::span("analysis.prune");
     assert!(
         (0.0..=1.0).contains(&threshold),
         "threshold must be a fraction"

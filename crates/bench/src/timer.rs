@@ -5,8 +5,12 @@
 //! iterations, and reports min / median / mean wall-clock time. The
 //! minimum is the headline number: it is the least noisy estimator for
 //! compute-bound work on a shared machine.
+//!
+//! Timestamps come from [`ev_trace::now_ns`], the same monotonic clock
+//! the tracing substrate stamps spans with, so bench numbers and
+//! `--trace-out` recordings are directly comparable.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of one benchmark measurement.
 #[derive(Debug, Clone, Copy)]
@@ -35,9 +39,11 @@ pub fn bench<F: FnMut()>(label: &str, samples: usize, mut f: F) -> Measurement {
     f(); // warm-up: faults pages, fills caches, spawns pools
     let mut times: Vec<Duration> = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let start = Instant::now();
+        let start = ev_trace::now_ns();
         f();
-        times.push(start.elapsed());
+        times.push(Duration::from_nanos(
+            ev_trace::now_ns().saturating_sub(start),
+        ));
     }
     times.sort();
     let min = times[0];

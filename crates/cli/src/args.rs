@@ -54,6 +54,35 @@ impl Default for Options {
     }
 }
 
+/// Export format for `--trace-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// EasyView's own profile format (render it with `easyview flame`).
+    #[default]
+    EasyView,
+    /// Chrome trace-event JSON (open in `chrome://tracing` / Perfetto).
+    Chrome,
+}
+
+/// Self-profiling options shared by every command.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceOptions {
+    /// Where to write the recorded trace; `None` = tracing disabled.
+    pub out: Option<String>,
+    /// Export format for the trace file.
+    pub format: TraceFormat,
+}
+
+/// A fully parsed command line: the command plus cross-cutting
+/// self-profiling options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The command to run.
+    pub command: Command,
+    /// `--trace-out` / `--trace-format`.
+    pub trace: TraceOptions,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -61,7 +90,7 @@ pub enum Command {
     Help,
     /// `easyview info <profile>`.
     Info { input: String },
-    /// `easyview view <profile>`.
+    /// `easyview view <profile>` (alias: `flame`).
     View { input: String, options: Options },
     /// `easyview table <profile>`.
     Table { input: String, options: Options },
@@ -82,6 +111,23 @@ pub enum Command {
     Script { input: String, script: String },
     /// `easyview convert <input> <output>`.
     Convert { input: String, output: String },
+    /// `easyview stats [profile]` — run a view if a profile is given,
+    /// then print the process metrics (view cache, pipeline counters).
+    Stats {
+        input: Option<String>,
+        options: Options,
+    },
+}
+
+/// Parses `argv` (without the program name), dropping the cross-cutting
+/// trace options. Kept for callers that predate [`parse_cli`].
+///
+/// # Errors
+///
+/// Returns a formatted message on unknown commands/flags, missing
+/// operands, or unparsable flag values.
+pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
+    parse_cli(argv).map(|cli| cli.command)
 }
 
 /// Parses `argv` (without the program name).
@@ -90,17 +136,26 @@ pub enum Command {
 ///
 /// Returns a formatted message on unknown commands/flags, missing
 /// operands, or unparsable flag values.
-pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
+pub fn parse_cli(argv: &[String]) -> Result<Cli, CliError> {
     let mut positional: Vec<String> = Vec::new();
     let mut options = Options::default();
+    let mut trace = TraceOptions::default();
     let mut iter = argv.iter().peekable();
 
     let command = match iter.next() {
-        None => return Ok(Command::Help),
+        None => {
+            return Ok(Cli {
+                command: Command::Help,
+                trace,
+            })
+        }
         Some(c) => c.clone(),
     };
     if command == "help" || command == "--help" || command == "-h" {
-        return Ok(Command::Help);
+        return Ok(Cli {
+            command: Command::Help,
+            trace,
+        });
     }
 
     let take_value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -158,6 +213,18 @@ pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
                 }
             }
             "--cache-stats" => options.cache_stats = true,
+            "--trace-out" => trace.out = Some(take_value(&mut iter, "--trace-out")?),
+            "--trace-format" => {
+                trace.format = match take_value(&mut iter, "--trace-format")?.as_str() {
+                    "easyview" => TraceFormat::EasyView,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown trace format {other:?} (easyview|chrome)"
+                        )))
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError(format!("unknown option {flag}")))
             }
@@ -176,68 +243,86 @@ pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
         }
     };
 
-    match command.as_str() {
+    let parsed = match command.as_str() {
         "info" => {
             need(1)?;
-            Ok(Command::Info {
+            Command::Info {
                 input: positional.remove(0),
-            })
+            }
         }
-        "view" => {
+        "view" | "flame" => {
             need(1)?;
-            Ok(Command::View {
+            Command::View {
                 input: positional.remove(0),
                 options,
-            })
+            }
         }
         "table" => {
             need(1)?;
-            Ok(Command::Table {
+            Command::Table {
                 input: positional.remove(0),
                 options,
-            })
+            }
         }
         "diff" => {
             need(2)?;
             let before = positional.remove(0);
             let after = positional.remove(0);
-            Ok(Command::Diff {
+            Command::Diff {
                 before,
                 after,
                 options,
-            })
+            }
         }
         "aggregate" => {
             if positional.is_empty() {
                 return Err(CliError("aggregate expects at least one profile".to_owned()));
             }
-            Ok(Command::Aggregate {
+            Command::Aggregate {
                 inputs: positional,
                 options,
-            })
+            }
         }
         "search" => {
             need(2)?;
             let input = positional.remove(0);
             let query = positional.remove(0);
-            Ok(Command::Search { input, query })
+            Command::Search { input, query }
         }
         "script" => {
             need(2)?;
             let input = positional.remove(0);
             let script = positional.remove(0);
-            Ok(Command::Script { input, script })
+            Command::Script { input, script }
         }
         "convert" => {
             need(2)?;
             let input = positional.remove(0);
             let output = positional.remove(0);
-            Ok(Command::Convert { input, output })
+            Command::Convert { input, output }
         }
-        other => Err(CliError(format!(
-            "unknown command {other:?} (try `easyview help`)"
-        ))),
-    }
+        "stats" => {
+            if positional.len() > 1 {
+                return Err(CliError(format!(
+                    "stats expects at most 1 argument, got {}",
+                    positional.len()
+                )));
+            }
+            Command::Stats {
+                input: positional.pop(),
+                options,
+            }
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown command {other:?} (try `easyview help`)"
+            )))
+        }
+    };
+    Ok(Cli {
+        command: parsed,
+        trace,
+    })
 }
 
 #[cfg(test)]
@@ -312,6 +397,48 @@ mod tests {
         assert!(!options.cache_stats);
         assert!(parse(&["view", "p", "--threads", "many"]).is_err());
         assert!(parse(&["view", "p", "--threads", "9999"]).is_err());
+    }
+
+    #[test]
+    fn flame_is_a_view_alias() {
+        assert_eq!(parse(&["flame", "p"]).unwrap(), parse(&["view", "p"]).unwrap());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let argv: Vec<String> = ["flame", "p", "--trace-out", "self.evpf"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = parse_cli(&argv).unwrap();
+        assert_eq!(cli.trace.out.as_deref(), Some("self.evpf"));
+        assert_eq!(cli.trace.format, TraceFormat::EasyView);
+
+        let argv: Vec<String> = ["view", "p", "--trace-out", "t.json", "--trace-format", "chrome"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = parse_cli(&argv).unwrap();
+        assert_eq!(cli.trace.format, TraceFormat::Chrome);
+
+        assert!(parse(&["view", "p", "--trace-out"]).is_err());
+        assert!(parse(&["view", "p", "--trace-format", "svg"]).is_err());
+    }
+
+    #[test]
+    fn stats_takes_optional_profile() {
+        assert_eq!(
+            parse(&["stats"]).unwrap(),
+            Command::Stats {
+                input: None,
+                options: Options::default()
+            }
+        );
+        let cmd = parse(&["stats", "p.evpf", "--threads", "2"]).unwrap();
+        let Command::Stats { input, options } = cmd else { panic!() };
+        assert_eq!(input.as_deref(), Some("p.evpf"));
+        assert_eq!(options.threads, 2);
+        assert!(parse(&["stats", "a", "b"]).is_err());
     }
 
     #[test]

@@ -4,15 +4,15 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let command = match ev_cli::parse_args(&argv) {
-        Ok(command) => command,
+    let cli = match ev_cli::parse_cli(&argv) {
+        Ok(cli) => cli,
         Err(err) => {
             eprintln!("easyview: {err}");
             eprintln!("try `easyview help`");
             return ExitCode::from(2);
         }
     };
-    match ev_cli::run(command) {
+    match ev_cli::run_cli(cli) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

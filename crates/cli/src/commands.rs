@@ -1,7 +1,7 @@
 //! Command implementations. All return their output as a `String` so
 //! they are testable without capturing stdout.
 
-use crate::args::{Command, Options, Shape};
+use crate::args::{Cli, Command, Options, Shape, TraceFormat};
 use crate::{CliError, USAGE};
 use ev_analysis::{
     aggregate_with, classify_timeline, diff_with, view_key, ExecPolicy, MetricView, ViewCache,
@@ -57,7 +57,82 @@ pub fn run(command: Command) -> Result<String, CliError> {
         Command::Search { input, query } => search(&input, &query),
         Command::Script { input, script } => script_cmd(&input, &script),
         Command::Convert { input, output } => convert(&input, &output),
+        Command::Stats { input, options } => stats_cmd(input.as_deref(), &options),
     }
+}
+
+/// Executes a parsed command line, honoring the self-profiling options:
+/// with `--trace-out`, span recording is enabled for the duration of
+/// the command and the recording is written to the requested path in
+/// the requested format.
+///
+/// # Errors
+///
+/// Returns a user-facing message on I/O, format, or analysis errors.
+pub fn run_cli(cli: Cli) -> Result<String, CliError> {
+    let Some(trace_path) = cli.trace.out.clone() else {
+        return run(cli.command);
+    };
+    ev_trace::set_enabled(true);
+    let _ = ev_trace::take_spans(); // drop spans recorded before this command
+    let result = run(cli.command);
+    let spans = ev_trace::take_spans();
+    ev_trace::set_enabled(false);
+    let mut out = result?;
+    let bytes: Vec<u8> = match cli.trace.format {
+        TraceFormat::EasyView => {
+            ev_core::format::to_bytes(&ev_formats::trace::self_profile(&spans))
+        }
+        TraceFormat::Chrome => ev_formats::trace::chrome_trace_json(&spans).into_bytes(),
+    };
+    std::fs::write(&trace_path, &bytes)
+        .map_err(|e| CliError(format!("cannot write {trace_path}: {e}")))?;
+    let _ = writeln!(out, "wrote trace {trace_path} ({} spans)", spans.len());
+    Ok(out)
+}
+
+fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError> {
+    let mut out = String::new();
+    if let Some(path) = input {
+        // Exercise the full pipeline once so the counters below reflect
+        // this profile (load → convert → layout), then report. Tracing
+        // is enabled for the duration so even the gated pipeline
+        // counters (flate, wire) fill in; the spans themselves are
+        // discarded — `stats` reports metrics, `--trace-out` records.
+        let was_enabled = ev_trace::enabled();
+        ev_trace::set_enabled(true);
+        let result = (|| -> Result<(), CliError> {
+            let profile = load(path)?;
+            let metric = pick_metric(&profile, options)?;
+            let exec = policy(options);
+            let threshold_tag = format!("threshold:{}", options.threshold);
+            let key =
+                view_key(&profile, metric, &[shape_tag(options.shape), &threshold_tag]);
+            let graph = view_cache().lock().unwrap().get_or_insert_with(key, || {
+                let pruned = maybe_pruned(&profile, metric, options);
+                layout(&pruned, metric, options.shape, exec)
+            });
+            let _ = writeln!(
+                out,
+                "profile : {} ({} contexts, {} frames laid out)",
+                profile.meta().name,
+                profile.node_count(),
+                graph.rects().len()
+            );
+            Ok(())
+        })();
+        if !was_enabled {
+            ev_trace::set_enabled(false);
+            let _ = ev_trace::take_spans();
+        }
+        result?;
+    }
+    cache_stats_line(&mut out);
+    let dump = ev_trace::metrics_dump();
+    if !dump.is_empty() {
+        out.push_str(&dump);
+    }
+    Ok(out)
 }
 
 fn load(path: &str) -> Result<Profile, CliError> {

@@ -7,6 +7,8 @@
 //! ```text
 //! easyview info      <profile>                      # floating-window summary
 //! easyview view      <profile> [options]            # flame graph (ANSI/SVG)
+//! easyview flame     <profile> [options]            # alias of view
+//! easyview stats     [profile] [options]            # process metrics dump
 //! easyview table     <profile> [options]            # tree table
 //! easyview diff      <before> <after> [options]     # differential view
 //! easyview aggregate <profile>... --metric M        # multi-profile analysis
@@ -22,8 +24,8 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, Command, Options, Shape};
-pub use commands::run;
+pub use args::{parse_args, parse_cli, Cli, Command, Options, Shape, TraceFormat, TraceOptions};
+pub use commands::{run, run_cli};
 
 use std::error::Error;
 use std::fmt;
@@ -61,7 +63,7 @@ USAGE:
 
 COMMANDS:
     info      <profile>                 summary: metrics, totals, hotspots
-    view      <profile>                 render a flame graph
+    view      <profile>                 render a flame graph (alias: flame)
     table     <profile>                 render a tree table
     diff      <before> <after>          differential view with [A]/[D]/[+]/[-] tags
     aggregate <profile>...              merge profiles; classify timelines
@@ -69,6 +71,10 @@ COMMANDS:
     script    <profile> <file.evs>      run an EVscript customization
     convert   <input> <output>          transcode (by output extension:
                                         .evpf native, .pprof, .folded)
+    stats     [profile]                 process metrics: view-cache counters
+                                        and every pipeline counter/histogram
+                                        (runs one view first when a profile
+                                        is given)
     help                                this text
 
 OPTIONS:
@@ -82,4 +88,9 @@ OPTIONS:
     --threads <n>       analysis worker threads (default 0 = all cores,
                         1 = sequential; results are identical either way)
     --cache-stats       print view-cache hit/miss counters
+                        (deprecated: use `easyview stats`)
+    --trace-out <path>  self-profile this command with ev-trace and write
+                        the recording to <path>
+    --trace-format <f>  easyview (default; render with `easyview flame`)
+                        | chrome (trace-event JSON for chrome://tracing)
 ";

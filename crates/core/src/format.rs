@@ -64,6 +64,7 @@ pub fn is_easyview(data: &[u8]) -> bool {
 /// assert_eq!(format::from_bytes(&bytes).unwrap(), p);
 /// ```
 pub fn to_bytes(profile: &Profile) -> Vec<u8> {
+    let _span = ev_trace::span("wire.encode");
     let mut w = Writer::with_capacity(profile.node_count() * 24 + 64);
     // Header.
     let mut out = Vec::with_capacity(w.len() + 5);
@@ -165,6 +166,7 @@ pub fn to_bytes(profile: &Profile) -> Vec<u8> {
 /// Returns [`CoreError::Format`] on a missing/unknown header, wire-level
 /// corruption, or invariant violations (dangling ids, cyclic parents…).
 pub fn from_bytes(data: &[u8]) -> Result<Profile, CoreError> {
+    let _span = ev_trace::span("wire.decode");
     if !is_easyview(data) {
         return Err(CoreError::Format("missing EVPF magic".to_owned()));
     }

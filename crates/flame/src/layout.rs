@@ -122,6 +122,7 @@ impl FlameGraph {
         scheme: ColorScheme,
         policy: ExecPolicy,
     ) -> FlameGraph {
+        let _span = ev_trace::span("flame.layout");
         let view = MetricView::compute_with(&profile, metric, policy);
         let total = view.total().max(f64::MIN_POSITIVE);
         let mut rects = Vec::with_capacity(profile.node_count());

@@ -39,6 +39,7 @@ fn xml_escape(s: &str) -> String {
 /// `<rect>` with a `<title>` tooltip carrying the label and metric
 /// values (the hover of §VI-B).
 pub fn svg(graph: &FlameGraph, options: &SvgOptions) -> String {
+    let _span = ev_trace::span("flame.render");
     let width = f64::from(options.width);
     let row = f64::from(options.row_height);
     let height = (graph.max_depth() + 1) as f64 * row;
@@ -106,6 +107,7 @@ pub fn svg(graph: &FlameGraph, options: &SvgOptions) -> String {
 /// `columns` is the terminal width; pass `color: false` for plain text
 /// (used in tests and logs).
 pub fn ansi(graph: &FlameGraph, columns: usize, color: bool) -> String {
+    let _span = ev_trace::span("flame.render");
     assert!(columns >= 8, "terminal too narrow");
     let mut out = String::new();
     for depth in 0..=graph.max_depth() {

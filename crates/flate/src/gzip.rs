@@ -27,7 +27,12 @@ pub fn is_gzip(data: &[u8]) -> bool {
 /// trailer. The header carries no name/comment/extra fields and a zero
 /// mtime, like Go's `compress/gzip` default used by pprof.
 pub fn gzip_compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let _span = ev_trace::span("flate.deflate");
     let body = deflate_compress(data, level);
+    if ev_trace::enabled() {
+        crate::metrics::in_bytes().add(data.len() as u64);
+        crate::metrics::out_bytes().add(body.len() as u64 + 18);
+    }
     let mut out = Vec::with_capacity(body.len() + 18);
     out.extend_from_slice(&MAGIC);
     out.push(METHOD_DEFLATE);
@@ -52,6 +57,10 @@ pub fn gzip_compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
 /// Fails on a missing magic, unsupported method, reserved flags,
 /// truncated input, DEFLATE errors, or trailer mismatches.
 pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
+    let _span = ev_trace::span("flate.inflate");
+    if ev_trace::enabled() {
+        crate::metrics::in_bytes().add(data.len() as u64);
+    }
     if !is_gzip(data) {
         return Err(FlateError::NotGzip);
     }
@@ -112,6 +121,9 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
             expected: stored_len,
             actual: actual_len,
         });
+    }
+    if ev_trace::enabled() {
+        crate::metrics::out_bytes().add(out.len() as u64);
     }
     Ok(out)
 }

@@ -47,6 +47,26 @@ mod gzip;
 mod huffman;
 mod inflate;
 
+/// Cached handles for this crate's `ev-trace` counters, registered on
+/// first use so the steady-state bump is one relaxed `fetch_add`.
+pub(crate) mod metrics {
+    use ev_trace::Counter;
+    use std::sync::OnceLock;
+
+    /// Bytes entering the codec (compressed input on inflate,
+    /// uncompressed input on deflate).
+    pub(crate) fn in_bytes() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.in_bytes"))
+    }
+
+    /// Bytes leaving the codec.
+    pub(crate) fn out_bytes() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.out_bytes"))
+    }
+}
+
 pub use checksum::crc32;
 pub use deflate::{deflate_compress, CompressionLevel};
 pub use gzip::{gzip_compress, gzip_decompress, is_gzip};

@@ -33,6 +33,7 @@ struct Complete {
 /// Fails on malformed JSON, a missing `traceEvents` array, unbalanced
 /// `B`/`E` pairs, or events with non-numeric timestamps.
 pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.chrome");
     let root = ev_json::parse(text)?;
     let events = match &root {
         Value::Array(items) => items.as_slice(),

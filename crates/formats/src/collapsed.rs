@@ -46,6 +46,7 @@ pub fn looks_like(text: &str) -> bool {
 ///
 /// Fails on lines without a trailing number.
 pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.collapsed");
     let mut profile = Profile::new("collapsed");
     profile.meta_mut().profiler = "collapsed".to_owned();
     let samples = profile.add_metric(MetricDescriptor::new(

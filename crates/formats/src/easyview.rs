@@ -13,6 +13,7 @@ use ev_core::Profile;
 ///
 /// Propagates format errors from `ev_core::format::from_bytes`.
 pub fn parse(data: &[u8]) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.easyview");
     Ok(ev_core::format::from_bytes(data)?)
 }
 

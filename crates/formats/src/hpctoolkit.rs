@@ -38,6 +38,7 @@ struct Tables {
 ///
 /// Fails on malformed XML or dangling table references.
 pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.hpctoolkit");
     let mut parser = PullParser::new(text);
     let mut profile = Profile::new("hpctoolkit");
     profile.meta_mut().profiler = "hpctoolkit".to_owned();

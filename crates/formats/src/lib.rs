@@ -49,6 +49,7 @@ pub mod pprof;
 pub mod pyinstrument;
 pub mod scalene;
 pub mod speedscope;
+pub mod trace;
 
 use ev_core::Profile;
 use std::error::Error;

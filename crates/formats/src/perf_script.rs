@@ -79,6 +79,7 @@ fn parse_header(line: &str) -> Option<(f64, String)> {
 ///
 /// Fails when no samples can be extracted (the input was misdetected).
 pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.perf_script");
     let mut profile = Profile::new("perf");
     profile.meta_mut().profiler = "perf".to_owned();
     let mut metrics: HashMap<String, MetricId> = HashMap::new();

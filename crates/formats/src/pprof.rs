@@ -84,6 +84,7 @@ fn unit_to_str(unit: MetricUnit) -> &'static str {
 ///
 /// Fails on gzip/wire-level corruption or dangling ids.
 pub fn parse(data: &[u8]) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.pprof");
     let decompressed;
     let body: &[u8] = if is_gzip(data) {
         decompressed = gzip_decompress(data)?;
@@ -99,6 +100,7 @@ pub fn parse(data: &[u8]) -> Result<Profile, FormatError> {
     let mut mappings: Vec<Mapping> = Vec::new();
     let mut time_nanos: i64 = 0;
 
+    let wire_span = ev_trace::span("wire.decode");
     let mut r = Reader::new(body);
     while let Some((field, ty)) = r.read_tag()? {
         match field {
@@ -174,6 +176,7 @@ pub fn parse(data: &[u8]) -> Result<Profile, FormatError> {
             _ => r.skip(ty)?,
         }
     }
+    drop(wire_span);
 
     let string_at = |idx: i64| -> &str {
         strings
@@ -249,6 +252,7 @@ pub fn parse(data: &[u8]) -> Result<Profile, FormatError> {
     let root = profile.root();
     let mut location_ids: Vec<u64> = Vec::new();
     let mut values: Vec<i64> = Vec::new();
+    let _wire_span = ev_trace::span("wire.decode");
     let mut r = Reader::new(body);
     while let Some((field, ty)) = r.read_tag()? {
         if field != 2 {

@@ -23,6 +23,7 @@ use ev_json::Value;
 ///
 /// Fails on malformed JSON or a missing/ill-typed `root_frame`.
 pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.pyinstrument");
     let root = ev_json::parse(text)?;
     let root_frame = root
         .get("root_frame")

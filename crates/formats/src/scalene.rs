@@ -30,6 +30,7 @@ use ev_json::Value;
 ///
 /// Fails on malformed JSON or a missing `files` object.
 pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.scalene");
     let root = ev_json::parse(text)?;
     let files = root
         .get("files")

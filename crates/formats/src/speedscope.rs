@@ -55,6 +55,7 @@ fn unit_scale(unit: Option<&str>) -> f64 {
 /// Fails on malformed JSON, missing `shared.frames`/`profiles`,
 /// out-of-range frame indices, or unbalanced evented profiles.
 pub fn parse(text: &str) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.speedscope");
     let root = ev_json::parse(text)?;
     let frames: Vec<Frame> = root
         .get("shared")

@@ -1,0 +1,194 @@
+//! Exporters for `ev-trace` recordings: EasyView's own execution as an
+//! EasyView profile (dogfooding the paper's generic representation) and
+//! as Chrome trace-event JSON, plus the glue the CLI uses for
+//! `--trace-out`.
+//!
+//! The self-profile exporter turns the recorded span forest into a
+//! calling-context tree via [`ev_core::ProfileBuilder`]: each span
+//! becomes a context whose path is its ancestor chain, carrying its
+//! *exclusive* wall time (duration minus direct children) and a span
+//! count. The result renders with `easyview flame`, so EasyView can
+//! profile itself with itself.
+
+use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit, Profile};
+use ev_json::Value;
+use ev_trace::SpanRecord;
+use std::collections::HashMap;
+
+/// Converts recorded spans into an EasyView [`Profile`].
+///
+/// Each span contributes one sample at the path formed by its ancestor
+/// chain (orphaned parents degrade to root level), with two metrics:
+/// `wall` — exclusive nanoseconds (duration minus direct children) —
+/// and `spans` — the number of spans at that context. Span ids are
+/// allocated in open order and [`ev_trace::take_spans`] sorts by
+/// `(start_ns, id)`, so the output is deterministic for a recording.
+pub fn self_profile(spans: &[SpanRecord]) -> Profile {
+    let mut builder = ev_core::ProfileBuilder::new("easyview-self-trace");
+    builder.profiler("ev-trace");
+    let wall = builder.add_metric(MetricDescriptor::new(
+        "wall",
+        MetricUnit::Nanoseconds,
+        MetricKind::Exclusive,
+    ));
+    let count = builder.add_metric(MetricDescriptor::new(
+        "spans",
+        MetricUnit::Count,
+        MetricKind::Exclusive,
+    ));
+
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for span in spans {
+        if span.parent != 0 && by_id.contains_key(&span.parent) {
+            *child_ns.entry(span.parent).or_insert(0) += span.duration_ns();
+        }
+    }
+
+    let mut path: Vec<Frame> = Vec::new();
+    for span in spans {
+        path.clear();
+        path.push(Frame::function(span.name));
+        let mut cursor = span.parent;
+        while let Some(ancestor) = by_id.get(&cursor) {
+            path.push(Frame::function(ancestor.name));
+            cursor = ancestor.parent;
+        }
+        path.reverse();
+        let exclusive = span
+            .duration_ns()
+            .saturating_sub(child_ns.get(&span.id).copied().unwrap_or(0));
+        builder.sample_path(&path, &[(wall, exclusive as f64), (count, 1.0)]);
+    }
+    builder.finish()
+}
+
+/// Converts recorded spans into a Chrome trace-event [`Value`]:
+/// complete (`ph: "X"`) events with microsecond `ts`/`dur`, one `tid`
+/// per recording thread. The shape round-trips through this crate's own
+/// [`crate::chrome`] importer, and `ev-json` serializes object keys in
+/// sorted order, so the output is byte-deterministic.
+pub fn chrome_trace(spans: &[SpanRecord]) -> Value {
+    let events = spans.iter().map(|span| {
+        Value::object([
+            ("args", Value::object([
+                ("id", Value::Int(span.id as i64)),
+                ("parent", Value::Int(span.parent as i64)),
+            ])),
+            ("cat", Value::String("easyview".to_owned())),
+            ("dur", Value::Float(span.duration_ns() as f64 / 1000.0)),
+            ("name", Value::String(span.name.to_owned())),
+            ("ph", Value::String("X".to_owned())),
+            ("pid", Value::Int(1)),
+            ("tid", Value::Int(i64::from(span.thread) + 1)),
+            ("ts", Value::Float(span.start_ns as f64 / 1000.0)),
+        ])
+    });
+    Value::object([
+        ("displayTimeUnit", Value::String("ms".to_owned())),
+        ("traceEvents", Value::array(events)),
+    ])
+}
+
+/// [`chrome_trace`] serialized to a compact JSON string.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    ev_json::to_string(&chrome_trace(spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "flame.layout",
+                thread: 0,
+                start_ns: 1_000,
+                end_ns: 11_000,
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "analysis.metric_view",
+                thread: 0,
+                start_ns: 2_000,
+                end_ns: 6_000,
+            },
+            SpanRecord {
+                id: 3,
+                parent: 0,
+                name: "flame.render",
+                thread: 1,
+                start_ns: 12_000,
+                end_ns: 12_500,
+            },
+        ]
+    }
+
+    #[test]
+    fn self_profile_builds_context_tree() {
+        let profile = self_profile(&fixture_spans());
+        profile.validate().unwrap();
+        let wall = profile.metric_by_name("wall").unwrap();
+        // flame.layout: 10µs − 4µs child = 6µs exclusive.
+        let names: Vec<String> = profile
+            .node_ids()
+            .map(|id| profile.resolve_frame(id).name)
+            .collect();
+        assert!(names.iter().any(|n| n == "flame.layout"));
+        assert!(names.iter().any(|n| n == "analysis.metric_view"));
+        assert!(names.iter().any(|n| n == "flame.render"));
+        assert_eq!(profile.total(wall) as u64, 6_000 + 4_000 + 500);
+    }
+
+    #[test]
+    fn self_profile_roundtrips_through_easyview_format() {
+        let profile = self_profile(&fixture_spans());
+        let bytes = ev_core::format::to_bytes(&profile);
+        let back = crate::easyview::parse(&bytes).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn self_profile_tolerates_orphan_parents() {
+        let spans = [SpanRecord {
+            id: 7,
+            parent: 99,
+            name: "orphan",
+            thread: 0,
+            start_ns: 0,
+            end_ns: 10,
+        }];
+        let profile = self_profile(&spans);
+        profile.validate().unwrap();
+        assert_eq!(profile.node_count(), 2); // root + orphan at top level
+    }
+
+    #[test]
+    fn chrome_trace_matches_golden_json() {
+        let json = chrome_trace_json(&fixture_spans()[..1]);
+        assert_eq!(
+            json,
+            concat!(
+                r#"{"displayTimeUnit":"ms","traceEvents":["#,
+                r#"{"args":{"id":1,"parent":0},"cat":"easyview","dur":10.0,"#,
+                r#""name":"flame.layout","ph":"X","pid":1,"tid":1,"ts":1.0}]}"#,
+            )
+        );
+    }
+
+    #[test]
+    fn chrome_trace_reimports_through_chrome_converter() {
+        let json = chrome_trace_json(&fixture_spans());
+        let profile = crate::chrome::parse(&json).unwrap();
+        profile.validate().unwrap();
+        let names: Vec<String> = profile
+            .node_ids()
+            .map(|id| profile.resolve_frame(id).name)
+            .collect();
+        assert!(names.iter().any(|n| n == "flame.layout"), "{names:?}");
+    }
+}

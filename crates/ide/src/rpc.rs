@@ -74,6 +74,17 @@ impl Request {
     }
 }
 
+/// Per-request observability attached to a [`Response`]: how long the
+/// server spent on it and how many `ev-trace` spans it recorded. Editors
+/// can surface this without a separate round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Server-side wall time, microseconds.
+    pub wall_micros: u64,
+    /// Spans recorded while handling (0 when tracing is disabled).
+    pub spans: u64,
+}
+
 /// A response: either a result or an error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -81,6 +92,8 @@ pub struct Response {
     pub id: i64,
     /// `Ok(result)` or `Err((code, message))`.
     pub outcome: Result<Value, (i64, String)>,
+    /// Optional per-request timing metadata.
+    pub meta: Option<ResponseMeta>,
 }
 
 impl Response {
@@ -89,6 +102,7 @@ impl Response {
         Response {
             id,
             outcome: Ok(result),
+            meta: None,
         }
     }
 
@@ -97,29 +111,42 @@ impl Response {
         Response {
             id,
             outcome: Err((code, message.into())),
+            meta: None,
         }
+    }
+
+    /// Attaches per-request metadata.
+    pub fn with_meta(mut self, meta: ResponseMeta) -> Response {
+        self.meta = Some(meta);
+        self
     }
 
     /// Serializes to a JSON value.
     pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("jsonrpc", Value::from("2.0")),
+            ("id", Value::Int(self.id)),
+        ];
         match &self.outcome {
-            Ok(result) => Value::object([
-                ("jsonrpc", Value::from("2.0")),
-                ("id", Value::Int(self.id)),
-                ("result", result.clone()),
-            ]),
-            Err((code, message)) => Value::object([
-                ("jsonrpc", Value::from("2.0")),
-                ("id", Value::Int(self.id)),
-                (
-                    "error",
-                    Value::object([
-                        ("code", Value::Int(*code)),
-                        ("message", Value::from(message.clone())),
-                    ]),
-                ),
-            ]),
+            Ok(result) => pairs.push(("result", result.clone())),
+            Err((code, message)) => pairs.push((
+                "error",
+                Value::object([
+                    ("code", Value::Int(*code)),
+                    ("message", Value::from(message.clone())),
+                ]),
+            )),
         }
+        if let Some(meta) = self.meta {
+            pairs.push((
+                "meta",
+                Value::object([
+                    ("spans", Value::Int(meta.spans as i64)),
+                    ("wallMicros", Value::Int(meta.wall_micros as i64)),
+                ]),
+            ));
+        }
+        Value::object(pairs)
     }
 
     /// Parses from a JSON value.
@@ -132,6 +159,14 @@ impl Response {
             .get("id")
             .and_then(Value::as_i64)
             .ok_or("missing id")?;
+        let meta = value.get("meta").map(|m| ResponseMeta {
+            wall_micros: m
+                .get("wallMicros")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .max(0) as u64,
+            spans: m.get("spans").and_then(Value::as_i64).unwrap_or(0).max(0) as u64,
+        });
         if let Some(err) = value.get("error") {
             let code = err.get("code").and_then(Value::as_i64).unwrap_or(0);
             let message = err
@@ -139,10 +174,14 @@ impl Response {
                 .and_then(Value::as_str)
                 .unwrap_or("")
                 .to_owned();
-            return Ok(Response::error(id, code, message));
+            let mut response = Response::error(id, code, message);
+            response.meta = meta;
+            return Ok(response);
         }
         let result = value.get("result").cloned().ok_or("missing result")?;
-        Ok(Response::ok(id, result))
+        let mut response = Response::ok(id, result);
+        response.meta = meta;
+        Ok(response)
     }
 }
 
@@ -223,6 +262,23 @@ mod tests {
         let ok = Response::ok(1, Value::Int(42));
         assert_eq!(Response::from_value(&ok.to_value()).unwrap(), ok);
         let err = Response::error(2, codes::METHOD_NOT_FOUND, "nope");
+        assert_eq!(Response::from_value(&err.to_value()).unwrap(), err);
+    }
+
+    #[test]
+    fn response_meta_roundtrips() {
+        let meta = ResponseMeta {
+            wall_micros: 1234,
+            spans: 7,
+        };
+        let ok = Response::ok(5, Value::Int(1)).with_meta(meta);
+        let value = ok.to_value();
+        assert_eq!(
+            value.get("meta").and_then(|m| m.get("wallMicros")),
+            Some(&Value::Int(1234))
+        );
+        assert_eq!(Response::from_value(&value).unwrap(), ok);
+        let err = Response::error(6, codes::INTERNAL_ERROR, "boom").with_meta(meta);
         assert_eq!(Response::from_value(&err.to_value()).unwrap(), err);
     }
 

@@ -8,6 +8,17 @@ use ev_json::Value;
 use ev_script::ScriptHost;
 use std::collections::HashMap;
 
+/// Requests slower than this (microseconds) are logged to stderr.
+const SLOW_REQUEST_MICROS: u64 = 100_000;
+
+/// Cached handle for the `ide.request_us` histogram of per-request wall
+/// times.
+fn request_histogram() -> &'static ev_trace::Histogram {
+    static HANDLE: std::sync::OnceLock<&'static ev_trace::Histogram> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::histogram("ide.request_us"))
+}
+
 /// Hex encoding used to carry binary profiles inside JSON params.
 fn hex_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len() * 2);
@@ -89,13 +100,39 @@ impl EvpServer {
     }
 
     /// Handles one request; notifications return `None`.
+    ///
+    /// Every response carries [`crate::rpc::ResponseMeta`] — wall time
+    /// and the number of `ev-trace` spans recorded while handling — and
+    /// requests slower than [`SLOW_REQUEST_MICROS`] are logged to
+    /// stderr (the paper's §VII-B response-time budget is 100 ms).
     pub fn handle(&mut self, request: &Request) -> Option<Response> {
         let id = request.id?;
-        let outcome = self.dispatch(&request.method, &request.params);
-        Some(match outcome {
-            Ok(result) => Response::ok(id, result),
-            Err((code, message)) => Response::error(id, code, message),
-        })
+        let start = ev_trace::now_ns();
+        let spans_before = ev_trace::span_count();
+        let outcome = {
+            let _span = ev_trace::span("ide.request");
+            self.dispatch(&request.method, &request.params)
+        };
+        let wall_micros = (ev_trace::now_ns() - start) / 1_000;
+        request_histogram().record(wall_micros);
+        if wall_micros > SLOW_REQUEST_MICROS {
+            eprintln!(
+                "easyview: slow request {} took {:.1} ms",
+                request.method,
+                wall_micros as f64 / 1_000.0
+            );
+        }
+        let meta = crate::rpc::ResponseMeta {
+            wall_micros,
+            spans: ev_trace::span_count() - spans_before,
+        };
+        Some(
+            match outcome {
+                Ok(result) => Response::ok(id, result),
+                Err((code, message)) => Response::error(id, code, message),
+            }
+            .with_meta(meta),
+        )
     }
 
     fn dispatch(&mut self, method: &str, params: &Value) -> Result<Value, (i64, String)> {

@@ -124,10 +124,42 @@ pub(crate) struct Pool {
     workers: usize,
 }
 
+/// Per-worker observability counters, registered once at worker start
+/// (the leaked names live as long as the worker thread — forever).
+struct WorkerMetrics {
+    tasks: &'static ev_trace::Counter,
+    busy_ns: &'static ev_trace::Counter,
+    idle_ns: &'static ev_trace::Counter,
+}
+
+impl WorkerMetrics {
+    fn new(me: usize) -> WorkerMetrics {
+        let name = |suffix: &str| -> &'static str {
+            Box::leak(format!("par.worker{me}.{suffix}").into_boxed_str())
+        };
+        WorkerMetrics {
+            tasks: ev_trace::counter(name("tasks")),
+            busy_ns: ev_trace::counter(name("busy_ns")),
+            idle_ns: ev_trace::counter(name("idle_ns")),
+        }
+    }
+}
+
 fn worker_loop(shared: &'static Shared, me: usize) {
+    let metrics = WorkerMetrics::new(me);
     loop {
         if let Some(task) = shared.claim(me) {
-            unsafe { (*task.job).run_task(task.index) };
+            // Clock reads only while tracing is on; workers record into
+            // counters and never reorder work, so the `--threads`
+            // determinism contract is untouched.
+            if ev_trace::enabled() {
+                let start = ev_trace::now_ns();
+                unsafe { (*task.job).run_task(task.index) };
+                metrics.busy_ns.add(ev_trace::now_ns() - start);
+                metrics.tasks.inc();
+            } else {
+                unsafe { (*task.job).run_task(task.index) };
+            }
             continue;
         }
         let pending = shared.pending.lock().unwrap();
@@ -135,7 +167,13 @@ fn worker_loop(shared: &'static Shared, me: usize) {
         // and this lock raised the counter, so skip the wait and scan
         // again rather than sleeping through the notification.
         if *pending == 0 {
-            drop(shared.wake.wait(pending).unwrap());
+            if ev_trace::enabled() {
+                let start = ev_trace::now_ns();
+                drop(shared.wake.wait(pending).unwrap());
+                metrics.idle_ns.add(ev_trace::now_ns() - start);
+            } else {
+                drop(shared.wake.wait(pending).unwrap());
+            }
         }
     }
 }

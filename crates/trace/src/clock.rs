@@ -1,0 +1,31 @@
+//! The shared monotonic clock: one process-wide epoch, nanosecond
+//! readings. `ev-bench`'s timer and every span in this crate read the
+//! same source, so benchmark numbers and trace timestamps are directly
+//! comparable.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds of monotonic time since the process's trace epoch (the
+/// first call to any clock or span function).
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,233 @@
+//! The static metrics registry: named counters and log-scale
+//! histograms.
+//!
+//! Handles are `&'static` and registered on first use; hot call sites
+//! cache them in a `OnceLock` so the steady-state cost of a bump is one
+//! relaxed `fetch_add`. Unlike spans, metrics stay live even when span
+//! recording is disabled — they back always-on surfaces such as
+//! `easyview stats` and the view-cache counters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of histogram buckets: one per power of two plus a zero
+/// bucket (`u64` values span 64 octaves).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotone counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-scale (power-of-two bucketed) histogram of `u64` samples.
+/// Bucket `0` holds zeros; bucket `k` holds values in
+/// `[2^(k-1), 2^k)`.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (0 when empty). Log-scale buckets bound the answer to within 2×.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return match k {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => 1u64 << k,
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// The counter registered under `name`, creating it on first use.
+/// Registration takes a lock; hot call sites should cache the returned
+/// handle in a `OnceLock`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap();
+    reg.counters.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Counter {
+            name,
+            value: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// The histogram registered under `name`, creating it on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap();
+    reg.histograms.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }))
+    })
+}
+
+/// Current value of the counter named `name`, or 0 when none is
+/// registered (read-only: does not create the counter).
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .counters
+        .get(name)
+        .map_or(0, |c| c.get())
+}
+
+/// A plain-text dump of every registered metric, sorted by name:
+/// `counter <name> <value>` and
+/// `histogram <name> count <n> sum <s> p50 <v> p99 <v>` lines.
+pub fn metrics_dump() -> String {
+    let reg = registry().lock().unwrap();
+    let mut out = String::new();
+    for (name, c) in &reg.counters {
+        let _ = writeln!(out, "counter {name} {}", c.get());
+    }
+    for (name, h) in &reg.histograms {
+        let _ = writeln!(
+            out,
+            "histogram {name} count {} sum {} p50 {} p99 {}",
+            h.count(),
+            h.sum(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registers_once_and_accumulates() {
+        let a = counter("test.metrics.counter");
+        let b = counter("test.metrics.counter");
+        assert!(std::ptr::eq(a, b), "same handle for the same name");
+        let before = a.get();
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), before + 5);
+        assert_eq!(counter_value("test.metrics.counter"), a.get());
+        assert_eq!(counter_value("test.metrics.unregistered"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let h = histogram("test.metrics.hist");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert!(h.quantile(0.5) >= 2, "median bucket covers 2..4");
+        assert!(h.quantile(1.0) >= 1000);
+        assert_eq!(histogram("test.metrics.empty").quantile(0.5), 0);
+    }
+
+    #[test]
+    fn dump_lists_sorted_metrics() {
+        counter("test.dump.b").inc();
+        counter("test.dump.a").inc();
+        histogram("test.dump.h").record(7);
+        let dump = metrics_dump();
+        let a = dump.find("counter test.dump.a").unwrap();
+        let b = dump.find("counter test.dump.b").unwrap();
+        assert!(a < b, "sorted by name:\n{dump}");
+        assert!(dump.contains("histogram test.dump.h count 1 sum 7"), "{dump}");
+    }
+}

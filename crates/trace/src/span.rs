@@ -1,0 +1,231 @@
+//! Spans: named wall-clock intervals with parent linkage, buffered
+//! per-thread and flushed lock-free to a global collector.
+
+use crate::clock;
+use std::cell::RefCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// Flush a thread buffer once it holds this many completed records,
+/// even while spans are still open on that thread (records are complete
+/// at flush time; only the chunk boundary moves).
+const FLUSH_LEN: usize = 1024;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id, allocated in open order (so `parent < id` always).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread; 0 = top level.
+    pub parent: u64,
+    /// Static stage name, e.g. `"flate.inflate"`.
+    pub name: &'static str,
+    /// Recording thread (dense per-process index, not the OS tid).
+    pub thread: u32,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the trace epoch (`>= start_ns`).
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Wall-clock duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+struct ThreadBuf {
+    records: Vec<SpanRecord>,
+    stack: Vec<u64>,
+    thread: u32,
+}
+
+thread_local! {
+    static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        records: Vec::new(),
+        stack: Vec::new(),
+        thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+    });
+}
+
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+static SPAN_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// A node in the global collector: one flushed buffer of records.
+struct Chunk {
+    records: Vec<SpanRecord>,
+    next: *mut Chunk,
+}
+
+/// Head of the lock-free Treiber stack of flushed chunks.
+static CHUNKS: AtomicPtr<Chunk> = AtomicPtr::new(ptr::null_mut());
+
+fn push_chunk(records: Vec<SpanRecord>) {
+    if records.is_empty() {
+        return;
+    }
+    let chunk = Box::into_raw(Box::new(Chunk {
+        records,
+        next: ptr::null_mut(),
+    }));
+    let mut head = CHUNKS.load(Ordering::Acquire);
+    loop {
+        // The chunk is not yet shared, so this plain write is safe.
+        unsafe { (*chunk).next = head };
+        match CHUNKS.compare_exchange_weak(head, chunk, Ordering::Release, Ordering::Acquire) {
+            Ok(_) => return,
+            Err(current) => head = current,
+        }
+    }
+}
+
+/// Flushes the calling thread's completed records to the global
+/// collector. Called automatically when the thread's span stack
+/// empties; public so long-lived threads with open spans can flush at
+/// their own safe points.
+pub fn flush_thread() {
+    BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if !buf.records.is_empty() {
+            push_chunk(std::mem::take(&mut buf.records));
+        }
+    });
+}
+
+/// Drains every flushed span from the global collector, sorted by
+/// `(start_ns, id)` so export output is deterministic for a given
+/// recording. The caller's own buffer is flushed first; other threads'
+/// records are visible once their span stacks emptied.
+pub fn take_spans() -> Vec<SpanRecord> {
+    flush_thread();
+    let mut head = CHUNKS.swap(ptr::null_mut(), Ordering::Acquire);
+    let mut out = Vec::new();
+    while !head.is_null() {
+        let chunk = unsafe { Box::from_raw(head) };
+        out.extend_from_slice(&chunk.records);
+        head = chunk.next;
+    }
+    out.sort_by_key(|r| (r.start_ns, r.id));
+    out
+}
+
+/// Total spans recorded since process start (monotone; survives
+/// [`take_spans`]). The delta across a request is the request's span
+/// count.
+pub fn span_count() -> u64 {
+    SPAN_COUNT.load(Ordering::Relaxed)
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// An open span; dropping it records the interval. Inert (a single
+/// `None`) when tracing was disabled at open time.
+#[must_use = "a span records its interval when dropped; binding to _ drops it immediately"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+/// Opens a span named `name`. When tracing is disabled this is one
+/// atomic load and returns an inert guard — no clock read, no
+/// allocation.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { active: None };
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> Span {
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let parent = BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        let parent = buf.stack.last().copied().unwrap_or(0);
+        buf.stack.push(id);
+        parent
+    });
+    Span {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            start_ns: clock::now_ns(),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end_ns = clock::now_ns();
+        SPAN_COUNT.fetch_add(1, Ordering::Relaxed);
+        BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            // Guards drop in reverse open order, so our id is on top;
+            // tolerate leaks from mem::forget'd guards anyway.
+            if buf.stack.last() == Some(&active.id) {
+                buf.stack.pop();
+            } else {
+                buf.stack.retain(|&open| open != active.id);
+            }
+            let thread = buf.thread;
+            buf.records.push(SpanRecord {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                thread,
+                start_ns: active.start_ns,
+                end_ns,
+            });
+            if buf.stack.is_empty() || buf.records.len() >= FLUSH_LEN {
+                push_chunk(std::mem::take(&mut buf.records));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_record_duration() {
+        let r = SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "x",
+            thread: 0,
+            start_ns: 10,
+            end_ns: 35,
+        };
+        assert_eq!(r.duration_ns(), 25);
+    }
+
+    #[test]
+    fn deep_nesting_flushes_once_at_depth_zero() {
+        let _guard = crate::tests::collector_lock();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        fn nest(depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            let _s = span("test.nest");
+            nest(depth - 1);
+        }
+        nest(20);
+        let spans = take_spans();
+        crate::set_enabled(false);
+        assert_eq!(spans.iter().filter(|s| s.name == "test.nest").count(), 20);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property: however spans are nested, the recorded set always forms a
+//! tree — unique ids, no orphan parents, parents opened before children
+//! (`parent < id`), child intervals contained in the parent's, and
+//! `end >= start` for every record.
+
+use ev_test::prelude::*;
+use std::collections::HashMap;
+
+const NAMES: [&str; 4] = ["prop.a", "prop.b", "prop.c", "prop.d"];
+
+/// Interprets the byte string as a random span-nesting program: even
+/// bytes open a span over two recursive halves, odd bytes over one.
+fn weave(ops: &[u8]) {
+    let Some((&op, rest)) = ops.split_first() else {
+        return;
+    };
+    let _span = ev_trace::span(NAMES[op as usize % NAMES.len()]);
+    if op % 2 == 0 && rest.len() >= 2 {
+        let mid = rest.len() / 2;
+        weave(&rest[..mid]);
+        weave(&rest[mid..]);
+    } else {
+        weave(rest);
+    }
+}
+
+property! {
+    #![cases(64)]
+
+    fn recorded_spans_form_a_tree(ops in vec(any_u8(), 1..48)) {
+        // The collector is process-global; this file holds one property
+        // so cases (run sequentially) see only their own spans.
+        ev_trace::set_enabled(true);
+        let _ = ev_trace::take_spans();
+        weave(&ops);
+        let spans = ev_trace::take_spans();
+        ev_trace::set_enabled(false);
+
+        prop_assert_eq!(spans.len(), ops.len());
+        let by_id: HashMap<u64, &ev_trace::SpanRecord> =
+            spans.iter().map(|s| (s.id, s)).collect();
+        prop_assert_eq!(by_id.len(), spans.len(), "span ids are unique");
+        for span in &spans {
+            prop_assert!(span.end_ns >= span.start_ns);
+            if span.parent == 0 {
+                continue;
+            }
+            let parent = by_id.get(&span.parent);
+            prop_assert!(parent.is_some(), "orphan parent {}", span.parent);
+            let parent = parent.unwrap();
+            prop_assert!(parent.id < span.id, "parents open before children");
+            prop_assert_eq!(parent.thread, span.thread);
+            prop_assert!(parent.start_ns <= span.start_ns);
+            prop_assert!(span.end_ns <= parent.end_ns);
+        }
+    }
+}

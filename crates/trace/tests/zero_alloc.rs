@@ -1,0 +1,67 @@
+//! The disabled-tracing path must not allocate: a hot loop of span
+//! guards and counter bumps with tracing off goes through a counting
+//! global allocator and must leave the allocation counter untouched.
+//! Counts are per-thread so harness threads (libtest runs tests on
+//! spawned threads and the main thread services them concurrently)
+//! cannot perturb the assertion.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    // const-init Cell: safe inside a global allocator — no lazy
+    // allocation and no destructor registration on first access.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracing_path_allocates_nothing() {
+    ev_trace::set_enabled(false);
+    // Warm everything that legitimately allocates once: registry entry,
+    // clock epoch, thread-local buffer.
+    let events = ev_trace::counter("zero_alloc.events");
+    let _ = ev_trace::now_ns();
+    {
+        let _warm = ev_trace::span("zero_alloc.warm");
+    }
+    let _ = ev_trace::take_spans();
+
+    let before = thread_allocs();
+    for _ in 0..100_000 {
+        let _span = ev_trace::span("zero_alloc.hot");
+        events.inc();
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span/counter hot loop must be allocation-free"
+    );
+    assert_eq!(events.get(), 100_000);
+    assert!(ev_trace::take_spans().is_empty());
+}

@@ -7,6 +7,14 @@ use crate::{WireError, WireType};
 /// maliciously deep inputs.
 const MAX_SKIP_DEPTH: u32 = 128;
 
+/// Cached handle for the `wire.fields` counter (fields decoded across
+/// all messages); bumped only while tracing is enabled so the decode
+/// loop stays one branch when it is off.
+fn fields_counter() -> &'static ev_trace::Counter {
+    static HANDLE: std::sync::OnceLock<&'static ev_trace::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("wire.fields"))
+}
+
 /// A borrowing cursor over an encoded protobuf message.
 ///
 /// The canonical decode loop reads tags until the input is exhausted and
@@ -77,6 +85,9 @@ impl<'a> Reader<'a> {
             return Err(WireError::ZeroFieldNumber);
         }
         let ty = WireType::from_bits(key)?;
+        if ev_trace::enabled() {
+            fields_counter().inc();
+        }
         Ok(Some((field as u32, ty)))
     }
 

@@ -40,4 +40,27 @@ grep -q '^view-cache: .* miss' "$SMOKE_DIR/seq.txt" \
 "$EV" diff "$SMOKE_DIR/smoke.folded" "$SMOKE_DIR/smoke.folded" --threads 4 > /dev/null
 "$EV" aggregate "$SMOKE_DIR/smoke.folded" "$SMOKE_DIR/smoke.folded" --threads 4 > /dev/null
 
+echo "== trace smoke (self-profiling) =="
+# Dogfood loop: a traced flame run over a gzip'd pprof input must emit
+# an EasyView profile that easyview itself renders.
+"$EV" convert "$SMOKE_DIR/smoke.folded" "$SMOKE_DIR/smoke.pprof" > /dev/null
+"$EV" flame "$SMOKE_DIR/smoke.pprof" \
+    --trace-out "$SMOKE_DIR/self.evpf" --trace-format easyview > /dev/null
+"$EV" flame "$SMOKE_DIR/self.evpf" > /dev/null
+for stage in flate.inflate wire.decode convert.pprof analysis.metric_view \
+             flame.layout flame.render; do
+    "$EV" search "$SMOKE_DIR/self.evpf" "$stage" | grep -q "$stage" \
+        || { echo "FAIL: self-profile misses the $stage stage" >&2; exit 1; }
+done
+# Chrome export must be JSON the chrome importer itself accepts.
+"$EV" flame "$SMOKE_DIR/smoke.pprof" \
+    --trace-out "$SMOKE_DIR/self.trace.json" --trace-format chrome > /dev/null
+"$EV" info "$SMOKE_DIR/self.trace.json" > /dev/null \
+    || { echo "FAIL: chrome trace export does not re-import" >&2; exit 1; }
+"$EV" stats "$SMOKE_DIR/smoke.pprof" > "$SMOKE_DIR/stats.txt"
+grep -q '^view-cache: ' "$SMOKE_DIR/stats.txt" \
+    || { echo "FAIL: stats did not print the view-cache line" >&2; exit 1; }
+grep -q '^counter ' "$SMOKE_DIR/stats.txt" \
+    || { echo "FAIL: stats did not print pipeline counters" >&2; exit 1; }
+
 echo "== OK =="
