@@ -1,0 +1,184 @@
+//! The ingest benchmark: measures the fast decode path introduced for
+//! the `flate.inflate → wire.decode → convert.pprof` pipeline and
+//! writes `BENCH_ingest.json` at the repo root so the perf trajectory
+//! is machine-readable across PRs.
+//!
+//! Also the correctness gate for the fast path: every golden fixture is
+//! decoded by both the fast LUT decoder and the retained reference
+//! decoder, the outputs must be byte-identical, and the decompressed
+//! bytes must match pinned CRC32 digests.
+//!
+//! Usage: `ingest [--quick]` — `--quick` (used by `scripts/ci.sh`)
+//! runs fewer samples and skips the large synthetic workload, and
+//! relaxes the speedup gate from 3× to 2× to tolerate noisy CI hosts.
+
+use ev_bench::timer::{bench, group, Measurement};
+use ev_flate::{crc32, gzip_decompress, inflate, inflate_reference};
+use ev_formats::pprof;
+use ev_gen::synthetic::pprof_with_size;
+use ev_json::Value;
+use std::path::{Path, PathBuf};
+
+/// Pinned CRC32 digests of the decompressed golden fixtures; a digest
+/// change means the fixture bytes changed, which must be deliberate.
+const FIXTURE_DIGESTS: [(&str, u32); 2] = [
+    ("synthetic_cpu.pb.gz", 0x3bfc_9e67),
+    ("grpc_leak.pb.gz", 0x4889_efab),
+];
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+struct Workload {
+    name: String,
+    /// Raw DEFLATE body (gzip header/trailer stripped).
+    body: Vec<u8>,
+    /// Expected decompressed bytes.
+    raw: Vec<u8>,
+    /// The full gzip member, for the end-to-end convert measurement.
+    gz: Vec<u8>,
+}
+
+/// Strips the gzip framing our own writer emits (fixed 10-byte header,
+/// no optional fields, 8-byte trailer), so inflate can be measured on
+/// the raw DEFLATE stream without container overhead.
+fn strip_gzip(gz: &[u8]) -> &[u8] {
+    assert!(gz.len() > 18 && gz[3] == 0, "fixture has optional gzip fields");
+    &gz[10..gz.len() - 8]
+}
+
+fn load_workloads(quick: bool) -> Vec<Workload> {
+    let fixtures = repo_root().join("tests/fixtures");
+    let mut workloads = Vec::new();
+    for (name, digest) in FIXTURE_DIGESTS {
+        let gz = std::fs::read(fixtures.join(name))
+            .unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+        let raw = gzip_decompress(&gz).expect("fixture decompresses");
+        assert_eq!(
+            crc32(&raw),
+            digest,
+            "fixture {name} digest drifted from the pinned value"
+        );
+        workloads.push(Workload {
+            name: name.to_string(),
+            body: strip_gzip(&gz).to_vec(),
+            raw,
+            gz,
+        });
+    }
+    if !quick {
+        // A paper-scale profile (§VII-B sweeps MB-range inputs); the
+        // fixtures alone are too small to saturate the decoder.
+        let gz = pprof_with_size(8 << 20, 0x1173);
+        let raw = gzip_decompress(&gz).expect("synthetic decompresses");
+        workloads.push(Workload {
+            name: format!("synthetic_{}mib", gz.len() >> 20),
+            body: strip_gzip(&gz).to_vec(),
+            raw,
+            gz,
+        });
+    }
+    workloads
+}
+
+fn secs(m: &Measurement) -> f64 {
+    m.min.as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 5 } else { 20 };
+    let min_speedup = if quick { 2.0 } else { 3.0 };
+
+    group("ingest: fast vs reference inflate");
+    let workloads = load_workloads(quick);
+    let mut entries: Vec<Value> = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+
+    for w in &workloads {
+        // Correctness gate first: fast and reference byte-identical.
+        let fast_out = inflate(&w.body).expect("fast inflate");
+        let ref_out = inflate_reference(&w.body).expect("reference inflate");
+        assert_eq!(fast_out, ref_out, "{}: decoder outputs differ", w.name);
+        assert_eq!(fast_out, w.raw, "{}: decode differs from gzip path", w.name);
+
+        // Amortize small inputs: decode enough times per timed sample
+        // that one sample spans ~1 ms, else µs-scale timer noise
+        // swamps the fast/reference ratio. Both sides use the same
+        // iteration count, so the speedup is unaffected.
+        let iters = (256 << 10) / w.raw.len().max(1) + 1;
+        let m_fast = bench(&format!("{}/inflate_fast", w.name), samples, || {
+            for _ in 0..iters {
+                std::hint::black_box(inflate(std::hint::black_box(&w.body)).unwrap());
+            }
+        });
+        let m_ref = bench(&format!("{}/inflate_reference", w.name), samples, || {
+            for _ in 0..iters {
+                std::hint::black_box(inflate_reference(std::hint::black_box(&w.body)).unwrap());
+            }
+        });
+        let m_wire = bench(&format!("{}/wire_decode", w.name), samples, || {
+            for _ in 0..iters {
+                std::hint::black_box(pprof::parse(std::hint::black_box(&w.raw)).unwrap());
+            }
+        });
+        let m_e2e = bench(&format!("{}/end_to_end", w.name), samples, || {
+            for _ in 0..iters {
+                std::hint::black_box(pprof::parse(std::hint::black_box(&w.gz)).unwrap());
+            }
+        });
+
+        let speedup = secs(&m_ref) / secs(&m_fast);
+        worst_speedup = worst_speedup.min(speedup);
+        let bytes = w.raw.len() * iters;
+        println!(
+            "{:<44} inflate {:>8.1} MiB/s (ref {:>7.1})  speedup {speedup:.2}x  wire {:>8.1} MiB/s",
+            "",
+            m_fast.mib_per_sec(bytes),
+            m_ref.mib_per_sec(bytes),
+            m_wire.mib_per_sec(bytes),
+        );
+
+        entries.push(Value::object([
+            ("name", Value::String(w.name.clone())),
+            ("compressed_bytes", Value::Int(w.body.len() as i64)),
+            ("raw_bytes", Value::Int(w.raw.len() as i64)),
+            ("iters_per_sample", Value::Int(iters as i64)),
+            (
+                "inflate_mib_per_sec",
+                Value::Float(m_fast.mib_per_sec(bytes)),
+            ),
+            (
+                "inflate_reference_mib_per_sec",
+                Value::Float(m_ref.mib_per_sec(bytes)),
+            ),
+            ("inflate_speedup", Value::Float(speedup)),
+            (
+                "wire_decode_mib_per_sec",
+                Value::Float(m_wire.mib_per_sec(bytes)),
+            ),
+            ("end_to_end_secs", Value::Float(secs(&m_e2e) / iters as f64)),
+        ]));
+    }
+
+    let report = Value::object([
+        ("schema", Value::String("ev-bench-ingest/v1".to_string())),
+        ("quick", Value::Bool(quick)),
+        ("samples", Value::Int(samples as i64)),
+        ("worst_inflate_speedup", Value::Float(worst_speedup)),
+        ("workloads", Value::Array(entries)),
+    ]);
+    let path = repo_root().join("BENCH_ingest.json");
+    std::fs::write(&path, ev_json::to_string_pretty(&report)).expect("write BENCH_ingest.json");
+    // The file is a machine-readable artifact: prove it re-parses.
+    let text = std::fs::read_to_string(&path).expect("re-read BENCH_ingest.json");
+    ev_json::parse(&text).expect("BENCH_ingest.json re-parses");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        worst_speedup >= min_speedup,
+        "fast inflate is only {worst_speedup:.2}x the reference (need >= {min_speedup}x)"
+    );
+    println!("OK: worst speedup {worst_speedup:.2}x (gate {min_speedup}x)");
+}

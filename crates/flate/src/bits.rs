@@ -31,12 +31,73 @@ impl<'a> BitReader<'a> {
         }
     }
 
-    fn refill(&mut self) {
-        while self.count <= 56 && self.pos < self.input.len() {
-            self.acc |= u64::from(self.input[self.pos]) << self.count;
-            self.pos += 1;
-            self.count += 8;
+    /// Tops the accumulator up to at least 56 valid bits while input
+    /// remains. With ≥ 8 unread bytes this is a single unaligned
+    /// `u64` load; `pos` advances only over the bytes that fit, so the
+    /// surplus bits sitting above `count` duplicate upcoming input and
+    /// the next refill's OR lands on identical bit values. Near the
+    /// tail it falls back to the byte loop, which keeps `count` exact —
+    /// that exactness is what lets [`peek`](Self::peek) zero-pad at EOF.
+    #[inline]
+    pub(crate) fn refill(&mut self) {
+        if self.pos + 8 <= self.input.len() {
+            let word = u64::from_le_bytes(
+                self.input[self.pos..self.pos + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            self.acc |= word << self.count;
+            self.pos += ((63 - self.count) >> 3) as usize;
+            self.count |= 56;
+        } else {
+            while self.count <= 56 && self.pos < self.input.len() {
+                self.acc |= u64::from(self.input[self.pos]) << self.count;
+                self.pos += 1;
+                self.count += 8;
+            }
         }
+    }
+
+    /// Number of bits currently buffered in the accumulator.
+    #[inline]
+    pub(crate) fn buffered(&self) -> u32 {
+        self.count
+    }
+
+    /// Total bits left in the stream (buffered + unread bytes). Surplus
+    /// accumulator bits above `count` are duplicates of unread input and
+    /// are not double-counted.
+    #[inline]
+    pub(crate) fn bits_left(&self) -> usize {
+        self.count as usize + 8 * (self.input.len() - self.pos)
+    }
+
+    /// Returns the next `n` bits without consuming them, zero-padded
+    /// past end of input. The caller must have called
+    /// [`refill`](Self::refill) since the last consume; `n` must not
+    /// exceed 32.
+    #[inline]
+    pub(crate) fn peek(&self, n: u32) -> u32 {
+        debug_assert!(n <= 32);
+        (self.acc & ((1u64 << n) - 1)) as u32
+    }
+
+    /// Discards `n` previously peeked bits. `n` must not exceed the
+    /// buffered bit count.
+    #[inline]
+    pub(crate) fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.count);
+        self.acc >>= n;
+        self.count -= n;
+    }
+
+    /// Peek-and-consume in one step, for extra-bits fields on the fast
+    /// path where the caller has already guaranteed availability.
+    #[inline]
+    pub(crate) fn take(&mut self, n: u32) -> u32 {
+        let value = self.peek(n);
+        self.consume(n);
+        value
     }
 
     /// Reads `n` bits (0–32) as an integer, LSB first.
@@ -96,8 +157,15 @@ impl<'a> BitReader<'a> {
         if self.input.len() - self.pos < remaining {
             return Err(FlateError::UnexpectedEof);
         }
-        out.extend_from_slice(&self.input[self.pos..self.pos + remaining]);
-        self.pos += remaining;
+        if remaining > 0 {
+            // The accumulator may hold surplus bits above `count` that
+            // duplicate bytes at `pos` (see `refill`); advancing `pos`
+            // past them would leave the surplus stale, so drop it.
+            debug_assert_eq!(self.count, 0);
+            self.acc = 0;
+            out.extend_from_slice(&self.input[self.pos..self.pos + remaining]);
+            self.pos += remaining;
+        }
         Ok(())
     }
 }

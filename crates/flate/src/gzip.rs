@@ -2,7 +2,7 @@
 
 use crate::checksum::crc32;
 use crate::deflate::{deflate_compress, CompressionLevel};
-use crate::inflate::inflate;
+use crate::inflate::inflate_with_size_hint;
 use crate::FlateError;
 
 const MAGIC: [u8; 2] = [0x1f, 0x8b];
@@ -103,11 +103,13 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
         return Err(FlateError::UnexpectedEof);
     }
     let body = &data[pos..data.len() - 8];
-    let out = inflate(body)?;
-
     let trailer = &data[data.len() - 8..];
     let stored_crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
     let stored_len = u32::from_le_bytes(trailer[4..].try_into().expect("4 bytes"));
+    // ISIZE records the exact uncompressed size (mod 2^32), so for any
+    // well-formed member the output lands in a single allocation. The
+    // hint is untrusted: inflate caps it and grows if the trailer lies.
+    let out = inflate_with_size_hint(body, stored_len as usize)?;
     let actual_crc = crc32(&out);
     if stored_crc != actual_crc {
         return Err(FlateError::ChecksumMismatch {

@@ -98,6 +98,218 @@ impl Huffman {
     }
 }
 
+/// Primary-table width for literal/length tables (RFC 1951 fixed codes
+/// are ≤ 9 bits, and zlib-style tables show 9–10 bits resolve almost
+/// every dynamic code in one load).
+pub const LITLEN_PRIMARY_BITS: u32 = 10;
+/// Primary-table width for distance tables (fewer, shorter codes).
+pub const DIST_PRIMARY_BITS: u32 = 8;
+
+/// Marks a primary entry as a subtable pointer.
+const SUB_FLAG: u32 = 1 << 31;
+
+/// Packs a decoded `(symbol, code_len)` pair into a table entry.
+/// `len == 0` (the all-zero entry) means "no code reaches here".
+#[inline]
+fn pack(symbol: u16, len: u8) -> u32 {
+    (u32::from(len) << 16) | u32::from(symbol)
+}
+
+/// Reverses the low `len` bits of `code` (DEFLATE streams Huffman codes
+/// MSB-first while the byte stream fills LSB-first).
+#[inline]
+fn reverse(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
+/// A two-tier lookup-table Huffman decoder.
+///
+/// The primary table is indexed by the next `primary_bits` input bits
+/// (LSB-first, zero-padded at EOF); each entry packs `(symbol,
+/// code_len)` so one load resolves any code of length ≤ `primary_bits`.
+/// Longer codes share a primary entry that points at a subtable indexed
+/// by the following `sub_bits` input bits. Decoding is byte-for-byte
+/// (and error-for-error) identical to [`Huffman::decode`], which is
+/// retained as the reference decoder for differential testing.
+#[derive(Debug, Clone)]
+pub struct HuffmanLut {
+    primary_bits: u32,
+    primary: Vec<u32>,
+    sub: Vec<u32>,
+}
+
+impl HuffmanLut {
+    /// Builds the two-tier table from per-symbol code lengths
+    /// (0 = unused), accepting and rejecting exactly the inputs
+    /// [`Huffman::from_lengths`] does: over-subscribed code spaces are
+    /// an error; incomplete codes build tables whose missing codes fail
+    /// at decode time (degenerate single-code distance trees included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlateError::InvalidHuffmanTable`] when the lengths
+    /// over-subscribe the code space or exceed [`MAX_BITS`].
+    pub fn from_lengths(lengths: &[u8], primary_bits: u32) -> Result<HuffmanLut, FlateError> {
+        debug_assert!((1..=MAX_BITS as u32).contains(&primary_bits));
+        let mut count = [0u16; MAX_BITS + 1];
+        for &len in lengths {
+            if len as usize > MAX_BITS {
+                return Err(FlateError::InvalidHuffmanTable);
+            }
+            count[len as usize] += 1;
+        }
+        count[0] = 0;
+        let mut left: i32 = 1;
+        for &n in &count[1..=MAX_BITS] {
+            left <<= 1;
+            left -= i32::from(n);
+            if left < 0 {
+                return Err(FlateError::InvalidHuffmanTable);
+            }
+        }
+
+        // Canonical first-code value per length.
+        let mut next_code = [0u32; MAX_BITS + 1];
+        let mut code = 0u32;
+        for len in 1..=MAX_BITS {
+            code = (code + u32::from(count[len - 1])) << 1;
+            next_code[len] = code;
+        }
+
+        // (symbol, len, code) in canonical order: length-major, symbol
+        // value within a length — the same order `Huffman` sorts into.
+        // Counting sort keeps this one pass over `lengths`; the table is
+        // rebuilt per dynamic block, so construction is itself hot.
+        let total: usize = count[1..].iter().map(|&c| c as usize).sum();
+        let mut codes: Vec<(u16, u8, u32)> = vec![(0, 0, 0); total];
+        let mut offsets = [0usize; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offsets[len + 1] = offsets[len] + count[len] as usize;
+        }
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                let l = len as usize;
+                codes[offsets[l]] = (symbol as u16, len, next_code[l]);
+                offsets[l] += 1;
+                next_code[l] += 1;
+            }
+        }
+
+        let pmask = (1u32 << primary_bits) - 1;
+        let mut lut = HuffmanLut {
+            primary_bits,
+            primary: vec![0u32; 1usize << primary_bits],
+            sub: Vec::new(),
+        };
+
+        // Short codes replicate across every primary index that begins
+        // with the (reversed) code.
+        for &(symbol, len, code) in &codes {
+            let len_bits = u32::from(len);
+            if len_bits > primary_bits {
+                continue;
+            }
+            let entry = pack(symbol, len);
+            let step = 1u32 << len_bits;
+            let mut idx = reverse(code, len_bits);
+            while idx <= pmask {
+                lut.primary[idx as usize] = entry;
+                idx += step;
+            }
+        }
+
+        if codes.last().is_some_and(|&(_, len, _)| u32::from(len) > primary_bits) {
+            // Subtable width per prefix = longest code sharing that
+            // prefix minus the primary width. Canonical order keeps the
+            // long codes of one prefix contiguous, but sizing first in
+            // a separate pass is simpler than growing tables in place.
+            let mut prefix_max = vec![0u8; 1usize << primary_bits];
+            for &(_, len, code) in &codes {
+                if u32::from(len) > primary_bits {
+                    let prefix = (reverse(code, u32::from(len)) & pmask) as usize;
+                    prefix_max[prefix] = prefix_max[prefix].max(len);
+                }
+            }
+            for &(symbol, len, code) in &codes {
+                let len_bits = u32::from(len);
+                if len_bits <= primary_bits {
+                    continue;
+                }
+                let rev = reverse(code, len_bits);
+                let prefix = (rev & pmask) as usize;
+                if lut.primary[prefix] & SUB_FLAG == 0 {
+                    let sub_bits = u32::from(prefix_max[prefix]) - primary_bits;
+                    let base = lut.sub.len() as u32;
+                    debug_assert!(base <= 0xffff, "subtable base fits 16 bits");
+                    lut.sub.extend(std::iter::repeat_n(0u32, 1usize << sub_bits));
+                    lut.primary[prefix] = SUB_FLAG | (sub_bits << 16) | base;
+                }
+                let pointer = lut.primary[prefix];
+                let base = (pointer & 0xffff) as usize;
+                let sub_bits = (pointer >> 16) & 0x1f;
+                let entry = pack(symbol, len);
+                let step = 1u32 << (len_bits - primary_bits);
+                let mut idx = rev >> primary_bits;
+                while idx < (1u32 << sub_bits) {
+                    lut.sub[base + idx as usize] = entry;
+                    idx += step;
+                }
+            }
+        }
+
+        Ok(lut)
+    }
+
+    /// Resolves the entry for the next (peeked, zero-padded) `MAX_BITS`
+    /// input bits. Returns the packed entry and whether a subtable hop
+    /// was taken (for the fast-path/slow-path trace counters).
+    #[inline]
+    pub(crate) fn lookup(&self, bits: u32) -> (u32, bool) {
+        let entry = self.primary[(bits & ((1 << self.primary_bits) - 1)) as usize];
+        if entry & SUB_FLAG == 0 {
+            return (entry, false);
+        }
+        let base = (entry & 0xffff) as usize;
+        let sub_bits = (entry >> 16) & 0x1f;
+        let idx = (bits >> self.primary_bits) & ((1 << sub_bits) - 1);
+        (self.sub[base + idx as usize], true)
+    }
+
+    /// Decodes one symbol with full end-of-input checking; identical
+    /// outputs and errors to [`Huffman::decode`] on every stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlateError::InvalidSymbol`] if the next bits form no
+    /// code in this table, or [`FlateError::UnexpectedEof`] when the
+    /// input ends mid-code — exactly where the bit-at-a-time reference
+    /// walker would raise them.
+    #[inline]
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, FlateError> {
+        reader.refill();
+        let (entry, _) = self.lookup(reader.peek(MAX_BITS as u32));
+        let len = entry >> 16;
+        if len == 0 {
+            // No code matches even the zero-padded peek, so none matches
+            // any shorter prefix either (entries replicate): the walker
+            // would consume MAX_BITS bits and fail, or hit EOF first.
+            return Err(if reader.bits_left() >= MAX_BITS {
+                FlateError::InvalidSymbol
+            } else {
+                FlateError::UnexpectedEof
+            });
+        }
+        if len as usize > reader.bits_left() {
+            // The match used zero padding past EOF; prefix-freeness
+            // rules out any real code within the remaining bits, so the
+            // walker would have drained them and hit EOF.
+            return Err(FlateError::UnexpectedEof);
+        }
+        reader.consume(len);
+        Ok((entry & 0xffff) as u16)
+    }
+}
+
 /// Assigns canonical code values to symbols given their lengths,
 /// returning `(code, length)` pairs. Used by the encoder.
 pub fn canonical_codes(lengths: &[u8]) -> Vec<(u32, u8)> {
@@ -147,6 +359,7 @@ pub fn fixed_distance_lengths() -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::bits::BitWriter;
+    use ev_test::prelude::*;
 
     #[test]
     fn rejects_oversubscribed_lengths() {
@@ -223,6 +436,115 @@ mod tests {
     fn fixed_tables_are_valid() {
         Huffman::from_lengths(&fixed_literal_lengths()).unwrap();
         Huffman::from_lengths(&fixed_distance_lengths()).unwrap();
+    }
+
+    /// Decodes with both decoders until the first error; the symbol
+    /// sequence, the bit positions, and the final error must agree.
+    fn assert_decoders_agree(reference: &Huffman, lut: &HuffmanLut, data: &[u8]) {
+        let mut slow = BitReader::new(data);
+        let mut fast = BitReader::new(data);
+        for step in 0usize.. {
+            let a = reference.decode(&mut slow);
+            let b = lut.decode(&mut fast);
+            assert_eq!(a, b, "step {step} over {data:02x?}");
+            if a.is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_reference_on_fixed_tables() {
+        let lengths = fixed_literal_lengths();
+        let reference = Huffman::from_lengths(&lengths).unwrap();
+        let lut = HuffmanLut::from_lengths(&lengths, LITLEN_PRIMARY_BITS).unwrap();
+        // Exercise every symbol: encode each once, decode with both.
+        let codes = canonical_codes(&lengths);
+        let mut w = BitWriter::new();
+        for &(code, len) in &codes {
+            w.huffman_code(code, u32::from(len));
+        }
+        let bytes = w.into_bytes();
+        let mut slow = BitReader::new(&bytes);
+        let mut fast = BitReader::new(&bytes);
+        for symbol in 0..codes.len() as u16 {
+            assert_eq!(reference.decode(&mut slow).unwrap(), symbol);
+            assert_eq!(lut.decode(&mut fast).unwrap(), symbol);
+        }
+    }
+
+    #[test]
+    fn lut_single_code_distance_table() {
+        // DEFLATE permits a distance tree with one 1-bit code; the
+        // missing '1' branch must fail identically in both decoders.
+        let lengths = [1u8];
+        let reference = Huffman::from_lengths(&lengths).unwrap();
+        let lut = HuffmanLut::from_lengths(&lengths, DIST_PRIMARY_BITS).unwrap();
+        assert_decoders_agree(&reference, &lut, &[0b0000_0000]);
+        assert_decoders_agree(&reference, &lut, &[0xff, 0xff]);
+        assert_decoders_agree(&reference, &lut, &[0xff]);
+        assert_decoders_agree(&reference, &lut, &[]);
+    }
+
+    #[test]
+    fn lut_empty_table_fails_like_reference() {
+        let reference = Huffman::from_lengths(&[0, 0, 0]).unwrap();
+        let lut = HuffmanLut::from_lengths(&[0, 0, 0], 9).unwrap();
+        assert_decoders_agree(&reference, &lut, &[0xab, 0xcd]);
+        assert_decoders_agree(&reference, &lut, &[0x01]);
+    }
+
+    #[test]
+    fn lut_rejects_what_reference_rejects() {
+        for lengths in [&[1u8, 1, 1][..], &[16][..], &[2, 2, 2, 2, 1][..]] {
+            assert_eq!(
+                Huffman::from_lengths(lengths).unwrap_err(),
+                HuffmanLut::from_lengths(lengths, 9).unwrap_err(),
+            );
+        }
+    }
+
+    property! {
+        #![cases(192)]
+
+        // Random length tables (complete, incomplete, or rejected) fed
+        // random bit streams: build outcome, every decoded symbol, and
+        // the terminal error must match the reference decoder. Narrow
+        // primary widths force the subtable path.
+        fn lut_differential_random_tables(
+            lengths in vec(0u8..=15, 1..48),
+            data in vec(any_u8(), 0..24),
+            primary_bits in 2u32..=10,
+        ) {
+            let reference = Huffman::from_lengths(&lengths);
+            let lut = HuffmanLut::from_lengths(&lengths, primary_bits);
+            match (reference, lut) {
+                (Ok(reference), Ok(lut)) => assert_decoders_agree(&reference, &lut, &data),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("build disagreement: {:?} vs {:?}", a.err(), b.err()),
+            }
+        }
+
+        // Valid streams: random data encoded with its own canonical
+        // codes decodes identically (and correctly) through both.
+        fn lut_differential_valid_streams(symbols in vec(0u16..8, 1..64)) {
+            let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+            let reference = Huffman::from_lengths(&lengths).unwrap();
+            let lut = HuffmanLut::from_lengths(&lengths, 3).unwrap();
+            let codes = canonical_codes(&lengths);
+            let mut w = BitWriter::new();
+            for &s in &symbols {
+                let (code, len) = codes[s as usize];
+                w.huffman_code(code, u32::from(len));
+            }
+            let bytes = w.into_bytes();
+            let mut slow = BitReader::new(&bytes);
+            let mut fast = BitReader::new(&bytes);
+            for &s in &symbols {
+                prop_assert_eq!(reference.decode(&mut slow).unwrap(), s);
+                prop_assert_eq!(lut.decode(&mut fast).unwrap(), s);
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,23 @@
 //! DEFLATE decompression (RFC 1951), all three block types.
+//!
+//! Two decoders live here and must stay byte-for-byte (and
+//! error-for-error) identical on every input:
+//!
+//! * [`inflate`] — the production fast path: two-tier LUT Huffman
+//!   decoding ([`HuffmanLut`]), a batched peek/consume bit reader, a
+//!   fused literal/length+distance inner loop, and chunked
+//!   (overlap-safe) LZ77 match copies.
+//! * [`inflate_reference`] — the original bit-at-a-time puff-style
+//!   walker, retained as the oracle for differential testing
+//!   (`tests/differential.rs` and the unit properties below).
 
 use crate::bits::BitReader;
-use crate::huffman::{fixed_distance_lengths, fixed_literal_lengths, Huffman};
+use crate::huffman::{
+    fixed_distance_lengths, fixed_literal_lengths, Huffman, HuffmanLut, DIST_PRIMARY_BITS,
+    LITLEN_PRIMARY_BITS, MAX_BITS,
+};
 use crate::FlateError;
+use std::sync::OnceLock;
 
 /// Length-code base values for codes 257–285 (RFC 1951 §3.2.5).
 const LENGTH_BASE: [u16; 29] = [
@@ -27,6 +42,76 @@ const DIST_EXTRA: [u8; 30] = [
 const CLC_ORDER: [usize; 19] = [
     16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
 ];
+/// Primary width for the (≤ 7-bit) code-length code: wide enough that
+/// every clc lookup is a single primary load.
+const CLC_PRIMARY_BITS: u32 = 7;
+
+/// Worst-case bits one fused iteration consumes: a 15-bit
+/// literal/length code, 5 extra length bits, a 15-bit distance code and
+/// 13 extra distance bits. With at least this many bits buffered the
+/// inner loop needs no per-step EOF checks.
+const FUSED_BITS: u32 = 48;
+
+/// Cap on speculative output preallocation; size hints (gzip ISIZE, the
+/// raw-deflate heuristic) are untrusted input, and anything larger
+/// grows organically.
+const MAX_PREALLOC: usize = 256 << 20;
+
+/// Fast-path vs. slow-path hit counts for one inflate call, accumulated
+/// in locals so the hot loop never touches an atomic, and flushed to
+/// the `ev-trace` registry only when tracing is enabled (the disabled
+/// path stays allocation-free).
+#[derive(Default)]
+struct LutStats {
+    primary: u64,
+    sub: u64,
+    tail: u64,
+}
+
+impl LutStats {
+    #[inline]
+    fn hit(&mut self, sub: bool) {
+        if sub {
+            self.sub += 1;
+        } else {
+            self.primary += 1;
+        }
+    }
+
+    fn flush(&self) {
+        if ev_trace::enabled() && self.primary | self.sub | self.tail != 0 {
+            crate::metrics::lut_primary().add(self.primary);
+            crate::metrics::lut_sub().add(self.sub);
+            crate::metrics::lut_tail().add(self.tail);
+        }
+    }
+}
+
+/// The RFC 1951 fixed tables in LUT form, built once per process.
+fn fixed_luts() -> &'static (HuffmanLut, HuffmanLut) {
+    static TABLES: OnceLock<(HuffmanLut, HuffmanLut)> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        (
+            HuffmanLut::from_lengths(&fixed_literal_lengths(), LITLEN_PRIMARY_BITS)
+                .expect("RFC 1951 fixed literal table is valid"),
+            HuffmanLut::from_lengths(&fixed_distance_lengths(), DIST_PRIMARY_BITS)
+                .expect("RFC 1951 fixed distance table is valid"),
+        )
+    })
+}
+
+/// The fixed tables for the reference decoder, built once per process.
+fn fixed_reference_tables() -> &'static (Huffman, Huffman) {
+    static TABLES: OnceLock<(Huffman, Huffman)> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        (
+            Huffman::from_lengths(&fixed_literal_lengths())
+                .expect("RFC 1951 fixed literal table is valid"),
+            Huffman::from_lengths(&fixed_distance_lengths())
+                .expect("RFC 1951 fixed distance table is valid"),
+        )
+    })
+}
 
 /// Decompresses a raw DEFLATE stream (no gzip/zlib wrapper).
 ///
@@ -48,28 +133,53 @@ const CLC_ORDER: [usize; 19] = [
 /// # }
 /// ```
 pub fn inflate(input: &[u8]) -> Result<Vec<u8>, FlateError> {
-    let mut reader = BitReader::new(input);
     // Heuristic preallocation: deflate rarely exceeds ~4x expansion on
-    // realistic profile data.
-    let mut out = Vec::with_capacity(input.len().saturating_mul(3));
+    // realistic profile data. Container callers that know the exact
+    // output size (gzip ISIZE) use `inflate_with_size_hint` instead.
+    inflate_with_size_hint(input, input.len().saturating_mul(3))
+}
+
+/// Like [`inflate`], preallocating `size_hint` bytes of output.
+///
+/// `gzip_decompress` passes the ISIZE trailer here so typical profiles
+/// decompress into a single exact allocation. The hint is advisory and
+/// untrusted: it is capped internally and the output still grows as
+/// needed, so a lying hint affects speed, never correctness.
+///
+/// # Errors
+///
+/// Same conditions as [`inflate`].
+pub fn inflate_with_size_hint(input: &[u8], size_hint: usize) -> Result<Vec<u8>, FlateError> {
+    let mut reader = BitReader::new(input);
+    let mut out = Vec::with_capacity(size_hint.min(MAX_PREALLOC));
+    let mut stats = LutStats::default();
+    let result = inflate_fast_loop(&mut reader, &mut out, &mut stats);
+    stats.flush();
+    result.map(|()| out)
+}
+
+fn inflate_fast_loop(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    stats: &mut LutStats,
+) -> Result<(), FlateError> {
     loop {
         let bfinal = reader.bit()?;
         let btype = reader.bits(2)?;
         match btype {
-            0 => inflate_stored(&mut reader, &mut out)?,
+            0 => inflate_stored(reader, out)?,
             1 => {
-                let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
-                let dist = Huffman::from_lengths(&fixed_distance_lengths())?;
-                inflate_block(&mut reader, &lit, &dist, &mut out)?;
+                let (lit, dist) = fixed_luts();
+                inflate_block_fast(reader, lit, dist, out, stats)?;
             }
             2 => {
-                let (lit, dist) = read_dynamic_tables(&mut reader)?;
-                inflate_block(&mut reader, &lit, &dist, &mut out)?;
+                let (lit, dist) = read_dynamic_luts(reader)?;
+                inflate_block_fast(reader, &lit, &dist, out, stats)?;
             }
             _ => return Err(FlateError::InvalidBlockType),
         }
         if bfinal == 1 {
-            return Ok(out);
+            return Ok(());
         }
     }
 }
@@ -84,7 +194,14 @@ fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), F
     reader.copy_bytes(len as usize, out)
 }
 
-fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman), FlateError> {
+/// Decodes a dynamic block header into the literal/length and distance
+/// code lengths plus the literal/length count. The `decode_clc` hook
+/// lets the fast and reference paths plug in their own code-length-code
+/// decoder while sharing the (error-identical) header logic.
+fn read_dynamic_lengths(
+    reader: &mut BitReader<'_>,
+    mut decode_clc: impl FnMut(&mut BitReader<'_>, &[u8]) -> Result<u16, FlateError>,
+) -> Result<(Vec<u8>, usize), FlateError> {
     let hlit = reader.bits(5)? as usize + 257;
     let hdist = reader.bits(5)? as usize + 1;
     let hclen = reader.bits(4)? as usize + 4;
@@ -96,13 +213,12 @@ fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman),
     for &idx in CLC_ORDER.iter().take(hclen) {
         clc_lengths[idx] = reader.bits(3)? as u8;
     }
-    let clc = Huffman::from_lengths(&clc_lengths)?;
 
     // Decode the literal/length and distance code lengths as one run,
     // since repeat codes may cross the boundary.
     let mut lengths = Vec::with_capacity(hlit + hdist);
     while lengths.len() < hlit + hdist {
-        let symbol = clc.decode(reader)?;
+        let symbol = decode_clc(reader, &clc_lengths)?;
         match symbol {
             0..=15 => lengths.push(symbol as u8),
             16 => {
@@ -130,6 +246,175 @@ fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman),
     if lengths[256] == 0 {
         return Err(FlateError::InvalidHuffmanTable);
     }
+    Ok((lengths, hlit))
+}
+
+fn read_dynamic_luts(
+    reader: &mut BitReader<'_>,
+) -> Result<(HuffmanLut, HuffmanLut), FlateError> {
+    let mut clc: Option<HuffmanLut> = None;
+    let (lengths, hlit) = read_dynamic_lengths(reader, |reader, clc_lengths| {
+        if clc.is_none() {
+            clc = Some(HuffmanLut::from_lengths(clc_lengths, CLC_PRIMARY_BITS)?);
+        }
+        clc.as_ref().expect("built above").decode(reader)
+    })?;
+    let lit = HuffmanLut::from_lengths(&lengths[..hlit], LITLEN_PRIMARY_BITS)?;
+    let dist = HuffmanLut::from_lengths(&lengths[hlit..], DIST_PRIMARY_BITS)?;
+    Ok((lit, dist))
+}
+
+/// Appends a length/distance match to `out`.
+///
+/// Copies run through `Vec::extend_from_within` — memcpy-class chunked
+/// copies with the borrow checker standing in for libdeflate's manual
+/// 8-byte wild stamps. Overlapping matches (distance < length, the RLE
+/// idiom) copy in runs of the currently available window, doubling the
+/// window each round so even distance-2 matches finish in O(log n)
+/// memcpys; distance 1 is a straight `resize` fill (memset).
+#[inline]
+fn copy_match(out: &mut Vec<u8>, distance: usize, length: usize) -> Result<(), FlateError> {
+    if distance > out.len() {
+        return Err(FlateError::DistanceTooFar {
+            distance,
+            produced: out.len(),
+        });
+    }
+    let start = out.len() - distance;
+    if length <= distance {
+        out.extend_from_within(start..start + length);
+    } else if distance == 1 {
+        let byte = out[start];
+        let new_len = out.len() + length;
+        out.resize(new_len, byte);
+    } else {
+        out.reserve(length);
+        let mut remaining = length;
+        while remaining > 0 {
+            let run = remaining.min(out.len() - start);
+            out.extend_from_within(start..start + run);
+            remaining -= run;
+        }
+    }
+    Ok(())
+}
+
+fn inflate_block_fast(
+    reader: &mut BitReader<'_>,
+    lit: &HuffmanLut,
+    dist: &HuffmanLut,
+    out: &mut Vec<u8>,
+    stats: &mut LutStats,
+) -> Result<(), FlateError> {
+    loop {
+        reader.refill();
+        if reader.buffered() >= FUSED_BITS {
+            // Fused path: one refill covers the worst-case symbol pair
+            // plus extra bits, so every step below is unchecked
+            // peek/consume (≥ 48 buffered bits also means an
+            // unresolvable code is InvalidSymbol, never EOF).
+            let (entry, sub) = lit.lookup(reader.peek(MAX_BITS as u32));
+            stats.hit(sub);
+            let len = entry >> 16;
+            if len == 0 {
+                return Err(FlateError::InvalidSymbol);
+            }
+            reader.consume(len);
+            let symbol = entry & 0xffff;
+            if symbol < 256 {
+                out.push(symbol as u8);
+                continue;
+            }
+            if symbol == 256 {
+                return Ok(());
+            }
+            if symbol > 285 {
+                return Err(FlateError::InvalidSymbol);
+            }
+            let idx = symbol as usize - 257;
+            let length =
+                LENGTH_BASE[idx] as usize + reader.take(u32::from(LENGTH_EXTRA[idx])) as usize;
+            let (dentry, dsub) = dist.lookup(reader.peek(MAX_BITS as u32));
+            stats.hit(dsub);
+            let dlen = dentry >> 16;
+            if dlen == 0 {
+                return Err(FlateError::InvalidSymbol);
+            }
+            reader.consume(dlen);
+            let dsym = (dentry & 0xffff) as usize;
+            if dsym >= 30 {
+                return Err(FlateError::InvalidSymbol);
+            }
+            let distance =
+                DIST_BASE[dsym] as usize + reader.take(u32::from(DIST_EXTRA[dsym])) as usize;
+            copy_match(out, distance, length)?;
+        } else {
+            // Tail path: fewer than FUSED_BITS left in the stream, so
+            // run the same logic with per-step EOF checking. At most a
+            // handful of symbols per stream land here.
+            stats.tail += 1;
+            let symbol = lit.decode(reader)?;
+            match symbol {
+                0..=255 => out.push(symbol as u8),
+                256 => return Ok(()),
+                257..=285 => {
+                    let idx = symbol as usize - 257;
+                    let length = LENGTH_BASE[idx] as usize
+                        + reader.bits(u32::from(LENGTH_EXTRA[idx]))? as usize;
+                    let dsym = dist.decode(reader)? as usize;
+                    if dsym >= 30 {
+                        return Err(FlateError::InvalidSymbol);
+                    }
+                    let distance = DIST_BASE[dsym] as usize
+                        + reader.bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+                    copy_match(out, distance, length)?;
+                }
+                _ => return Err(FlateError::InvalidSymbol),
+            }
+        }
+    }
+}
+
+/// Decompresses a raw DEFLATE stream with the original bit-at-a-time
+/// decoder. This is the reference implementation the fast path is
+/// differentially tested against; output bytes and error values are
+/// identical to [`inflate`] on every input, compressed or corrupt.
+///
+/// # Errors
+///
+/// Same conditions as [`inflate`].
+pub fn inflate_reference(input: &[u8]) -> Result<Vec<u8>, FlateError> {
+    let mut reader = BitReader::new(input);
+    let mut out = Vec::with_capacity(input.len().saturating_mul(3).min(MAX_PREALLOC));
+    loop {
+        let bfinal = reader.bit()?;
+        let btype = reader.bits(2)?;
+        match btype {
+            0 => inflate_stored(&mut reader, &mut out)?,
+            1 => {
+                let (lit, dist) = fixed_reference_tables();
+                inflate_block(&mut reader, lit, dist, &mut out)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(FlateError::InvalidBlockType),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman), FlateError> {
+    let mut clc: Option<Huffman> = None;
+    let (lengths, hlit) = read_dynamic_lengths(reader, |reader, clc_lengths| {
+        if clc.is_none() {
+            clc = Some(Huffman::from_lengths(clc_lengths)?);
+        }
+        clc.as_ref().expect("built above").decode(reader)
+    })?;
     let lit = Huffman::from_lengths(&lengths[..hlit])?;
     let dist = Huffman::from_lengths(&lengths[hlit..])?;
     Ok((lit, dist))
@@ -181,6 +466,15 @@ mod tests {
     use crate::bits::BitWriter;
     use crate::huffman::canonical_codes;
 
+    /// Every decode-path test asserts through this: fast and reference
+    /// must agree exactly, and the fast result is what's checked.
+    fn both(input: &[u8]) -> Result<Vec<u8>, FlateError> {
+        let fast = inflate(input);
+        let reference = inflate_reference(input);
+        assert_eq!(fast, reference, "fast and reference decoders disagree");
+        fast
+    }
+
     #[test]
     fn stored_block_roundtrip() {
         // Hand-build: BFINAL=1, BTYPE=00, align, LEN=5, NLEN=!5, "hello".
@@ -191,7 +485,7 @@ mod tests {
         w.raw_bytes(&5u16.to_le_bytes());
         w.raw_bytes(&(!5u16).to_le_bytes());
         w.raw_bytes(b"hello");
-        assert_eq!(inflate(&w.into_bytes()).unwrap(), b"hello");
+        assert_eq!(both(&w.into_bytes()).unwrap(), b"hello");
     }
 
     #[test]
@@ -203,10 +497,7 @@ mod tests {
         w.raw_bytes(&5u16.to_le_bytes());
         w.raw_bytes(&5u16.to_le_bytes());
         w.raw_bytes(b"hello");
-        assert_eq!(
-            inflate(&w.into_bytes()),
-            Err(FlateError::StoredLengthMismatch)
-        );
+        assert_eq!(both(&w.into_bytes()), Err(FlateError::StoredLengthMismatch));
     }
 
     #[test]
@@ -214,12 +505,12 @@ mod tests {
         let mut w = BitWriter::new();
         w.bits(1, 1);
         w.bits(3, 2);
-        assert_eq!(inflate(&w.into_bytes()), Err(FlateError::InvalidBlockType));
+        assert_eq!(both(&w.into_bytes()), Err(FlateError::InvalidBlockType));
     }
 
     #[test]
     fn empty_input_is_eof() {
-        assert_eq!(inflate(&[]), Err(FlateError::UnexpectedEof));
+        assert_eq!(both(&[]), Err(FlateError::UnexpectedEof));
     }
 
     /// Builds a fixed-Huffman block by hand with the given
@@ -274,7 +565,7 @@ mod tests {
     #[test]
     fn fixed_block_literals() {
         let block = fixed_block(&[Op::Lit(b'a'), Op::Lit(b'b'), Op::Lit(b'c')]);
-        assert_eq!(inflate(&block).unwrap(), b"abc");
+        assert_eq!(both(&block).unwrap(), b"abc");
     }
 
     #[test]
@@ -286,20 +577,40 @@ mod tests {
             Op::Lit(b'c'),
             Op::Match { len: 6, dist: 3 },
         ]);
-        assert_eq!(inflate(&block).unwrap(), b"abcabcabc");
+        assert_eq!(both(&block).unwrap(), b"abcabcabc");
     }
 
     #[test]
     fn fixed_block_rle_distance_one() {
         let block = fixed_block(&[Op::Lit(b'x'), Op::Match { len: 258, dist: 1 }]);
-        assert_eq!(inflate(&block).unwrap(), vec![b'x'; 259]);
+        assert_eq!(both(&block).unwrap(), vec![b'x'; 259]);
+    }
+
+    #[test]
+    fn overlapping_copy_distances() {
+        // Every short distance exercises a different copy_match branch:
+        // memset (1), doubling chunked copy (2..36), single memcpy (≥ 37).
+        for dist in (1..=9).chain([16, 36, 37, 40]) {
+            let mut ops: Vec<Op> = (0..dist).map(|i| Op::Lit((i % 251) as u8)).collect();
+            ops.push(Op::Match { len: 37, dist });
+            let block = fixed_block(&ops);
+            let decoded = both(&block).unwrap();
+            // Deflate match semantics: each output byte re-reads the
+            // stream `dist` bytes back, seeing freshly copied bytes.
+            let mut expected: Vec<u8> = (0..dist).map(|i| (i % 251) as u8).collect();
+            for _ in 0..37 {
+                let byte = expected[expected.len() - dist];
+                expected.push(byte);
+            }
+            assert_eq!(decoded, expected, "dist {dist}");
+        }
     }
 
     #[test]
     fn distance_before_start_fails() {
         let block = fixed_block(&[Op::Lit(b'x'), Op::Match { len: 3, dist: 5 }]);
         assert_eq!(
-            inflate(&block),
+            both(&block),
             Err(FlateError::DistanceTooFar {
                 distance: 5,
                 produced: 1
@@ -319,7 +630,81 @@ mod tests {
         w.raw_bytes(b"hi");
         let mut bytes = w.into_bytes();
         bytes.extend_from_slice(&fixed_block(&[Op::Lit(b'!')]));
-        assert_eq!(inflate(&bytes).unwrap(), b"hi!");
+        assert_eq!(both(&bytes).unwrap(), b"hi!");
+    }
+
+    /// A hand-built dynamic block: 'a' and 'b' literals, end-of-block,
+    /// and a single-code (degenerate) distance tree, optionally using
+    /// the missing branch of that one-code tree.
+    fn degenerate_dynamic_block(use_missing_distance: bool) -> Vec<u8> {
+        // Literal table: 'a'(97), 'b'(98), 256, 257 all length 2 —
+        // exactly complete. Distance table: one code of length 1.
+        let mut lit_lengths = vec![0u8; 258];
+        lit_lengths[97] = 2;
+        lit_lengths[98] = 2;
+        lit_lengths[256] = 2;
+        lit_lengths[257] = 2;
+        let lit_codes = canonical_codes(&lit_lengths);
+
+        let mut w = BitWriter::new();
+        w.bits(1, 1); // BFINAL
+        w.bits(2, 2); // dynamic
+        w.bits(1, 5); // HLIT  = 258 - 257
+        w.bits(0, 5); // HDIST = 1 - 1
+        w.bits(15, 4); // HCLEN = 19 - 4: send all code-length codes
+        // Code-length code: sym 2 (emit "length 2") gets 1 bit, syms 1
+        // and 18 (zero runs) get 2 bits — exactly complete.
+        let mut clc = [0u8; 19];
+        clc[1] = 2;
+        clc[2] = 1;
+        clc[18] = 2;
+        for &idx in CLC_ORDER.iter() {
+            w.bits(u32::from(clc[idx]), 3);
+        }
+        let clc_codes = canonical_codes(&clc);
+        let put = |w: &mut BitWriter, sym: usize| {
+            let (code, len) = clc_codes[sym];
+            w.huffman_code(code, u32::from(len));
+        };
+        put(&mut w, 18); // 0 × 97  (11 + 86)
+        w.bits(86, 7);
+        put(&mut w, 2); // 'a': len 2
+        put(&mut w, 2); // 'b': len 2
+        put(&mut w, 18); // 0 × 138 (99..237)
+        w.bits(127, 7);
+        put(&mut w, 18); // 0 × 19  (237..256)
+        w.bits(8, 7);
+        put(&mut w, 2); // 256: len 2
+        put(&mut w, 2); // 257: len 2
+        put(&mut w, 1); // distance table: the lone code, length 1
+        // Body: "ab", then a length-3 match (code 257, no extra bits)
+        // through the distance tree, then end-of-block.
+        for sym in [97usize, 98, 257] {
+            let (code, len) = lit_codes[sym];
+            w.huffman_code(code, u32::from(len));
+        }
+        // The single 1-bit distance code is 0; '1' is the missing branch.
+        w.bits(u32::from(use_missing_distance), 1);
+        let (code, len) = lit_codes[256];
+        w.huffman_code(code, u32::from(len));
+        w.into_bytes()
+    }
+
+    #[test]
+    fn degenerate_single_code_distance_tree_decodes() {
+        // The length-3 match at distance 1 repeats the trailing 'b'.
+        let block = degenerate_dynamic_block(false);
+        assert_eq!(both(&block).unwrap(), b"abbbb");
+    }
+
+    #[test]
+    fn degenerate_missing_distance_code_fails_identically() {
+        let block = degenerate_dynamic_block(true);
+        let err = both(&block).unwrap_err();
+        assert!(
+            matches!(err, FlateError::InvalidSymbol | FlateError::UnexpectedEof),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

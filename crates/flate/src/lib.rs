@@ -65,12 +65,31 @@ pub(crate) mod metrics {
         static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
         HANDLE.get_or_init(|| ev_trace::counter("flate.out_bytes"))
     }
+
+    /// Huffman symbols resolved by a single primary-table load.
+    pub(crate) fn lut_primary() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.lut_primary"))
+    }
+
+    /// Huffman symbols that needed the second-tier subtable hop.
+    pub(crate) fn lut_sub() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.lut_sub"))
+    }
+
+    /// Inner-loop iterations that fell off the fused fast path onto the
+    /// checked end-of-stream tail.
+    pub(crate) fn lut_tail() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.lut_tail"))
+    }
 }
 
 pub use checksum::crc32;
 pub use deflate::{deflate_compress, CompressionLevel};
 pub use gzip::{gzip_compress, gzip_decompress, is_gzip};
-pub use inflate::inflate;
+pub use inflate::{inflate, inflate_reference, inflate_with_size_hint};
 
 use std::error::Error;
 use std::fmt;

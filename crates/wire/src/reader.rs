@@ -1,6 +1,6 @@
 //! Cursor-based decoder for protobuf messages.
 
-use crate::varint::{decode_varint, zigzag_decode};
+use crate::varint::{decode_packed, decode_varint, zigzag_decode};
 use crate::{WireError, WireType};
 
 /// Maximum nesting depth accepted by [`Reader::skip`], protecting against
@@ -13,6 +13,28 @@ const MAX_SKIP_DEPTH: u32 = 128;
 fn fields_counter() -> &'static ev_trace::Counter {
     static HANDLE: std::sync::OnceLock<&'static ev_trace::Counter> = std::sync::OnceLock::new();
     HANDLE.get_or_init(|| ev_trace::counter("wire.fields"))
+}
+
+/// Packed-field varints resolved by the inline 1–2 byte fast path.
+fn varint_fast_counter() -> &'static ev_trace::Counter {
+    static HANDLE: std::sync::OnceLock<&'static ev_trace::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("wire.varint_fast"))
+}
+
+/// Packed-field varints that fell through to the unrolled tail decode.
+fn varint_slow_counter() -> &'static ev_trace::Counter {
+    static HANDLE: std::sync::OnceLock<&'static ev_trace::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("wire.varint_slow"))
+}
+
+/// Flushes packed-decode hit counts gathered in locals by
+/// [`decode_packed`]; gated so the disabled-trace path costs one branch
+/// and performs no allocation.
+fn flush_packed_counts(fast: u64, slow: u64) {
+    if ev_trace::enabled() && fast | slow != 0 {
+        varint_fast_counter().add(fast);
+        varint_slow_counter().add(slow);
+    }
 }
 
 /// A borrowing cursor over an encoded protobuf message.
@@ -175,19 +197,17 @@ impl<'a> Reader<'a> {
     /// `out`. Also accepts the unpacked encoding when called per-element by
     /// the caller (proto3 parsers must accept both).
     pub fn read_packed_uint64(&mut self, out: &mut Vec<u64>) -> Result<(), WireError> {
-        let mut inner = self.read_message()?;
-        while !inner.is_at_end() {
-            out.push(inner.read_varint()?);
-        }
+        let bytes = self.read_bytes()?;
+        let (fast, slow) = decode_packed(bytes, |v| out.push(v))?;
+        flush_packed_counts(fast, slow);
         Ok(())
     }
 
     /// Reads a packed repeated `int64` field.
     pub fn read_packed_int64(&mut self, out: &mut Vec<i64>) -> Result<(), WireError> {
-        let mut inner = self.read_message()?;
-        while !inner.is_at_end() {
-            out.push(inner.read_varint()? as i64);
-        }
+        let bytes = self.read_bytes()?;
+        let (fast, slow) = decode_packed(bytes, |v| out.push(v as i64))?;
+        flush_packed_counts(fast, slow);
         Ok(())
     }
 

@@ -39,22 +39,93 @@ pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) {
 /// let (v, n) = ev_wire::decode_varint(&[0x96, 0x01, 0xff]).unwrap();
 /// assert_eq!((v, n), (150, 2));
 /// ```
+#[inline]
 pub fn decode_varint(input: &[u8]) -> Result<(u64, usize), WireError> {
+    // pprof integer fields (location ids, line numbers, string-table
+    // indices, most sample values) are overwhelmingly 1–2 byte varints;
+    // resolve those inline and keep the unrolled general case out of
+    // line so this fits the caller's hot loop.
+    match *input {
+        [b0, ..] if b0 & 0x80 == 0 => Ok((u64::from(b0), 1)),
+        [b0, b1, ..] if b1 & 0x80 == 0 => Ok((u64::from(b0 & 0x7f) | u64::from(b1) << 7, 2)),
+        _ => decode_varint_tail(input),
+    }
+}
+
+/// The 3..=10-byte (and error) cases of [`decode_varint`], unrolled.
+/// Error semantics are part of the public contract: truncation is
+/// [`WireError::UnexpectedEof`]; an 11th continuation byte or a 10th
+/// byte above 1 (bits past the 64-bit range) is
+/// [`WireError::VarintOverflow`].
+#[cold]
+fn decode_varint_tail(input: &[u8]) -> Result<(u64, usize), WireError> {
     let mut value: u64 = 0;
-    for (i, &byte) in input.iter().enumerate() {
-        if i == 10 {
-            return Err(WireError::VarintOverflow);
-        }
-        // The 10th byte (i == 9) may only contribute the single low bit.
-        if i == 9 && byte > 1 {
-            return Err(WireError::VarintOverflow);
-        }
-        value |= u64::from(byte & 0x7f) << (7 * i);
-        if byte & 0x80 == 0 {
-            return Ok((value, i + 1));
+    macro_rules! step {
+        ($i:literal) => {
+            let Some(&byte) = input.get($i) else {
+                return Err(WireError::UnexpectedEof);
+            };
+            value |= u64::from(byte & 0x7f) << (7 * $i);
+            if byte & 0x80 == 0 {
+                return Ok((value, $i + 1));
+            }
+        };
+    }
+    step!(0);
+    step!(1);
+    step!(2);
+    step!(3);
+    step!(4);
+    step!(5);
+    step!(6);
+    step!(7);
+    step!(8);
+    // The 10th byte may only contribute the single low bit; a
+    // continuation bit here would demand an 11th byte, which is also
+    // past the u64 range.
+    let Some(&byte) = input.get(9) else {
+        return Err(WireError::UnexpectedEof);
+    };
+    if byte > 1 {
+        return Err(WireError::VarintOverflow);
+    }
+    value |= u64::from(byte) << 63;
+    Ok((value, 10))
+}
+
+/// Decodes a packed run of varints covering `input` exactly, invoking
+/// `push` once per value. Returns `(fast, slow)` hit counts — values
+/// resolved by the inline 1–2 byte path vs. the unrolled tail — for the
+/// caller's trace counters.
+///
+/// # Errors
+///
+/// Same per-value conditions as [`decode_varint`].
+pub(crate) fn decode_packed(
+    input: &[u8],
+    mut push: impl FnMut(u64),
+) -> Result<(u64, u64), WireError> {
+    let mut pos = 0;
+    let mut fast = 0u64;
+    let mut slow = 0u64;
+    while pos < input.len() {
+        let b0 = input[pos];
+        if b0 & 0x80 == 0 {
+            push(u64::from(b0));
+            pos += 1;
+            fast += 1;
+        } else if pos + 1 < input.len() && input[pos + 1] & 0x80 == 0 {
+            push(u64::from(b0 & 0x7f) | u64::from(input[pos + 1]) << 7);
+            pos += 2;
+            fast += 1;
+        } else {
+            let (value, used) = decode_varint_tail(&input[pos..])?;
+            push(value);
+            pos += used;
+            slow += 1;
         }
     }
-    Err(WireError::UnexpectedEof)
+    Ok((fast, slow))
 }
 
 /// Maps a signed integer onto an unsigned one so that values of small
@@ -129,7 +200,121 @@ mod tests {
         }
     }
 
+    /// The original loop-per-byte decoder, kept as the reference the
+    /// fast path is differentially tested against.
+    fn decode_varint_reference(input: &[u8]) -> Result<(u64, usize), WireError> {
+        let mut value: u64 = 0;
+        for (i, &byte) in input.iter().enumerate() {
+            if i == 10 {
+                return Err(WireError::VarintOverflow);
+            }
+            if i == 9 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok((value, i + 1));
+            }
+        }
+        Err(WireError::UnexpectedEof)
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_length_boundaries() {
+        // Values chosen to sit exactly on the 1/2/5/9/10-byte encoding
+        // boundaries, plus each boundary's neighbours.
+        let values = [
+            0u64,
+            1,
+            127,                  // last 1-byte
+            128,                  // first 2-byte
+            16383,                // last 2-byte
+            16384,                // first 3-byte
+            (1 << 28) - 1,        // last 4-byte
+            1 << 28,              // first 5-byte
+            (1 << 35) - 1,        // last 5-byte
+            (1 << 56) - 1,        // last 8-byte
+            1 << 56,              // first 9-byte
+            (1 << 63) - 1,        // last 9-byte
+            1 << 63,              // first 10-byte
+            u64::MAX,
+        ];
+        for &v in &values {
+            let mut buf = Vec::new();
+            encode_varint(v, &mut buf);
+            assert_eq!(
+                decode_varint(&buf),
+                decode_varint_reference(&buf),
+                "value {v}"
+            );
+            assert_eq!(decode_varint(&buf).unwrap(), (v, buf.len()));
+            // Every truncation of the encoding must also agree.
+            for cut in 0..buf.len() {
+                assert_eq!(
+                    decode_varint(&buf[..cut]),
+                    decode_varint_reference(&buf[..cut]),
+                    "value {v} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_overflows() {
+        for bytes in [
+            &[0x80u8; 11][..],
+            &[0x80u8; 10][..],
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02][..],
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f][..],
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x81, 0x00][..],
+        ] {
+            assert_eq!(decode_varint(bytes), decode_varint_reference(bytes));
+            assert_eq!(decode_varint(bytes), Err(WireError::VarintOverflow));
+        }
+    }
+
+    #[test]
+    fn packed_decode_counts_fast_and_slow() {
+        let values = [0u64, 127, 128, 16383, 16384, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            encode_varint(v, &mut buf);
+        }
+        let mut out = Vec::new();
+        let (fast, slow) = decode_packed(&buf, |v| out.push(v)).unwrap();
+        assert_eq!(out, values);
+        assert_eq!((fast, slow), (4, 2));
+    }
+
+    #[test]
+    fn packed_decode_truncated_tail() {
+        let mut buf = Vec::new();
+        encode_varint(5, &mut buf);
+        buf.push(0x80); // dangling continuation byte
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_packed(&buf, |v| out.push(v)),
+            Err(WireError::UnexpectedEof)
+        );
+        assert_eq!(out, [5]);
+    }
+
     property! {
+        fn fast_path_matches_reference_on_random_bytes(data in vec(any_u8(), 0..16)) {
+            prop_assert_eq!(decode_varint(&data), decode_varint_reference(&data));
+        }
+
+        fn packed_decode_matches_sequential(values in vec(any_u64(), 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &values {
+                encode_varint(v, &mut buf);
+            }
+            let mut out = Vec::new();
+            let (fast, slow) = decode_packed(&buf, |v| out.push(v)).unwrap();
+            prop_assert_eq!(out, values.clone());
+            prop_assert_eq!(fast + slow, values.len() as u64);
+        }
+
         fn varint_roundtrip(v in any_u64()) {
             let mut buf = Vec::new();
             encode_varint(v, &mut buf);

@@ -62,5 +62,23 @@ grep -q '^view-cache: ' "$SMOKE_DIR/stats.txt" \
     || { echo "FAIL: stats did not print the view-cache line" >&2; exit 1; }
 grep -q '^counter ' "$SMOKE_DIR/stats.txt" \
     || { echo "FAIL: stats did not print pipeline counters" >&2; exit 1; }
+grep -q '^counter flate\.lut_primary ' "$SMOKE_DIR/stats.txt" \
+    || { echo "FAIL: stats did not report the decode fast-path counters" >&2; exit 1; }
+
+echo "== ingest smoke =="
+# Runs the ingest bench in quick mode over the golden gzip'd pprof
+# fixtures: fast and reference decoders must be byte-identical, the
+# decompressed bytes must match pinned digests, and the fast path must
+# clear the (relaxed, noise-tolerant) speedup gate.
+rm -f BENCH_ingest.json
+target/release/ingest --quick \
+    || { echo "FAIL: ingest bench (quick) failed" >&2; exit 1; }
+[ -s BENCH_ingest.json ] \
+    || { echo "FAIL: BENCH_ingest.json missing or empty" >&2; exit 1; }
+grep -q '"schema": "ev-bench-ingest/v1"' BENCH_ingest.json \
+    || { echo "FAIL: BENCH_ingest.json malformed (schema key missing)" >&2; exit 1; }
+# Restore the committed full-mode report; the quick run is a gate, not
+# the artifact of record.
+git checkout -- BENCH_ingest.json 2>/dev/null || true
 
 echo "== OK =="
