@@ -102,9 +102,9 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
         let was_enabled = ev_trace::enabled();
         ev_trace::set_enabled(true);
         let result = (|| -> Result<(), CliError> {
-            let profile = load(path)?;
-            let metric = pick_metric(&profile, options)?;
             let exec = policy(options);
+            let profile = load(path, exec)?;
+            let metric = pick_metric(&profile, options)?;
             let threshold_tag = format!("threshold:{}", options.threshold);
             let key =
                 view_key(&profile, metric, &[shape_tag(options.shape), &threshold_tag]);
@@ -135,10 +135,13 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
     Ok(out)
 }
 
-fn load(path: &str) -> Result<Profile, CliError> {
+/// Reads and converts a profile. The policy reaches ingest too:
+/// multi-member gzip inputs decompress their members on `ev-par`
+/// workers, with output bit-identical at any thread count.
+fn load(path: &str, exec: ExecPolicy) -> Result<Profile, CliError> {
     let bytes =
         std::fs::read(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    ev_formats::parse_auto(&bytes).map_err(|e| CliError(format!("{path}: {e}")))
+    ev_formats::parse_auto_with(&bytes, exec).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
 fn pick_metric(profile: &Profile, options: &Options) -> Result<MetricId, CliError> {
@@ -169,7 +172,7 @@ fn maybe_pruned(profile: &Profile, metric: MetricId, options: &Options) -> Profi
 }
 
 fn info(input: &str) -> Result<String, CliError> {
-    let profile = load(input)?;
+    let profile = load(input, ExecPolicy::auto())?;
     let mut out = String::new();
     let meta = profile.meta();
     let _ = writeln!(out, "profile : {}", meta.name);
@@ -224,9 +227,9 @@ fn shape_tag(shape: Shape) -> &'static str {
 }
 
 fn view(input: &str, options: &Options) -> Result<String, CliError> {
-    let profile = load(input)?;
-    let metric = pick_metric(&profile, options)?;
     let exec = policy(options);
+    let profile = load(input, exec)?;
+    let metric = pick_metric(&profile, options)?;
     // The transform chain descriptor covers everything between the
     // loaded profile and the rendered geometry. The policy is NOT part
     // of the key: outputs are bit-identical across thread counts.
@@ -253,7 +256,7 @@ fn view(input: &str, options: &Options) -> Result<String, CliError> {
 }
 
 fn table(input: &str, options: &Options) -> Result<String, CliError> {
-    let profile = load(input)?;
+    let profile = load(input, policy(options))?;
     let metric = pick_metric(&profile, options)?;
     let base = maybe_pruned(&profile, metric, options);
     let shaped = match options.shape {
@@ -268,8 +271,8 @@ fn table(input: &str, options: &Options) -> Result<String, CliError> {
 }
 
 fn diff_cmd(before: &str, after: &str, options: &Options) -> Result<String, CliError> {
-    let p1 = load(before)?;
-    let p2 = load(after)?;
+    let p1 = load(before, policy(options))?;
+    let p2 = load(after, policy(options))?;
     let metric = pick_metric(&p1, options)?;
     let metric_name = p1.metric(metric).name.clone();
     let dfg = DiffFlameGraph::new(&p1, &p2, &metric_name).map_err(|i| {
@@ -305,7 +308,7 @@ fn diff_cmd(before: &str, after: &str, options: &Options) -> Result<String, CliE
 fn aggregate_cmd(inputs: &[String], options: &Options) -> Result<String, CliError> {
     let profiles: Vec<Profile> = inputs
         .iter()
-        .map(|p| load(p))
+        .map(|p| load(p, policy(options)))
         .collect::<Result<_, _>>()?;
     let metric_name = match &options.metric {
         Some(name) => name.clone(),
@@ -351,7 +354,7 @@ fn aggregate_cmd(inputs: &[String], options: &Options) -> Result<String, CliErro
 }
 
 fn search(input: &str, query: &str) -> Result<String, CliError> {
-    let profile = load(input)?;
+    let profile = load(input, ExecPolicy::auto())?;
     let needle = query.to_lowercase();
     let mut out = String::new();
     let mut count = 0;
@@ -372,7 +375,7 @@ fn search(input: &str, query: &str) -> Result<String, CliError> {
 }
 
 fn script_cmd(input: &str, script_path: &str) -> Result<String, CliError> {
-    let mut profile = load(input)?;
+    let mut profile = load(input, ExecPolicy::auto())?;
     let source = std::fs::read_to_string(script_path)
         .map_err(|e| CliError(format!("cannot read {script_path}: {e}")))?;
     let output = ScriptHost::new(&mut profile)
@@ -382,7 +385,7 @@ fn script_cmd(input: &str, script_path: &str) -> Result<String, CliError> {
 }
 
 fn convert(input: &str, output: &str) -> Result<String, CliError> {
-    let profile = load(input)?;
+    let profile = load(input, ExecPolicy::auto())?;
     let bytes: Vec<u8> = if output.ends_with(".evpf") {
         ev_core::format::to_bytes(&profile)
     } else if output.ends_with(".pprof") || output.ends_with(".pb.gz") {

@@ -72,6 +72,25 @@ impl<'a> BitReader<'a> {
         self.count as usize + 8 * (self.input.len() - self.pos)
     }
 
+    /// Number of input bits consumed so far. Buffered-but-unconsumed
+    /// bits do not count: `refill` keeps the invariant that `count`
+    /// grows by exactly 8 per byte `pos` advances over (surplus
+    /// accumulator bits above `count` never advance `pos`), so
+    /// `8 * pos - count` is exact at any point in the stream.
+    #[inline]
+    pub(crate) fn bits_consumed(&self) -> usize {
+        self.pos * 8 - self.count as usize
+    }
+
+    /// Number of whole input bytes consumed, rounding a partially
+    /// consumed byte up. After a DEFLATE stream's final block this is
+    /// where byte-aligned container framing (the gzip trailer, a
+    /// following member's header) resumes.
+    #[inline]
+    pub(crate) fn bytes_consumed(&self) -> usize {
+        self.bits_consumed().div_ceil(8)
+    }
+
     /// Returns the next `n` bits without consuming them, zero-padded
     /// past end of input. The caller must have called
     /// [`refill`](Self::refill) since the last consume; `n` must not
@@ -273,6 +292,30 @@ mod tests {
         let mut r = BitReader::new(&[0x01]);
         let mut out = Vec::new();
         assert_eq!(r.copy_bytes(2, &mut out), Err(FlateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn consumed_position_is_exact_across_refills() {
+        let data: Vec<u8> = (0..32).collect();
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.bits_consumed(), 0);
+        r.bits(3).unwrap();
+        assert_eq!(r.bits_consumed(), 3);
+        assert_eq!(r.bytes_consumed(), 1);
+        // Cross several refill boundaries with mixed widths.
+        let mut total = 3usize;
+        for width in [16u32, 7, 9, 1, 13, 16, 16, 16, 5] {
+            r.bits(width).unwrap();
+            total += width as usize;
+            assert_eq!(r.bits_consumed(), total, "after {width}-bit read");
+        }
+        r.align_to_byte();
+        assert_eq!(r.bits_consumed() % 8, 0);
+        let mut out = Vec::new();
+        let at = r.bits_consumed() / 8;
+        r.copy_bytes(4, &mut out).unwrap();
+        assert_eq!(out, data[at..at + 4]);
+        assert_eq!(r.bytes_consumed(), at + 4);
     }
 
     #[test]

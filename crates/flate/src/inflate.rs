@@ -52,10 +52,13 @@ const CLC_PRIMARY_BITS: u32 = 7;
 /// inner loop needs no per-step EOF checks.
 const FUSED_BITS: u32 = 48;
 
-/// Cap on speculative output preallocation; size hints (gzip ISIZE, the
-/// raw-deflate heuristic) are untrusted input, and anything larger
-/// grows organically.
-const MAX_PREALLOC: usize = 256 << 20;
+/// Cap on speculative output preallocation. Size hints (the gzip ISIZE
+/// trailer, the raw-deflate `len*3` heuristic) are untrusted input: a
+/// lying ISIZE of up to 4 GiB must not translate into a 4 GiB
+/// allocation before a single byte is decoded. Hints above this cap
+/// preallocate exactly this much and the output grows organically
+/// beyond it, so the cap bounds speculative memory, never output size.
+pub const MAX_SIZE_HINT: usize = 256 << 20;
 
 /// Fast-path vs. slow-path hit counts for one inflate call, accumulated
 /// in locals so the hot loop never touches an atomic, and flushed to
@@ -151,11 +154,48 @@ pub fn inflate(input: &[u8]) -> Result<Vec<u8>, FlateError> {
 /// Same conditions as [`inflate`].
 pub fn inflate_with_size_hint(input: &[u8], size_hint: usize) -> Result<Vec<u8>, FlateError> {
     let mut reader = BitReader::new(input);
-    let mut out = Vec::with_capacity(size_hint.min(MAX_PREALLOC));
+    let mut out = Vec::with_capacity(size_hint.min(MAX_SIZE_HINT));
     let mut stats = LutStats::default();
     let result = inflate_fast_loop(&mut reader, &mut out, &mut stats);
     stats.flush();
     result.map(|()| out)
+}
+
+/// Like [`inflate_with_size_hint`], additionally returning how many
+/// input bytes the DEFLATE stream occupied (the bit position after the
+/// final block, rounded up to the next byte boundary).
+///
+/// This is the member-streaming entry point: a gzip container holds
+/// `header · deflate stream · trailer` per member, and RFC 1952 allows
+/// members to be concatenated back to back, so the decompressor must
+/// learn where each self-delimiting DEFLATE stream ends to find that
+/// member's trailer and the next member's header. Bytes past the
+/// stream end are never interpreted (the bit reader may *peek* ahead,
+/// but consumption stops at the final end-of-block symbol).
+///
+/// # Errors
+///
+/// Same conditions as [`inflate`].
+pub fn inflate_member(input: &[u8], size_hint: usize) -> Result<(Vec<u8>, usize), FlateError> {
+    let mut reader = BitReader::new(input);
+    let mut out = Vec::with_capacity(size_hint.min(MAX_SIZE_HINT));
+    let mut stats = LutStats::default();
+    let result = inflate_fast_loop(&mut reader, &mut out, &mut stats);
+    stats.flush();
+    result.map(|()| (out, reader.bytes_consumed()))
+}
+
+/// Reference-decoder counterpart of [`inflate_member`], for
+/// differential testing: output bytes, error values, *and* the
+/// consumed-byte count must match the fast path on every input.
+///
+/// # Errors
+///
+/// Same conditions as [`inflate`].
+pub fn inflate_reference_member(input: &[u8]) -> Result<(Vec<u8>, usize), FlateError> {
+    let mut reader = BitReader::new(input);
+    inflate_reference_loop(&mut reader, input.len())
+        .map(|out| (out, reader.bytes_consumed()))
 }
 
 fn inflate_fast_loop(
@@ -385,19 +425,26 @@ fn inflate_block_fast(
 /// Same conditions as [`inflate`].
 pub fn inflate_reference(input: &[u8]) -> Result<Vec<u8>, FlateError> {
     let mut reader = BitReader::new(input);
-    let mut out = Vec::with_capacity(input.len().saturating_mul(3).min(MAX_PREALLOC));
+    inflate_reference_loop(&mut reader, input.len())
+}
+
+fn inflate_reference_loop(
+    reader: &mut BitReader<'_>,
+    input_len: usize,
+) -> Result<Vec<u8>, FlateError> {
+    let mut out = Vec::with_capacity(input_len.saturating_mul(3).min(MAX_SIZE_HINT));
     loop {
         let bfinal = reader.bit()?;
         let btype = reader.bits(2)?;
         match btype {
-            0 => inflate_stored(&mut reader, &mut out)?,
+            0 => inflate_stored(reader, &mut out)?,
             1 => {
                 let (lit, dist) = fixed_reference_tables();
-                inflate_block(&mut reader, lit, dist, &mut out)?;
+                inflate_block(reader, lit, dist, &mut out)?;
             }
             2 => {
-                let (lit, dist) = read_dynamic_tables(&mut reader)?;
-                inflate_block(&mut reader, &lit, &dist, &mut out)?;
+                let (lit, dist) = read_dynamic_tables(reader)?;
+                inflate_block(reader, &lit, &dist, &mut out)?;
             }
             _ => return Err(FlateError::InvalidBlockType),
         }

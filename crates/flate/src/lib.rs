@@ -66,6 +66,13 @@ pub(crate) mod metrics {
         HANDLE.get_or_init(|| ev_trace::counter("flate.out_bytes"))
     }
 
+    /// Gzip members decoded (a multi-member file counts once per
+    /// member; the parallel split and the sequential walk agree).
+    pub(crate) fn members() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.members"))
+    }
+
     /// Huffman symbols resolved by a single primary-table load.
     pub(crate) fn lut_primary() -> &'static Counter {
         static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
@@ -86,10 +93,17 @@ pub(crate) mod metrics {
     }
 }
 
-pub use checksum::crc32;
+pub use checksum::{crc32, crc32_reference};
 pub use deflate::{deflate_compress, CompressionLevel};
-pub use gzip::{gzip_compress, gzip_decompress, is_gzip};
-pub use inflate::{inflate, inflate_reference, inflate_with_size_hint};
+pub use gzip::{gzip_compress, gzip_decompress, gzip_decompress_with, is_gzip};
+pub use inflate::{
+    inflate, inflate_member, inflate_reference, inflate_reference_member, inflate_with_size_hint,
+    MAX_SIZE_HINT,
+};
+
+// Re-exported so container callers can pick a decompression policy
+// without depending on `ev-par` directly.
+pub use ev_par::ExecPolicy;
 
 use std::error::Error;
 use std::fmt;
@@ -134,6 +148,13 @@ pub enum FlateError {
     },
     /// The gzip header declared reserved flag bits.
     ReservedFlags(u8),
+    /// Bytes remained after the last member's trailer that do not
+    /// begin another gzip member. Trailing garbage is an error, never
+    /// silently ignored.
+    TrailingGarbage {
+        /// Byte offset where the garbage begins.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for FlateError {
@@ -164,6 +185,9 @@ impl fmt::Display for FlateError {
             }
             FlateError::ReservedFlags(bits) => {
                 write!(f, "gzip header sets reserved flag bits {bits:#04x}")
+            }
+            FlateError::TrailingGarbage { offset } => {
+                write!(f, "trailing garbage after gzip member at byte {offset}")
             }
         }
     }
@@ -198,6 +222,7 @@ mod tests {
                 actual: 2,
             },
             FlateError::ReservedFlags(0xe0),
+            FlateError::TrailingGarbage { offset: 42 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -5,8 +5,9 @@
 //! plain random bytes.
 
 use ev_flate::{
-    deflate_compress, inflate, inflate_reference, inflate_with_size_hint, CompressionLevel,
-    FlateError,
+    crc32, crc32_reference, deflate_compress, gzip_compress, gzip_decompress,
+    gzip_decompress_with, inflate, inflate_member, inflate_reference, inflate_reference_member,
+    inflate_with_size_hint, CompressionLevel, ExecPolicy, FlateError,
 };
 use ev_test::prelude::*;
 
@@ -21,6 +22,19 @@ fn both(input: &[u8]) -> Result<Vec<u8>, FlateError> {
     let fast = inflate(input);
     let reference = inflate_reference(input);
     assert_eq!(fast, reference, "decoder disagreement on {} bytes", input.len());
+    // The member-streaming entry points must agree on output, error,
+    // *and* the consumed-byte count (the member boundary).
+    let fast_member = inflate_member(input, 0);
+    let ref_member = inflate_reference_member(input);
+    assert_eq!(fast_member, ref_member, "member decoders disagree");
+    match (&fast, &fast_member) {
+        (Ok(bytes), Ok((member_bytes, consumed))) => {
+            assert_eq!(bytes, member_bytes);
+            assert!(*consumed <= input.len());
+        }
+        (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+        _ => panic!("inflate and inflate_member disagree on success"),
+    }
     fast
 }
 
@@ -73,8 +87,62 @@ fn size_hint_never_changes_output() {
     }
 }
 
+#[test]
+fn member_boundary_is_exact_with_trailing_bytes() {
+    // Appending arbitrary bytes after a complete DEFLATE stream must
+    // change neither the output nor the reported consumed length.
+    let data = b"boundary test payload ".repeat(20);
+    for level in LEVELS {
+        let compressed = deflate_compress(&data, level);
+        let (out, consumed) = inflate_member(&compressed, data.len()).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(consumed, compressed.len(), "{level:?}");
+        let mut extended = compressed.clone();
+        extended.extend_from_slice(b"\x1f\x8b\x08 trailing member-ish bytes");
+        let (out2, consumed2) = inflate_member(&extended, data.len()).unwrap();
+        assert_eq!(out2, data);
+        assert_eq!(consumed2, compressed.len(), "{level:?} with tail");
+    }
+}
+
+#[test]
+fn crc32_rfc1952_check_vector() {
+    // RFC 1952 CRC-32 over "123456789" — the catalogue check value.
+    assert_eq!(crc32(b"123456789"), 0xcbf43926);
+    assert_eq!(crc32_reference(b"123456789"), 0xcbf43926);
+}
+
 property! {
     #![cases(64)]
+
+    // The slice-by-8 CRC kernel against the byte-wise reference over
+    // random lengths and alignments (offset slicing shifts the 8-byte
+    // chunk window across every phase).
+    fn crc_kernels_agree(data in vec(any_u8(), 0..2048), offset in 0usize..8) {
+        let sub = &data[offset.min(data.len())..];
+        prop_assert_eq!(crc32(sub), crc32_reference(sub));
+    }
+
+    // N random members concatenated decode to the same bytes as the
+    // members decompressed individually, at every thread count.
+    fn multi_member_matches_individual(
+        parts in vec(vec(any_u8(), 0..512), 1..6),
+        pick in 0usize..3,
+        threads in 1usize..9,
+    ) {
+        let mut concatenated = Vec::new();
+        let mut expected = Vec::new();
+        for part in &parts {
+            let gz = gzip_compress(part, LEVELS[pick]);
+            prop_assert_eq!(gzip_decompress(&gz).unwrap(), part.clone());
+            concatenated.extend_from_slice(&gz);
+            expected.extend_from_slice(part);
+        }
+        let seq = gzip_decompress(&concatenated).unwrap();
+        prop_assert_eq!(&seq, &expected);
+        let par = gzip_decompress_with(&concatenated, ExecPolicy::with_threads(threads)).unwrap();
+        prop_assert_eq!(&par, &seq);
+    }
 
     // Mixed-content payloads across all three block types.
     fn differential_roundtrip(data in vec(any_u8(), 0..4096), pick in 0usize..3) {

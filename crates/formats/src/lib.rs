@@ -207,9 +207,23 @@ pub fn detect(data: &[u8]) -> Format {
 /// Returns [`FormatError::UnknownFormat`] if no converter claims the
 /// input, or the converter's own error otherwise.
 pub fn parse_auto(data: &[u8]) -> Result<Profile, FormatError> {
+    parse_auto_with(data, ev_flate::ExecPolicy::SEQUENTIAL)
+}
+
+/// Like [`parse_auto`], passing an execution policy to converters with
+/// parallelizable ingest (currently pprof's multi-member gzip
+/// decompression). Output is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_auto`].
+pub fn parse_auto_with(
+    data: &[u8],
+    policy: ev_flate::ExecPolicy,
+) -> Result<Profile, FormatError> {
     match detect(data) {
         Format::EasyView => easyview::parse(data),
-        Format::Pprof => pprof::parse(data),
+        Format::Pprof => pprof::parse_with(data, policy),
         Format::PerfScript => {
             perf_script::parse(&String::from_utf8_lossy(data))
         }

@@ -14,7 +14,7 @@
 
 use crate::FormatError;
 use ev_core::{ContextKind, FrameRef, MetricDescriptor, MetricId, MetricKind, MetricUnit, Profile, StringId};
-use ev_flate::{gzip_compress, gzip_decompress, is_gzip, CompressionLevel};
+use ev_flate::{gzip_compress, gzip_decompress_with, is_gzip, CompressionLevel, ExecPolicy};
 use ev_wire::{Reader, Writer};
 use ev_core::fast_hash::FxHashMap;
 use std::collections::HashMap;
@@ -75,19 +75,31 @@ fn unit_to_str(unit: MetricUnit) -> &'static str {
     }
 }
 
-/// Parses a pprof profile (raw protobuf or gzip member) into the generic
-/// representation. Sample values become exclusive metrics attributed to
-/// the leaf of each call path; inline frames in a `Location` expand into
-/// separate CCT frames.
+/// Parses a pprof profile (raw protobuf or gzip'd, including RFC 1952
+/// concatenated multi-member files) into the generic representation.
+/// Sample values become exclusive metrics attributed to the leaf of
+/// each call path; inline frames in a `Location` expand into separate
+/// CCT frames.
 ///
 /// # Errors
 ///
 /// Fails on gzip/wire-level corruption or dangling ids.
 pub fn parse(data: &[u8]) -> Result<Profile, FormatError> {
+    parse_with(data, ExecPolicy::SEQUENTIAL)
+}
+
+/// Like [`parse`], decompressing independent gzip members on `ev-par`
+/// workers under `policy`. Output is bit-identical at any thread
+/// count (the `ev-par` determinism contract).
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, FormatError> {
     let _span = ev_trace::span("convert.pprof");
     let decompressed;
     let body: &[u8] = if is_gzip(data) {
-        decompressed = gzip_decompress(data)?;
+        decompressed = gzip_decompress_with(data, policy)?;
         &decompressed
     } else {
         data

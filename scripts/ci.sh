@@ -65,6 +65,23 @@ grep -q '^counter ' "$SMOKE_DIR/stats.txt" \
 grep -q '^counter flate\.lut_primary ' "$SMOKE_DIR/stats.txt" \
     || { echo "FAIL: stats did not report the decode fast-path counters" >&2; exit 1; }
 
+echo "== multi-member gzip smoke =="
+# The golden 3-member fixture must render identically at any thread
+# count and report one flate.members count per gzip member.
+MM=tests/fixtures/multi_member.pb.gz
+"$EV" info "$MM" > /dev/null
+"$EV" view "$MM" --threads 1 > "$SMOKE_DIR/mm_seq.txt"
+for threads in 2 8; do
+    "$EV" view "$MM" --threads "$threads" > "$SMOKE_DIR/mm_par.txt"
+    if ! diff "$SMOKE_DIR/mm_seq.txt" "$SMOKE_DIR/mm_par.txt" > /dev/null; then
+        echo "FAIL: multi-member view differs between --threads 1 and --threads $threads" >&2
+        exit 1
+    fi
+done
+"$EV" stats "$MM" > "$SMOKE_DIR/mm_stats.txt"
+grep -q '^counter flate\.members 3$' "$SMOKE_DIR/mm_stats.txt" \
+    || { echo "FAIL: stats did not count 3 gzip members" >&2; exit 1; }
+
 echo "== ingest smoke =="
 # Runs the ingest bench in quick mode over the golden gzip'd pprof
 # fixtures: fast and reference decoders must be byte-identical, the

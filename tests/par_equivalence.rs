@@ -42,6 +42,35 @@ property! {
         }
     }
 
+    // Multi-member gzip ingest: a pprof body split into N gzip members
+    // must convert bit-identically whether the members are inflated
+    // sequentially or fanned out onto the pool.
+    fn multi_member_ingest_matches_sequential(
+        batch in arb_profile_batch(2..6, 30, 6),
+        splits in 2usize..5,
+    ) {
+        use ev_flate::{crc32, deflate_compress, CompressionLevel};
+        let refs: Vec<&Profile> = batch.iter().collect();
+        let agg = aggregate_with(&refs, "cpu", ExecPolicy::SEQUENTIAL).unwrap();
+        let single = ev_formats::pprof::write(&agg.profile, Default::default());
+        let raw = ev_flate::gzip_decompress(&single).unwrap();
+        // Re-wrap the body as `splits` concatenated members.
+        let mut multi = Vec::new();
+        for i in 0..splits {
+            let part = &raw[raw.len() * i / splits..raw.len() * (i + 1) / splits];
+            multi.extend_from_slice(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255]);
+            multi.extend_from_slice(&deflate_compress(part, CompressionLevel::Fast));
+            multi.extend_from_slice(&crc32(part).to_le_bytes());
+            multi.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        }
+        let seq = ev_formats::pprof::parse_with(&multi, ExecPolicy::SEQUENTIAL).unwrap();
+        let seq_bytes = easyview_bytes(&seq);
+        for &t in &THREADS {
+            let par = ev_formats::pprof::parse_with(&multi, ExecPolicy::with_threads(t)).unwrap();
+            prop_assert_eq!(&easyview_bytes(&par), &seq_bytes, "threads={}", t);
+        }
+    }
+
     fn diff_matches_sequential(pair in arb_profile_pair(40, 6)) {
         let (first, second) = pair;
         let seq = diff_with(&first, &second, "cpu", 0.0, ExecPolicy::SEQUENTIAL).unwrap();
