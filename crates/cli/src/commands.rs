@@ -138,10 +138,23 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
 /// Reads and converts a profile. The policy reaches ingest too:
 /// multi-member gzip inputs decompress their members on `ev-par`
 /// workers, with output bit-identical at any thread count.
+///
+/// Setting `EASYVIEW_PPROF_REFERENCE` (to anything but `0` or empty)
+/// routes pprof input through the retained two-pass reference decoder —
+/// the escape hatch for cross-checking the one-pass fast path against
+/// a suspect profile.
 fn load(path: &str, exec: ExecPolicy) -> Result<Profile, CliError> {
     let bytes =
         std::fs::read(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    ev_formats::parse_auto_with(&bytes, exec).map_err(|e| CliError(format!("{path}: {e}")))
+    let use_reference = std::env::var("EASYVIEW_PPROF_REFERENCE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let parsed = if use_reference {
+        ev_formats::parse_auto_reference_with(&bytes, exec)
+    } else {
+        ev_formats::parse_auto_with(&bytes, exec)
+    };
+    parsed.map_err(|e| CliError(format!("{path}: {e}")))
 }
 
 fn pick_metric(profile: &Profile, options: &Options) -> Result<MetricId, CliError> {

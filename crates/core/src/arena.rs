@@ -1,0 +1,401 @@
+//! Arena storage: bump-allocated strings and slab-backed slices.
+//!
+//! Wire-level decoders build large transient tables (string tables,
+//! inline-expanded frame lists, location line runs) whose natural
+//! per-message representation — one `Vec` or `String` per record —
+//! costs an allocator round-trip per record and scatters the data
+//! across the heap. The two types here replace that shape with two
+//! flat buffers:
+//!
+//! * [`Arena<T>`] — a typed slab. Records append their elements
+//!   contiguously and keep a [`Span`] (offset + length) instead of an
+//!   owning `Vec<T>`. One allocation amortized over every record.
+//! * [`Interner`] — a deduplicating string store whose bytes live in a
+//!   single bump buffer. Ids are dense `u32`s in first-intern order,
+//!   and lookup is an open-addressed probe keyed by an FxHash of the
+//!   bytes, so interning neither clones the key nor allocates per
+//!   string.
+//!
+//! `ev_core::StringTable` is a thin wrapper over [`Interner`], which
+//! makes every profile's string storage arena-backed; the one-pass
+//! pprof decoder additionally uses [`Arena`] for its location/line and
+//! frame slabs (DESIGN §4f).
+
+use crate::fast_hash::FxHasher;
+use std::hash::Hasher;
+
+/// A contiguous run inside an [`Arena`] (or any flat buffer): element
+/// offset plus length. `Span::default()` is the empty run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    start: u32,
+    len: u32,
+}
+
+impl Span {
+    /// Number of elements covered.
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if the span covers no elements.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A typed slab: one growable buffer shared by many logical slices.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::arena::Arena;
+///
+/// let mut lines: Arena<u32> = Arena::new();
+/// let mark = lines.mark();
+/// lines.push(10);
+/// lines.push(20);
+/// let span = lines.span_since(mark);
+/// assert_eq!(lines.get(span), &[10, 20]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Arena<T> {
+    items: Vec<T>,
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Arena<T> {
+        Arena { items: Vec::new() }
+    }
+
+    /// Creates an arena with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Arena<T> {
+        Arena {
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Total elements across all spans.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if nothing has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The current end of the slab; pair with [`Arena::span_since`] to
+    /// delimit the elements pushed in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena already holds `u32::MAX` elements.
+    pub fn mark(&self) -> u32 {
+        u32::try_from(self.items.len()).expect("arena overflow")
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// The span covering everything pushed since `mark`.
+    pub fn span_since(&self, mark: u32) -> Span {
+        Span {
+            start: mark,
+            len: self.mark() - mark,
+        }
+    }
+
+    /// Allocates a whole slice in one call, returning its span.
+    pub fn alloc_extend(&mut self, items: impl IntoIterator<Item = T>) -> Span {
+        let mark = self.mark();
+        self.items.extend(items);
+        self.span_since(mark)
+    }
+
+    /// The elements of `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` was not produced by this arena.
+    pub fn get(&self, span: Span) -> &[T] {
+        &self.items[span.start as usize..(span.start + span.len) as usize]
+    }
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    // Mix the length so zero-padded tails of different lengths (the
+    // word-at-a-time remainder) do not collide systematically.
+    h.write_usize(s.len());
+    h.finish()
+}
+
+/// A deduplicating string store over a single bump buffer.
+///
+/// Ids are dense and assigned in first-intern order, matching the
+/// contract of `ev_core::StringTable` (which this type backs).
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::arena::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("main");
+/// assert_eq!(i.intern("main"), a);
+/// assert_eq!(i.resolve(a), "main");
+/// assert_eq!(i.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    /// Every interned string's bytes, back to back.
+    bytes: Vec<u8>,
+    /// Id → (offset, length) into `bytes`.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressed probe table; a slot holds `id + 1`, 0 = empty.
+    /// Length is always a power of two (or zero before first use).
+    table: Vec<u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn str_at(&self, id: u32) -> &str {
+        let (start, len) = self.spans[id as usize];
+        let bytes = &self.bytes[start as usize..(start + len) as usize];
+        // SAFETY: `bytes` is exactly the byte run of a `&str` appended
+        // by `intern`; the buffer is append-only, so the run is intact
+        // valid UTF-8.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
+    }
+
+    /// Interns `s`, returning its dense id; equal strings get equal ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if total interned bytes would exceed `u32::MAX`.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if self.table.is_empty() {
+            self.table = vec![0; 16];
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (hash_str(s) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                0 => break,
+                occupied => {
+                    let id = occupied - 1;
+                    if self.str_at(id) == s {
+                        return id;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        let id = u32::try_from(self.spans.len()).expect("interner id overflow");
+        let start = self.bytes.len();
+        assert!(
+            start + s.len() <= u32::MAX as usize,
+            "interner byte storage overflow"
+        );
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.spans.push((start as u32, s.len() as u32));
+        self.table[slot] = id + 1;
+        // Keep the probe table under 7/8 load.
+        if (self.spans.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow();
+        }
+        id
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (hash_str(s) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                0 => return None,
+                occupied => {
+                    let id = occupied - 1;
+                    if self.str_at(id) == s {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        assert!((id as usize) < self.spans.len(), "unknown interner id {id}");
+        self.str_at(id)
+    }
+
+    /// Fallible lookup by id.
+    pub fn get(&self, id: u32) -> Option<&str> {
+        ((id as usize) < self.spans.len()).then(|| self.str_at(id))
+    }
+
+    /// Iterates over the interned strings in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        (0..self.spans.len() as u32).map(|id| self.str_at(id))
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.table.len() * 2).max(16);
+        let mut table = vec![0u32; new_len];
+        let mask = new_len - 1;
+        for id in 0..self.spans.len() as u32 {
+            let mut slot = (hash_str(self.str_at(id)) as usize) & mask;
+            while table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = id + 1;
+        }
+        self.table = table;
+    }
+}
+
+impl PartialEq for Interner {
+    fn eq(&self, other: &Interner) -> bool {
+        self.spans.len() == other.spans.len() && self.iter().eq(other.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_test::prelude::*;
+
+    #[test]
+    fn arena_spans_delimit_runs() {
+        let mut a: Arena<u64> = Arena::new();
+        let m1 = a.mark();
+        let empty = a.span_since(m1);
+        assert!(empty.is_empty());
+        a.push(1);
+        a.push(2);
+        let first = a.span_since(m1);
+        let second = a.alloc_extend([7, 8, 9]);
+        assert_eq!(a.get(first), &[1, 2]);
+        assert_eq!(a.get(second), &[7, 8, 9]);
+        assert_eq!(first.len(), 2);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(a.get(Span::default()), &[] as &[u64]);
+    }
+
+    #[test]
+    fn interner_deduplicates_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("foo"), a);
+        assert_eq!(i.resolve(a), "foo");
+        assert_eq!(i.resolve(b), "bar");
+        assert_eq!(i.get(99), None);
+        assert_eq!(i.lookup("bar"), Some(b));
+        assert_eq!(i.lookup("baz"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn interner_empty_string() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.lookup(""), None);
+        let e = i.intern("");
+        assert_eq!(i.resolve(e), "");
+        assert_eq!(i.intern(""), e);
+    }
+
+    #[test]
+    fn interner_survives_growth() {
+        let mut i = Interner::new();
+        let ids: Vec<u32> = (0..1000).map(|n| i.intern(&format!("s{n}"))).collect();
+        // Dense in first-intern order.
+        assert_eq!(ids, (0..1000).collect::<Vec<u32>>());
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(i.resolve(*id), format!("s{n}"));
+            assert_eq!(i.lookup(&format!("s{n}")), Some(*id));
+        }
+    }
+
+    #[test]
+    fn interner_equality_is_by_contents() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        for s in ["x", "y", "z"] {
+            a.intern(s);
+        }
+        for s in ["x", "y"] {
+            b.intern(s);
+        }
+        assert_ne!(a, b);
+        b.intern("z");
+        assert_eq!(a, b);
+        b.intern("w");
+        assert_ne!(a, b);
+    }
+
+    property! {
+        fn interner_matches_reference_map(strings in vec(string_printable(0..24), 0..200)) {
+            // Differential against the obvious HashMap construction.
+            let mut interner = Interner::new();
+            let mut reference: Vec<String> = Vec::new();
+            for s in &strings {
+                let id = interner.intern(s);
+                match reference.iter().position(|r| r == s) {
+                    Some(pos) => prop_assert_eq!(id as usize, pos),
+                    None => {
+                        prop_assert_eq!(id as usize, reference.len());
+                        reference.push(s.clone());
+                    }
+                }
+            }
+            prop_assert_eq!(interner.len(), reference.len());
+            for (id, s) in reference.iter().enumerate() {
+                prop_assert_eq!(interner.resolve(id as u32), s.as_str());
+            }
+            prop_assert!(interner.iter().eq(reference.iter().map(String::as_str)));
+        }
+
+        fn arena_roundtrips_chunks(chunks in vec(vec(any_u32(), 0..9), 0..40)) {
+            let mut arena: Arena<u32> = Arena::new();
+            let spans: Vec<Span> = chunks
+                .iter()
+                .map(|c| arena.alloc_extend(c.iter().copied()))
+                .collect();
+            for (chunk, span) in chunks.iter().zip(&spans) {
+                prop_assert_eq!(arena.get(*span), chunk.as_slice());
+            }
+        }
+    }
+}

@@ -50,6 +50,7 @@
 //! assert_eq!(profile.total(cpu), 1000.0);
 //! ```
 
+pub mod arena;
 mod builder;
 pub mod fast_hash;
 pub mod format;

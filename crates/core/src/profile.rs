@@ -132,6 +132,10 @@ pub struct Profile {
     meta: ProfileMeta,
     /// Fast child lookup: (parent, frame) → child. Not serialized.
     child_index: FxHashMap<(NodeId, FrameRef), NodeId>,
+    /// True when `child_index` lags behind `nodes` (after bulk builds
+    /// via [`Profile::push_child_unchecked`] or deserialization).
+    /// [`Profile::child_ref`] rebuilds lazily before its first probe.
+    index_stale: bool,
 }
 
 impl Profile {
@@ -152,6 +156,7 @@ impl Profile {
                 ..ProfileMeta::default()
             },
             child_index: FxHashMap::default(),
+            index_stale: false,
         }
     }
 
@@ -248,6 +253,16 @@ impl Profile {
         self.child_ref(parent, frame_ref)
     }
 
+    /// Pre-reserves capacity for about `additional` more nodes.
+    /// Converters that know the scale of the profile they are building
+    /// (e.g. its sample count) call this once up front so CCT
+    /// construction does not repeatedly regrow a million-node table
+    /// mid-build. The child index is left alone: bulk builders go
+    /// through [`Profile::push_child_unchecked`] and never populate it.
+    pub fn reserve_nodes(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+    }
+
     /// Like [`Profile::child`] for an already-interned frame.
     ///
     /// # Panics
@@ -255,9 +270,45 @@ impl Profile {
     /// Panics if `parent` is not a node of this profile.
     pub fn child_ref(&mut self, parent: NodeId, frame: FrameRef) -> NodeId {
         assert!(parent.index() < self.nodes.len(), "invalid parent id");
-        if let Some(&existing) = self.child_index.get(&(parent, frame)) {
-            return existing;
+        if self.index_stale {
+            self.rebuild_index();
         }
+        // Entry API: one hash of the (parent, frame) key per call instead
+        // of a get-then-insert pair on the create path.
+        let id = NodeId(self.nodes.len() as u32);
+        match self.child_index.entry((parent, frame)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+                self.nodes.push(Node {
+                    frame,
+                    parent: Some(parent),
+                    children: Vec::new(),
+                    values: Vec::new(),
+                });
+                self.nodes[parent.index()].children.push(id);
+                id
+            }
+        }
+    }
+
+    /// Appends a new child of `parent` without consulting or updating
+    /// the child-lookup index — the bulk-construction primitive for
+    /// decoders that maintain their own (cheaper) edge dedup.
+    ///
+    /// The caller must guarantee `parent` has no existing child whose
+    /// frame equals `frame`, or [`Profile::validate`] will later reject
+    /// the profile (duplicate child frames). The child index is marked
+    /// stale; the next [`Profile::child`]/[`Profile::child_ref`] call
+    /// rebuilds it in one pass, so mixing this with the checked API
+    /// stays correct — bulk builders just shouldn't interleave the two
+    /// per node, or the rebuild cost comes back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of this profile.
+    pub fn push_child_unchecked(&mut self, parent: NodeId, frame: FrameRef) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "invalid parent id");
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             frame,
@@ -266,7 +317,7 @@ impl Profile {
             values: Vec::new(),
         });
         self.nodes[parent.index()].children.push(id);
-        self.child_index.insert((parent, frame), id);
+        self.index_stale = true;
         id
     }
 
@@ -431,14 +482,19 @@ impl Profile {
         Ok(())
     }
 
-    /// Rebuilds the child-lookup index; called by deserialization.
+    /// Rebuilds the child-lookup index from the node table. Runs
+    /// lazily, on the first [`Profile::child_ref`] after the index went
+    /// stale — deserialized or bulk-built profiles that are only ever
+    /// read never pay for it.
     pub(crate) fn rebuild_index(&mut self) {
         self.child_index.clear();
+        self.child_index.reserve(self.nodes.len().saturating_sub(1));
         for (i, node) in self.nodes.iter().enumerate() {
             if let Some(parent) = node.parent {
                 self.child_index.insert((parent, node.frame), NodeId(i as u32));
             }
         }
+        self.index_stale = false;
     }
 
     /// Constructs a profile from raw parts (used by deserialization).
@@ -449,16 +505,17 @@ impl Profile {
         links: Vec<ContextLink>,
         meta: ProfileMeta,
     ) -> Profile {
-        let mut p = Profile {
+        Profile {
             strings,
             metrics,
             nodes,
             links,
             meta,
             child_index: FxHashMap::default(),
-        };
-        p.rebuild_index();
-        p
+            // Lazy: read-only consumers (views, exporters) never probe
+            // the child index, so don't build it on deserialization.
+            index_stale: true,
+        }
     }
 
     pub(crate) fn nodes(&self) -> &[Node] {

@@ -4,7 +4,7 @@
 //! call-path profiles; interning them once keeps the calling context tree
 //! compact (paper §IV-A: "minimizes the storage in both memory and disk").
 
-use crate::fast_hash::FxHashMap;
+use crate::arena::Interner;
 
 /// A handle to an interned string in a [`StringTable`].
 ///
@@ -42,16 +42,14 @@ impl StringId {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct StringTable {
-    strings: Vec<String>,
-    index: FxHashMap<String, StringId>,
+    interner: Interner,
 }
 
 impl StringTable {
     /// Creates a table containing only the empty string.
     pub fn new() -> StringTable {
         let mut table = StringTable {
-            strings: Vec::new(),
-            index: FxHashMap::default(),
+            interner: Interner::new(),
         };
         table.intern("");
         table
@@ -60,13 +58,7 @@ impl StringTable {
     /// Interns `s`, returning its id; repeated calls with equal strings
     /// return equal ids.
     pub fn intern(&mut self, s: &str) -> StringId {
-        if let Some(&id) = self.index.get(s) {
-            return id;
-        }
-        let id = StringId(self.strings.len() as u32);
-        self.strings.push(s.to_owned());
-        self.index.insert(s.to_owned(), id);
-        id
+        StringId(self.interner.intern(s))
     }
 
     /// Returns the string for `id`.
@@ -76,22 +68,22 @@ impl StringTable {
     /// Panics if `id` was not produced by this table (or a table whose
     /// contents this one was deserialized from).
     pub fn resolve(&self, id: StringId) -> &str {
-        &self.strings[id.index()]
+        self.interner.resolve(id.0)
     }
 
     /// Fallible lookup, for ids from untrusted serialized data.
     pub fn get(&self, id: StringId) -> Option<&str> {
-        self.strings.get(id.index()).map(String::as_str)
+        self.interner.get(id.0)
     }
 
     /// Looks up an already-interned string without inserting.
     pub fn lookup(&self, s: &str) -> Option<StringId> {
-        self.index.get(s).copied()
+        self.interner.lookup(s).map(StringId)
     }
 
     /// Number of interned strings (including the empty string).
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.interner.len()
     }
 
     /// Always `false`: the empty string is interned at construction.
@@ -101,7 +93,7 @@ impl StringTable {
 
     /// Iterates over the interned strings in id order.
     pub fn iter(&self) -> impl Iterator<Item = &str> {
-        self.strings.iter().map(String::as_str)
+        self.interner.iter()
     }
 
     /// Rebuilds a table from serialized contents. The first entry must be
@@ -118,7 +110,7 @@ impl StringTable {
 
 impl PartialEq for StringTable {
     fn eq(&self, other: &StringTable) -> bool {
-        self.strings == other.strings
+        self.interner == other.interner
     }
 }
 

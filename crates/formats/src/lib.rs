@@ -237,6 +237,27 @@ pub fn parse_auto_with(
     }
 }
 
+/// Like [`parse_auto_with`], but routing pprof input through the
+/// retained two-pass [`pprof::parse_reference_with`] decoder instead of
+/// the one-pass fast path. This is the escape hatch behind the CLI's
+/// `EASYVIEW_PPROF_REFERENCE` environment variable: if the fast decoder
+/// is ever suspected of misreading a profile, rerunning through this
+/// entry point isolates the question in seconds. All other formats
+/// parse identically to [`parse_auto_with`].
+///
+/// # Errors
+///
+/// Same conditions as [`parse_auto`].
+pub fn parse_auto_reference_with(
+    data: &[u8],
+    policy: ev_flate::ExecPolicy,
+) -> Result<Profile, FormatError> {
+    match detect(data) {
+        Format::Pprof => pprof::parse_reference_with(data, policy),
+        _ => parse_auto_with(data, policy),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,11 +13,21 @@
 //! raw protobuf or gzip members (Go always gzips).
 
 use crate::FormatError;
-use ev_core::{ContextKind, FrameRef, MetricDescriptor, MetricId, MetricKind, MetricUnit, Profile, StringId};
-use ev_flate::{gzip_compress, gzip_decompress_with, is_gzip, CompressionLevel, ExecPolicy};
-use ev_wire::{Reader, Writer};
+use ev_core::arena::{Arena, Span};
 use ev_core::fast_hash::FxHashMap;
+use ev_core::{
+    ContextKind, Frame, FrameRef, MetricDescriptor, MetricId, MetricKind, MetricUnit, NodeId,
+    Profile, StringId,
+};
+use ev_flate::{gzip_compress, gzip_decompress_with, is_gzip, CompressionLevel, ExecPolicy};
+use ev_wire::{decode_packed_int64, decode_packed_uint64, FieldValue, Reader, WireError, Writer};
 use std::collections::HashMap;
+
+/// Samples decoded through the one-pass path (`wire.onepass_samples`).
+fn onepass_samples_counter() -> &'static ev_trace::Counter {
+    static HANDLE: std::sync::OnceLock<&'static ev_trace::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("wire.onepass_samples"))
+}
 
 /// One decoded `Location` message.
 #[derive(Debug, Default, Clone)]
@@ -81,6 +91,12 @@ fn unit_to_str(unit: MetricUnit) -> &'static str {
 /// each call path; inline frames in a `Location` expand into separate
 /// CCT frames.
 ///
+/// This is the one-pass decoder: a single forward walk over the wire
+/// bytes interns strings and builds the CCT directly into
+/// arena-backed profile storage. [`parse_reference`] is the retained
+/// two-pass decoder; the differential conformance suite proves the two
+/// produce identical profiles and identical errors on any input.
+///
 /// # Errors
 ///
 /// Fails on gzip/wire-level corruption or dangling ids.
@@ -104,6 +120,485 @@ pub fn parse_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, FormatErro
     } else {
         data
     };
+    parse_onepass(body)
+}
+
+/// The retained two-pass decoder, kept as the differential reference
+/// for [`parse`] (the `inflate_reference`/`crc32_reference` pattern):
+/// decode-to-intermediate, then rebuild. Byte-for-byte identical
+/// results and errors to the one-pass decoder, at a fraction of the
+/// speed.
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_reference(data: &[u8]) -> Result<Profile, FormatError> {
+    parse_reference_with(data, ExecPolicy::SEQUENTIAL)
+}
+
+/// Like [`parse_reference`], with a decompression [`ExecPolicy`].
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_reference_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.pprof");
+    let decompressed;
+    let body: &[u8] = if is_gzip(data) {
+        decompressed = gzip_decompress_with(data, policy)?;
+        &decompressed
+    } else {
+        data
+    };
+    parse_twopass(body)
+}
+
+/// A `Location` record in the one-pass decoder. Its inline-line run
+/// lives in a shared [`Arena`] instead of a per-record `Vec`, so
+/// decoding a million locations costs one allocation, not a million.
+#[derive(Debug, Clone, Copy)]
+struct LocRec {
+    id: u64,
+    mapping_id: u64,
+    address: u64,
+    lines: Span,
+}
+
+/// Maps pprof entity ids (locations, functions, mappings) to their
+/// record slot. Real profiles almost always number entities densely
+/// from 1, so the index is a flat vector when ids are compact and only
+/// falls back to hashing for adversarially sparse ids. Duplicate ids
+/// resolve to the last record, matching the `HashMap::collect`
+/// semantics of the reference decoder.
+enum IdIndex {
+    Dense(Vec<u32>),
+    Sparse(FxHashMap<u64, u32>),
+}
+
+impl IdIndex {
+    fn build<T>(items: &[T], id_of: impl Fn(&T) -> u64) -> IdIndex {
+        let max_id = items.iter().map(&id_of).max().unwrap_or(0);
+        if (max_id as usize) < items.len() * 4 + 64 {
+            let mut slots = vec![u32::MAX; max_id as usize + 1];
+            for (slot, item) in items.iter().enumerate() {
+                slots[id_of(item) as usize] = slot as u32;
+            }
+            IdIndex::Dense(slots)
+        } else {
+            let mut map =
+                FxHashMap::with_capacity_and_hasher(items.len(), Default::default());
+            for (slot, item) in items.iter().enumerate() {
+                map.insert(id_of(item), slot as u32);
+            }
+            IdIndex::Sparse(map)
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<u32> {
+        match self {
+            IdIndex::Dense(slots) => usize::try_from(id)
+                .ok()
+                .and_then(|i| slots.get(i).copied())
+                .filter(|&slot| slot != u32::MAX),
+            IdIndex::Sparse(map) => map.get(&id).copied(),
+        }
+    }
+}
+
+/// Interns the pprof string-table entry `idx` into the profile,
+/// memoizing per table index so repeated references hash the string
+/// once. Out-of-range and negative indices resolve to the empty
+/// string, exactly like the reference decoder's clamped lookup.
+fn sid_for(
+    profile: &mut Profile,
+    memo: &mut [u32],
+    strings: &[&str],
+    idx: i64,
+) -> StringId {
+    let i = idx.max(0) as usize;
+    if i >= strings.len() {
+        // The reference interns "" here, which is always StringId::EMPTY.
+        return StringId::EMPTY;
+    }
+    if memo[i] != u32::MAX {
+        return StringId::from_index(memo[i] as usize);
+    }
+    let sid = profile.intern(strings[i]);
+    memo[i] = sid.index() as u32;
+    sid
+}
+
+/// The one-pass decode: a single forward walk over `body` with the
+/// `ev-wire` streaming field walker, then a bounded fixup pass that
+/// resolves forward references (samples may precede the tables they
+/// point into) and replays the deferred sample payloads.
+///
+/// Error identity with [`parse_twopass`] is a designed invariant, not
+/// an accident: the walker consumes exactly the bytes the reference's
+/// dispatch-or-skip loop does, string-table UTF-8 is validated at the
+/// same walk position, and sample payloads are *deferred* as raw byte
+/// slices so their wire errors still surface after the full walk — the
+/// order the two-pass decoder reports them in.
+fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
+    let mut strings: Vec<&str> = Vec::new();
+    let mut sample_types: Vec<ValueType> = Vec::new();
+    let mut sample_payloads: Vec<&[u8]> = Vec::new();
+    let mut locs: Vec<LocRec> = Vec::new();
+    let mut lines: Arena<Line> = Arena::new();
+    let mut functions: Vec<Function> = Vec::new();
+    let mut mappings: Vec<Mapping> = Vec::new();
+    let mut time_nanos: i64 = 0;
+
+    // Walk. Known fields with a mismatched wire type fall through to
+    // the no-op arm — the walker has already consumed the value, which
+    // is precisely "skip as unknown".
+    let wire_span = ev_trace::span("wire.decode");
+    let mut r = Reader::new(body);
+    while let Some((field, value)) = r.next_field()? {
+        match (field, value) {
+            (1, FieldValue::Bytes(msg)) => {
+                let mut vt = ValueType::default();
+                let mut m = Reader::new(msg);
+                while let Some((f, v)) = m.next_field()? {
+                    match (f, v) {
+                        (1, FieldValue::Varint(v)) => vt.r#type = v as i64,
+                        (2, FieldValue::Varint(v)) => vt.unit = v as i64,
+                        _ => {}
+                    }
+                }
+                sample_types.push(vt);
+            }
+            (2, FieldValue::Bytes(msg)) => {
+                // Deferred: decoded in the fixup pass once the
+                // location table is known.
+                sample_payloads.push(msg);
+            }
+            (3, FieldValue::Bytes(msg)) => {
+                let mut mp = Mapping::default();
+                let mut m = Reader::new(msg);
+                while let Some((f, v)) = m.next_field()? {
+                    match (f, v) {
+                        (1, FieldValue::Varint(v)) => mp.id = v,
+                        (5, FieldValue::Varint(v)) => mp.filename = v as i64,
+                        _ => {}
+                    }
+                }
+                mappings.push(mp);
+            }
+            (4, FieldValue::Bytes(msg)) => {
+                let mut loc = LocRec {
+                    id: 0,
+                    mapping_id: 0,
+                    address: 0,
+                    lines: Span::default(),
+                };
+                let mark = lines.mark();
+                let mut m = Reader::new(msg);
+                while let Some((f, v)) = m.next_field()? {
+                    match (f, v) {
+                        (1, FieldValue::Varint(v)) => loc.id = v,
+                        (2, FieldValue::Varint(v)) => loc.mapping_id = v,
+                        (3, FieldValue::Varint(v)) => loc.address = v,
+                        (4, FieldValue::Bytes(line_msg)) => {
+                            let mut line = Line::default();
+                            let mut lm = Reader::new(line_msg);
+                            while let Some((lf, lv)) = lm.next_field()? {
+                                match (lf, lv) {
+                                    (1, FieldValue::Varint(v)) => line.function_id = v,
+                                    (2, FieldValue::Varint(v)) => line.line = v as i64,
+                                    _ => {}
+                                }
+                            }
+                            lines.push(line);
+                        }
+                        _ => {}
+                    }
+                }
+                loc.lines = lines.span_since(mark);
+                locs.push(loc);
+            }
+            (5, FieldValue::Bytes(msg)) => {
+                let mut func = Function::default();
+                let mut m = Reader::new(msg);
+                while let Some((f, v)) = m.next_field()? {
+                    match (f, v) {
+                        (1, FieldValue::Varint(v)) => func.id = v,
+                        (2, FieldValue::Varint(v)) => func.name = v as i64,
+                        (4, FieldValue::Varint(v)) => func.filename = v as i64,
+                        _ => {}
+                    }
+                }
+                functions.push(func);
+            }
+            (6, FieldValue::Bytes(msg)) => {
+                // Validated here — the same walk position at which the
+                // reference decoder's read_string() validates.
+                strings.push(std::str::from_utf8(msg).map_err(|_| WireError::InvalidUtf8)?);
+            }
+            (9, FieldValue::Varint(v)) => time_nanos = v as i64,
+            _ => {}
+        }
+    }
+    drop(wire_span);
+
+    // Fixup: resolve tables, intern frames, replay samples.
+    let mut profile = Profile::new("pprof");
+    profile.meta_mut().profiler = "pprof".to_owned();
+    profile.meta_mut().timestamp_nanos = time_nanos.max(0) as u64;
+
+    let string_at = |idx: i64| -> &str { strings.get(idx.max(0) as usize).copied().unwrap_or("") };
+
+    let metric_ids: Vec<MetricId> = sample_types
+        .iter()
+        .map(|vt| {
+            let name = string_at(vt.r#type).to_owned();
+            let unit = unit_from_str(string_at(vt.unit));
+            profile.add_metric(MetricDescriptor::new(
+                if name.is_empty() { "samples".to_owned() } else { name },
+                unit,
+                MetricKind::Exclusive,
+            ))
+        })
+        .collect();
+
+    let function_index = IdIndex::build(&functions, |f| f.id);
+    let mapping_index = IdIndex::build(&mappings, |m| m.id);
+    let location_index = IdIndex::build(&locs, |l| l.id);
+
+    // Frame runs materialize lazily, at a location's first use by a
+    // sample. That makes the profile's intern order *sample-first-use*
+    // order — exactly what the reference decoder's per-step
+    // `Profile::child` calls produce — and locations no sample
+    // references never intern anything, again like the reference.
+    // (`Profile` equality compares string tables entry for entry, so
+    // the order is part of the conformance contract, not a detail.)
+    let mut sid_memo = vec![u32::MAX; strings.len()];
+    // Frames dedup to small integer *tokens* at materialization:
+    // `token_map` maps frame content to its token, `frame_by_token`
+    // maps back, and `tokens` holds each location's frame run as a
+    // token span. Tokens are what make the index-free CCT build below
+    // sound — (parent, token) identifies a child edge exactly.
+    let mut token_map: FxHashMap<FrameRef, u32> = FxHashMap::default();
+    let mut frame_by_token: Vec<FrameRef> = Vec::new();
+    let mut tokens: Arena<u32> = Arena::with_capacity(lines.len().max(locs.len()));
+    // `Span::default()` (empty) marks "not yet materialized": every
+    // materialized location yields at least one frame (unsymbolized
+    // locations synthesize one from the address).
+    let mut frame_spans: Vec<Span> = vec![Span::default(); locs.len()];
+
+    // Replay the deferred samples. Two exact shortcuts make this the
+    // fast half of the decode:
+    //   1. consecutive samples share call-path prefixes (aggregating
+    //      writers emit samples in CCT traversal order), and a CCT is a
+    //      trie — so the node a shared prefix reaches is the node the
+    //      previous sample reached at that depth. A plain compare
+    //      against the previous sample's raw location ids resumes the
+    //      walk at the divergence point — no table lookups, let alone
+    //      hashing, for the shared part;
+    //   2. the remaining steps build the tree with
+    //      `push_child_unchecked`, deduping edges through a
+    //      (parent node, frame token) memo — one u64-keyed probe per
+    //      frame instead of hashing a 32-byte (parent, FrameRef) key
+    //      into the profile's child index. The token↔frame-content
+    //      bijection is what makes the unchecked push sound: two memo
+    //      keys are equal iff the checked API would merge the edges.
+    if ev_trace::enabled() {
+        onepass_samples_counter().add(sample_payloads.len() as u64);
+    }
+    let _wire_span = ev_trace::span("wire.decode");
+    let root = profile.root();
+    // Pre-size the CCT structures near the sample count (capped so a
+    // tiny adversarial file can't reserve gigabytes): growth rehashes
+    // of a million-entry index otherwise dominate construction.
+    let reserve = sample_payloads.len().min(1 << 20);
+    profile.reserve_nodes(reserve);
+    let mut location_ids: Vec<u64> = Vec::new();
+    let mut values: Vec<i64> = Vec::new();
+    // The previous sample's raw leaf-first location ids, and the node
+    // reached after each *outermost-first* step (`prev_nodes[i]` is
+    // the node after the step over `prev_ids[prev_ids.len() - 1 - i]`).
+    let mut prev_ids: Vec<u64> = Vec::new();
+    let mut prev_nodes: Vec<NodeId> = Vec::new();
+    let mut edge_memo: FxHashMap<u64, NodeId> =
+        FxHashMap::with_capacity_and_hasher(reserve, Default::default());
+    for payload in &sample_payloads {
+        location_ids.clear();
+        values.clear();
+        let mut m = Reader::new(payload);
+        while let Some((f, v)) = m.next_field()? {
+            match (f, v) {
+                (1, FieldValue::Bytes(b)) => decode_packed_uint64(b, &mut location_ids)?,
+                (1, FieldValue::Varint(v)) => location_ids.push(v),
+                (2, FieldValue::Bytes(b)) => decode_packed_int64(b, &mut values)?,
+                (2, FieldValue::Varint(v)) => values.push(v as i64),
+                _ => {}
+            }
+        }
+        // Shared call-path prefix with the previous sample, computed on
+        // the raw ids: an outermost-first prefix is a leaf-first
+        // suffix, and equal ids mean equal locations (id → slot is a
+        // function of the location table). Shared ids were resolved by
+        // an earlier sample — any dangling id would have aborted the
+        // parse then — so only the divergent head below needs table
+        // lookups, walked outermost-first so the first dangling id
+        // reported is the one the reference's walk hits first.
+        let shared = location_ids
+            .iter()
+            .rev()
+            .zip(prev_ids.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let mut node = if shared > 0 { prev_nodes[shared - 1] } else { root };
+        prev_nodes.truncate(shared);
+        for &loc_id in location_ids[..location_ids.len() - shared].iter().rev() {
+            let Some(slot) = location_index.get(loc_id) else {
+                return Err(FormatError::Schema(format!(
+                    "sample references unknown location {loc_id}"
+                )));
+            };
+            let mut span = frame_spans[slot as usize];
+            if span.is_empty() {
+                span = materialize_frames(
+                    slot as usize,
+                    &mut profile,
+                    &mut tokens,
+                    &mut token_map,
+                    &mut frame_by_token,
+                    &mut frame_spans,
+                    &mut sid_memo,
+                    &strings,
+                    &locs,
+                    &lines,
+                    &functions,
+                    &function_index,
+                    &mappings,
+                    &mapping_index,
+                );
+            }
+            for &token in tokens.get(span) {
+                let key = ((node.index() as u64) << 32) | u64::from(token);
+                node = match edge_memo.get(&key) {
+                    Some(&cached) => cached,
+                    None => {
+                        let n =
+                            profile.push_child_unchecked(node, frame_by_token[token as usize]);
+                        edge_memo.insert(key, n);
+                        n
+                    }
+                };
+            }
+            prev_nodes.push(node);
+        }
+        std::mem::swap(&mut prev_ids, &mut location_ids);
+        for (i, &v) in values.iter().enumerate() {
+            if let Some(&metric) = metric_ids.get(i) {
+                if v != 0 {
+                    profile.add_value(node, metric, v as f64);
+                }
+            }
+        }
+    }
+
+    Ok(profile)
+}
+
+/// Expands location `slot` into its frame run (outermost inline frame
+/// first) in the shared arena, interning the strings it touches. Called
+/// at a location's first use by a sample, so intern order matches the
+/// reference decoder's per-step `Frame::intern` order: name, module,
+/// file, per frame.
+#[allow(clippy::too_many_arguments)]
+fn materialize_frames(
+    slot: usize,
+    profile: &mut Profile,
+    tokens: &mut Arena<u32>,
+    token_map: &mut FxHashMap<FrameRef, u32>,
+    frame_by_token: &mut Vec<FrameRef>,
+    frame_spans: &mut [Span],
+    sid_memo: &mut [u32],
+    strings: &[&str],
+    locs: &[LocRec],
+    lines: &Arena<Line>,
+    functions: &[Function],
+    function_index: &IdIndex,
+    mappings: &[Mapping],
+    mapping_index: &IdIndex,
+) -> Span {
+    let loc = locs[slot];
+    let module_idx = mapping_index
+        .get(loc.mapping_id)
+        .map(|mslot| mappings[mslot as usize].filename);
+    let mark = tokens.mark();
+    if loc.lines.is_empty() {
+        // Unsymbolized location: synthesize a frame from the address.
+        let name = profile.intern(&format!("0x{:x}", loc.address));
+        let module = match module_idx {
+            Some(idx) => sid_for(profile, sid_memo, strings, idx),
+            None => StringId::EMPTY,
+        };
+        let frame = FrameRef {
+            kind: ContextKind::Function,
+            name,
+            module,
+            file: StringId::EMPTY,
+            line: 0,
+            address: loc.address,
+        };
+        tokens.push(token_for(token_map, frame_by_token, frame));
+    } else {
+        // lines[0] is the leaf-most inline frame; emit outermost first.
+        for line in lines.get(loc.lines).iter().rev() {
+            let func = location_function(function_index, functions, line.function_id);
+            let name = sid_for(profile, sid_memo, strings, func.name);
+            let module = match module_idx {
+                Some(idx) => sid_for(profile, sid_memo, strings, idx),
+                None => StringId::EMPTY,
+            };
+            let file = sid_for(profile, sid_memo, strings, func.filename);
+            let frame = FrameRef {
+                kind: ContextKind::Function,
+                name,
+                module,
+                file,
+                line: line.line.max(0) as u32,
+                address: loc.address,
+            };
+            tokens.push(token_for(token_map, frame_by_token, frame));
+        }
+    }
+    let span = tokens.span_since(mark);
+    frame_spans[slot] = span;
+    span
+}
+
+/// The token for a frame's content, assigning the next one on first
+/// sight. Distinct tokens ⇔ distinct frame content, which is the
+/// invariant the replay's (parent, token) edge memo relies on.
+fn token_for(
+    token_map: &mut FxHashMap<FrameRef, u32>,
+    frame_by_token: &mut Vec<FrameRef>,
+    frame: FrameRef,
+) -> u32 {
+    *token_map.entry(frame).or_insert_with(|| {
+        frame_by_token.push(frame);
+        (frame_by_token.len() - 1) as u32
+    })
+}
+
+/// Resolves a `Line`'s function id, defaulting (like the reference's
+/// `HashMap::get(..).unwrap_or_default()`) when the id is dangling.
+fn location_function(index: &IdIndex, functions: &[Function], id: u64) -> Function {
+    index
+        .get(id)
+        .map(|slot| functions[slot as usize])
+        .unwrap_or_default()
+}
+
+/// The two-pass decode kept as the differential reference: pass 1
+/// materializes owned string/location/function/mapping tables, pass 2
+/// re-walks the body for the samples.
+fn parse_twopass(body: &[u8]) -> Result<Profile, FormatError> {
+    use ev_wire::WireType;
 
     let mut strings: Vec<String> = Vec::new();
     let mut sample_types: Vec<ValueType> = Vec::new();
@@ -115,51 +610,53 @@ pub fn parse_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, FormatErro
     let wire_span = ev_trace::span("wire.decode");
     let mut r = Reader::new(body);
     while let Some((field, ty)) = r.read_tag()? {
-        match field {
-            1 => {
+        // Known fields carried on the wrong wire type are skipped as
+        // unknown, per protobuf conformance — both decoders agree.
+        match (field, ty) {
+            (1, WireType::LengthDelimited) => {
                 let mut m = r.read_message()?;
                 let mut vt = ValueType::default();
                 while let Some((f, t)) = m.read_tag()? {
-                    match f {
-                        1 => vt.r#type = m.read_int64()?,
-                        2 => vt.unit = m.read_int64()?,
+                    match (f, t) {
+                        (1, WireType::Varint) => vt.r#type = m.read_int64()?,
+                        (2, WireType::Varint) => vt.unit = m.read_int64()?,
                         _ => m.skip(t)?,
                     }
                 }
                 sample_types.push(vt);
             }
-            2 => {
+            (2, _) => {
                 // Samples are replayed in a second pass, once the
                 // location/function tables are known; skip here.
                 r.skip(ty)?;
             }
-            3 => {
+            (3, WireType::LengthDelimited) => {
                 let mut m = r.read_message()?;
                 let mut mp = Mapping::default();
                 while let Some((f, t)) = m.read_tag()? {
-                    match f {
-                        1 => mp.id = m.read_varint()?,
-                        5 => mp.filename = m.read_int64()?,
+                    match (f, t) {
+                        (1, WireType::Varint) => mp.id = m.read_varint()?,
+                        (5, WireType::Varint) => mp.filename = m.read_int64()?,
                         _ => m.skip(t)?,
                     }
                 }
                 mappings.push(mp);
             }
-            4 => {
+            (4, WireType::LengthDelimited) => {
                 let mut m = r.read_message()?;
                 let mut loc = Location::default();
                 while let Some((f, t)) = m.read_tag()? {
-                    match f {
-                        1 => loc.id = m.read_varint()?,
-                        2 => loc.mapping_id = m.read_varint()?,
-                        3 => loc.address = m.read_varint()?,
-                        4 => {
+                    match (f, t) {
+                        (1, WireType::Varint) => loc.id = m.read_varint()?,
+                        (2, WireType::Varint) => loc.mapping_id = m.read_varint()?,
+                        (3, WireType::Varint) => loc.address = m.read_varint()?,
+                        (4, WireType::LengthDelimited) => {
                             let mut lm = m.read_message()?;
                             let mut line = Line::default();
                             while let Some((lf, lt)) = lm.read_tag()? {
-                                match lf {
-                                    1 => line.function_id = lm.read_varint()?,
-                                    2 => line.line = lm.read_int64()?,
+                                match (lf, lt) {
+                                    (1, WireType::Varint) => line.function_id = lm.read_varint()?,
+                                    (2, WireType::Varint) => line.line = lm.read_int64()?,
                                     _ => lm.skip(lt)?,
                                 }
                             }
@@ -170,21 +667,21 @@ pub fn parse_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, FormatErro
                 }
                 locations.push(loc);
             }
-            5 => {
+            (5, WireType::LengthDelimited) => {
                 let mut m = r.read_message()?;
                 let mut func = Function::default();
                 while let Some((f, t)) = m.read_tag()? {
-                    match f {
-                        1 => func.id = m.read_varint()?,
-                        2 => func.name = m.read_int64()?,
-                        4 => func.filename = m.read_int64()?,
+                    match (f, t) {
+                        (1, WireType::Varint) => func.id = m.read_varint()?,
+                        (2, WireType::Varint) => func.name = m.read_int64()?,
+                        (4, WireType::Varint) => func.filename = m.read_int64()?,
                         _ => m.skip(t)?,
                     }
                 }
                 functions.push(func);
             }
-            6 => strings.push(r.read_string()?.to_owned()),
-            9 => time_nanos = r.read_int64()?,
+            (6, WireType::LengthDelimited) => strings.push(r.read_string()?.to_owned()),
+            (9, WireType::Varint) => time_nanos = r.read_int64()?,
             _ => r.skip(ty)?,
         }
     }
@@ -217,57 +714,24 @@ pub fn parse_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, FormatErro
         })
         .collect();
 
-    // Pre-resolve each location into its expanded frame list, interned
-    // once up front (outermost inline frame first). Samples then walk
-    // the CCT with cheap Copy `FrameRef`s instead of re-hashing strings
-    // per sample — the "avoids unnecessary data movement" optimization
-    // of paper §V-C.
-    let mut frames_cache: FxHashMap<u64, Vec<FrameRef>> = FxHashMap::default();
-    for loc in &locations {
-        let module_sid = mappings_by_id
-            .get(&loc.mapping_id)
-            .map(|m| profile.intern(string_at(m.filename)))
-            .unwrap_or(StringId::EMPTY);
-        let mut frames: Vec<FrameRef> = Vec::with_capacity(loc.lines.len().max(1));
-        if loc.lines.is_empty() {
-            // Unsymbolized location: synthesize a frame from the address.
-            frames.push(FrameRef {
-                kind: ContextKind::Function,
-                name: profile.intern(&format!("0x{:x}", loc.address)),
-                module: module_sid,
-                file: StringId::EMPTY,
-                line: 0,
-                address: loc.address,
-            });
-        } else {
-            // lines[0] is the leaf-most inline frame; emit outermost first.
-            for line in loc.lines.iter().rev() {
-                let func = functions_by_id.get(&line.function_id).copied().unwrap_or_default();
-                let name = profile.intern(string_at(func.name));
-                let file = profile.intern(string_at(func.filename));
-                frames.push(FrameRef {
-                    kind: ContextKind::Function,
-                    name,
-                    module: module_sid,
-                    file,
-                    line: line.line.max(0) as u32,
-                    address: loc.address,
-                });
-            }
-        }
-        frames_cache.insert(loc.id, frames);
-    }
-
-    // Second pass: replay the sample records with reused buffers —
-    // nothing per-sample is materialized (paper §V-C's "avoids
-    // unnecessary data movement").
+    // Second pass: replay the sample records. Clarity over speed —
+    // every sample step resolves its location to an owned [`Frame`] and
+    // inserts it through the string-hashing [`Profile::child`] API.
+    // This is the plainest possible statement of the pprof→CCT
+    // semantics, the same way `inflate_reference` spells out RFC 1951
+    // symbol by symbol; the one-pass decoder is differentially checked
+    // against it, including the intern order its per-step
+    // `Frame::intern` calls induce (name, module, file, at a location's
+    // first use by a sample).
+    let locations_by_id: HashMap<u64, &Location> =
+        locations.iter().map(|l| (l.id, l)).collect();
     let root = profile.root();
     let mut location_ids: Vec<u64> = Vec::new();
     let mut values: Vec<i64> = Vec::new();
     let _wire_span = ev_trace::span("wire.decode");
     let mut r = Reader::new(body);
     while let Some((field, ty)) = r.read_tag()? {
-        if field != 2 {
+        if field != 2 || ty != WireType::LengthDelimited {
             r.skip(ty)?;
             continue;
         }
@@ -275,25 +739,44 @@ pub fn parse_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, FormatErro
         location_ids.clear();
         values.clear();
         while let Some((f, t)) = m.read_tag()? {
-            match f {
-                1 => m.read_packed_uint64(&mut location_ids)?,
-                2 => m.read_packed_int64(&mut values)?,
+            match (f, t) {
+                (1, WireType::LengthDelimited) => m.read_packed_uint64(&mut location_ids)?,
+                (1, WireType::Varint) => location_ids.push(m.read_varint()?),
+                (2, WireType::LengthDelimited) => m.read_packed_int64(&mut values)?,
+                (2, WireType::Varint) => values.push(m.read_varint()? as i64),
                 _ => m.skip(t)?,
             }
         }
         let mut node = root;
         // location_ids are leaf-first; the CCT wants outermost first.
         for &loc_id in location_ids.iter().rev() {
-            match frames_cache.get(&loc_id) {
-                Some(frames) => {
-                    for &frame in frames {
-                        node = profile.child_ref(node, frame);
-                    }
-                }
-                None => {
-                    return Err(FormatError::Schema(format!(
-                        "sample references unknown location {loc_id}"
-                    )))
+            let Some(loc) = locations_by_id.get(&loc_id) else {
+                return Err(FormatError::Schema(format!(
+                    "sample references unknown location {loc_id}"
+                )));
+            };
+            let module = mappings_by_id
+                .get(&loc.mapping_id)
+                .map(|m| string_at(m.filename))
+                .unwrap_or("");
+            if loc.lines.is_empty() {
+                // Unsymbolized location: synthesize a frame from the address.
+                let frame = Frame::function(format!("0x{:x}", loc.address))
+                    .with_module(module)
+                    .with_address(loc.address);
+                node = profile.child(node, &frame);
+            } else {
+                // lines[0] is the leaf-most inline frame; emit outermost first.
+                for line in loc.lines.iter().rev() {
+                    let func = functions_by_id
+                        .get(&line.function_id)
+                        .copied()
+                        .unwrap_or_default();
+                    let frame = Frame::function(string_at(func.name))
+                        .with_module(module)
+                        .with_source(string_at(func.filename), line.line.max(0) as u32)
+                        .with_address(loc.address);
+                    node = profile.child(node, &frame);
                 }
             }
         }

@@ -35,10 +35,12 @@
 
 mod reader;
 mod varint;
+mod walker;
 mod writer;
 
 pub use reader::Reader;
 pub use varint::{decode_varint, encode_varint, zigzag_decode, zigzag_encode};
+pub use walker::{decode_packed_int64, decode_packed_uint64, FieldValue};
 pub use writer::Writer;
 
 use std::error::Error;

@@ -1,6 +1,6 @@
 //! Cursor-based decoder for protobuf messages.
 
-use crate::varint::{decode_packed, decode_varint, zigzag_decode};
+use crate::varint::{decode_varint, zigzag_decode};
 use crate::{WireError, WireType};
 
 /// Maximum nesting depth accepted by [`Reader::skip`], protecting against
@@ -28,9 +28,9 @@ fn varint_slow_counter() -> &'static ev_trace::Counter {
 }
 
 /// Flushes packed-decode hit counts gathered in locals by
-/// [`decode_packed`]; gated so the disabled-trace path costs one branch
-/// and performs no allocation.
-fn flush_packed_counts(fast: u64, slow: u64) {
+/// [`crate::varint::decode_packed`]; gated so the disabled-trace path
+/// costs one branch and performs no allocation.
+pub(crate) fn flush_packed_counts(fast: u64, slow: u64) {
     if ev_trace::enabled() && fast | slow != 0 {
         varint_fast_counter().add(fast);
         varint_slow_counter().add(slow);
@@ -198,17 +198,13 @@ impl<'a> Reader<'a> {
     /// the caller (proto3 parsers must accept both).
     pub fn read_packed_uint64(&mut self, out: &mut Vec<u64>) -> Result<(), WireError> {
         let bytes = self.read_bytes()?;
-        let (fast, slow) = decode_packed(bytes, |v| out.push(v))?;
-        flush_packed_counts(fast, slow);
-        Ok(())
+        crate::walker::decode_packed_uint64(bytes, out)
     }
 
     /// Reads a packed repeated `int64` field.
     pub fn read_packed_int64(&mut self, out: &mut Vec<i64>) -> Result<(), WireError> {
         let bytes = self.read_bytes()?;
-        let (fast, slow) = decode_packed(bytes, |v| out.push(v as i64))?;
-        flush_packed_counts(fast, slow);
-        Ok(())
+        crate::walker::decode_packed_int64(bytes, out)
     }
 
     /// Reads a packed repeated `double` field.

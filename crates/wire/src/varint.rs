@@ -299,9 +299,116 @@ mod tests {
         assert_eq!(out, [5]);
     }
 
+    #[test]
+    fn packed_boundary_length_values() {
+        // One value at each encoding length 1..=10, in both orders, so
+        // every length sits at both the start and the end of the run —
+        // the end-of-input edge is where the 2-byte fast path must hand
+        // off to the tail (`pos + 1 == len` with a continuation bit).
+        let boundary: Vec<u64> = (0..10)
+            .map(|i| if i == 0 { 0 } else { 1u64 << (7 * i) })
+            .collect();
+        for values in [boundary.clone(), boundary.iter().rev().copied().collect()] {
+            let mut buf = Vec::new();
+            for &v in &values {
+                encode_varint(v, &mut buf);
+            }
+            let mut out = Vec::new();
+            let (fast, slow) = decode_packed(&buf, |v| out.push(v)).unwrap();
+            assert_eq!(out, values);
+            assert_eq!(fast + slow, values.len() as u64);
+        }
+    }
+
+    #[test]
+    fn packed_max_u64_at_run_end() {
+        // A max-length (10-byte) encoding ending exactly at the buffer
+        // edge must decode via the cold tail without reading past it.
+        let mut buf = Vec::new();
+        encode_varint(3, &mut buf);
+        encode_varint(u64::MAX, &mut buf);
+        let mut out = Vec::new();
+        let (fast, slow) = decode_packed(&buf, |v| out.push(v)).unwrap();
+        assert_eq!(out, [3, u64::MAX]);
+        assert_eq!((fast, slow), (1, 1));
+    }
+
+    #[test]
+    fn packed_overlong_encodings() {
+        // Non-canonical (overlong) encodings are legal on the wire: a
+        // 10-byte encoding of zero decodes to zero.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x00);
+        assert_eq!(decode_varint(&buf), Ok((0, 10)));
+        let mut out = Vec::new();
+        let (fast, slow) = decode_packed(&buf, |v| out.push(v)).unwrap();
+        assert_eq!(out, [0]);
+        assert_eq!((fast, slow), (0, 1));
+        // But an overlong run with value bits past u64 overflows...
+        let bad = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_packed(&bad, |v| out.push(v)),
+            Err(WireError::VarintOverflow)
+        );
+        // ...as does an 11th continuation byte.
+        let bad = [0x80u8; 11];
+        assert_eq!(
+            decode_packed(&bad, |_| {}),
+            Err(WireError::VarintOverflow)
+        );
+    }
+
+    #[test]
+    fn packed_two_byte_value_split_at_edge() {
+        // A two-byte varint whose second byte is the last byte of the
+        // buffer exercises the `pos + 1 < len` guard in the fast path.
+        let buf = [0x00, 0x96, 0x01];
+        let mut out = Vec::new();
+        let (fast, slow) = decode_packed(&buf, |v| out.push(v)).unwrap();
+        assert_eq!(out, [0, 150]);
+        assert_eq!((fast, slow), (2, 0));
+        // Same first byte but truncated before the terminator: the
+        // fast path cannot fire and the tail reports EOF.
+        let buf = [0x00, 0x96];
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_packed(&buf, |v| out.push(v)),
+            Err(WireError::UnexpectedEof)
+        );
+        assert_eq!(out, [0]);
+    }
+
     property! {
         fn fast_path_matches_reference_on_random_bytes(data in vec(any_u8(), 0..16)) {
             prop_assert_eq!(decode_varint(&data), decode_varint_reference(&data));
+        }
+
+        fn packed_matches_sequential_on_arbitrary_bytes(data in vec(any_u8(), 0..64)) {
+            // decode_packed must agree with repeated decode_varint on
+            // any byte string: same values pushed, same final error.
+            let mut pos = 0;
+            let mut expect = Vec::new();
+            let mut expect_err = None;
+            while pos < data.len() {
+                match decode_varint(&data[pos..]) {
+                    Ok((v, n)) => {
+                        expect.push(v);
+                        pos += n;
+                    }
+                    Err(e) => {
+                        expect_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            let mut out = Vec::new();
+            let result = decode_packed(&data, |v| out.push(v));
+            match expect_err {
+                Some(e) => prop_assert_eq!(result, Err(e)),
+                None => prop_assert!(result.is_ok()),
+            }
+            prop_assert_eq!(out, expect);
         }
 
         fn packed_decode_matches_sequential(values in vec(any_u64(), 0..64)) {

@@ -1,0 +1,283 @@
+//! Streaming field walker: tagged-field dispatch without materializing
+//! owned messages.
+//!
+//! The classic decode loop (`read_tag` + a `match` that calls the right
+//! `read_*` method) forces every caller to restate the wire-type
+//! dispatch and makes it easy to desync the cursor by reading a value
+//! with the wrong type. [`Reader::next_field`] centralizes that: it
+//! reads the tag *and* the value in one step, yielding the payload as a
+//! borrowed [`FieldValue`] so nested messages, packed runs, and strings
+//! all surface as byte slices the caller interprets lazily.
+//!
+//! The walker consumes exactly the bytes [`Reader::skip`] would for the
+//! same wire type, so a decoder built on it reports byte-identical
+//! errors to one that dispatches known fields and skips the rest — the
+//! property the pprof differential suite (`ev-formats`) relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_wire::{FieldValue, Reader, Writer};
+//!
+//! # fn main() -> Result<(), ev_wire::WireError> {
+//! let mut w = Writer::new();
+//! w.write_uint64(1, 42);
+//! w.write_string(2, "easyview");
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = Reader::new(&bytes);
+//! assert_eq!(r.next_field()?, Some((1, FieldValue::Varint(42))));
+//! assert_eq!(
+//!     r.next_field()?,
+//!     Some((2, FieldValue::Bytes(b"easyview")))
+//! );
+//! assert_eq!(r.next_field()?, None);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::reader::flush_packed_counts;
+use crate::varint::decode_packed;
+use crate::{Reader, WireError, WireType};
+
+/// Cached handle for the `wire.onepass_fields` counter: fields decoded
+/// through the streaming walker (vs. `wire.fields`, which counts every
+/// tag read by any loop).
+fn onepass_fields_counter() -> &'static ev_trace::Counter {
+    static HANDLE: std::sync::OnceLock<&'static ev_trace::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("wire.onepass_fields"))
+}
+
+/// A decoded field payload borrowed from the input buffer.
+///
+/// Interpretation is the caller's: a [`FieldValue::Varint`] may be an
+/// `int64` (two's complement), `sint64` (ZigZag), `bool`, or enum; a
+/// [`FieldValue::Bytes`] may be a string, a nested message, or a packed
+/// repeated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    /// Wire type 0.
+    Varint(u64),
+    /// Wire type 1, little-endian bits (also carries `double`).
+    Fixed64(u64),
+    /// Wire type 5, little-endian bits (also carries `float`).
+    Fixed32(u32),
+    /// Wire type 2: the length-delimited payload.
+    Bytes(&'a [u8]),
+}
+
+impl<'a> FieldValue<'a> {
+    /// The wire type this value arrived with.
+    pub fn wire_type(self) -> WireType {
+        match self {
+            FieldValue::Varint(_) => WireType::Varint,
+            FieldValue::Fixed64(_) => WireType::Fixed64,
+            FieldValue::Fixed32(_) => WireType::Fixed32,
+            FieldValue::Bytes(_) => WireType::LengthDelimited,
+        }
+    }
+}
+
+impl<'a> Reader<'a> {
+    /// Reads the next tagged field and its value in one step, or `None`
+    /// at end of input.
+    ///
+    /// Consumes exactly the bytes [`Reader::skip`] would for the same
+    /// wire type, so walking a message with `next_field` and walking it
+    /// with `read_tag` + `skip` fail at the same position with the same
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Reader::read_tag`] plus the per-type value
+    /// reads: truncated varints, truncated fixed-width values, or a
+    /// length-delimited payload running past the input.
+    pub fn next_field(&mut self) -> Result<Option<(u32, FieldValue<'a>)>, WireError> {
+        let Some((field, ty)) = self.read_tag()? else {
+            return Ok(None);
+        };
+        let value = match ty {
+            WireType::Varint => FieldValue::Varint(self.read_varint()?),
+            WireType::Fixed64 => FieldValue::Fixed64(self.read_fixed64()?),
+            WireType::Fixed32 => FieldValue::Fixed32(self.read_fixed32()?),
+            WireType::LengthDelimited => FieldValue::Bytes(self.read_bytes()?),
+        };
+        if ev_trace::enabled() {
+            onepass_fields_counter().inc();
+        }
+        Ok(Some((field, value)))
+    }
+}
+
+/// Decodes a packed repeated `uint64` payload (the bytes of a
+/// length-delimited field) into `out`, updating the `wire.varint_*`
+/// fast-path counters when tracing is enabled.
+///
+/// # Errors
+///
+/// Fails on a truncated or overlong varint; values decoded before the
+/// error remain in `out`.
+pub fn decode_packed_uint64(bytes: &[u8], out: &mut Vec<u64>) -> Result<(), WireError> {
+    let (fast, slow) = decode_packed(bytes, |v| out.push(v))?;
+    flush_packed_counts(fast, slow);
+    Ok(())
+}
+
+/// Decodes a packed repeated `int64` payload (two's-complement varints)
+/// into `out`, updating the `wire.varint_*` counters when tracing is
+/// enabled.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_packed_uint64`].
+pub fn decode_packed_int64(bytes: &[u8], out: &mut Vec<i64>) -> Result<(), WireError> {
+    let (fast, slow) = decode_packed(bytes, |v| out.push(v as i64))?;
+    flush_packed_counts(fast, slow);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+    use ev_test::prelude::*;
+
+    #[test]
+    fn walks_all_wire_types() {
+        let mut w = Writer::new();
+        w.write_uint64(1, 300);
+        w.write_fixed64(2, 0xdead_beef_dead_beef);
+        w.write_fixed32(3, 0xcafe);
+        w.write_bytes(4, b"payload");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.next_field().unwrap(), Some((1, FieldValue::Varint(300))));
+        assert_eq!(
+            r.next_field().unwrap(),
+            Some((2, FieldValue::Fixed64(0xdead_beef_dead_beef)))
+        );
+        assert_eq!(
+            r.next_field().unwrap(),
+            Some((3, FieldValue::Fixed32(0xcafe)))
+        );
+        assert_eq!(
+            r.next_field().unwrap(),
+            Some((4, FieldValue::Bytes(b"payload")))
+        );
+        assert_eq!(r.next_field().unwrap(), None);
+        assert_eq!(r.next_field().unwrap(), None);
+    }
+
+    #[test]
+    fn wire_type_is_recoverable() {
+        for (value, ty) in [
+            (FieldValue::Varint(1), WireType::Varint),
+            (FieldValue::Fixed64(1), WireType::Fixed64),
+            (FieldValue::Fixed32(1), WireType::Fixed32),
+            (FieldValue::Bytes(b"x"), WireType::LengthDelimited),
+        ] {
+            assert_eq!(value.wire_type(), ty);
+        }
+    }
+
+    #[test]
+    fn packed_free_functions_roundtrip() {
+        let uvals = [0u64, 127, 128, 16384, u64::MAX];
+        let ivals = [0i64, -1, 1, i64::MIN, i64::MAX];
+        let mut w = Writer::new();
+        w.write_packed_uint64(1, &uvals);
+        w.write_packed_int64(2, &ivals);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        let Some((1, FieldValue::Bytes(payload))) = r.next_field().unwrap() else {
+            panic!("expected packed payload");
+        };
+        let mut u = Vec::new();
+        decode_packed_uint64(payload, &mut u).unwrap();
+        assert_eq!(u, uvals);
+        let Some((2, FieldValue::Bytes(payload))) = r.next_field().unwrap() else {
+            panic!("expected packed payload");
+        };
+        let mut i = Vec::new();
+        decode_packed_int64(payload, &mut i).unwrap();
+        assert_eq!(i, ivals);
+    }
+
+    #[test]
+    fn packed_decode_error_keeps_prefix() {
+        let mut bytes = Vec::new();
+        crate::encode_varint(7, &mut bytes);
+        bytes.push(0x80); // dangling continuation byte
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_packed_uint64(&bytes, &mut out),
+            Err(WireError::UnexpectedEof)
+        );
+        assert_eq!(out, [7]);
+    }
+
+    /// Walks `data` to completion (or first error) with `next_field`.
+    fn walk_errors(data: &[u8]) -> (usize, Option<WireError>) {
+        let mut r = Reader::new(data);
+        let mut fields = 0;
+        loop {
+            match r.next_field() {
+                Ok(Some(_)) => fields += 1,
+                Ok(None) => return (fields, None),
+                Err(e) => return (fields, Some(e)),
+            }
+        }
+    }
+
+    /// Walks `data` with the classic tag-then-skip loop.
+    fn skip_errors(data: &[u8]) -> (usize, Option<WireError>) {
+        let mut r = Reader::new(data);
+        let mut fields = 0;
+        loop {
+            match r.read_tag() {
+                Ok(Some((_, ty))) => match r.skip(ty) {
+                    Ok(()) => fields += 1,
+                    Err(e) => return (fields, Some(e)),
+                },
+                Ok(None) => return (fields, None),
+                Err(e) => return (fields, Some(e)),
+            }
+        }
+    }
+
+    property! {
+        fn next_field_matches_skip_on_arbitrary_bytes(data in vec(any_u8(), 0..256)) {
+            // The walker's byte consumption and error positions must be
+            // identical to the tag+skip loop on any input.
+            prop_assert_eq!(walk_errors(&data), skip_errors(&data));
+        }
+
+        fn next_field_roundtrips_mixed_messages(
+            ints in vec(any_u64(), 0..16),
+            blobs in vec(vec(any_u8(), 0..24), 0..8),
+        ) {
+            let mut w = Writer::new();
+            for &v in &ints {
+                w.write_uint64(3, v);
+            }
+            for b in &blobs {
+                w.write_bytes(5, b);
+            }
+            let bytes = w.into_bytes();
+
+            let mut r = Reader::new(&bytes);
+            let (mut got_ints, mut got_blobs) = (Vec::new(), Vec::new());
+            while let Some((field, value)) = r.next_field().unwrap() {
+                match (field, value) {
+                    (3, FieldValue::Varint(v)) => got_ints.push(v),
+                    (5, FieldValue::Bytes(b)) => got_blobs.push(b.to_vec()),
+                    other => prop_assert!(false, "unexpected field {:?}", other),
+                }
+            }
+            prop_assert_eq!(got_ints, ints.clone());
+            prop_assert_eq!(got_blobs, blobs.clone());
+        }
+    }
+}

@@ -64,6 +64,19 @@ grep -q '^counter ' "$SMOKE_DIR/stats.txt" \
     || { echo "FAIL: stats did not print pipeline counters" >&2; exit 1; }
 grep -q '^counter flate\.lut_primary ' "$SMOKE_DIR/stats.txt" \
     || { echo "FAIL: stats did not report the decode fast-path counters" >&2; exit 1; }
+# The one-pass pprof decoder must actually run (nonzero field/sample
+# counters) when a pprof fixture is loaded ...
+grep -Eq '^counter wire\.onepass_fields [1-9]' "$SMOKE_DIR/stats.txt" \
+    || { echo "FAIL: stats did not report nonzero wire.onepass_fields" >&2; exit 1; }
+grep -Eq '^counter wire\.onepass_samples [1-9]' "$SMOKE_DIR/stats.txt" \
+    || { echo "FAIL: stats did not report nonzero wire.onepass_samples" >&2; exit 1; }
+# ... and the EASYVIEW_PPROF_REFERENCE escape hatch must route around
+# it entirely (no onepass counters registered at all).
+EASYVIEW_PPROF_REFERENCE=1 "$EV" stats "$SMOKE_DIR/smoke.pprof" > "$SMOKE_DIR/stats_ref.txt"
+if grep -q '^counter wire\.onepass_' "$SMOKE_DIR/stats_ref.txt"; then
+    echo "FAIL: EASYVIEW_PPROF_REFERENCE=1 still ran the one-pass decoder" >&2
+    exit 1
+fi
 
 echo "== multi-member gzip smoke =="
 # The golden 3-member fixture must render identically at any thread

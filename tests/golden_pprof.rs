@@ -82,6 +82,18 @@ fn regenerate() {
             bytes.len()
         );
     }
+    for (name, bytes) in negative_fixture_sources() {
+        std::fs::write(dir.join(name), &bytes).unwrap();
+        let outcome = match ev_formats::pprof::parse(&bytes) {
+            Ok(p) => format!("parses: nodes={} metrics={}", p.node_count(), p.metrics().len()),
+            Err(e) => format!("fails: {e}"),
+        };
+        println!(
+            "{name}: crc32={:#010x} ({} bytes) {outcome}",
+            ev_flate::crc32(&bytes),
+            bytes.len()
+        );
+    }
 }
 
 fn load_fixture(golden: &Golden) -> (Vec<u8>, Profile) {
@@ -166,4 +178,225 @@ fn fixtures_views_stable_across_parallel_and_cached_paths() {
         assert_eq!(*hit, seq.total().to_bits());
         assert_eq!(cache.stats().hits, 1);
     }
+}
+
+// ---------------------------------------------------------------------
+// Malformed-wire robustness: pinned-digest negative fixtures.
+//
+// Each checked-in fixture is either deliberately corrupt (truncated or
+// overlong varints, length claims past the input, invalid UTF-8,
+// dangling location ids, forbidden field numbers and wire types) or
+// structurally odd-but-legal (deep unknown nesting, out-of-range string
+// indices, duplicate ids). The one-pass decoder and the two-pass
+// reference must produce the *identical* outcome for every one — a
+// typed error or a parse, never a panic or runaway allocation — and
+// the fixture bytes themselves are pinned by crc32 so the cases can
+// never silently drift.
+
+/// What both decoders must do with a negative fixture.
+enum Expect {
+    /// Both return `Ok`; pinned node and metric counts.
+    Parses { nodes: usize, metrics: usize },
+    /// Both return the same error with this exact display.
+    Fails { message: &'static str },
+}
+
+struct Negative {
+    file: &'static str,
+    crc32: u32,
+    expect: Expect,
+}
+
+const NEGATIVES: [Negative; 9] = [
+    Negative {
+        file: "bad_truncated_varint.pb",
+        crc32: 0x94c154d2,
+        expect: Expect::Fails {
+            message: "container error: unexpected end of input",
+        },
+    },
+    Negative {
+        file: "bad_overlong_varint.pb",
+        crc32: 0x14274602,
+        expect: Expect::Fails {
+            message: "container error: varint exceeds 10 bytes",
+        },
+    },
+    Negative {
+        file: "bad_length_overrun.pb",
+        crc32: 0x2ec0bf38,
+        expect: Expect::Fails {
+            message: "container error: length 268435455 exceeds remaining input 0",
+        },
+    },
+    Negative {
+        file: "bad_string_utf8.pb",
+        crc32: 0xf8ddc56a,
+        expect: Expect::Fails {
+            message: "container error: string field is not valid utf-8",
+        },
+    },
+    Negative {
+        file: "bad_unknown_location.pb",
+        crc32: 0x4432b760,
+        expect: Expect::Fails {
+            message: "schema error: sample references unknown location 99",
+        },
+    },
+    Negative {
+        file: "bad_zero_field.pb",
+        crc32: 0xd202ef8d,
+        expect: Expect::Fails {
+            message: "container error: field number must be nonzero",
+        },
+    },
+    Negative {
+        file: "bad_group_wiretype.pb",
+        crc32: 0x45d03605,
+        expect: Expect::Fails {
+            message: "container error: invalid wire type 3",
+        },
+    },
+    Negative {
+        file: "odd_deep_nesting.pb",
+        crc32: 0x840cbeea,
+        expect: Expect::Parses { nodes: 1, metrics: 0 },
+    },
+    Negative {
+        file: "odd_degenerate_tables.pb",
+        crc32: 0xac38ca6f,
+        expect: Expect::Parses { nodes: 2, metrics: 1 },
+    },
+];
+
+fn negative_fixture_sources() -> Vec<(&'static str, Vec<u8>)> {
+    use ev_wire::Writer;
+    let mut out: Vec<(&'static str, Vec<u8>)> = Vec::new();
+
+    // Field 9 (time_nanos, varint) truncated on a continuation byte.
+    out.push(("bad_truncated_varint.pb", vec![0x48, 0x80]));
+
+    // Eleven continuation bytes: past the 10-byte u64 maximum.
+    let mut overlong = vec![0x48];
+    overlong.extend(std::iter::repeat_n(0x80, 11));
+    out.push(("bad_overlong_varint.pb", overlong));
+
+    // Size-cap abuse: a string-table entry claiming 256 MiB with zero
+    // payload bytes behind it — must error without allocating.
+    let mut huge = vec![0x32];
+    ev_wire::encode_varint(0x0fff_ffff, &mut huge);
+    out.push(("bad_length_overrun.pb", huge));
+
+    // Invalid UTF-8 in the string table.
+    let mut w = Writer::new();
+    w.write_bytes(6, &[0xff, 0xfe, 0xfd]);
+    out.push(("bad_string_utf8.pb", w.into_bytes()));
+
+    // A sample referencing a location never defined.
+    let mut w = Writer::new();
+    w.write_message_with(2, |m| {
+        m.write_packed_uint64(1, &[99]);
+        m.write_packed_int64(2, &[1]);
+    });
+    w.write_string(6, "");
+    out.push(("bad_unknown_location.pb", w.into_bytes()));
+
+    // Field number zero is forbidden by protobuf.
+    out.push(("bad_zero_field.pb", vec![0x00]));
+
+    // Deprecated group wire type (3).
+    out.push(("bad_group_wiretype.pb", vec![0x0b]));
+
+    // 100-deep nested unknown LEN messages: field skipping is
+    // iterative (length-based), so this parses without recursing.
+    let mut nested = Vec::new();
+    for _ in 0..100 {
+        let mut w = Writer::new();
+        w.write_bytes(8, &nested);
+        nested = w.into_bytes();
+    }
+    out.push(("odd_deep_nesting.pb", nested));
+
+    // Out-of-range and negative string indices, duplicate location ids
+    // (last definition wins), dangling mapping references, more sample
+    // values than sample types, unknown fields, and known fields on
+    // the wrong wire type — all legal-but-odd, all must parse.
+    let mut w = Writer::new();
+    w.write_message_with(1, |m| {
+        m.write_int64(1, 1 << 40); // type name far out of range -> "samples"
+        m.write_int64(2, -3); // negative unit index -> clamps to ""
+    });
+    w.write_message_with(4, |m| {
+        m.write_uint64(1, 7);
+        m.write_uint64(2, 12345); // dangling mapping id
+    });
+    w.write_message_with(4, |m| {
+        m.write_uint64(1, 7); // duplicate id: this definition wins
+        m.write_uint64(3, 0xabc);
+    });
+    w.write_message_with(2, |m| {
+        m.write_packed_uint64(1, &[7]);
+        m.write_packed_int64(2, &[2, 3]); // second value has no metric
+    });
+    w.write_uint64(4, 9); // location on varint wire type: skipped
+    w.write_fixed64(6, 0xdead); // string table on fixed64: skipped
+    w.write_uint64(1 << 20, 5); // unknown high field number
+    out.push(("odd_degenerate_tables.pb", w.into_bytes()));
+
+    out
+}
+
+#[test]
+fn negative_fixtures_yield_identical_typed_outcomes() {
+    for negative in &NEGATIVES {
+        let path = fixture_dir().join(negative.file);
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing fixture {} ({e}); see regenerate()", path.display())
+        });
+        assert_eq!(
+            ev_flate::crc32(&bytes),
+            negative.crc32,
+            "{}: fixture bytes drifted",
+            negative.file
+        );
+        let one = ev_formats::pprof::parse(&bytes);
+        let reference = ev_formats::pprof::parse_reference(&bytes);
+        assert_eq!(one, reference, "{}: decoders disagree", negative.file);
+        match &negative.expect {
+            Expect::Parses { nodes, metrics } => {
+                let p = one.unwrap_or_else(|e| panic!("{}: {e}", negative.file));
+                assert_eq!(p.node_count(), *nodes, "{}", negative.file);
+                assert_eq!(p.metrics().len(), *metrics, "{}", negative.file);
+                p.validate().unwrap();
+            }
+            Expect::Fails { message } => {
+                let err = one.expect_err(negative.file);
+                assert_eq!(&err.to_string(), message, "{}", negative.file);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_fixture_decodes_identically_via_reference() {
+    // Sweep the whole fixture directory — positive goldens, the
+    // multi-member gzip file, and every negative — asserting the
+    // one-pass and reference decoders agree byte for byte, at several
+    // thread counts.
+    let mut seen = 0;
+    for entry in std::fs::read_dir(fixture_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        for threads in [1, 2, 8] {
+            let policy = ExecPolicy::with_threads(threads);
+            let one = ev_formats::pprof::parse_with(&bytes, policy);
+            let reference = ev_formats::pprof::parse_reference_with(&bytes, policy);
+            match (&one, &reference) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{} threads={threads}", path.display()),
+                (a, b) => assert_eq!(a, b, "{} threads={threads}", path.display()),
+            }
+        }
+        seen += 1;
+    }
+    assert!(seen >= GOLDENS.len() + NEGATIVES.len(), "fixture sweep saw {seen} files");
 }
