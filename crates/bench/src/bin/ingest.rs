@@ -23,12 +23,71 @@
 use ev_bench::timer::{bench, group, Measurement};
 use ev_flate::{
     crc32, crc32_reference, deflate_compress, gzip_decompress, gzip_decompress_with, inflate,
-    inflate_reference, CompressionLevel, ExecPolicy,
+    inflate_reference, CompressionLevel, ExecPolicy, DEFAULT_CHUNK_SIZE,
 };
 use ev_formats::pprof;
-use ev_gen::synthetic::pprof_with_size;
+use ev_gen::synthetic::{pprof_longrun, pprof_with_size};
 use ev_json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counting global allocator with a high-water mark, for the
+/// peak-memory probe: the streaming ingest path exists to bound peak
+/// memory, so the bench measures it, not just throughput. Counts are
+/// process-wide (streaming spawns pool workers whose allocations must
+/// count). The two relaxed atomics per alloc cost the same on the fast
+/// and reference sides of every speedup gate, so the ratios are
+/// unaffected.
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_live(live: usize) {
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_live(LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                note_live(LIVE.fetch_add(grow, Ordering::Relaxed) + grow);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+/// Runs `f` and returns its result plus the peak heap growth above the
+/// live baseline at entry, in bytes.
+fn peak_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let r = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (r, peak.saturating_sub(baseline))
+}
 
 /// Pinned CRC32 digests of the decompressed golden fixtures; a digest
 /// change means the fixture bytes changed, which must be deliberate.
@@ -95,6 +154,31 @@ fn load_workloads(quick: bool) -> Vec<Workload> {
 
 fn secs(m: &Measurement) -> f64 {
     m.min.as_secs_f64()
+}
+
+fn mib_per_sec(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / secs
+}
+
+/// Times `a` and `b` interleaved round by round and returns the
+/// minimum seconds of each. The ratio gates compare two multi-ms
+/// measurements; running all samples of one side and then all of the
+/// other lets a slow spell of host load land entirely on one side,
+/// which swings the ratio of minima by >10% on shared 1-core CI hosts
+/// (observed 0.88 vs 0.96 from the same binary minutes apart).
+/// Alternating sample pairs makes throughput drift hit both sides
+/// alike, so the ratio converges even when the absolute times do not.
+fn minsecs_interleaved(rounds: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds.max(1) {
+        let t = std::time::Instant::now();
+        a();
+        best_a = best_a.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        b();
+        best_b = best_b.min(t.elapsed().as_secs_f64());
+    }
+    (best_a, best_b)
 }
 
 /// Re-wraps `raw` as `parts` concatenated gzip members — the RFC 1952
@@ -172,6 +256,24 @@ fn main() {
         let two = pprof::parse_reference(&w.raw).expect("reference pprof parse");
         assert_eq!(one, two, "{}: pprof decoders disagree", w.name);
 
+        // And the streaming decoder one layer further up: the
+        // bounded-memory inflate→walk pipeline must produce the same
+        // profile as the buffered end-to-end path, while its peak heap
+        // growth is the number the pipeline exists to shrink.
+        let stream_policy = ExecPolicy::auto();
+        let (buffered_gz, peak_buffered) =
+            peak_during(|| pprof::parse(&w.gz).expect("buffered gz parse"));
+        let (streamed, peak_streaming) = peak_during(|| {
+            pprof::parse_streaming_with(&w.gz, stream_policy, DEFAULT_CHUNK_SIZE)
+                .expect("streaming pprof parse")
+        });
+        assert_eq!(
+            streamed, buffered_gz,
+            "{}: streaming profile differs from buffered",
+            w.name
+        );
+        drop((buffered_gz, streamed));
+
         let m_wire = bench(&format!("{}/wire_decode_onepass", w.name), samples, || {
             for _ in 0..iters {
                 std::hint::black_box(pprof::parse(std::hint::black_box(&w.raw)).unwrap());
@@ -185,6 +287,18 @@ fn main() {
         let m_e2e = bench(&format!("{}/end_to_end", w.name), samples, || {
             for _ in 0..iters {
                 std::hint::black_box(pprof::parse(std::hint::black_box(&w.gz)).unwrap());
+            }
+        });
+        let m_stream = bench(&format!("{}/end_to_end_streaming", w.name), samples, || {
+            for _ in 0..iters {
+                std::hint::black_box(
+                    pprof::parse_streaming_with(
+                        std::hint::black_box(&w.gz),
+                        stream_policy,
+                        DEFAULT_CHUNK_SIZE,
+                    )
+                    .unwrap(),
+                );
             }
         });
 
@@ -210,6 +324,16 @@ fn main() {
             m_ref.mib_per_sec(bytes),
             m_wire.mib_per_sec(bytes),
             m_wire_ref.mib_per_sec(bytes),
+        );
+        println!(
+            "{:<44} e2e buffered {:>8.1} MiB/s  streaming {:>8.1} MiB/s  \
+             peak {:.1} MiB -> {:.1} MiB ({:.1}x)",
+            "",
+            m_e2e.mib_per_sec(bytes),
+            m_stream.mib_per_sec(bytes),
+            peak_buffered as f64 / (1 << 20) as f64,
+            peak_streaming as f64 / (1 << 20) as f64,
+            peak_buffered as f64 / peak_streaming.max(1) as f64,
         );
 
         entries.push(Value::object([
@@ -242,6 +366,12 @@ fn main() {
             ),
             ("wire_decode_speedup", Value::Float(wire_speedup)),
             ("end_to_end_secs", Value::Float(secs(&m_e2e) / iters as f64)),
+            (
+                "end_to_end_streaming_secs",
+                Value::Float(secs(&m_stream) / iters as f64),
+            ),
+            ("peak_bytes_buffered", Value::Int(peak_buffered as i64)),
+            ("peak_bytes_streaming", Value::Int(peak_streaming as i64)),
         ]));
     }
 
@@ -288,32 +418,135 @@ fn main() {
     let multi = multi_member_gz(&largest.raw, parts);
     let seq_out = gzip_decompress(&multi).expect("multi-member decompresses");
     assert_eq!(seq_out, largest.raw, "multi-member reassembly differs");
-    // Pin the thread count so the pool path runs even on 1-core CI
-    // hosts (auto() would degrade to the inline sequential path there
-    // and the seq-vs-par assert would be vacuous).
+    // Correctness runs with a pinned thread count so the pool path is
+    // exercised even on 1-core CI hosts (auto() would degrade to the
+    // inline sequential path there and the assert would be vacuous).
     let par_policy = ExecPolicy::with_threads(parts.min(8));
     let par_out = gzip_decompress_with(&multi, par_policy).expect("parallel decompress");
     assert_eq!(par_out, seq_out, "parallel output differs from sequential");
+    // Timing gates on auto(): the policy `gzip_decompress` actually
+    // ships, so the ratio measures the regression a user could see.
+    // Forcing 8 threads onto a 1-core host instead measures a
+    // configuration the library never chooses there — and its
+    // scheduler tax makes min-of-N estimates swing 0.82–0.96 from the
+    // same binary, which no gate threshold can hold honestly.
+    let auto_policy = ExecPolicy::auto();
     let multi_iters = (2 << 20) / largest.raw.len().max(1) + 1;
-    let m_seq = bench("multi_member/sequential", samples, || {
-        for _ in 0..multi_iters {
-            std::hint::black_box(gzip_decompress(std::hint::black_box(&multi)).unwrap());
-        }
-    });
-    let m_par = bench("multi_member/parallel", samples, || {
-        for _ in 0..multi_iters {
-            std::hint::black_box(
-                gzip_decompress_with(std::hint::black_box(&multi), par_policy).unwrap(),
-            );
-        }
-    });
-    let multi_bytes = largest.raw.len() * multi_iters;
-    println!(
-        "{:<44} seq {:>8.1} MiB/s  par {:>8.1} MiB/s  ({parts} members)",
-        "",
-        m_seq.mib_per_sec(multi_bytes),
-        m_par.mib_per_sec(multi_bytes),
+    let (seq_secs, par_secs) = minsecs_interleaved(
+        samples,
+        || {
+            for _ in 0..multi_iters {
+                std::hint::black_box(gzip_decompress(std::hint::black_box(&multi)).unwrap());
+            }
+        },
+        || {
+            for _ in 0..multi_iters {
+                std::hint::black_box(
+                    gzip_decompress_with(std::hint::black_box(&multi), auto_policy).unwrap(),
+                );
+            }
+        },
     );
+    let multi_bytes = largest.raw.len() * multi_iters;
+    // Parallel vs sequential, as a ratio: the per-member-size threshold
+    // in `ev-flate` routes small-member files (like the quick-mode
+    // fixtures) to the sequential walk outright, so this must never
+    // fall meaningfully below 1.0 again.
+    let multi_ratio = seq_secs / par_secs;
+    println!(
+        "{:<44} seq {:>8.1} MiB/s  par(auto,{}t) {:>8.1} MiB/s  ({parts} members, {multi_ratio:.2}x)",
+        "",
+        mib_per_sec(multi_bytes, seq_secs),
+        auto_policy.threads,
+        mib_per_sec(multi_bytes, par_secs),
+    );
+
+    // Streaming bounded-memory gate, on the workload shape the
+    // streaming path exists for: a long capture — a million
+    // individually-written samples over a small chain pool, string
+    // table last, the way Go's runtime emits long runs. There the
+    // sample stream dominates the file while the decoded profile stays
+    // small, so buffered ingest peaks at the whole decompressed body
+    // and streaming ingest at one chunk window. The fixture-scale
+    // workloads above still report their streaming numbers, but their
+    // decoded Profile dominates peak on both paths, so gating them on
+    // a 4x reduction would be meaningless.
+    group("ingest: streaming bounded-memory gate (long-capture)");
+    let mut peak_gate_ratio = f64::NAN;
+    let mut stream_tp_ratio = f64::NAN;
+    // With >= 2 cores the pipeline's producer thread hides the second
+    // inflate behind the decode and streaming must stay within 10% of
+    // buffered. On a 1-core host auto() runs the producer inline, so
+    // streaming structurally pays the pass-1 counting walk plus one
+    // extra inflate — ~0.83x on an idle host, observed down to 0.76x
+    // under load swings, nothing a pipeline can hide without a second
+    // core. Both floors catch the regression class this gate exists
+    // for: the StreamReader double-parse bug alone cost 25% on any
+    // host (0.83 -> ~0.62 here).
+    let tp_floor = if ExecPolicy::auto().threads >= 2 { 0.9 } else { 0.7 };
+    let mut streaming_gate = Value::object([("skipped", Value::Bool(true))]);
+    if !quick {
+        let longrun_samples = 1_000_000usize;
+        let gz = pprof_longrun(longrun_samples, 0x10c4);
+        let raw_len = gzip_decompress(&gz).expect("longrun decompresses").len();
+        let stream_policy = ExecPolicy::auto();
+        let (buffered, peak_buffered) =
+            peak_during(|| pprof::parse(&gz).expect("buffered longrun parse"));
+        let (streamed, peak_streaming) = peak_during(|| {
+            pprof::parse_streaming_with(&gz, stream_policy, DEFAULT_CHUNK_SIZE)
+                .expect("streaming longrun parse")
+        });
+        assert_eq!(streamed, buffered, "longrun: streaming differs from buffered");
+        drop((buffered, streamed));
+        // One parse here runs for seconds, so a handful of interleaved
+        // samples under the min-of-N estimator beats many samples of a
+        // noisy mean; host-load swings of ±20% are routine on this
+        // workload.
+        let longrun_bench_samples = samples.min(8);
+        let (buf_secs, stream_secs) = minsecs_interleaved(
+            longrun_bench_samples,
+            || {
+                std::hint::black_box(pprof::parse(std::hint::black_box(&gz)).unwrap());
+            },
+            || {
+                std::hint::black_box(
+                    pprof::parse_streaming_with(
+                        std::hint::black_box(&gz),
+                        stream_policy,
+                        DEFAULT_CHUNK_SIZE,
+                    )
+                    .unwrap(),
+                );
+            },
+        );
+        peak_gate_ratio = peak_buffered as f64 / peak_streaming.max(1) as f64;
+        stream_tp_ratio = buf_secs / stream_secs;
+        println!(
+            "{:<44} e2e buffered {:>8.1} MiB/s  streaming {:>8.1} MiB/s ({:.2}x)  \
+             peak {:.1} MiB -> {:.1} MiB ({:.1}x)",
+            "",
+            mib_per_sec(raw_len, buf_secs),
+            mib_per_sec(raw_len, stream_secs),
+            stream_tp_ratio,
+            peak_buffered as f64 / (1 << 20) as f64,
+            peak_streaming as f64 / (1 << 20) as f64,
+            peak_gate_ratio,
+        );
+        streaming_gate = Value::object([
+            ("workload", Value::String("pprof_longrun_1m".to_string())),
+            ("samples", Value::Int(longrun_samples as i64)),
+            ("compressed_bytes", Value::Int(gz.len() as i64)),
+            ("raw_bytes", Value::Int(raw_len as i64)),
+            ("chunk_size", Value::Int(DEFAULT_CHUNK_SIZE as i64)),
+            ("peak_bytes_buffered", Value::Int(peak_buffered as i64)),
+            ("peak_bytes_streaming", Value::Int(peak_streaming as i64)),
+            ("peak_reduction", Value::Float(peak_gate_ratio)),
+            ("end_to_end_secs", Value::Float(buf_secs)),
+            ("end_to_end_streaming_secs", Value::Float(stream_secs)),
+            ("throughput_vs_buffered", Value::Float(stream_tp_ratio)),
+            ("throughput_floor", Value::Float(tp_floor)),
+        ]);
+    }
 
     let report = Value::object([
         ("schema", Value::String("ev-bench-ingest/v1".to_string())),
@@ -359,14 +592,21 @@ fn main() {
                 ("compressed_bytes", Value::Int(multi.len() as i64)),
                 (
                     "sequential_mib_per_sec",
-                    Value::Float(m_seq.mib_per_sec(multi_bytes)),
+                    Value::Float(mib_per_sec(multi_bytes, seq_secs)),
                 ),
                 (
                     "parallel_mib_per_sec",
-                    Value::Float(m_par.mib_per_sec(multi_bytes)),
+                    Value::Float(mib_per_sec(multi_bytes, par_secs)),
+                ),
+                ("parallel_vs_sequential", Value::Float(multi_ratio)),
+                ("auto_threads", Value::Int(auto_policy.threads as i64)),
+                (
+                    "par_member_min_bytes",
+                    Value::Int(ev_flate::PAR_MEMBER_MIN_BYTES as i64),
                 ),
             ]),
         ),
+        ("streaming_gate", streaming_gate),
     ]);
     let path = repo_root().join("BENCH_ingest.json");
     std::fs::write(&path, ev_json::to_string_pretty(&report)).expect("write BENCH_ingest.json");
@@ -389,6 +629,29 @@ fn main() {
         "one-pass pprof decode is only {wire_gate_speedup:.2}x the reference on \
          {wire_gate_name} (need >= {min_speedup}x)"
     );
+    // The multi-member split must never lose to the sequential walk
+    // again (the 0.9 floor absorbs timer noise; the threshold routes
+    // genuinely small members to the sequential path, and auto() keeps
+    // 1-core hosts on the sequential walk outright).
+    assert!(
+        multi_ratio >= 0.9,
+        "auto-policy multi-member decode is {multi_ratio:.2}x sequential (need >= 0.9x)"
+    );
+    if !quick {
+        // Streaming gates run on the long-capture workload only (quick
+        // mode skips it): that is the shape whose peak the streaming
+        // path exists to bound.
+        assert!(
+            peak_gate_ratio >= 4.0,
+            "streaming ingest peak is only {peak_gate_ratio:.2}x below buffered on \
+             the long-capture workload (need >= 4x)"
+        );
+        assert!(
+            stream_tp_ratio >= tp_floor,
+            "streaming ingest runs at {stream_tp_ratio:.2}x buffered throughput on \
+             the long-capture workload (need >= {tp_floor}x)"
+        );
+    }
     println!(
         "OK: inflate speedup {inflate_gate_speedup:.2}x (gate {min_inflate_speedup}x), \
          crc32 speedup {crc_speedup:.2}x, one-pass pprof speedup {wire_gate_speedup:.2}x \

@@ -36,6 +36,13 @@ pub struct Options {
     pub threads: usize,
     /// Print view-cache hit/miss counters after the command.
     pub cache_stats: bool,
+    /// Force the bounded-memory streaming ingest path regardless of
+    /// input size (`--stream`). Off by default: small inputs auto-route
+    /// to the buffered decoder, GB-scale gzip'd pprof streams anyway.
+    pub stream: bool,
+    /// Streaming chunk size in bytes (`--chunk-size`); `None` = the
+    /// flate default. Only meaningful with [`Options::stream`].
+    pub chunk_size: Option<usize>,
 }
 
 impl Default for Options {
@@ -50,6 +57,8 @@ impl Default for Options {
             threshold: 0.0,
             threads: 0,
             cache_stats: false,
+            stream: false,
+            chunk_size: None,
         }
     }
 }
@@ -213,6 +222,16 @@ pub fn parse_cli(argv: &[String]) -> Result<Cli, CliError> {
                 }
             }
             "--cache-stats" => options.cache_stats = true,
+            "--stream" => options.stream = true,
+            "--chunk-size" => {
+                let chunk: usize = take_value(&mut iter, "--chunk-size")?
+                    .parse()
+                    .map_err(|_| CliError("--chunk-size expects an integer".to_owned()))?;
+                if chunk == 0 {
+                    return Err(CliError("--chunk-size must be at least 1".to_owned()));
+                }
+                options.chunk_size = Some(chunk);
+            }
             "--trace-out" => trace.out = Some(take_value(&mut iter, "--trace-out")?),
             "--trace-format" => {
                 trace.format = match take_value(&mut iter, "--trace-format")?.as_str() {
@@ -230,6 +249,10 @@ pub fn parse_cli(argv: &[String]) -> Result<Cli, CliError> {
             }
             _ => positional.push(arg.clone()),
         }
+    }
+
+    if options.chunk_size.is_some() && !options.stream {
+        return Err(CliError("--chunk-size requires --stream".to_owned()));
     }
 
     let need = |n: usize| -> Result<(), CliError> {
@@ -397,6 +420,29 @@ mod tests {
         assert!(!options.cache_stats);
         assert!(parse(&["view", "p", "--threads", "many"]).is_err());
         assert!(parse(&["view", "p", "--threads", "9999"]).is_err());
+    }
+
+    #[test]
+    fn stream_flags_parse() {
+        let cmd = parse(&["stats", "p", "--stream"]).unwrap();
+        let Command::Stats { options, .. } = cmd else { panic!() };
+        assert!(options.stream);
+        assert_eq!(options.chunk_size, None);
+
+        let cmd = parse(&["view", "p", "--stream", "--chunk-size", "4096"]).unwrap();
+        let Command::View { options, .. } = cmd else { panic!() };
+        assert!(options.stream);
+        assert_eq!(options.chunk_size, Some(4096));
+
+        // Defaults: buffered auto-routing.
+        let cmd = parse(&["view", "p"]).unwrap();
+        let Command::View { options, .. } = cmd else { panic!() };
+        assert!(!options.stream);
+        assert_eq!(options.chunk_size, None);
+
+        assert!(parse(&["view", "p", "--chunk-size", "4096"]).is_err());
+        assert!(parse(&["view", "p", "--stream", "--chunk-size", "0"]).is_err());
+        assert!(parse(&["view", "p", "--stream", "--chunk-size", "lots"]).is_err());
     }
 
     #[test]

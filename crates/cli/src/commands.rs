@@ -28,6 +28,16 @@ fn policy(options: &Options) -> ExecPolicy {
     }
 }
 
+/// `--stream` maps to a forced streaming-ingest chunk size; `None`
+/// keeps the size-based auto routing.
+fn stream_request(options: &Options) -> Option<usize> {
+    if options.stream {
+        Some(options.chunk_size.unwrap_or(ev_formats::DEFAULT_CHUNK_SIZE))
+    } else {
+        None
+    }
+}
+
 fn cache_stats_line(out: &mut String) {
     let stats = view_cache().lock().unwrap().stats();
     let _ = writeln!(
@@ -103,7 +113,7 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
         ev_trace::set_enabled(true);
         let result = (|| -> Result<(), CliError> {
             let exec = policy(options);
-            let profile = load(path, exec)?;
+            let profile = load_opts(path, options)?;
             let metric = pick_metric(&profile, options)?;
             let threshold_tag = format!("threshold:{}", options.threshold);
             let key =
@@ -144,6 +154,21 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
 /// the escape hatch for cross-checking the one-pass fast path against
 /// a suspect profile.
 fn load(path: &str, exec: ExecPolicy) -> Result<Profile, CliError> {
+    load_with(path, exec, None)
+}
+
+/// [`load`] with an optional forced streaming-ingest chunk size
+/// (`--stream [--chunk-size N]`). The streamed profile is byte- and
+/// error-identical to the buffered one at any chunk size, so the flag
+/// only changes the ingest memory profile, never the output.
+/// `EASYVIEW_PPROF_REFERENCE` wins over `--stream`: the reference
+/// decoder has no streaming path, and as the cross-checking escape
+/// hatch it must not be silently rerouted.
+fn load_with(
+    path: &str,
+    exec: ExecPolicy,
+    stream_chunk: Option<usize>,
+) -> Result<Profile, CliError> {
     let bytes =
         std::fs::read(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     let use_reference = std::env::var("EASYVIEW_PPROF_REFERENCE")
@@ -151,10 +176,17 @@ fn load(path: &str, exec: ExecPolicy) -> Result<Profile, CliError> {
         .unwrap_or(false);
     let parsed = if use_reference {
         ev_formats::parse_auto_reference_with(&bytes, exec)
+    } else if let Some(chunk) = stream_chunk {
+        ev_formats::parse_auto_streaming_with(&bytes, exec, chunk)
     } else {
         ev_formats::parse_auto_with(&bytes, exec)
     };
     parsed.map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// [`load_with`] driven by the shared analysis [`Options`].
+fn load_opts(path: &str, options: &Options) -> Result<Profile, CliError> {
+    load_with(path, policy(options), stream_request(options))
 }
 
 fn pick_metric(profile: &Profile, options: &Options) -> Result<MetricId, CliError> {
@@ -241,7 +273,7 @@ fn shape_tag(shape: Shape) -> &'static str {
 
 fn view(input: &str, options: &Options) -> Result<String, CliError> {
     let exec = policy(options);
-    let profile = load(input, exec)?;
+    let profile = load_opts(input, options)?;
     let metric = pick_metric(&profile, options)?;
     // The transform chain descriptor covers everything between the
     // loaded profile and the rendered geometry. The policy is NOT part
@@ -269,7 +301,7 @@ fn view(input: &str, options: &Options) -> Result<String, CliError> {
 }
 
 fn table(input: &str, options: &Options) -> Result<String, CliError> {
-    let profile = load(input, policy(options))?;
+    let profile = load_opts(input, options)?;
     let metric = pick_metric(&profile, options)?;
     let base = maybe_pruned(&profile, metric, options);
     let shaped = match options.shape {
@@ -284,8 +316,8 @@ fn table(input: &str, options: &Options) -> Result<String, CliError> {
 }
 
 fn diff_cmd(before: &str, after: &str, options: &Options) -> Result<String, CliError> {
-    let p1 = load(before, policy(options))?;
-    let p2 = load(after, policy(options))?;
+    let p1 = load_opts(before, options)?;
+    let p2 = load_opts(after, options)?;
     let metric = pick_metric(&p1, options)?;
     let metric_name = p1.metric(metric).name.clone();
     let dfg = DiffFlameGraph::new(&p1, &p2, &metric_name).map_err(|i| {
@@ -321,7 +353,7 @@ fn diff_cmd(before: &str, after: &str, options: &Options) -> Result<String, CliE
 fn aggregate_cmd(inputs: &[String], options: &Options) -> Result<String, CliError> {
     let profiles: Vec<Profile> = inputs
         .iter()
-        .map(|p| load(p, policy(options)))
+        .map(|p| load_opts(p, options))
         .collect::<Result<_, _>>()?;
     let metric_name = match &options.metric {
         Some(name) => name.clone(),
@@ -512,6 +544,55 @@ mod tests {
         for threads in ["2", "4", "8"] {
             let par = run_line(&["view", &path, "--threads", threads]).unwrap();
             assert_eq!(seq, par, "--threads {threads}");
+        }
+    }
+
+    /// Writes a gzip'd pprof fixture so `--stream` exercises the full
+    /// inflate→walk pipeline, not just the raw-slice chunker.
+    fn write_pprof_gz(name: &str) -> String {
+        let mut p = Profile::new(name);
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[Frame::function("main"), Frame::function("hot")],
+            &[(m, 90.0)],
+        );
+        p.add_sample(&[Frame::function("main")], &[(m, 10.0)]);
+        let bytes = ev_formats::pprof::write(&p, ev_formats::pprof::WriteOptions::default());
+        let path = tmpdir().join(format!("{name}.pprof"));
+        std::fs::write(&path, bytes).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn stream_flag_does_not_change_output() {
+        let path = write_pprof_gz("stream-eq");
+        let buffered = run_line(&["view", &path, "--width", "60"]).unwrap();
+        let default_chunk = run_line(&["view", &path, "--stream", "--width", "60"]).unwrap();
+        assert_eq!(buffered, default_chunk);
+        for chunk in ["1", "13", "4096"] {
+            let streamed = run_line(&[
+                "view", &path, "--stream", "--chunk-size", chunk, "--width", "60",
+            ])
+            .unwrap();
+            assert_eq!(buffered, streamed, "--chunk-size {chunk}");
+        }
+    }
+
+    #[test]
+    fn stats_stream_reports_pipeline_counters() {
+        let path = write_pprof_gz("stream-stats");
+        let out = run_line(&["stats", &path, "--stream", "--chunk-size", "64"]).unwrap();
+        for counter in ["counter flate.stream_chunks ", "counter wire.stream_refills "] {
+            let line = out
+                .lines()
+                .find(|l| l.starts_with(counter))
+                .unwrap_or_else(|| panic!("{counter} missing from:\n{out}"));
+            let n: u64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
+            assert!(n > 0, "{line}");
         }
     }
 

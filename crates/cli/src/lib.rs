@@ -89,6 +89,11 @@ OPTIONS:
                         1 = sequential; results are identical either way)
     --cache-stats       print view-cache hit/miss counters
                         (deprecated: use `easyview stats`)
+    --stream            force bounded-memory streaming ingest (GB-scale
+                        gzip'd pprof streams automatically; output is
+                        identical either way)
+    --chunk-size <n>    streaming chunk size in bytes (requires --stream;
+                        default 262144)
     --trace-out <path>  self-profile this command with ev-trace and write
                         the recording to <path>
     --trace-format <f>  easyview (default; render with `easyview flame`)

@@ -60,8 +60,17 @@ static CRC_TABLES: [[u32; 256]; 8] = build_tables();
 /// assert_eq!(ev_flate::crc32(b"123456789"), 0xcbf43926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_fold(0xffff_ffff, data)
+}
+
+/// Folds `data` into a raw (pre-inversion) CRC register with the
+/// slice-by-8 kernel. CRC-32 is a byte-sequential fold, so feeding a
+/// buffer in arbitrary splits through this produces the same register
+/// as one pass — the property [`Crc32`] and the streaming gzip path
+/// rely on.
+fn crc32_fold(state: u32, data: &[u8]) -> u32 {
     let t = &CRC_TABLES;
-    let mut crc = 0xffff_ffffu32;
+    let mut crc = state;
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
         let lo = crc ^ u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes"));
@@ -78,7 +87,55 @@ pub fn crc32(data: &[u8]) -> u32 {
     for &byte in chunks.remainder() {
         crc = (crc >> 8) ^ t[0][((crc ^ u32::from(byte)) & 0xff) as usize];
     }
-    !crc
+    crc
+}
+
+/// Incremental CRC-32 state for callers that see the data in pieces —
+/// the streaming gzip decoder checksums each inflated chunk as it is
+/// emitted instead of re-reading the whole member at the trailer.
+///
+/// Splitting the input at any byte boundary is exact: `update` folds
+/// through the same slice-by-8 kernel as [`crc32`], and
+/// `Crc32::new().update(a).update(b)` equals `crc32(a ++ b)` for every
+/// split (differentially property-tested below).
+///
+/// # Examples
+///
+/// ```
+/// use ev_flate::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"1234");
+/// crc.update(b"56789");
+/// assert_eq!(crc.finish(), ev_flate::crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state, equivalent to having hashed zero bytes.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = crc32_fold(self.state, data);
+    }
+
+    /// The CRC-32 of every byte fed so far. Non-consuming: feeding more
+    /// bytes afterwards continues the same stream.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
 }
 
 /// The original one-table byte-at-a-time CRC-32 kernel, kept as the
@@ -153,6 +210,22 @@ mod tests {
             // window; both kernels are pure functions of the bytes.
             let sub = &data[skip.min(data.len())..];
             prop_assert_eq!(crc32(sub), crc32_reference(sub));
+        }
+
+        fn incremental_matches_one_shot(data in vec(any_u8(), 0..512), cuts in vec(0usize..513, 0..6)) {
+            // Feeding the buffer through Crc32 in arbitrary pieces
+            // (including empty ones when cuts collide) must match the
+            // one-shot kernel exactly.
+            let mut cuts: Vec<usize> = cuts.iter().map(|&c| c.min(data.len())).collect();
+            cuts.sort_unstable();
+            let mut crc = Crc32::new();
+            let mut prev = 0;
+            for &cut in &cuts {
+                crc.update(&data[prev..cut]);
+                prev = cut;
+            }
+            crc.update(&data[prev..]);
+            prop_assert_eq!(crc.finish(), crc32(&data));
         }
     }
 }

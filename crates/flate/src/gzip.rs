@@ -16,7 +16,7 @@ use crate::inflate::inflate_member;
 use crate::FlateError;
 use ev_par::ExecPolicy;
 
-const MAGIC: [u8; 2] = [0x1f, 0x8b];
+pub(crate) const MAGIC: [u8; 2] = [0x1f, 0x8b];
 const METHOD_DEFLATE: u8 = 8;
 
 const FTEXT: u8 = 1 << 0;
@@ -68,7 +68,7 @@ pub fn gzip_compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
 /// against the buffer: all fields are attacker-controlled, and an
 /// oversized XLEN must surface as [`FlateError::UnexpectedEof`], never
 /// as a slice panic.
-fn parse_header(data: &[u8], start: usize) -> Result<usize, FlateError> {
+pub(crate) fn parse_header(data: &[u8], start: usize) -> Result<usize, FlateError> {
     let header = data.get(start..).ok_or(FlateError::UnexpectedEof)?;
     if header.len() < 10 {
         return Err(FlateError::UnexpectedEof);
@@ -120,25 +120,29 @@ fn parse_header(data: &[u8], start: usize) -> Result<usize, FlateError> {
 }
 
 /// Reads the `(CRC32, ISIZE)` trailer fields at `pos`.
-fn read_trailer(data: &[u8], pos: usize) -> (u32, u32) {
+pub(crate) fn read_trailer(data: &[u8], pos: usize) -> (u32, u32) {
     let crc = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
     let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
     (crc, len)
 }
 
-/// Verifies one member's trailer against its decompressed bytes.
-/// ISIZE records the uncompressed size **mod 2^32** (RFC 1952), so the
-/// comparison truncates `out.len()` rather than rejecting >4 GiB
-/// streams outright.
-fn check_trailer(out: &[u8], stored_crc: u32, stored_len: u32) -> Result<(), FlateError> {
-    let actual_crc = crc32(out);
+/// Compares computed CRC32/length against a member's stored trailer —
+/// CRC first, then length, an order both the buffered and streaming
+/// paths must share for error identity. ISIZE records the uncompressed
+/// size **mod 2^32** (RFC 1952), so callers pass a truncated length
+/// rather than rejecting >4 GiB streams outright.
+pub(crate) fn verify_trailer(
+    actual_crc: u32,
+    actual_len: u32,
+    stored_crc: u32,
+    stored_len: u32,
+) -> Result<(), FlateError> {
     if stored_crc != actual_crc {
         return Err(FlateError::ChecksumMismatch {
             expected: stored_crc,
             actual: actual_crc,
         });
     }
-    let actual_len = out.len() as u32;
     if stored_len != actual_len {
         return Err(FlateError::LengthMismatch {
             expected: stored_len,
@@ -146,6 +150,11 @@ fn check_trailer(out: &[u8], stored_crc: u32, stored_len: u32) -> Result<(), Fla
         });
     }
     Ok(())
+}
+
+/// Verifies one member's trailer against its decompressed bytes.
+fn check_trailer(out: &[u8], stored_crc: u32, stored_len: u32) -> Result<(), FlateError> {
+    verify_trailer(crc32(out), out.len() as u32, stored_crc, stored_len)
 }
 
 /// Decompresses a gzip file: one member, or any number of concatenated
@@ -205,12 +214,31 @@ pub fn gzip_decompress_with(data: &[u8], policy: ExecPolicy) -> Result<Vec<u8>, 
     Ok(out)
 }
 
+/// Minimum average compressed bytes per candidate member before the
+/// parallel split is attempted. Below this, per-member work is too
+/// small to amortize the candidate scan and fork-join overhead and the
+/// split used to run *slower* than the sequential walk (the `ingest`
+/// bench's 8 × ~40 KiB workload measured ~7% under sequential), so
+/// small-member files take the sequential path outright. The
+/// `flate.split_parallel` / `flate.split_fallback` counters record
+/// which way each file went.
+pub const PAR_MEMBER_MIN_BYTES: usize = 256 << 10;
+
 fn decompress_members(data: &[u8], policy: ExecPolicy) -> Result<(Vec<u8>, u64), FlateError> {
-    if !policy.is_sequential() {
+    // Files too small for even two threshold-sized members skip the
+    // candidate scan entirely.
+    if !policy.is_sequential() && data.len() >= 2 * PAR_MEMBER_MIN_BYTES {
         let starts = member_start_candidates(data);
         if starts.len() > 1 {
-            if let Some(out) = decompress_split(data, &starts, policy) {
-                return Ok((out, starts.len() as u64));
+            if data.len() / starts.len() >= PAR_MEMBER_MIN_BYTES {
+                if ev_trace::enabled() {
+                    crate::metrics::split_parallel().add(1);
+                }
+                if let Some(out) = decompress_split(data, &starts, policy) {
+                    return Ok((out, starts.len() as u64));
+                }
+            } else if ev_trace::enabled() {
+                crate::metrics::split_fallback().add(1);
             }
         }
     }
@@ -302,10 +330,23 @@ fn decompress_split(data: &[u8], starts: &[usize], policy: ExecPolicy) -> Option
         .map(|(&a, &b)| &data[a..b])
         .collect();
     let pieces = ev_par::parallel_map(&segments, policy, |seg| decode_whole_member(seg));
-    let mut out = Vec::with_capacity(pieces.iter().flatten().map(Vec::len).sum());
+    // Parallel ordered join: prefix-sum the piece offsets, then let each
+    // task memcpy its piece into its disjoint range. The sequential
+    // `extend_from_slice` walk this replaces was a measurable fraction
+    // of multi-member wall-clock once inflate itself was parallel.
+    let mut offsets = Vec::with_capacity(pieces.len());
+    let mut total = 0usize;
     for piece in &pieces {
-        out.extend_from_slice(piece.as_deref()?);
+        offsets.push(total);
+        total += piece.as_ref()?.len();
     }
+    let mut out = vec![0u8; total];
+    let shared = ev_par::SharedSlice::new(&mut out);
+    ev_par::parallel_tasks(pieces.len(), policy, &|i| {
+        let piece = pieces[i].as_deref().expect("validated above");
+        // Ranges are disjoint by construction of the prefix sums.
+        unsafe { shared.copy_from_slice_at(offsets[i], piece) };
+    });
     Some(out)
 }
 

@@ -65,7 +65,7 @@ pub const MAX_SIZE_HINT: usize = 256 << 20;
 /// the `ev-trace` registry only when tracing is enabled (the disabled
 /// path stays allocation-free).
 #[derive(Default)]
-struct LutStats {
+pub(crate) struct LutStats {
     primary: u64,
     sub: u64,
     tail: u64,
@@ -81,7 +81,7 @@ impl LutStats {
         }
     }
 
-    fn flush(&self) {
+    pub(crate) fn flush(&self) {
         if ev_trace::enabled() && self.primary | self.sub | self.tail != 0 {
             crate::metrics::lut_primary().add(self.primary);
             crate::metrics::lut_sub().add(self.sub);
@@ -91,7 +91,7 @@ impl LutStats {
 }
 
 /// The RFC 1951 fixed tables in LUT form, built once per process.
-fn fixed_luts() -> &'static (HuffmanLut, HuffmanLut) {
+pub(crate) fn fixed_luts() -> &'static (HuffmanLut, HuffmanLut) {
     static TABLES: OnceLock<(HuffmanLut, HuffmanLut)> = OnceLock::new();
     TABLES.get_or_init(|| {
         (
@@ -198,6 +198,22 @@ pub fn inflate_reference_member(input: &[u8]) -> Result<(Vec<u8>, usize), FlateE
         .map(|out| (out, reader.bytes_consumed()))
 }
 
+/// How far a budget-bounded block decode got.
+///
+/// The buffered decoders pass `usize::MAX` as the budget and only ever
+/// see `Done`; [`crate::InflateStream`] passes its chunk target and
+/// suspends the block on `Budget`, resuming the same decode on the next
+/// pull. Budget checks sit *between* symbols, so the decoded symbol
+/// sequence — and therefore every output byte and every error — is
+/// independent of where (or whether) the decode is suspended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockProgress {
+    /// The block's end-of-block symbol was consumed.
+    Done,
+    /// The output budget was reached mid-block; call again to continue.
+    Budget,
+}
+
 fn inflate_fast_loop(
     reader: &mut BitReader<'_>,
     out: &mut Vec<u8>,
@@ -210,11 +226,13 @@ fn inflate_fast_loop(
             0 => inflate_stored(reader, out)?,
             1 => {
                 let (lit, dist) = fixed_luts();
-                inflate_block_fast(reader, lit, dist, out, stats)?;
+                let done = inflate_block_fast(reader, lit, dist, out, usize::MAX, stats)?;
+                debug_assert_eq!(done, BlockProgress::Done);
             }
             2 => {
                 let (lit, dist) = read_dynamic_luts(reader)?;
-                inflate_block_fast(reader, &lit, &dist, out, stats)?;
+                let done = inflate_block_fast(reader, &lit, &dist, out, usize::MAX, stats)?;
+                debug_assert_eq!(done, BlockProgress::Done);
             }
             _ => return Err(FlateError::InvalidBlockType),
         }
@@ -224,14 +242,20 @@ fn inflate_fast_loop(
     }
 }
 
-fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), FlateError> {
+/// Reads a stored block's aligned LEN/NLEN header, returning LEN.
+pub(crate) fn read_stored_header(reader: &mut BitReader<'_>) -> Result<usize, FlateError> {
     reader.align_to_byte();
     let len = reader.bits(16)? as u16;
     let nlen = reader.bits(16)? as u16;
     if len != !nlen {
         return Err(FlateError::StoredLengthMismatch);
     }
-    reader.copy_bytes(len as usize, out)
+    Ok(len as usize)
+}
+
+fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), FlateError> {
+    let len = read_stored_header(reader)?;
+    reader.copy_bytes(len, out)
 }
 
 /// Decodes a dynamic block header into the literal/length and distance
@@ -289,7 +313,7 @@ fn read_dynamic_lengths(
     Ok((lengths, hlit))
 }
 
-fn read_dynamic_luts(
+pub(crate) fn read_dynamic_luts(
     reader: &mut BitReader<'_>,
 ) -> Result<(HuffmanLut, HuffmanLut), FlateError> {
     let mut clc: Option<HuffmanLut> = None;
@@ -339,14 +363,22 @@ fn copy_match(out: &mut Vec<u8>, distance: usize, length: usize) -> Result<(), F
     Ok(())
 }
 
-fn inflate_block_fast(
+pub(crate) fn inflate_block_fast(
     reader: &mut BitReader<'_>,
     lit: &HuffmanLut,
     dist: &HuffmanLut,
     out: &mut Vec<u8>,
+    budget: usize,
     stats: &mut LutStats,
-) -> Result<(), FlateError> {
+) -> Result<BlockProgress, FlateError> {
     loop {
+        // Budget check between symbols only: the symbol sequence (and
+        // so every byte/error) is unchanged by where we suspend. One
+        // symbol may overshoot by up to 258 bytes — the stream layer
+        // sizes its emit window to absorb that.
+        if out.len() >= budget {
+            return Ok(BlockProgress::Budget);
+        }
         reader.refill();
         if reader.buffered() >= FUSED_BITS {
             // Fused path: one refill covers the worst-case symbol pair
@@ -366,7 +398,7 @@ fn inflate_block_fast(
                 continue;
             }
             if symbol == 256 {
-                return Ok(());
+                return Ok(BlockProgress::Done);
             }
             if symbol > 285 {
                 return Err(FlateError::InvalidSymbol);
@@ -396,7 +428,7 @@ fn inflate_block_fast(
             let symbol = lit.decode(reader)?;
             match symbol {
                 0..=255 => out.push(symbol as u8),
-                256 => return Ok(()),
+                256 => return Ok(BlockProgress::Done),
                 257..=285 => {
                     let idx = symbol as usize - 257;
                     let length = LENGTH_BASE[idx] as usize

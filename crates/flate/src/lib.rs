@@ -46,6 +46,7 @@ mod dynamic;
 mod gzip;
 mod huffman;
 mod inflate;
+mod stream;
 
 /// Cached handles for this crate's `ev-trace` counters, registered on
 /// first use so the steady-state bump is one relaxed `fetch_add`.
@@ -91,15 +92,36 @@ pub(crate) mod metrics {
         static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
         HANDLE.get_or_init(|| ev_trace::counter("flate.lut_tail"))
     }
+
+    /// Output chunks yielded by the streaming decoders.
+    pub(crate) fn stream_chunks() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.stream_chunks"))
+    }
+
+    /// Multi-member files whose average member size cleared the
+    /// parallel-split threshold (the split was attempted).
+    pub(crate) fn split_parallel() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.split_parallel"))
+    }
+
+    /// Multi-member files whose members were too small to parallelize,
+    /// decoded by the sequential walk instead.
+    pub(crate) fn split_fallback() -> &'static Counter {
+        static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| ev_trace::counter("flate.split_fallback"))
+    }
 }
 
-pub use checksum::{crc32, crc32_reference};
+pub use checksum::{crc32, crc32_reference, Crc32};
 pub use deflate::{deflate_compress, CompressionLevel};
-pub use gzip::{gzip_compress, gzip_decompress, gzip_decompress_with, is_gzip};
+pub use gzip::{gzip_compress, gzip_decompress, gzip_decompress_with, is_gzip, PAR_MEMBER_MIN_BYTES};
 pub use inflate::{
     inflate, inflate_member, inflate_reference, inflate_reference_member, inflate_with_size_hint,
     MAX_SIZE_HINT,
 };
+pub use stream::{GzipStream, InflateStream, DEFAULT_CHUNK_SIZE, WINDOW_SIZE};
 
 // Re-exported so container callers can pick a decompression policy
 // without depending on `ev-par` directly.

@@ -223,6 +223,9 @@ pub fn parse_auto_with(
 ) -> Result<Profile, FormatError> {
     match detect(data) {
         Format::EasyView => easyview::parse(data),
+        Format::Pprof if ev_flate::is_gzip(data) && data.len() >= STREAM_SIZE_THRESHOLD => {
+            pprof::parse_streaming_with(data, policy, ev_flate::DEFAULT_CHUNK_SIZE)
+        }
         Format::Pprof => pprof::parse_with(data, policy),
         Format::PerfScript => {
             perf_script::parse(&String::from_utf8_lossy(data))
@@ -234,6 +237,37 @@ pub fn parse_auto_with(
         Format::Scalene => scalene::parse(&String::from_utf8_lossy(data)),
         Format::HpcToolkit => hpctoolkit::parse(&String::from_utf8_lossy(data)),
         Format::Unknown => Err(FormatError::UnknownFormat),
+    }
+}
+
+pub use ev_flate::DEFAULT_CHUNK_SIZE;
+
+/// Compressed sizes at or above this route gzip'd pprof input through
+/// the bounded-memory streaming decoder in [`parse_auto_with`]. Below
+/// it the buffered one-pass decoder wins: its sample payloads stay
+/// borrowed slices into the decompressed body instead of being copied
+/// into the spill, and the whole body comfortably fits in memory
+/// anyway. 64 MiB compressed is roughly half a GiB decompressed at
+/// typical pprof ratios — the point where holding the body *and* the
+/// tables starts to hurt.
+pub const STREAM_SIZE_THRESHOLD: usize = 64 << 20;
+
+/// Like [`parse_auto_with`], forcing gzip'd and raw pprof input
+/// through the bounded-memory streaming decoder at the given chunk
+/// size regardless of input size (the CLI's `--stream` flag). Formats
+/// without a streaming path fall back to [`parse_auto_with`].
+///
+/// # Errors
+///
+/// Same conditions as [`parse_auto`].
+pub fn parse_auto_streaming_with(
+    data: &[u8],
+    policy: ev_flate::ExecPolicy,
+    chunk_size: usize,
+) -> Result<Profile, FormatError> {
+    match detect(data) {
+        Format::Pprof => pprof::parse_streaming_with(data, policy, chunk_size),
+        _ => parse_auto_with(data, policy),
     }
 }
 

@@ -19,8 +19,14 @@ use ev_core::{
     ContextKind, Frame, FrameRef, MetricDescriptor, MetricId, MetricKind, MetricUnit, NodeId,
     Profile, StringId,
 };
-use ev_flate::{gzip_compress, gzip_decompress_with, is_gzip, CompressionLevel, ExecPolicy};
-use ev_wire::{decode_packed_int64, decode_packed_uint64, FieldValue, Reader, WireError, Writer};
+use ev_flate::{
+    gzip_compress, gzip_decompress_with, is_gzip, CompressionLevel, ExecPolicy, FlateError,
+    GzipStream,
+};
+use ev_wire::{
+    decode_packed_int64, decode_packed_uint64, ChunkSource, FieldValue, Reader, StreamError,
+    StreamReader, WireError, Writer,
+};
 use std::collections::HashMap;
 
 /// Samples decoded through the one-pass path (`wire.onepass_samples`).
@@ -153,6 +159,55 @@ pub fn parse_reference_with(data: &[u8], policy: ExecPolicy) -> Result<Profile, 
     parse_twopass(body)
 }
 
+/// Like [`parse_with`], but bounded-memory: the gzip body inflates in
+/// chunks of roughly `chunk_size` bytes that feed the one-pass decoder
+/// through a resumable `ev-wire` stream walk, so peak memory tracks
+/// the *decoded tables* plus the final profile, never the whole
+/// decompressed body. The CRC of each chunk overlaps the inflate of
+/// the next on an `ev-par` worker under `policy`. Raw (uncompressed)
+/// bodies stream too, exercising the same resume logic without the
+/// inflate stage.
+///
+/// The stream is decoded in two passes over the *source*: pass 1 walks
+/// the tables and validates every field's framing, pass 2 re-inflates
+/// and replays only the sample payloads into the fixup. Trading one
+/// extra inflate (a few percent of end-to-end time) for never
+/// materializing the samples is what keeps peak memory independent of
+/// the sample count — sample payloads dominate large profiles.
+///
+/// Differential contract: byte-identical profiles and identical errors
+/// to [`parse_with`] at any chunk size and any thread count. In
+/// particular, a container (gzip) error anywhere in the input outranks
+/// a wire error anywhere in the body, exactly as if the body had been
+/// decompressed up front.
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_streaming_with(
+    data: &[u8],
+    policy: ExecPolicy,
+    chunk_size: usize,
+) -> Result<Profile, FormatError> {
+    let _span = ev_trace::span("convert.pprof");
+    if is_gzip(data) {
+        parse_stream(policy, || {
+            Ok(GzipChunkSource {
+                gz: GzipStream::new(data, chunk_size, policy)?,
+                scratch: Vec::new(),
+            })
+        })
+    } else {
+        parse_stream(policy, || {
+            Ok(SliceChunkSource {
+                data,
+                pos: 0,
+                chunk_size,
+            })
+        })
+    }
+}
+
 /// A `Location` record in the one-pass decoder. Its inline-line run
 /// lives in a shared [`Arena`] instead of a per-record `Vec`, so
 /// decoding a million locations costs one allocation, not a million.
@@ -228,6 +283,116 @@ fn sid_for(
     sid
 }
 
+/// Decodes a `ValueType` sub-message (profile field 1).
+fn decode_value_type(msg: &[u8]) -> Result<ValueType, WireError> {
+    let mut vt = ValueType::default();
+    let mut m = Reader::new(msg);
+    while let Some((f, v)) = m.next_field()? {
+        match (f, v) {
+            (1, FieldValue::Varint(v)) => vt.r#type = v as i64,
+            (2, FieldValue::Varint(v)) => vt.unit = v as i64,
+            _ => {}
+        }
+    }
+    Ok(vt)
+}
+
+/// Decodes a `Mapping` sub-message (profile field 3).
+fn decode_mapping(msg: &[u8]) -> Result<Mapping, WireError> {
+    let mut mp = Mapping::default();
+    let mut m = Reader::new(msg);
+    while let Some((f, v)) = m.next_field()? {
+        match (f, v) {
+            (1, FieldValue::Varint(v)) => mp.id = v,
+            (5, FieldValue::Varint(v)) => mp.filename = v as i64,
+            _ => {}
+        }
+    }
+    Ok(mp)
+}
+
+/// Decodes a `Location` sub-message (profile field 4), appending its
+/// inline-line run to the shared arena.
+fn decode_location(msg: &[u8], lines: &mut Arena<Line>) -> Result<LocRec, WireError> {
+    let mut loc = LocRec {
+        id: 0,
+        mapping_id: 0,
+        address: 0,
+        lines: Span::default(),
+    };
+    let mark = lines.mark();
+    let mut m = Reader::new(msg);
+    while let Some((f, v)) = m.next_field()? {
+        match (f, v) {
+            (1, FieldValue::Varint(v)) => loc.id = v,
+            (2, FieldValue::Varint(v)) => loc.mapping_id = v,
+            (3, FieldValue::Varint(v)) => loc.address = v,
+            (4, FieldValue::Bytes(line_msg)) => {
+                let mut line = Line::default();
+                let mut lm = Reader::new(line_msg);
+                while let Some((lf, lv)) = lm.next_field()? {
+                    match (lf, lv) {
+                        (1, FieldValue::Varint(v)) => line.function_id = v,
+                        (2, FieldValue::Varint(v)) => line.line = v as i64,
+                        _ => {}
+                    }
+                }
+                lines.push(line);
+            }
+            _ => {}
+        }
+    }
+    loc.lines = lines.span_since(mark);
+    Ok(loc)
+}
+
+/// Decodes a `Function` sub-message (profile field 5).
+fn decode_function(msg: &[u8]) -> Result<Function, WireError> {
+    let mut func = Function::default();
+    let mut m = Reader::new(msg);
+    while let Some((f, v)) = m.next_field()? {
+        match (f, v) {
+            (1, FieldValue::Varint(v)) => func.id = v,
+            (2, FieldValue::Varint(v)) => func.name = v as i64,
+            (4, FieldValue::Varint(v)) => func.filename = v as i64,
+            _ => {}
+        }
+    }
+    Ok(func)
+}
+
+/// Decodes a `Sample` payload (profile field 2) into leaf-first
+/// location ids and metric values, packed or unpacked.
+fn decode_sample_payload(
+    msg: &[u8],
+    location_ids: &mut Vec<u64>,
+    values: &mut Vec<i64>,
+) -> Result<(), WireError> {
+    let mut m = Reader::new(msg);
+    while let Some((f, v)) = m.next_field()? {
+        match (f, v) {
+            (1, FieldValue::Bytes(b)) => decode_packed_uint64(b, location_ids)?,
+            (1, FieldValue::Varint(v)) => location_ids.push(v),
+            (2, FieldValue::Bytes(b)) => decode_packed_int64(b, values)?,
+            (2, FieldValue::Varint(v)) => values.push(v as i64),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// The decoded pprof entity tables a body walk produces — everything
+/// the fixup pass needs besides the sample records themselves. Shared
+/// between the buffered and the streaming one-pass decoders.
+struct WalkTables {
+    sample_types: Vec<ValueType>,
+    locs: Vec<LocRec>,
+    lines: Arena<Line>,
+    functions: Vec<Function>,
+    mappings: Vec<Mapping>,
+    time_nanos: i64,
+}
+
 /// The one-pass decode: a single forward walk over `body` with the
 /// `ev-wire` streaming field walker, then a bounded fixup pass that
 /// resolves forward references (samples may precede the tables they
@@ -256,80 +421,15 @@ fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
     let mut r = Reader::new(body);
     while let Some((field, value)) = r.next_field()? {
         match (field, value) {
-            (1, FieldValue::Bytes(msg)) => {
-                let mut vt = ValueType::default();
-                let mut m = Reader::new(msg);
-                while let Some((f, v)) = m.next_field()? {
-                    match (f, v) {
-                        (1, FieldValue::Varint(v)) => vt.r#type = v as i64,
-                        (2, FieldValue::Varint(v)) => vt.unit = v as i64,
-                        _ => {}
-                    }
-                }
-                sample_types.push(vt);
-            }
+            (1, FieldValue::Bytes(msg)) => sample_types.push(decode_value_type(msg)?),
             (2, FieldValue::Bytes(msg)) => {
                 // Deferred: decoded in the fixup pass once the
                 // location table is known.
                 sample_payloads.push(msg);
             }
-            (3, FieldValue::Bytes(msg)) => {
-                let mut mp = Mapping::default();
-                let mut m = Reader::new(msg);
-                while let Some((f, v)) = m.next_field()? {
-                    match (f, v) {
-                        (1, FieldValue::Varint(v)) => mp.id = v,
-                        (5, FieldValue::Varint(v)) => mp.filename = v as i64,
-                        _ => {}
-                    }
-                }
-                mappings.push(mp);
-            }
-            (4, FieldValue::Bytes(msg)) => {
-                let mut loc = LocRec {
-                    id: 0,
-                    mapping_id: 0,
-                    address: 0,
-                    lines: Span::default(),
-                };
-                let mark = lines.mark();
-                let mut m = Reader::new(msg);
-                while let Some((f, v)) = m.next_field()? {
-                    match (f, v) {
-                        (1, FieldValue::Varint(v)) => loc.id = v,
-                        (2, FieldValue::Varint(v)) => loc.mapping_id = v,
-                        (3, FieldValue::Varint(v)) => loc.address = v,
-                        (4, FieldValue::Bytes(line_msg)) => {
-                            let mut line = Line::default();
-                            let mut lm = Reader::new(line_msg);
-                            while let Some((lf, lv)) = lm.next_field()? {
-                                match (lf, lv) {
-                                    (1, FieldValue::Varint(v)) => line.function_id = v,
-                                    (2, FieldValue::Varint(v)) => line.line = v as i64,
-                                    _ => {}
-                                }
-                            }
-                            lines.push(line);
-                        }
-                        _ => {}
-                    }
-                }
-                loc.lines = lines.span_since(mark);
-                locs.push(loc);
-            }
-            (5, FieldValue::Bytes(msg)) => {
-                let mut func = Function::default();
-                let mut m = Reader::new(msg);
-                while let Some((f, v)) = m.next_field()? {
-                    match (f, v) {
-                        (1, FieldValue::Varint(v)) => func.id = v,
-                        (2, FieldValue::Varint(v)) => func.name = v as i64,
-                        (4, FieldValue::Varint(v)) => func.filename = v as i64,
-                        _ => {}
-                    }
-                }
-                functions.push(func);
-            }
+            (3, FieldValue::Bytes(msg)) => mappings.push(decode_mapping(msg)?),
+            (4, FieldValue::Bytes(msg)) => locs.push(decode_location(msg, &mut lines)?),
+            (5, FieldValue::Bytes(msg)) => functions.push(decode_function(msg)?),
             (6, FieldValue::Bytes(msg)) => {
                 // Validated here — the same walk position at which the
                 // reference decoder's read_string() validates.
@@ -341,14 +441,50 @@ fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
     }
     drop(wire_span);
 
-    // Fixup: resolve tables, intern frames, replay samples.
+    let tables = WalkTables {
+        sample_types,
+        locs,
+        lines,
+        functions,
+        mappings,
+        time_nanos,
+    };
+    let sample_count = sample_payloads.len();
+    let mut payloads = sample_payloads.iter();
+    fixup_profile(&strings, &tables, sample_count, |ids, vals| {
+        match payloads.next() {
+            Some(payload) => {
+                decode_sample_payload(payload, ids, vals)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    })
+}
+
+/// The fixup pass shared by the buffered and streaming one-pass
+/// decoders: resolve tables, intern frames, replay samples.
+///
+/// `next_sample` yields one sample per call by appending to the
+/// (pre-cleared) id/value vectors, `Ok(false)` when exhausted; the
+/// buffered decoder decodes its deferred payload slices here, the
+/// streaming decoder re-expands its prefix-compressed spill. An error
+/// from the closure aborts the parse at exactly the sample index the
+/// buffered replay would abort at.
+fn fixup_profile(
+    strings: &[&str],
+    t: &WalkTables,
+    sample_count: usize,
+    mut next_sample: impl FnMut(&mut Vec<u64>, &mut Vec<i64>) -> Result<bool, FormatError>,
+) -> Result<Profile, FormatError> {
     let mut profile = Profile::new("pprof");
     profile.meta_mut().profiler = "pprof".to_owned();
-    profile.meta_mut().timestamp_nanos = time_nanos.max(0) as u64;
+    profile.meta_mut().timestamp_nanos = t.time_nanos.max(0) as u64;
 
     let string_at = |idx: i64| -> &str { strings.get(idx.max(0) as usize).copied().unwrap_or("") };
 
-    let metric_ids: Vec<MetricId> = sample_types
+    let metric_ids: Vec<MetricId> = t
+        .sample_types
         .iter()
         .map(|vt| {
             let name = string_at(vt.r#type).to_owned();
@@ -361,9 +497,9 @@ fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
         })
         .collect();
 
-    let function_index = IdIndex::build(&functions, |f| f.id);
-    let mapping_index = IdIndex::build(&mappings, |m| m.id);
-    let location_index = IdIndex::build(&locs, |l| l.id);
+    let function_index = IdIndex::build(&t.functions, |f| f.id);
+    let mapping_index = IdIndex::build(&t.mappings, |m| m.id);
+    let location_index = IdIndex::build(&t.locs, |l| l.id);
 
     // Frame runs materialize lazily, at a location's first use by a
     // sample. That makes the profile's intern order *sample-first-use*
@@ -380,11 +516,11 @@ fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
     // sound — (parent, token) identifies a child edge exactly.
     let mut token_map: FxHashMap<FrameRef, u32> = FxHashMap::default();
     let mut frame_by_token: Vec<FrameRef> = Vec::new();
-    let mut tokens: Arena<u32> = Arena::with_capacity(lines.len().max(locs.len()));
+    let mut tokens: Arena<u32> = Arena::with_capacity(t.lines.len().max(t.locs.len()));
     // `Span::default()` (empty) marks "not yet materialized": every
     // materialized location yields at least one frame (unsymbolized
     // locations synthesize one from the address).
-    let mut frame_spans: Vec<Span> = vec![Span::default(); locs.len()];
+    let mut frame_spans: Vec<Span> = vec![Span::default(); t.locs.len()];
 
     // Replay the deferred samples. Two exact shortcuts make this the
     // fast half of the decode:
@@ -403,14 +539,19 @@ fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
     //      bijection is what makes the unchecked push sound: two memo
     //      keys are equal iff the checked API would merge the edges.
     if ev_trace::enabled() {
-        onepass_samples_counter().add(sample_payloads.len() as u64);
+        onepass_samples_counter().add(sample_count as u64);
     }
     let _wire_span = ev_trace::span("wire.decode");
     let root = profile.root();
-    // Pre-size the CCT structures near the sample count (capped so a
-    // tiny adversarial file can't reserve gigabytes): growth rehashes
-    // of a million-entry index otherwise dominate construction.
-    let reserve = sample_payloads.len().min(1 << 20);
+    // Pre-size the CCT structures for a mid-size profile. The cap is
+    // deliberately modest: nodes scale with *distinct call paths*, not
+    // samples, and a long capture has millions of samples over a tiny
+    // CCT — sizing by sample count there strands tens of MiB of node
+    // capacity in the returned profile (and defeats the streaming
+    // path's bounded-memory contract). Beyond the floor, growth is
+    // amortized doubling of a u64-keyed map and a memcpy'd vec, a few
+    // percent of construction even at millions of nodes.
+    let reserve = sample_count.min(1 << 16);
     profile.reserve_nodes(reserve);
     let mut location_ids: Vec<u64> = Vec::new();
     let mut values: Vec<i64> = Vec::new();
@@ -421,18 +562,11 @@ fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
     let mut prev_nodes: Vec<NodeId> = Vec::new();
     let mut edge_memo: FxHashMap<u64, NodeId> =
         FxHashMap::with_capacity_and_hasher(reserve, Default::default());
-    for payload in &sample_payloads {
+    loop {
         location_ids.clear();
         values.clear();
-        let mut m = Reader::new(payload);
-        while let Some((f, v)) = m.next_field()? {
-            match (f, v) {
-                (1, FieldValue::Bytes(b)) => decode_packed_uint64(b, &mut location_ids)?,
-                (1, FieldValue::Varint(v)) => location_ids.push(v),
-                (2, FieldValue::Bytes(b)) => decode_packed_int64(b, &mut values)?,
-                (2, FieldValue::Varint(v)) => values.push(v as i64),
-                _ => {}
-            }
+        if !next_sample(&mut location_ids, &mut values)? {
+            break;
         }
         // Shared call-path prefix with the previous sample, computed on
         // the raw ids: an outermost-first prefix is a leaf-first
@@ -466,12 +600,12 @@ fn parse_onepass(body: &[u8]) -> Result<Profile, FormatError> {
                     &mut frame_by_token,
                     &mut frame_spans,
                     &mut sid_memo,
-                    &strings,
-                    &locs,
-                    &lines,
-                    &functions,
+                    strings,
+                    &t.locs,
+                    &t.lines,
+                    &t.functions,
                     &function_index,
-                    &mappings,
+                    &t.mappings,
                     &mapping_index,
                 );
             }
@@ -592,6 +726,241 @@ fn location_function(index: &IdIndex, functions: &[Function], id: u64) -> Functi
         .get(id)
         .map(|slot| functions[slot as usize])
         .unwrap_or_default()
+}
+
+/// [`ChunkSource`] over an in-memory slice — the raw (uncompressed)
+/// pprof body case. Never fails; using `FlateError` as the error type
+/// anyway keeps the streaming walk monomorphic over both sources.
+struct SliceChunkSource<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk_size: usize,
+}
+
+impl ChunkSource for SliceChunkSource<'_> {
+    type Error = FlateError;
+
+    fn read_chunk(&mut self, dst: &mut Vec<u8>) -> Result<bool, FlateError> {
+        if self.pos == self.data.len() {
+            return Ok(false);
+        }
+        let take = self.chunk_size.max(1).min(self.data.len() - self.pos);
+        dst.extend_from_slice(&self.data[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(true)
+    }
+}
+
+/// [`ChunkSource`] over a [`GzipStream`]: bridges the stream's
+/// clear-and-fill contract to the trait's append contract through a
+/// scratch buffer (one memcpy per chunk, noise next to the inflate).
+struct GzipChunkSource<'a> {
+    gz: GzipStream<'a>,
+    scratch: Vec<u8>,
+}
+
+impl ChunkSource for GzipChunkSource<'_> {
+    type Error = FlateError;
+
+    fn read_chunk(&mut self, dst: &mut Vec<u8>) -> Result<bool, FlateError> {
+        if dst.is_empty() {
+            // Clear-and-fill and append agree on an empty buffer; the
+            // pipelined producer always pulls into one, so the common
+            // path skips the scratch hop.
+            return self.gz.next_chunk(dst);
+        }
+        let more = self.gz.next_chunk(&mut self.scratch)?;
+        if more {
+            dst.extend_from_slice(&self.scratch);
+        }
+        Ok(more)
+    }
+}
+
+/// What the streaming walk produces: the entity tables (strings owned,
+/// since the bytes they were decoded from are gone) and the sample
+/// count for the fixup's reservation.
+struct StreamWalk {
+    strings: Vec<String>,
+    tables: WalkTables,
+    /// Every `(2, bytes)` field seen — the buffered decoder's
+    /// `sample_payloads.len()`.
+    sample_count: usize,
+}
+
+/// How many chunks a pipeline stage may run ahead of its consumer.
+/// One in-flight chunk already hides the inflate behind the walk;
+/// a second absorbs scheduling jitter. Peak memory grows by
+/// `PIPE_DEPTH × chunk_size`.
+const PIPE_DEPTH: usize = 2;
+
+/// Adapts a [`ChunkSource`] into a [`ev_par::with_pipeline`] producer:
+/// each call pulls one chunk into a fresh buffer. After a source error
+/// the next call observes the source's exhausted state (`Ok(false)`)
+/// and ends the stream, so the produced item sequence is exactly what
+/// inline pulls would yield.
+fn chunk_producer<S: ChunkSource<Error = FlateError>>(
+    mut source: S,
+) -> impl FnMut() -> Option<Result<Vec<u8>, FlateError>> {
+    move || {
+        let mut buf = Vec::new();
+        match source.read_chunk(&mut buf) {
+            Ok(true) => Some(Ok(buf)),
+            Ok(false) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// [`ChunkSource`] over the consumer end of a chunk pipeline.
+struct PipeSource<'a, 'b> {
+    rx: &'a mut ev_par::PipelineRx<'b, Vec<u8>, FlateError>,
+}
+
+impl ChunkSource for PipeSource<'_, '_> {
+    type Error = FlateError;
+
+    fn read_chunk(&mut self, dst: &mut Vec<u8>) -> Result<bool, FlateError> {
+        match self.rx.pull() {
+            Some(Ok(chunk)) => {
+                dst.extend_from_slice(&chunk);
+                Ok(true)
+            }
+            Some(Err(e)) => Err(e),
+            None => Ok(false),
+        }
+    }
+}
+
+/// Drives the streaming decode: pass 1 walks the tables, pass 2 (a
+/// fresh source from `make_source`) replays the sample payloads
+/// straight into the fixup, so samples are never materialized. Each
+/// pass pulls its chunks through [`ev_par::with_pipeline`], so under a
+/// parallel policy chunk N+1 inflates on a pipeline thread while the
+/// walk decodes chunk N — the inflate leaves the end-to-end critical
+/// path entirely. Sequential policies pull inline: that path is the
+/// reference, and the pipeline delivers it the bit-identical chunk
+/// sequence.
+///
+/// Pass 1 enforces the buffered path's error precedence: that path
+/// decompresses the whole container before wire-decoding a single
+/// byte, so a flate error anywhere in the stream outranks a wire error
+/// anywhere in the body. On a wire error the remaining source is
+/// drained to look for one. A completed pass 1 conversely proves the
+/// container and every field's framing are sound, so pass 2 — a
+/// deterministic re-pass — can only surface errors from *inside* a
+/// sample payload: the same errors, at the same replay index, the
+/// buffered decoder reports from its deferred payload slices.
+fn parse_stream<S: ChunkSource<Error = FlateError> + Send>(
+    policy: ExecPolicy,
+    make_source: impl Fn() -> Result<S, FlateError>,
+) -> Result<Profile, FormatError> {
+    let walk = ev_par::with_pipeline(
+        policy,
+        PIPE_DEPTH,
+        chunk_producer(make_source()?),
+        |rx| -> Result<StreamWalk, FormatError> {
+            let mut reader = StreamReader::new(PipeSource { rx });
+            match walk_stream(&mut reader) {
+                Ok(walk) => Ok(walk),
+                Err(StreamError::Source(e)) => Err(e.into()),
+                Err(StreamError::Wire(e)) => {
+                    if let Some(flate) = drain_source(&mut reader) {
+                        return Err(flate.into());
+                    }
+                    Err(e.into())
+                }
+            }
+        },
+    )?;
+    let strings: Vec<&str> = walk.strings.iter().map(String::as_str).collect();
+    ev_par::with_pipeline(
+        policy,
+        PIPE_DEPTH,
+        chunk_producer(make_source()?),
+        |rx| {
+            let mut replay = StreamReader::new(PipeSource { rx });
+            fixup_profile(&strings, &walk.tables, walk.sample_count, |ids, vals| {
+                loop {
+                    match replay.next_field() {
+                        Ok(Some((2, FieldValue::Bytes(payload)))) => {
+                            decode_sample_payload(payload, ids, vals)?;
+                            return Ok(true);
+                        }
+                        Ok(Some(_)) => {}
+                        Ok(None) => return Ok(false),
+                        Err(StreamError::Wire(e)) => return Err(e.into()),
+                        Err(StreamError::Source(e)) => return Err(e.into()),
+                    }
+                }
+            })
+        },
+    )
+}
+
+/// Pulls the rest of the chunk source, returning the first error. Used
+/// after a wire error to find any container error the buffered path
+/// would have reported first.
+fn drain_source<S: ChunkSource>(reader: &mut StreamReader<S>) -> Option<S::Error> {
+    let mut sink = Vec::new();
+    loop {
+        sink.clear();
+        match reader.source_mut().read_chunk(&mut sink) {
+            Ok(true) => {}
+            Ok(false) => return None,
+            Err(e) => return Some(e),
+        }
+    }
+}
+
+/// The streaming twin of [`parse_onepass`]'s walk: identical field
+/// dispatch over a [`StreamReader`] instead of a contiguous slice.
+/// Strings are copied out (their chunk is recycled on the next refill)
+/// and sample payloads are only *counted* — their contents are decoded
+/// by the replay pass, exactly as the buffered walk defers payload
+/// slices undecoded.
+fn walk_stream(
+    reader: &mut StreamReader<impl ChunkSource<Error = FlateError>>,
+) -> Result<StreamWalk, StreamError<FlateError>> {
+    let _wire_span = ev_trace::span("wire.decode");
+    let mut strings: Vec<String> = Vec::new();
+    let mut sample_types: Vec<ValueType> = Vec::new();
+    let mut locs: Vec<LocRec> = Vec::new();
+    let mut lines: Arena<Line> = Arena::new();
+    let mut functions: Vec<Function> = Vec::new();
+    let mut mappings: Vec<Mapping> = Vec::new();
+    let mut time_nanos: i64 = 0;
+    let mut sample_count = 0usize;
+
+    while let Some((field, value)) = reader.next_field()? {
+        match (field, value) {
+            (1, FieldValue::Bytes(msg)) => sample_types.push(decode_value_type(msg)?),
+            (2, FieldValue::Bytes(_)) => sample_count += 1,
+            (3, FieldValue::Bytes(msg)) => mappings.push(decode_mapping(msg)?),
+            (4, FieldValue::Bytes(msg)) => locs.push(decode_location(msg, &mut lines)?),
+            (5, FieldValue::Bytes(msg)) => functions.push(decode_function(msg)?),
+            (6, FieldValue::Bytes(msg)) => strings.push(
+                std::str::from_utf8(msg)
+                    .map_err(|_| WireError::InvalidUtf8)?
+                    .to_owned(),
+            ),
+            (9, FieldValue::Varint(v)) => time_nanos = v as i64,
+            _ => {}
+        }
+    }
+
+    Ok(StreamWalk {
+        strings,
+        tables: WalkTables {
+            sample_types,
+            locs,
+            lines,
+            functions,
+            mappings,
+            time_nanos,
+        },
+        sample_count,
+    })
 }
 
 /// The two-pass decode kept as the differential reference: pass 1
@@ -1180,6 +1549,79 @@ mod tests {
         let profile = parse(&[]).unwrap();
         assert_eq!(profile.node_count(), 1);
         assert!(profile.metrics().is_empty());
+    }
+
+    /// Chunk sizes covering the degenerate (1 byte), the
+    /// mid-stream-suspend, and the everything-in-one-pull regimes.
+    const CHUNK_SIZES: [usize; 4] = [1, 13, 4096, 1 << 24];
+
+    #[test]
+    fn streaming_matches_buffered_on_roundtrip() {
+        let p = sample_profile();
+        for gz in [true, false] {
+            let bytes = write(
+                &p,
+                WriteOptions {
+                    gzip: gz,
+                    level: CompressionLevel::Fast,
+                },
+            );
+            let buffered = parse(&bytes).unwrap();
+            for &chunk in &CHUNK_SIZES {
+                for threads in [1, 4] {
+                    let streamed =
+                        parse_streaming_with(&bytes, ExecPolicy::with_threads(threads), chunk)
+                            .unwrap();
+                    assert_eq!(streamed, buffered, "gzip={gz} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_buffered_on_errors() {
+        let p = sample_profile();
+        let good = write(&p, WriteOptions::default());
+        let mut corrupt = good.clone();
+        let n = corrupt.len();
+        corrupt[n / 2] ^= 0xff;
+        let mut bad_trailer = good.clone();
+        let n = bad_trailer.len();
+        bad_trailer[n - 6] ^= 0x01; // CRC byte
+        let raw = write(
+            &p,
+            WriteOptions {
+                gzip: false,
+                level: CompressionLevel::Store,
+            },
+        );
+        let truncated_raw = &raw[..raw.len() - 3];
+        for case in [&corrupt[..], &bad_trailer, truncated_raw, &good[..n - 5]] {
+            let buffered = parse(case);
+            for &chunk in &CHUNK_SIZES {
+                for threads in [1, 4] {
+                    let streamed =
+                        parse_streaming_with(case, ExecPolicy::with_threads(threads), chunk);
+                    assert_eq!(streamed, buffered, "chunk={chunk} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_surfaces_schema_error_identically() {
+        let mut w = Writer::new();
+        w.write_message_with(2, |m| {
+            m.write_packed_uint64(1, &[42]);
+            m.write_packed_int64(2, &[1]);
+        });
+        w.write_string(6, "");
+        let buffered = parse(w.as_bytes());
+        for &chunk in &CHUNK_SIZES {
+            let streamed =
+                parse_streaming_with(w.as_bytes(), ExecPolicy::SEQUENTIAL, chunk);
+            assert_eq!(streamed, buffered);
+        }
     }
 
     #[test]

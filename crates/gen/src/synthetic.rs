@@ -175,6 +175,72 @@ pub fn pprof_with_size(target_bytes: usize, seed: u64) -> Vec<u8> {
     spec.build_pprof()
 }
 
+/// A long-capture pprof file: `samples` samples drawn from a small,
+/// heavily shared pool of call chains, serialized directly on the wire
+/// (every sample individually — an aggregating writer would collapse
+/// them) with the string table *after* the samples, like Go's runtime
+/// emits. This is the GB-scale shape the streaming decoder exists for:
+/// the sample stream dominates the file while the decoded profile
+/// (its CCT is the tiny chain pool) stays small, so buffered ingest
+/// peaks at the whole decompressed body and streaming ingest does not.
+pub fn pprof_longrun(samples: usize, seed: u64) -> Vec<u8> {
+    use ev_wire::Writer;
+
+    let mut rng = Rng::seed_from_u64(seed);
+    let n_functions = 400usize;
+    let n_chains = 1000usize;
+
+    // Chain pool: leaf-first location id chains, depth 24–64 (the
+    // stack depths long-running services actually capture), built by
+    // forking earlier chains so interior prefixes are shared.
+    let mut chains: Vec<Vec<u64>> = Vec::with_capacity(n_chains);
+    chains.push((1..=24u64).collect());
+    while chains.len() < n_chains {
+        let base = &chains[rng.gen_range(0..chains.len())];
+        let keep = rng.gen_range(1..=base.len());
+        let mut chain: Vec<u64> = base[..keep].to_vec();
+        while chain.len() < 64 && (chain.len() < 24 || rng.gen_bool(0.5)) {
+            chain.push(rng.gen_range(0..n_functions as u64) + 1);
+        }
+        chains.push(chain);
+    }
+
+    let mut w = Writer::new();
+    w.write_message_with(1, |m| {
+        m.write_int64(1, 1);
+        m.write_int64(2, 2);
+    });
+    for _ in 0..samples {
+        let chain = &chains[rng.gen_range(0..n_chains)];
+        let value = rng.gen_range(1..1000u64) as i64;
+        w.write_message_with(2, |m| {
+            m.write_packed_uint64(1, chain);
+            m.write_packed_int64(2, &[value]);
+        });
+    }
+    for i in 0..n_functions as u64 {
+        w.write_message_with(4, |m| {
+            m.write_uint64(1, i + 1);
+            m.write_uint64(3, 0x40_0000 + i * 0x40);
+            m.write_message_with(4, |lm| {
+                lm.write_uint64(1, i + 1);
+                lm.write_int64(2, (i % 500) as i64 + 1);
+            });
+        });
+        w.write_message_with(5, |m| {
+            m.write_uint64(1, i + 1);
+            m.write_int64(2, i as i64 + 3);
+        });
+    }
+    w.write_string(6, "");
+    w.write_string(6, "cpu");
+    w.write_string(6, "nanoseconds");
+    for i in 0..n_functions {
+        w.write_string(6, &format!("svc.Handler{i:03}"));
+    }
+    ev_flate::gzip_compress(&w.into_bytes(), CompressionLevel::Fast)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +273,23 @@ mod tests {
         }
         // Prefix sharing: far fewer nodes than samples × depth.
         assert!(p.node_count() < 500 * 12);
+    }
+
+    #[test]
+    fn longrun_parses_small_and_streams_identically() {
+        let gz = pprof_longrun(5_000, 9);
+        assert!(ev_flate::is_gzip(&gz));
+        let p = ev_formats::pprof::parse(&gz).unwrap();
+        p.validate().unwrap();
+        // The CCT is the chain pool, not the sample stream.
+        assert!(p.node_count() < 40_000, "{} nodes", p.node_count());
+        let s = ev_formats::pprof::parse_streaming_with(
+            &gz,
+            ev_flate::ExecPolicy::with_threads(2),
+            4096,
+        )
+        .unwrap();
+        assert_eq!(p, s, "streaming differs");
     }
 
     #[test]

@@ -180,6 +180,186 @@ where
     out
 }
 
+/// Runs two closures, concurrently when the policy allows it, and
+/// returns both results. Sequential policies run `a` then `b` inline on
+/// the caller — that order is the reference semantics, so `a` and `b`
+/// must not depend on interleaving (the streaming gzip path uses this
+/// to overlap checksumming of the previous chunk with inflating the
+/// next one; the two closures touch disjoint buffers).
+pub fn parallel_join<A, B, RA, RB>(policy: ExecPolicy, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if policy.is_sequential() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    // run_scope wants Fn + Sync; smuggle the FnOnce closures through
+    // Mutex<Option<_>> cells. Each index runs exactly once, so take()
+    // always finds the closure.
+    let a_cell = Mutex::new(Some(a));
+    let b_cell = Mutex::new(Some(b));
+    let ra_cell: Mutex<Option<RA>> = Mutex::new(None);
+    let rb_cell: Mutex<Option<RB>> = Mutex::new(None);
+    Pool::global().run_scope(2, &|i| {
+        if i == 0 {
+            let f = a_cell.lock().unwrap().take().expect("task 0 runs once");
+            *ra_cell.lock().unwrap() = Some(f());
+        } else {
+            let f = b_cell.lock().unwrap().take().expect("task 1 runs once");
+            *rb_cell.lock().unwrap() = Some(f());
+        }
+    });
+    (
+        ra_cell.into_inner().unwrap().expect("task 0 completed"),
+        rb_cell.into_inner().unwrap().expect("task 1 completed"),
+    )
+}
+
+/// Shared state of a bounded producer→consumer hand-off.
+struct PipeShared<T, E> {
+    state: Mutex<PipeState<T, E>>,
+    cond: std::sync::Condvar,
+}
+
+struct PipeState<T, E> {
+    queue: std::collections::VecDeque<Result<T, E>>,
+    /// Producer finished (returned `None`).
+    done: bool,
+    /// Consumer finished (its closure returned); producer should stop.
+    closed: bool,
+}
+
+/// The consumer's end of a [`with_pipeline`] hand-off.
+///
+/// [`pull`](Self::pull) yields exactly the sequence the producer
+/// closure returns, in order — whether the producer runs inline
+/// (sequential policy) or ahead on a pipeline thread.
+pub struct PipelineRx<'a, T, E> {
+    inner: RxInner<'a, T, E>,
+}
+
+enum RxInner<'a, T, E> {
+    Inline(&'a mut dyn FnMut() -> Option<Result<T, E>>),
+    Queue(&'a PipeShared<T, E>),
+}
+
+impl<T, E> PipelineRx<'_, T, E> {
+    /// Next produced item, or `None` once the producer is exhausted.
+    /// Blocks while the pipeline thread is still filling the queue.
+    pub fn pull(&mut self) -> Option<Result<T, E>> {
+        match &mut self.inner {
+            RxInner::Inline(produce) => produce(),
+            RxInner::Queue(shared) => {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if let Some(item) = st.queue.pop_front() {
+                        // A slot freed: wake a producer blocked on depth.
+                        shared.cond.notify_all();
+                        return Some(item);
+                    }
+                    if st.done {
+                        return None;
+                    }
+                    st = shared.cond.wait(st).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Runs `produce` and `consume` as a two-stage pipeline: the producer
+/// fills a bounded queue (at most `depth` items in flight) while the
+/// consumer drains it on the calling thread.
+///
+/// `produce` is called repeatedly until it returns `None`; each
+/// `Some(item)` — `Ok` or `Err` — is delivered to the consumer in
+/// production order through [`PipelineRx::pull`]. Sequential policies
+/// call `produce` inline from `pull` with no thread and no queue: that
+/// path is the reference semantics, and the pipelined path delivers the
+/// bit-identical item sequence (a FIFO queue cannot reorder a single
+/// producer). The only observable difference is eagerness: the
+/// pipeline thread may run `produce` up to `depth` calls ahead of the
+/// consumer, so producer side effects (trace counters, say) can exceed
+/// what a consumer that stops early would have triggered inline.
+///
+/// If the consumer returns while the producer is still running, the
+/// hand-off is closed and the producer stops after its in-flight call;
+/// remaining queued items are dropped.
+///
+/// The streaming ingest path uses this to overlap inflating chunk N+1
+/// with wire-decoding chunk N (paper §3's "profiles parse while they
+/// load" requirement at GB scale).
+pub fn with_pipeline<T, E, R>(
+    policy: ExecPolicy,
+    depth: usize,
+    mut produce: impl FnMut() -> Option<Result<T, E>> + Send,
+    consume: impl FnOnce(&mut PipelineRx<'_, T, E>) -> R,
+) -> R
+where
+    T: Send,
+    E: Send,
+{
+    if policy.is_sequential() {
+        let mut rx = PipelineRx {
+            inner: RxInner::Inline(&mut produce),
+        };
+        return consume(&mut rx);
+    }
+    let depth = depth.max(1);
+    let shared = PipeShared {
+        state: Mutex::new(PipeState {
+            queue: std::collections::VecDeque::with_capacity(depth),
+            done: false,
+            closed: false,
+        }),
+        cond: std::sync::Condvar::new(),
+    };
+    // A dedicated scoped thread, not a pool task: pool scopes are
+    // fork-join (the submitter blocks until every task finishes), while
+    // a pipeline stage must run *concurrently with the submitter* for
+    // its whole lifetime. Parking a pool worker on a long-lived stage
+    // would also starve nested fork-join calls the producer itself
+    // makes (the gzip stage checksums chunks through the pool).
+    std::thread::scope(|s| {
+        s.spawn(|| loop {
+            let item = produce();
+            let end = item.is_none();
+            let mut st = shared.state.lock().unwrap();
+            if let Some(item) = item {
+                while st.queue.len() >= depth && !st.closed {
+                    st = shared.cond.wait(st).unwrap();
+                }
+                if st.closed {
+                    return;
+                }
+                st.queue.push_back(item);
+            } else {
+                st.done = true;
+            }
+            drop(st);
+            shared.cond.notify_all();
+            if end {
+                return;
+            }
+        });
+        let mut rx = PipelineRx {
+            inner: RxInner::Queue(&shared),
+        };
+        let r = consume(&mut rx);
+        let mut st = shared.state.lock().unwrap();
+        st.closed = true;
+        st.queue.clear();
+        drop(st);
+        shared.cond.notify_all();
+        r
+    })
+}
+
 /// Number of workers the global pool runs (spawning it if needed).
 pub fn pool_workers() -> usize {
     Pool::global().workers()
@@ -274,6 +454,122 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn parallel_join_returns_both_results() {
+        for threads in [1, 2, 8] {
+            let data: Vec<u64> = (0..1000).collect();
+            let (sum, max) = parallel_join(
+                ExecPolicy::with_threads(threads),
+                || data.iter().sum::<u64>(),
+                || data.iter().copied().max(),
+            );
+            assert_eq!(sum, 499_500);
+            assert_eq!(max, Some(999));
+        }
+    }
+
+    #[test]
+    fn parallel_join_moves_captures() {
+        // FnOnce closures: consume owned values on both sides.
+        let left = String::from("left");
+        let right = [1u8, 2, 3];
+        let (a, b) = parallel_join(
+            ExecPolicy::with_threads(4),
+            move || left,
+            move || right.len(),
+        );
+        assert_eq!(a, "left");
+        assert_eq!(b, 3);
+    }
+
+    #[test]
+    fn pipeline_delivers_in_order_for_every_policy() {
+        for threads in [1, 2, 8] {
+            let mut next = 0u32;
+            let got: Vec<u32> = with_pipeline(
+                ExecPolicy::with_threads(threads),
+                2,
+                move || -> Option<Result<u32, ()>> {
+                    if next < 500 {
+                        next += 1;
+                        Some(Ok(next))
+                    } else {
+                        None
+                    }
+                },
+                |rx| {
+                    let mut out = Vec::new();
+                    while let Some(item) = rx.pull() {
+                        out.push(item.unwrap());
+                    }
+                    out
+                },
+            );
+            assert_eq!(got, (1..=500).collect::<Vec<u32>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn pipeline_passes_errors_through_in_sequence() {
+        for threads in [1, 4] {
+            let mut n = 0;
+            let got = with_pipeline(
+                ExecPolicy::with_threads(threads),
+                2,
+                move || {
+                    n += 1;
+                    match n {
+                        1 => Some(Ok(10)),
+                        2 => Some(Err("bad")),
+                        _ => None,
+                    }
+                },
+                |rx| {
+                    let mut out = Vec::new();
+                    while let Some(item) = rx.pull() {
+                        out.push(item);
+                    }
+                    out
+                },
+            );
+            assert_eq!(got, vec![Ok(10), Err("bad")]);
+        }
+    }
+
+    #[test]
+    fn pipeline_consumer_may_stop_early() {
+        // An unbounded producer with a consumer that takes three items:
+        // closing the hand-off must stop the producer (no deadlock on a
+        // full queue) and cap how far ahead it ran.
+        let calls = AtomicUsize::new(0);
+        let got = with_pipeline(
+            ExecPolicy::with_threads(4),
+            2,
+            || -> Option<Result<usize, ()>> {
+                Some(Ok(calls.fetch_add(1, Ordering::Relaxed)))
+            },
+            |rx| (0..3).map(|_| rx.pull().unwrap().unwrap()).collect::<Vec<_>>(),
+        );
+        assert_eq!(got, vec![0, 1, 2]);
+        // 3 consumed + depth in flight + one call draining into the close.
+        assert!(calls.load(Ordering::Relaxed) <= 3 + 2 + 1);
+    }
+
+    #[test]
+    fn pipeline_pull_after_done_returns_none() {
+        for threads in [1, 4] {
+            with_pipeline(
+                ExecPolicy::with_threads(threads),
+                1,
+                || -> Option<Result<(), ()>> { None },
+                |rx| {
+                    assert!(rx.pull().is_none());
+                    assert!(rx.pull().is_none());
+                },
+            );
+        }
     }
 
     #[test]

@@ -73,6 +73,28 @@ impl<'a, T> SharedSlice<'a, T> {
         debug_assert!(i < self.len);
         unsafe { &mut *(*self.data.add(i)).get() }
     }
+
+    /// Copies `src` into `offset..offset + src.len()` as one memcpy —
+    /// the scatter side of a parallel ordered join, where each task owns
+    /// a precomputed disjoint destination range.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent task may touch any index in
+    /// `offset..offset + src.len()`, and the range must be in bounds.
+    pub unsafe fn copy_from_slice_at(&self, offset: usize, src: &[T])
+    where
+        T: Copy,
+    {
+        debug_assert!(offset + src.len() <= self.len);
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                (*self.data.add(offset)).get(),
+                src.len(),
+            );
+        }
+    }
 }
 
 #[cfg(test)]

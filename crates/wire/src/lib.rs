@@ -34,13 +34,15 @@
 //! ```
 
 mod reader;
+mod stream;
 mod varint;
 mod walker;
 mod writer;
 
 pub use reader::Reader;
+pub use stream::{ChunkSource, StreamError, StreamReader};
 pub use varint::{decode_varint, encode_varint, zigzag_decode, zigzag_encode};
-pub use walker::{decode_packed_int64, decode_packed_uint64, FieldValue};
+pub use walker::{decode_packed_int64, decode_packed_uint64, FieldSpan, FieldValue};
 pub use writer::Writer;
 
 use std::error::Error;

@@ -1,0 +1,441 @@
+//! Resuming the field walker across chunk boundaries.
+//!
+//! The one-pass decoders in `ev-formats` walk a message with
+//! [`Reader::next_field`] over a fully materialized body. Streaming
+//! ingest delivers that body in bounded chunks instead, so a field —
+//! a tag varint, a fixed64, a multi-megabyte length-delimited sample
+//! table — may straddle a chunk boundary. [`StreamReader`] hides that:
+//! it buffers incoming chunks in a spill buffer, retries a field that
+//! ran off the end after pulling more input, and only surfaces a wire
+//! error once the source is exhausted — at which point the spill
+//! buffer's tail *is* the body's tail, so the error value (including
+//! [`WireError::LengthOutOfBounds`] byte counts) is identical to what
+//! the buffered walker reports.
+//!
+//! Peak memory is O(chunk + largest straddling field): consumed bytes
+//! are compacted away at every refill.
+
+use crate::{FieldSpan, FieldValue, Reader, WireError};
+use std::error::Error;
+use std::fmt;
+
+/// Cached handle for the `wire.stream_refills` counter: chunk pulls
+/// performed by [`StreamReader`] (one per source chunk consumed).
+fn stream_refills_counter() -> &'static ev_trace::Counter {
+    static HANDLE: std::sync::OnceLock<&'static ev_trace::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("wire.stream_refills"))
+}
+
+/// A pull source of message bytes, delivered in arbitrary-size chunks.
+///
+/// Implementations **append** to `dst`; `Ok(true)` means at least one
+/// byte was appended, `Ok(false)` means the stream is exhausted and
+/// nothing was appended. Chunk boundaries carry no meaning — the
+/// concatenation of all appended bytes is the message body.
+pub trait ChunkSource {
+    /// Error the underlying byte producer can fail with (e.g.
+    /// `FlateError` for a gzip-backed source).
+    type Error;
+
+    /// Appends the next chunk of the body to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the producer's failure; after an error the source is
+    /// considered dead.
+    fn read_chunk(&mut self, dst: &mut Vec<u8>) -> Result<bool, Self::Error>;
+}
+
+/// A [`StreamReader`] failure: either the wire format was malformed, or
+/// the byte source itself failed (decompression error, I/O error).
+///
+/// Keeping the two arms distinct lets callers rank them — the
+/// streaming pprof parser reports a source (container) failure in
+/// preference to a wire error when both could apply, matching the
+/// buffered pipeline where decompression completes before parsing
+/// starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError<E> {
+    /// The message bytes were malformed.
+    Wire(WireError),
+    /// The chunk source failed while producing bytes.
+    Source(E),
+}
+
+impl<E> From<WireError> for StreamError<E> {
+    fn from(e: WireError) -> StreamError<E> {
+        StreamError::Wire(e)
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for StreamError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Wire(e) => e.fmt(f),
+            StreamError::Source(e) => e.fmt(f),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> Error for StreamError<E> {}
+
+/// A resumable [`Reader::next_field`] over a [`ChunkSource`].
+///
+/// Yields the same `(field, value)` sequence — and on malformed input
+/// the same error at the same field — as a buffered `Reader` over the
+/// concatenated chunks, for any chunking of the body.
+///
+/// # Examples
+///
+/// ```
+/// use ev_wire::{ChunkSource, FieldValue, StreamReader, Writer};
+///
+/// /// One byte at a time: the worst-case chunking.
+/// struct Trickle(Vec<u8>, usize);
+/// impl ChunkSource for Trickle {
+///     type Error = std::convert::Infallible;
+///     fn read_chunk(&mut self, dst: &mut Vec<u8>) -> Result<bool, Self::Error> {
+///         if self.1 >= self.0.len() {
+///             return Ok(false);
+///         }
+///         dst.push(self.0[self.1]);
+///         self.1 += 1;
+///         Ok(true)
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut w = Writer::new();
+/// w.write_uint64(1, 300);
+/// w.write_string(2, "straddles");
+/// let mut r = StreamReader::new(Trickle(w.into_bytes(), 0));
+/// assert_eq!(r.next_field()?, Some((1, FieldValue::Varint(300))));
+/// assert_eq!(r.next_field()?, Some((2, FieldValue::Bytes(b"straddles".as_ref()))));
+/// assert_eq!(r.next_field()?, None);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StreamReader<S: ChunkSource> {
+    source: S,
+    /// Spill buffer: unconsumed body bytes, `buf[pos..]` live.
+    buf: Vec<u8>,
+    pos: usize,
+    /// The source returned `Ok(false)`; `buf[pos..]` is the body tail.
+    eof: bool,
+}
+
+impl<S: ChunkSource> StreamReader<S> {
+    /// Wraps a chunk source; no bytes are pulled until the first
+    /// [`next_field`](Self::next_field).
+    pub fn new(source: S) -> StreamReader<S> {
+        StreamReader {
+            source,
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    /// Reads the next tagged field, pulling chunks as needed. `None` at
+    /// a clean end of the body. The returned [`FieldValue`] borrows the
+    /// spill buffer and is invalidated by the next call.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Source`] if the chunk source fails;
+    /// [`StreamError::Wire`] with exactly the error a buffered walk of
+    /// the whole body would report.
+    pub fn next_field(&mut self) -> Result<Option<(u32, FieldValue<'_>)>, StreamError<S::Error>> {
+        // Single-pass parse on the buffered window, capturing the value
+        // as a non-borrowing `FieldSpan` so the loop can refill without
+        // fighting the borrow of `buf`. A *successful* parse of a
+        // window prefix is authoritative even before EOF — every wire
+        // shape is self-delimiting (a varint ends at its own last byte,
+        // a length-delimited payload at its announced length), so more
+        // bytes arriving can never change a parse that succeeded.
+        let (field, span, consumed) = loop {
+            let mut probe = Reader::new(&self.buf[self.pos..]);
+            match probe.next_field_span() {
+                Ok(Some((field, span))) => break (field, span, probe.position()),
+                // A clean end or a mid-field failure of the *window* is
+                // only authoritative once the source is drained; until
+                // then, pull more bytes and retry. Each refill either
+                // grows the window or sets `eof`, so this terminates.
+                // Failed attempts bump no counter, so the retries keep
+                // `wire.onepass_fields` at one per delivered field.
+                Ok(None) if self.eof => return Ok(None),
+                Err(e) if self.eof => return Err(StreamError::Wire(e)),
+                Ok(None) | Err(_) => self.refill()?,
+            }
+        };
+        let base = self.pos;
+        self.pos += consumed;
+        let value = match span {
+            FieldSpan::Varint(v) => FieldValue::Varint(v),
+            FieldSpan::Fixed64(v) => FieldValue::Fixed64(v),
+            FieldSpan::Fixed32(v) => FieldValue::Fixed32(v),
+            FieldSpan::Bytes { start, end } => {
+                FieldValue::Bytes(&self.buf[base + start..base + end])
+            }
+        };
+        Ok(Some((field, value)))
+    }
+
+    /// Pulls at least one more byte into the spill buffer, or marks
+    /// EOF. Compacts consumed bytes first so the buffer stays
+    /// O(chunk + straddling field).
+    fn refill(&mut self) -> Result<(), StreamError<S::Error>> {
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos.., 0);
+            let live = self.buf.len() - self.pos;
+            self.buf.truncate(live);
+            self.pos = 0;
+        }
+        loop {
+            let before = self.buf.len();
+            match self.source.read_chunk(&mut self.buf) {
+                Err(e) => {
+                    // A dead source yields nothing further.
+                    self.eof = true;
+                    return Err(StreamError::Source(e));
+                }
+                Ok(false) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(true) => {
+                    if ev_trace::enabled() {
+                        stream_refills_counter().inc();
+                    }
+                    // Contractually `Ok(true)` appended bytes; guard
+                    // against a source that lies to keep termination.
+                    if self.buf.len() > before {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The underlying source, e.g. to drain it after a wire error so a
+    /// later source failure can take precedence.
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+    use ev_test::prelude::*;
+
+    /// Splits a body at fixed positions; never fails.
+    struct Chunked {
+        data: Vec<u8>,
+        cuts: Vec<usize>,
+        next: usize,
+    }
+
+    impl Chunked {
+        fn new(data: Vec<u8>, mut cuts: Vec<usize>) -> Chunked {
+            let len = data.len();
+            cuts.iter_mut().for_each(|c| *c = (*c).min(len));
+            cuts.push(len);
+            cuts.sort_unstable();
+            Chunked {
+                data,
+                cuts,
+                next: 0,
+            }
+        }
+    }
+
+    impl ChunkSource for Chunked {
+        type Error = std::convert::Infallible;
+        fn read_chunk(&mut self, dst: &mut Vec<u8>) -> Result<bool, Self::Error> {
+            while let Some(&cut) = self.cuts.first() {
+                self.cuts.remove(0);
+                if cut > self.next {
+                    dst.extend_from_slice(&self.data[self.next..cut]);
+                    self.next = cut;
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+
+    /// A source that fails after yielding a prefix.
+    struct FailAfter {
+        data: Vec<u8>,
+        given: bool,
+    }
+
+    impl ChunkSource for FailAfter {
+        type Error = &'static str;
+        fn read_chunk(&mut self, dst: &mut Vec<u8>) -> Result<bool, Self::Error> {
+            if self.given {
+                return Err("source broke");
+            }
+            self.given = true;
+            if self.data.is_empty() {
+                return Err("source broke");
+            }
+            dst.extend_from_slice(&self.data);
+            Ok(true)
+        }
+    }
+
+    /// Full walk with the buffered reader: owned field list or error.
+    #[allow(clippy::type_complexity)]
+    fn walk_buffered(data: &[u8]) -> Result<Vec<(u32, OwnedValue)>, WireError> {
+        let mut r = Reader::new(data);
+        let mut out = Vec::new();
+        loop {
+            match r.next_field()? {
+                None => return Ok(out),
+                Some((f, v)) => out.push((f, OwnedValue::from(v))),
+            }
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum OwnedValue {
+        Varint(u64),
+        Fixed64(u64),
+        Fixed32(u32),
+        Bytes(Vec<u8>),
+    }
+
+    impl From<FieldValue<'_>> for OwnedValue {
+        fn from(v: FieldValue<'_>) -> OwnedValue {
+            match v {
+                FieldValue::Varint(x) => OwnedValue::Varint(x),
+                FieldValue::Fixed64(x) => OwnedValue::Fixed64(x),
+                FieldValue::Fixed32(x) => OwnedValue::Fixed32(x),
+                FieldValue::Bytes(b) => OwnedValue::Bytes(b.to_vec()),
+            }
+        }
+    }
+
+    fn walk_streaming(
+        data: &[u8],
+        cuts: Vec<usize>,
+    ) -> Result<Vec<(u32, OwnedValue)>, WireError> {
+        let mut r = StreamReader::new(Chunked::new(data.to_vec(), cuts));
+        let mut out = Vec::new();
+        loop {
+            match r.next_field() {
+                Ok(None) => return Ok(out),
+                Ok(Some((f, v))) => out.push((f, OwnedValue::from(v))),
+                Err(StreamError::Wire(e)) => return Err(e),
+                Err(StreamError::Source(infallible)) => match infallible {},
+            }
+        }
+    }
+
+    fn sample_message() -> Vec<u8> {
+        let mut w = Writer::new();
+        w.write_uint64(1, 0);
+        w.write_uint64(1, u64::MAX);
+        w.write_fixed64(2, 0x0102_0304_0506_0708);
+        w.write_bytes(3, &b"zz".repeat(300)); // 2-byte length prefix
+        w.write_fixed32(4, 7);
+        w.write_string(5, "tail");
+        w.into_bytes()
+    }
+
+    #[test]
+    fn single_chunk_matches_buffered() {
+        let body = sample_message();
+        let expected = walk_buffered(&body).unwrap();
+        assert_eq!(walk_streaming(&body, vec![]).unwrap(), expected);
+    }
+
+    #[test]
+    fn one_byte_chunks_match_buffered() {
+        let body = sample_message();
+        let expected = walk_buffered(&body).unwrap();
+        let cuts: Vec<usize> = (1..body.len()).collect();
+        assert_eq!(walk_streaming(&body, cuts).unwrap(), expected);
+    }
+
+    #[test]
+    fn empty_body_is_clean_none() {
+        let mut r = StreamReader::new(Chunked::new(Vec::new(), vec![]));
+        assert!(matches!(r.next_field(), Ok(None)));
+        assert!(matches!(r.next_field(), Ok(None)));
+    }
+
+    #[test]
+    fn truncated_field_errors_match_buffered() {
+        let body = sample_message();
+        for cut in [1, 2, 3, 11, 12, 15, body.len() - 1] {
+            let head = &body[..cut];
+            let buffered = walk_buffered(head);
+            for chunk in [1usize, 3, 1000] {
+                let cuts: Vec<usize> = (1..head.len()).step_by(chunk).collect();
+                assert_eq!(
+                    walk_streaming(head, cuts),
+                    buffered,
+                    "cut {cut} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_failure_surfaces_as_source_error() {
+        let mut w = Writer::new();
+        w.write_uint64(1, 1);
+        let mut body = w.into_bytes();
+        body.push(0x80); // start of a field that never completes
+        let mut r = StreamReader::new(FailAfter {
+            data: body,
+            given: false,
+        });
+        assert!(matches!(r.next_field(), Ok(Some(_))));
+        assert_eq!(r.next_field().unwrap_err(), StreamError::Source("source broke"));
+    }
+
+    #[test]
+    fn stream_error_display_and_from() {
+        let w: StreamError<&str> = WireError::UnexpectedEof.into();
+        assert_eq!(w.to_string(), WireError::UnexpectedEof.to_string());
+        let s: StreamError<&str> = StreamError::Source("io down");
+        assert_eq!(s.to_string(), "io down");
+    }
+
+    property! {
+        #![cases(64)]
+
+        fn arbitrary_bytes_any_chunking_match_buffered(
+            data in vec(any_u8(), 0..512),
+            cuts in vec(0usize..512, 0..24),
+        ) {
+            // Random (mostly invalid) bodies: field sequence up to the
+            // first error, and the error itself, must be chunking-
+            // independent and equal to the buffered walk.
+            let buffered = walk_buffered(&data);
+            prop_assert_eq!(walk_streaming(&data, cuts), buffered);
+        }
+
+        fn valid_messages_any_chunking_roundtrip(
+            ints in vec(any_u64(), 0..12),
+            blobs in vec(vec(any_u8(), 0..40), 0..6),
+            cuts in vec(0usize..600, 0..16),
+        ) {
+            let mut w = Writer::new();
+            for &v in &ints {
+                w.write_uint64(3, v);
+            }
+            for b in &blobs {
+                w.write_bytes(5, b);
+            }
+            let body = w.into_bytes();
+            let buffered = walk_buffered(&body).unwrap();
+            prop_assert_eq!(walk_streaming(&body, cuts).unwrap(), buffered);
+        }
+    }
+}

@@ -78,6 +78,29 @@ impl<'a> FieldValue<'a> {
     }
 }
 
+/// A decoded field value that *locates* its payload instead of
+/// borrowing it: the [`FieldValue`] shape with byte offsets (into the
+/// reader's input) in place of the slice. This is what lets a resuming
+/// reader parse a field in a single pass — the span survives a borrow
+/// of the buffer ending, so the caller can re-slice after deciding the
+/// parse is complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldSpan {
+    /// Wire type 0.
+    Varint(u64),
+    /// Wire type 1, little-endian bits.
+    Fixed64(u64),
+    /// Wire type 5, little-endian bits.
+    Fixed32(u32),
+    /// Wire type 2: payload at `input[start..end]`.
+    Bytes {
+        /// Payload start offset in the reader's input.
+        start: usize,
+        /// Payload end offset in the reader's input.
+        end: usize,
+    },
+}
+
 impl<'a> Reader<'a> {
     /// Reads the next tagged field and its value in one step, or `None`
     /// at end of input.
@@ -101,6 +124,37 @@ impl<'a> Reader<'a> {
             WireType::Fixed64 => FieldValue::Fixed64(self.read_fixed64()?),
             WireType::Fixed32 => FieldValue::Fixed32(self.read_fixed32()?),
             WireType::LengthDelimited => FieldValue::Bytes(self.read_bytes()?),
+        };
+        if ev_trace::enabled() {
+            onepass_fields_counter().inc();
+        }
+        Ok(Some((field, value)))
+    }
+
+    /// [`Reader::next_field`] returning a [`FieldSpan`] instead of a
+    /// borrowed value. Byte consumption, error positions, error values,
+    /// and the `wire.onepass_fields` counter are identical; only the
+    /// payload representation differs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Reader::next_field`].
+    pub fn next_field_span(&mut self) -> Result<Option<(u32, FieldSpan)>, WireError> {
+        let Some((field, ty)) = self.read_tag()? else {
+            return Ok(None);
+        };
+        let value = match ty {
+            WireType::Varint => FieldSpan::Varint(self.read_varint()?),
+            WireType::Fixed64 => FieldSpan::Fixed64(self.read_fixed64()?),
+            WireType::Fixed32 => FieldSpan::Fixed32(self.read_fixed32()?),
+            WireType::LengthDelimited => {
+                let payload = self.read_bytes()?;
+                let end = self.position();
+                FieldSpan::Bytes {
+                    start: end - payload.len(),
+                    end,
+                }
+            }
         };
         if ev_trace::enabled() {
             onepass_fields_counter().inc();

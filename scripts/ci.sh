@@ -95,6 +95,26 @@ done
 grep -q '^counter flate\.members 3$' "$SMOKE_DIR/mm_stats.txt" \
     || { echo "FAIL: stats did not count 3 gzip members" >&2; exit 1; }
 
+echo "== streaming ingest smoke =="
+# The bounded-memory streaming path must render byte-identically to the
+# buffered decoder at any chunk size, and must actually run chunked
+# (nonzero flate.stream_chunks in the counter surface).
+"$EV" view "$SMOKE_DIR/smoke.pprof" > "$SMOKE_DIR/stream_ref.txt"
+for chunk in 512 65536; do
+    "$EV" view "$SMOKE_DIR/smoke.pprof" --stream --chunk-size "$chunk" \
+        > "$SMOKE_DIR/stream_out.txt"
+    if ! diff "$SMOKE_DIR/stream_ref.txt" "$SMOKE_DIR/stream_out.txt" > /dev/null; then
+        echo "FAIL: --stream --chunk-size $chunk view differs from buffered" >&2
+        exit 1
+    fi
+done
+"$EV" stats "$SMOKE_DIR/smoke.pprof" --stream --chunk-size 512 \
+    > "$SMOKE_DIR/stream_stats.txt"
+grep -Eq '^counter flate\.stream_chunks [1-9]' "$SMOKE_DIR/stream_stats.txt" \
+    || { echo "FAIL: --stream did not report nonzero flate.stream_chunks" >&2; exit 1; }
+grep -Eq '^counter wire\.stream_refills [1-9]' "$SMOKE_DIR/stream_stats.txt" \
+    || { echo "FAIL: --stream did not report nonzero wire.stream_refills" >&2; exit 1; }
+
 echo "== ingest smoke =="
 # Runs the ingest bench in quick mode over the golden gzip'd pprof
 # fixtures: fast and reference decoders must be byte-identical, the
