@@ -1,0 +1,319 @@
+//! Serve benchmark: EVP request latency and throughput under
+//! concurrent editor sessions, written to `BENCH_serve.json`.
+//!
+//! The paper's §VII-B experiment measures how fast EasyView answers
+//! the IDE; this benchmark measures our server the same way, but under
+//! load. A deterministic [`ev_gen::ide_session`] trace (code links,
+//! hovers, lenses, view switches, searches, plus a rare deterministic
+//! failure) is replayed against a synthetic profile by 1, 2, and 4
+//! independent sessions — one [`ev_ide::EvpServer`] per OS thread,
+//! sharing nothing but the process-global metrics registry. Every
+//! replay folds its responses into a chained CRC-32; the benchmark
+//! asserts all digests are identical, so the latency numbers are known
+//! to come from servers computing exactly the same answers.
+//!
+//! Reported per thread count: per-method p50/p95/p99 (exact, from the
+//! sorted latency vectors) and aggregate requests/second. A `metrics`
+//! section cross-checks with the `ide.latency.*` histograms'
+//! interpolated quantiles, and a `flight` section exercises the flight
+//! recorder end to end: a capture-everything server replays a short
+//! session with tracing on, exports chrome trace JSON over
+//! `debug/flightRecorder`, and the export is re-imported through our
+//! own chrome parser.
+//!
+//! Usage: `serve [--quick] [--flight-out <path>]` (quick: smaller
+//! profile, shorter trace, thread counts 1 and 2 only).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use ev_bench::serve::{replay, ReplayResult};
+use ev_bench::timer::group;
+use ev_gen::ide_session::{session_trace, SessionOp};
+use ev_gen::synthetic::SyntheticSpec;
+use ev_ide::ServerOptions;
+use ev_json::Value;
+
+/// Session-trace seed; fixed so runs are comparable across commits.
+const SEED: u64 = 0x5E12E;
+
+/// Exact quantile of a sorted latency vector, in microseconds.
+fn pct_micros(sorted_nanos: &[u64], q: f64) -> f64 {
+    assert!(!sorted_nanos.is_empty());
+    let rank = ((q * sorted_nanos.len() as f64).ceil() as usize).max(1);
+    sorted_nanos[rank - 1] as f64 / 1000.0
+}
+
+/// Server options for timed runs: slow-capture off (`u64::MAX`) so
+/// host scheduling noise never changes what the recorder retains —
+/// only the trace's deterministic `BadLink` failures are captured.
+fn timed_options() -> ServerOptions {
+    ServerOptions {
+        slow_request_micros: u64::MAX,
+        ..ServerOptions::default()
+    }
+}
+
+/// Replays the trace on `threads` independent sessions and pools the
+/// results. Returns (pooled per-method latencies, digests, wall time).
+fn run_threads(
+    profile: &ev_core::Profile,
+    ops: &[SessionOp],
+    threads: usize,
+) -> (BTreeMap<&'static str, Vec<u64>>, Vec<u32>, std::time::Duration) {
+    let start = Instant::now();
+    let results: Vec<ReplayResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(|| replay(profile, ops, timed_options()).0))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let digests = results.iter().map(|r| r.digest).collect();
+    let mut pooled: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for result in results {
+        for (method, latencies) in result.per_method {
+            pooled.entry(method).or_default().extend(latencies);
+        }
+    }
+    (pooled, digests, wall)
+}
+
+/// Flight-recorder demo: capture-everything server, tracing on, short
+/// replay, chrome export round-tripped through our own importer.
+/// Returns (captures, chrome events, re-imported CCT nodes, chrome
+/// JSON text).
+fn flight_demo(profile: &ev_core::Profile, ops: &[SessionOp]) -> (usize, usize, usize, String) {
+    let options = ServerOptions {
+        slow_request_micros: 0,
+        ..ServerOptions::default()
+    };
+    ev_trace::set_enabled(true);
+    let (_, mut client) = replay(profile, ops, options);
+    let report = client
+        .flight_recorder(Some("chrome"))
+        .expect("debug/flightRecorder");
+    ev_trace::set_enabled(false);
+    let captures = report
+        .get("captures")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    let export = report.get("export").expect("chrome export present");
+    let events = export
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    let text = ev_json::to_string(export);
+    let reimported = ev_formats::chrome::parse(&text)
+        .expect("re-import our own chrome export")
+        .node_count();
+    (captures, events, reimported, text)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flight_out = args
+        .iter()
+        .position(|a| a == "--flight-out")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--flight-out needs a path")));
+
+    let (functions, samples, trace_len, thread_counts): (usize, usize, usize, &[usize]) = if quick
+    {
+        (300, 1_500, 400, &[1, 2])
+    } else {
+        (2_000, 10_000, 2_000, &[1, 2, 4])
+    };
+    let profile = SyntheticSpec {
+        functions,
+        samples,
+        ..SyntheticSpec::default()
+    }
+    .build();
+    let ops = session_trace(SEED, trace_len);
+    let expected_errors = ops.iter().filter(|op| op.expects_error()).count() as u64;
+
+    group("serve: reference replay");
+    let (reference, _) = replay(&profile, &ops, timed_options());
+    assert_eq!(reference.requests, trace_len as u64);
+    assert_eq!(reference.errors, expected_errors);
+    println!(
+        "{} requests, {} expected errors, digest {:08x}",
+        reference.requests, reference.errors, reference.digest
+    );
+
+    let mut runs: Vec<Value> = Vec::new();
+    for &threads in thread_counts {
+        group(&format!("serve: {threads} thread(s)"));
+        let (pooled, digests, wall) = run_threads(&profile, &ops, threads);
+        for digest in &digests {
+            assert_eq!(
+                *digest, reference.digest,
+                "replay digest diverged at {threads} threads"
+            );
+        }
+        let total_requests = (threads * trace_len) as u64;
+        let requests_per_sec = total_requests as f64 / wall.as_secs_f64();
+        println!(
+            "{total_requests} requests in {wall:.3?} ({requests_per_sec:.0} req/s), digests identical"
+        );
+        let per_method: Vec<(&str, Value)> = pooled
+            .iter()
+            .map(|(method, latencies)| {
+                let mut sorted = latencies.clone();
+                sorted.sort_unstable();
+                let (p50, p95, p99) = (
+                    pct_micros(&sorted, 0.50),
+                    pct_micros(&sorted, 0.95),
+                    pct_micros(&sorted, 0.99),
+                );
+                println!(
+                    "  {method:<24} n={:<6} p50 {p50:>9.1}us  p95 {p95:>9.1}us  p99 {p99:>9.1}us",
+                    sorted.len()
+                );
+                (
+                    *method,
+                    Value::object([
+                        ("count", Value::Int(sorted.len() as i64)),
+                        ("p50Micros", Value::Float(p50)),
+                        ("p95Micros", Value::Float(p95)),
+                        ("p99Micros", Value::Float(p99)),
+                    ]),
+                )
+            })
+            .collect();
+        runs.push(Value::object([
+            ("threads", Value::Int(threads as i64)),
+            ("wallMillis", Value::Float(wall.as_secs_f64() * 1_000.0)),
+            ("requests", Value::Int(total_requests as i64)),
+            ("requestsPerSec", Value::Float(requests_per_sec)),
+            ("perMethod", Value::object(per_method)),
+        ]));
+    }
+
+    // Cross-check against the process-global ide.latency.* histograms
+    // every server recorded into (interpolated log-bucket quantiles).
+    let snapshot = ev_trace::snapshot_metrics();
+    let latency: Vec<(&str, Value)> = snapshot
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("ide.latency.") && h.count > 0)
+        .map(|h| {
+            let [p50, _, p95, p99] = h.percentiles();
+            (
+                h.name,
+                Value::object([
+                    ("count", Value::Int(h.count as i64)),
+                    ("p50Micros", Value::Float(p50)),
+                    ("p95Micros", Value::Float(p95)),
+                    ("p99Micros", Value::Float(p99)),
+                ]),
+            )
+        })
+        .collect();
+    let latency_methods = latency.len();
+    let metrics = Value::object([
+        (
+            "ide.requests",
+            Value::Int(snapshot.counter("ide.requests") as i64),
+        ),
+        (
+            "ide.errors",
+            Value::Int(snapshot.counter("ide.errors") as i64),
+        ),
+        ("latency", Value::object(latency)),
+    ]);
+
+    group("serve: flight recorder round-trip");
+    let flight_ops = &ops[..ops.len().min(48)];
+    let (captures, events, reimported, chrome_text) = flight_demo(&profile, flight_ops);
+    println!(
+        "{captures} captures -> {events} chrome events -> {reimported} re-imported nodes"
+    );
+    if let Some(path) = &flight_out {
+        std::fs::write(path, &chrome_text).expect("write --flight-out");
+        println!("chrome trace written to {}", path.display());
+    }
+
+    let report = Value::object([
+        ("schema", Value::from("ev-bench-serve/v1")),
+        ("quick", Value::Bool(quick)),
+        (
+            "profile",
+            Value::object([
+                ("functions", Value::Int(functions as i64)),
+                ("samples", Value::Int(samples as i64)),
+                ("nodes", Value::Int(profile.node_count() as i64)),
+            ]),
+        ),
+        (
+            "session",
+            Value::object([
+                ("seed", Value::Int(SEED as i64)),
+                ("ops", Value::Int(trace_len as i64)),
+                ("expectedErrors", Value::Int(expected_errors as i64)),
+            ]),
+        ),
+        ("digest", Value::Int(i64::from(reference.digest))),
+        ("runs", Value::Array(runs)),
+        ("metrics", metrics),
+        (
+            "flight",
+            Value::object([
+                ("captures", Value::Int(captures as i64)),
+                ("chromeEvents", Value::Int(events as i64)),
+                ("reimportedNodes", Value::Int(reimported as i64)),
+            ]),
+        ),
+    ]);
+
+    let path = repo_root().join("BENCH_serve.json");
+    let text = ev_json::to_string_pretty(&report);
+    std::fs::write(&path, &text).expect("write BENCH_serve.json");
+    let reread = std::fs::read_to_string(&path).expect("re-read BENCH_serve.json");
+    ev_json::parse(&reread).expect("BENCH_serve.json re-parses");
+    println!("\nreport written to {}", path.display());
+
+    // Gates: a report that violates these is a bug, not a slow run.
+    for run in report.get("runs").and_then(Value::as_array).unwrap() {
+        assert!(run.get("requestsPerSec").and_then(Value::as_f64).unwrap() > 0.0);
+        let methods = run.get("perMethod").unwrap();
+        for method in [
+            "profile/flameGraph",
+            "profile/codeLink",
+            "profile/hover",
+            "profile/codeLens",
+            "profile/search",
+            "profile/summary",
+        ] {
+            let m = methods
+                .get(method)
+                .unwrap_or_else(|| panic!("run missing {method}"));
+            let p50 = m.get("p50Micros").and_then(Value::as_f64).unwrap();
+            let p95 = m.get("p95Micros").and_then(Value::as_f64).unwrap();
+            let p99 = m.get("p99Micros").and_then(Value::as_f64).unwrap();
+            assert!(p50 <= p95 && p95 <= p99, "{method}: {p50} {p95} {p99}");
+        }
+    }
+    let replayed: u64 = thread_counts
+        .iter()
+        .map(|&t| (t * trace_len) as u64)
+        .sum::<u64>()
+        + reference.requests;
+    assert!(
+        snapshot.counter("ide.requests") >= replayed,
+        "ide.requests counter undercounts"
+    );
+    assert!(latency_methods >= 6, "expected per-method histograms");
+    assert!(captures > 0, "flight recorder captured nothing");
+    assert!(events > 0 && reimported > 1, "chrome round-trip degenerate");
+    println!("serve gates passed");
+}

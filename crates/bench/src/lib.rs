@@ -13,5 +13,6 @@
 
 pub mod loc;
 pub mod pipeline;
+pub mod serve;
 pub mod timer;
 pub mod userstudy;

@@ -1,0 +1,236 @@
+//! Replays [`ev_gen::ide_session`] traces against an in-process EVP
+//! server and measures per-method request latency.
+//!
+//! The replayer is the workload half of the serve benchmark
+//! (`src/bin/serve.rs`): it opens a synthetic profile through
+//! [`EditorClient`], resolves each abstract [`SessionOp`] into a
+//! concrete JSON-RPC request against tables derived from the profile
+//! itself (its source-mapped nodes, in node-id order), and folds every
+//! response into a chained CRC-32 digest. Because the tables come from
+//! the profile — never from response ordering or timing — the digest
+//! is identical for any thread count, which is what lets the benchmark
+//! assert that concurrent servers compute exactly the same answers.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ev_core::Profile;
+use ev_gen::ide_session::SessionOp;
+use ev_ide::{EditorClient, EvpServer, IdeError, ServerOptions};
+use ev_json::Value;
+
+/// Flame-graph rect limit used for every replayed layout request: big
+/// enough to exercise real layout work, small enough that response
+/// serialization doesn't dominate the RPC under test.
+pub const FLAME_LIMIT: i64 = 512;
+
+/// What a replay run measured.
+pub struct ReplayResult {
+    /// Wall-clock nanoseconds per request, grouped by EVP method, in
+    /// issue order.
+    pub per_method: BTreeMap<&'static str, Vec<u64>>,
+    /// Chained CRC-32 over every response (errors fold in their
+    /// JSON-RPC code); equal digests mean byte-identical sessions.
+    pub digest: u32,
+    /// Total requests replayed (excluding the untimed `profile/open`).
+    pub requests: u64,
+    /// Requests that returned a JSON-RPC error (the trace's `BadLink`
+    /// ops — anything else fails the replay).
+    pub errors: u64,
+}
+
+impl ReplayResult {
+    /// All latencies across methods, unsorted.
+    pub fn all_latencies(&self) -> Vec<u64> {
+        self.per_method.values().flatten().copied().collect()
+    }
+}
+
+/// The pick tables a profile induces: every source-mapped node in
+/// node-id order. `SessionOp` picks index this table modulo its size.
+struct PickTables {
+    /// (node index, file, line) for each mapped node.
+    mapped: Vec<(i64, String, u32)>,
+    node_count: usize,
+    metric: String,
+}
+
+impl PickTables {
+    fn derive(profile: &Profile) -> Self {
+        let mapped = profile
+            .node_ids()
+            .filter_map(|id| {
+                let frame = profile.resolve_frame(id);
+                frame
+                    .has_source_mapping()
+                    .then(|| (id.index() as i64, frame.file, frame.line))
+            })
+            .collect();
+        PickTables {
+            mapped,
+            node_count: profile.node_count(),
+            metric: profile
+                .metrics()
+                .first()
+                .map(|m| m.name.clone())
+                .unwrap_or_default(),
+        }
+    }
+
+    fn pick(&self, i: usize) -> &(i64, String, u32) {
+        &self.mapped[i % self.mapped.len()]
+    }
+}
+
+fn op_params(op: &SessionOp, profile_id: i64, tables: &PickTables) -> Value {
+    let pid = ("profileId", Value::Int(profile_id));
+    match op {
+        SessionOp::FlameGraph { view } => Value::object([
+            pid,
+            ("metric", Value::from(tables.metric.as_str())),
+            ("view", Value::from(*view)),
+            ("limit", Value::Int(FLAME_LIMIT)),
+        ]),
+        SessionOp::CodeLink { pick } => {
+            let &(node, _, _) = tables.pick(*pick);
+            Value::object([pid, ("node", Value::Int(node))])
+        }
+        SessionOp::CodeLens { pick } => {
+            let (_, file, _) = tables.pick(*pick);
+            Value::object([pid, ("file", Value::from(file.as_str()))])
+        }
+        SessionOp::Hover { pick } => {
+            let (_, file, line) = tables.pick(*pick);
+            Value::object([
+                pid,
+                ("file", Value::from(file.as_str())),
+                ("line", Value::Int(i64::from(*line))),
+            ])
+        }
+        SessionOp::Summary => Value::object([pid]),
+        SessionOp::Search { query } => {
+            Value::object([pid, ("query", Value::from(query.as_str()))])
+        }
+        SessionOp::BadLink { offset } => Value::object([
+            pid,
+            (
+                "node",
+                Value::Int((tables.node_count + offset) as i64),
+            ),
+        ]),
+    }
+}
+
+/// Folds one response into the running digest. The chain makes the
+/// digest order-sensitive: swapping two identical responses changes it.
+fn fold(digest: u32, outcome: &Result<Value, IdeError>) -> u32 {
+    let leaf = match outcome {
+        Ok(value) => ev_flate::crc32(ev_json::to_string(value).as_bytes()),
+        Err(IdeError::Rpc { code, .. }) => ev_flate::crc32(format!("err:{code}").as_bytes()),
+        // Transport failures are never expected; poison the digest.
+        Err(IdeError::Protocol(_)) => !0,
+    };
+    let mut chain = [0u8; 8];
+    chain[..4].copy_from_slice(&digest.to_le_bytes());
+    chain[4..].copy_from_slice(&leaf.to_le_bytes());
+    ev_flate::crc32(&chain)
+}
+
+/// Replays `ops` against a fresh server configured with `options`.
+///
+/// Opens `profile` untimed, then issues one raw request per op,
+/// timing each and chaining its response into the digest. Panics on
+/// unexpected outcomes (an error from an op that doesn't expect one,
+/// or success from a `BadLink`) — a benchmark measuring wrong answers
+/// measures nothing. Returns the client too so callers can keep
+/// interrogating the same server (`debug/flightRecorder`).
+pub fn replay(
+    profile: &Profile,
+    ops: &[SessionOp],
+    options: ServerOptions,
+) -> (ReplayResult, EditorClient) {
+    let tables = PickTables::derive(profile);
+    assert!(
+        !tables.mapped.is_empty(),
+        "replay profile has no source-mapped nodes"
+    );
+    let mut client = EditorClient::connect(EvpServer::with_options(options));
+    let profile_id = client.open_profile(profile).expect("open profile");
+
+    let mut result = ReplayResult {
+        per_method: BTreeMap::new(),
+        digest: 0,
+        requests: 0,
+        errors: 0,
+    };
+    for op in ops {
+        let params = op_params(op, profile_id, &tables);
+        let start = Instant::now();
+        let outcome = client.request(op.method(), params);
+        let nanos = start.elapsed().as_nanos() as u64;
+        result.requests += 1;
+        match &outcome {
+            Ok(_) => assert!(
+                !op.expects_error(),
+                "{} for {op:?} succeeded but expected an error",
+                op.method()
+            ),
+            Err(err) => {
+                assert!(
+                    op.expects_error(),
+                    "{} for {op:?} failed unexpectedly: {err}",
+                    op.method()
+                );
+                result.errors += 1;
+            }
+        }
+        result.digest = fold(result.digest, &outcome);
+        result.per_method.entry(op.method()).or_default().push(nanos);
+    }
+    (result, client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_gen::ide_session::session_trace;
+    use ev_gen::synthetic::SyntheticSpec;
+
+    fn small_profile() -> Profile {
+        SyntheticSpec {
+            functions: 60,
+            samples: 200,
+            max_depth: 12,
+            ..SyntheticSpec::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_counts_errors() {
+        let profile = small_profile();
+        let ops = session_trace(42, 120);
+        let expected_errors = ops.iter().filter(|op| op.expects_error()).count() as u64;
+        let (a, _) = replay(&profile, &ops, ServerOptions::default());
+        let (b, _) = replay(&profile, &ops, ServerOptions::default());
+        assert_eq!(a.digest, b.digest, "same trace, same profile, same digest");
+        assert_eq!(a.requests, 120);
+        assert_eq!(a.errors, expected_errors);
+        assert_eq!(
+            a.all_latencies().len() as u64,
+            a.requests,
+            "one latency sample per request"
+        );
+        // A different trace answers differently.
+        let (c, _) = replay(&profile, &session_trace(43, 120), ServerOptions::default());
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn digest_chain_is_order_sensitive() {
+        let ok = |s: &str| Ok(Value::from(s));
+        let ab = fold(fold(0, &ok("a")), &ok("b"));
+        let ba = fold(fold(0, &ok("b")), &ok("a"));
+        assert_ne!(ab, ba);
+    }
+}

@@ -36,6 +36,9 @@ pub struct Options {
     pub threads: usize,
     /// Print view-cache hit/miss counters after the command.
     pub cache_stats: bool,
+    /// Machine-readable JSON output (`stats --json`): the full metrics
+    /// registry as one JSON document instead of the text dump.
+    pub json: bool,
     /// Force the bounded-memory streaming ingest path regardless of
     /// input size (`--stream`). Off by default: small inputs auto-route
     /// to the buffered decoder, GB-scale gzip'd pprof streams anyway.
@@ -57,6 +60,7 @@ impl Default for Options {
             threshold: 0.0,
             threads: 0,
             cache_stats: false,
+            json: false,
             stream: false,
             chunk_size: None,
         }
@@ -222,6 +226,7 @@ pub fn parse_cli(argv: &[String]) -> Result<Cli, CliError> {
                 }
             }
             "--cache-stats" => options.cache_stats = true,
+            "--json" => options.json = true,
             "--stream" => options.stream = true,
             "--chunk-size" => {
                 let chunk: usize = take_value(&mut iter, "--chunk-size")?
@@ -485,6 +490,17 @@ mod tests {
         assert_eq!(input.as_deref(), Some("p.evpf"));
         assert_eq!(options.threads, 2);
         assert!(parse(&["stats", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn stats_json_flag() {
+        let cmd = parse(&["stats", "--json"]).unwrap();
+        let Command::Stats { input, options } = cmd else { panic!() };
+        assert_eq!(input, None);
+        assert!(options.json);
+        // Default stays the human-readable dump.
+        let Command::Stats { options, .. } = parse(&["stats"]).unwrap() else { panic!() };
+        assert!(!options.json);
     }
 
     #[test]

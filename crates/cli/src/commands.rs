@@ -102,7 +102,7 @@ pub fn run_cli(cli: Cli) -> Result<String, CliError> {
 }
 
 fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError> {
-    let mut out = String::new();
+    let mut profile_summary: Option<(String, usize, usize)> = None;
     if let Some(path) = input {
         // Exercise the full pipeline once so the counters below reflect
         // this profile (load → convert → layout), then report. Tracing
@@ -111,7 +111,7 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
         // discarded — `stats` reports metrics, `--trace-out` records.
         let was_enabled = ev_trace::enabled();
         ev_trace::set_enabled(true);
-        let result = (|| -> Result<(), CliError> {
+        let result = (|| -> Result<(String, usize, usize), CliError> {
             let exec = policy(options);
             let profile = load_opts(path, options)?;
             let metric = pick_metric(&profile, options)?;
@@ -122,20 +122,27 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
                 let pruned = maybe_pruned(&profile, metric, options);
                 layout(&pruned, metric, options.shape, exec)
             });
-            let _ = writeln!(
-                out,
-                "profile : {} ({} contexts, {} frames laid out)",
-                profile.meta().name,
+            Ok((
+                profile.meta().name.clone(),
                 profile.node_count(),
-                graph.rects().len()
-            );
-            Ok(())
+                graph.rects().len(),
+            ))
         })();
         if !was_enabled {
             ev_trace::set_enabled(false);
             let _ = ev_trace::take_spans();
         }
-        result?;
+        profile_summary = Some(result?);
+    }
+    if options.json {
+        return Ok(stats_json(profile_summary.as_ref()));
+    }
+    let mut out = String::new();
+    if let Some((name, contexts, rects)) = &profile_summary {
+        let _ = writeln!(
+            out,
+            "profile : {name} ({contexts} contexts, {rects} frames laid out)",
+        );
     }
     cache_stats_line(&mut out);
     let dump = ev_trace::metrics_dump();
@@ -143,6 +150,65 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
         out.push_str(&dump);
     }
     Ok(out)
+}
+
+/// `stats --json`: one machine-readable document — view-cache counters
+/// plus the whole metrics registry, histograms reported as interpolated
+/// p50/p90/p95/p99 (the same estimator the serve benchmark uses).
+fn stats_json(profile_summary: Option<&(String, usize, usize)>) -> String {
+    use ev_json::Value;
+    let cache = view_cache().lock().unwrap().stats();
+    let snapshot = ev_trace::snapshot_metrics();
+    let counters: Vec<(&str, Value)> = snapshot
+        .counters
+        .iter()
+        .map(|&(name, value)| (name, Value::Int(value as i64)))
+        .collect();
+    let histograms: Vec<(&str, Value)> = snapshot
+        .histograms
+        .iter()
+        .map(|h| {
+            let [p50, p90, p95, p99] = h.percentiles();
+            (
+                h.name,
+                Value::object([
+                    ("count", Value::Int(h.count as i64)),
+                    ("sum", Value::Int(h.sum as i64)),
+                    ("p50", Value::Float(p50)),
+                    ("p90", Value::Float(p90)),
+                    ("p95", Value::Float(p95)),
+                    ("p99", Value::Float(p99)),
+                ]),
+            )
+        })
+        .collect();
+    let mut pairs = vec![
+        ("schema", Value::from("easyview-stats/v1")),
+        (
+            "viewCache",
+            Value::object([
+                ("hits", Value::Int(cache.hits as i64)),
+                ("misses", Value::Int(cache.misses as i64)),
+                ("len", Value::Int(cache.len as i64)),
+                ("capacity", Value::Int(cache.capacity as i64)),
+            ]),
+        ),
+        ("counters", Value::object(counters)),
+        ("histograms", Value::object(histograms)),
+    ];
+    if let Some((name, contexts, rects)) = profile_summary {
+        pairs.push((
+            "profile",
+            Value::object([
+                ("name", Value::from(name.as_str())),
+                ("contexts", Value::Int(*contexts as i64)),
+                ("rects", Value::Int(*rects as i64)),
+            ]),
+        ));
+    }
+    let mut out = ev_json::to_string_pretty(&Value::object(pairs));
+    out.push('\n');
+    out
 }
 
 /// Reads and converts a profile. The policy reaches ingest too:
@@ -594,6 +660,48 @@ mod tests {
             let n: u64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
             assert!(n > 0, "{line}");
         }
+    }
+
+    #[test]
+    fn stats_json_emits_machine_readable_metrics() {
+        let path = write_pprof_gz("stats-json");
+        let out = run_line(&["stats", &path, "--json"]).unwrap();
+        let doc = ev_json::parse(&out).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(ev_json::Value::as_str),
+            Some("easyview-stats/v1")
+        );
+        let cache = doc.get("viewCache").unwrap();
+        assert!(cache.get("capacity").and_then(ev_json::Value::as_i64).unwrap() > 0);
+        // The pipeline ran under tracing, so its counters must be
+        // present with positive values.
+        let counters = doc.get("counters").unwrap();
+        assert!(
+            counters
+                .get("flate.in_bytes")
+                .and_then(ev_json::Value::as_i64)
+                .unwrap_or(0)
+                > 0,
+            "{out}"
+        );
+        let profile = doc.get("profile").unwrap();
+        // The pprof importer names profiles after the format.
+        assert_eq!(
+            profile.get("name").and_then(ev_json::Value::as_str),
+            Some("pprof")
+        );
+        assert!(profile.get("rects").and_then(ev_json::Value::as_i64).unwrap() > 0);
+        // Histogram entries carry the interpolated percentile ladder.
+        if let Some(ev_json::Value::Object(hists)) = doc.get("histograms") {
+            for (name, h) in hists {
+                let p50 = h.get("p50").and_then(ev_json::Value::as_f64).unwrap();
+                let p99 = h.get("p99").and_then(ev_json::Value::as_f64).unwrap();
+                assert!(p50 <= p99, "{name}: p50 {p50} > p99 {p99}");
+            }
+        }
+        // Without --json the same command still prints the text dump.
+        let text = run_line(&["stats", &path]).unwrap();
+        assert!(text.contains("view-cache:"), "{text}");
     }
 
     #[test]

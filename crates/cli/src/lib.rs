@@ -89,6 +89,9 @@ OPTIONS:
                         1 = sequential; results are identical either way)
     --cache-stats       print view-cache hit/miss counters
                         (deprecated: use `easyview stats`)
+    --json              stats only: emit one machine-readable JSON
+                        document (schema easyview-stats/v1) with every
+                        counter and histogram p50/p90/p95/p99
     --stream            force bounded-memory streaming ingest (GB-scale
                         gzip'd pprof streams automatically; output is
                         identical either way)

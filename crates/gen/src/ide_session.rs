@@ -1,0 +1,174 @@
+//! Deterministic IDE request traces: a replayable session of the EVP
+//! actions (view / code link / code lens / hover / search / summary)
+//! an editor fires while a developer works a profile.
+//!
+//! The ROADMAP's multi-session service needs a reproducible load
+//! generator; this is it. Ops are abstract — picks index a stable
+//! table the replayer derives from the target profile (its mapped
+//! frames, sorted by node id) — so the same trace drives any synthetic
+//! profile and yields identical request streams on every run, thread
+//! count, and platform. A small deterministic fraction of ops are
+//! `BadLink` (a code link to a node past the end of the profile):
+//! every replay produces exactly the same failed requests, which is
+//! what makes the server's flight-recorder captures comparable across
+//! benchmark runs.
+
+use ev_test::Rng;
+
+/// One editor action in a session trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOp {
+    /// A flame-graph layout request (`view` ∈ topDown|bottomUp|flat).
+    FlameGraph {
+        /// Which layout.
+        view: &'static str,
+    },
+    /// Code link on the `pick`-th mapped frame (modulo the table).
+    CodeLink {
+        /// Index into the replayer's mapped-frame table.
+        pick: usize,
+    },
+    /// Code lenses for the file of the `pick`-th mapped frame.
+    CodeLens {
+        /// Index into the replayer's mapped-frame table.
+        pick: usize,
+    },
+    /// Hover on the file/line of the `pick`-th mapped frame.
+    Hover {
+        /// Index into the replayer's mapped-frame table.
+        pick: usize,
+    },
+    /// The floating-window summary.
+    Summary,
+    /// Frame search by name substring.
+    Search {
+        /// Lowercase query string.
+        query: String,
+    },
+    /// A code link to a node `offset` past the profile's node count —
+    /// a deterministic `UNKNOWN_ENTITY` failure (editors race stale
+    /// node handles against reloaded profiles all the time).
+    BadLink {
+        /// Offset past the last valid node id.
+        offset: usize,
+    },
+}
+
+impl SessionOp {
+    /// The EVP method this op resolves to.
+    pub fn method(&self) -> &'static str {
+        match self {
+            SessionOp::FlameGraph { .. } => "profile/flameGraph",
+            SessionOp::CodeLink { .. } | SessionOp::BadLink { .. } => "profile/codeLink",
+            SessionOp::CodeLens { .. } => "profile/codeLens",
+            SessionOp::Hover { .. } => "profile/hover",
+            SessionOp::Summary => "profile/summary",
+            SessionOp::Search { .. } => "profile/search",
+        }
+    }
+
+    /// Whether replaying this op is expected to fail.
+    pub fn expects_error(&self) -> bool {
+        matches!(self, SessionOp::BadLink { .. })
+    }
+}
+
+/// Generates a deterministic session of `len` ops from `seed`.
+///
+/// The mix mirrors how the paper's IDE actions are actually used: the
+/// session opens with a top-down flame graph, then interleaves mostly
+/// code links and hovers (the §VII-B hot path) with view switches,
+/// code lenses, searches, and the occasional summary; ~2 % of ops are
+/// deterministic `BadLink` failures.
+pub fn session_trace(seed: u64, len: usize) -> Vec<SessionOp> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let views = ["topDown", "bottomUp", "flat"];
+    let mut ops = Vec::with_capacity(len);
+    for i in 0..len {
+        if i == 0 {
+            // Sessions begin by looking at the profile.
+            ops.push(SessionOp::FlameGraph { view: "topDown" });
+            continue;
+        }
+        let roll = rng.gen_f64();
+        let op = if roll < 0.02 {
+            SessionOp::BadLink {
+                offset: rng.gen_range(1..1000usize),
+            }
+        } else if roll < 0.27 {
+            SessionOp::CodeLink {
+                pick: rng.gen_range(0..1 << 20),
+            }
+        } else if roll < 0.52 {
+            SessionOp::Hover {
+                pick: rng.gen_range(0..1 << 20),
+            }
+        } else if roll < 0.67 {
+            SessionOp::CodeLens {
+                pick: rng.gen_range(0..1 << 20),
+            }
+        } else if roll < 0.87 {
+            SessionOp::FlameGraph {
+                view: views[rng.gen_range(0..views.len())],
+            }
+        } else if roll < 0.95 {
+            // Queries hit the synthetic universe's `pkg.FunctionNNNNN`
+            // names with varying selectivity (search lowercases).
+            SessionOp::Search {
+                query: format!("function{:02}", rng.gen_range(0..100u32)),
+            }
+        } else {
+            SessionOp::Summary
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = session_trace(7, 500);
+        let b = session_trace(7, 500);
+        let c = session_trace(8, 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a[0], SessionOp::FlameGraph { view: "topDown" });
+    }
+
+    #[test]
+    fn mix_covers_every_op_kind() {
+        let ops = session_trace(0xEA57, 2000);
+        let count = |f: fn(&SessionOp) -> bool| ops.iter().filter(|op| f(op)).count();
+        let links = count(|op| matches!(op, SessionOp::CodeLink { .. }));
+        let hovers = count(|op| matches!(op, SessionOp::Hover { .. }));
+        let lenses = count(|op| matches!(op, SessionOp::CodeLens { .. }));
+        let views = count(|op| matches!(op, SessionOp::FlameGraph { .. }));
+        let searches = count(|op| matches!(op, SessionOp::Search { .. }));
+        let summaries = count(|op| matches!(op, SessionOp::Summary));
+        let bad = count(|op| matches!(op, SessionOp::BadLink { .. }));
+        for (name, n) in [
+            ("codeLink", links),
+            ("hover", hovers),
+            ("codeLens", lenses),
+            ("flameGraph", views),
+            ("search", searches),
+            ("summary", summaries),
+            ("badLink", bad),
+        ] {
+            assert!(n > 0, "no {name} ops in 2000");
+        }
+        // The hot-path ops dominate, failures stay rare.
+        assert!(links + hovers > views, "links+hovers {links}+{hovers}");
+        assert!(bad < 100, "badLink {bad} of 2000");
+        assert_eq!(
+            ops.iter().filter(|op| op.expects_error()).count(),
+            bad,
+            "only BadLink expects errors"
+        );
+    }
+}

@@ -20,10 +20,14 @@
 //!   reuse-pair profile wired with `UseReuse` links (Fig. 7).
 //! * [`spark`] — the RDD vs. SQL-Dataset profile pair behind the
 //!   differential view of Fig. 3.
+//! * [`ide_session`] — replayable traces of IDE actions (code link,
+//!   hover, lens, view switches) for driving the EVP server in the
+//!   serve benchmark.
 //!
 //! All generators take explicit seeds and are deterministic.
 
 pub mod grpc_leak;
+pub mod ide_session;
 pub mod lulesh;
 pub mod spark;
 pub mod synthetic;

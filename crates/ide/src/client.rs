@@ -9,7 +9,7 @@
 //! steps ①–④ describe: select a frame → histogram → right-click →
 //! code link → hover.
 
-use crate::rpc::{decode_frame, encode_frame, Request, Response};
+use crate::rpc::{decode_frame, encode_frame, Request, Response, ResponseMeta};
 use crate::server::{profile_to_param, EvpServer};
 use crate::IdeError;
 use ev_core::{NodeId, Profile};
@@ -53,6 +53,7 @@ pub struct EditorClient {
     server: EvpServer,
     next_id: i64,
     editor: EditorState,
+    last_meta: Option<ResponseMeta>,
 }
 
 impl EditorClient {
@@ -63,12 +64,20 @@ impl EditorClient {
             server,
             next_id: 0,
             editor: EditorState::default(),
+            last_meta: None,
         }
     }
 
     /// The simulated editor state.
     pub fn editor(&self) -> &EditorState {
         &self.editor
+    }
+
+    /// The `meta` block of the most recent response: the server's
+    /// request sequence number, wall time, and span count. `None`
+    /// before the first request.
+    pub fn last_meta(&self) -> Option<ResponseMeta> {
+        self.last_meta
     }
 
     /// Sends one request over the framed transport and decodes the
@@ -92,10 +101,26 @@ impl EditorClient {
             .map_err(IdeError::Protocol)?
             .ok_or_else(|| IdeError::Protocol("no response frame".to_owned()))?;
         let response = Response::from_value(&value).map_err(IdeError::Protocol)?;
+        self.last_meta = response.meta;
         match response.outcome {
             Ok(result) => Ok(result),
             Err((code, message)) => Err(IdeError::Rpc { code, message }),
         }
+    }
+
+    /// Fetches the server's flight recorder (`debug/flightRecorder`).
+    /// `export` optionally asks for the retained spans rendered as
+    /// `"chrome"` trace JSON or an `"easyview"` profile envelope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server errors (e.g. an unknown export format).
+    pub fn flight_recorder(&mut self, export: Option<&str>) -> Result<Value, IdeError> {
+        let params = match export {
+            Some(format) => Value::object([("export", Value::from(format))]),
+            None => Value::object(Vec::<(&str, Value)>::new()),
+        };
+        self.request("debug/flightRecorder", params)
     }
 
     /// Opens a profile on the server, returning its handle.
@@ -642,6 +667,32 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, IdeError::Rpc { .. }));
+    }
+
+    #[test]
+    fn last_meta_and_flight_recorder_helper() {
+        let mut client = EditorClient::connect(EvpServer::new());
+        assert!(client.last_meta().is_none());
+        let id = client.open_profile(&demo_profile()).unwrap();
+        let meta = client.last_meta().unwrap();
+        assert_eq!(meta.request_seq, 1);
+        // A failing request is captured even with tracing off — span
+        // tree empty, but method/reason/wall time retained.
+        let err = client.code_link(id, 9999).unwrap_err();
+        assert!(matches!(err, IdeError::Rpc { .. }));
+        assert_eq!(client.last_meta().unwrap().request_seq, 2);
+        let report = client.flight_recorder(None).unwrap();
+        let captures = report.get("captures").unwrap().as_array().unwrap();
+        assert_eq!(captures.len(), 1);
+        assert_eq!(
+            captures[0].get("method").and_then(Value::as_str),
+            Some("profile/codeLink")
+        );
+        assert_eq!(
+            captures[0].get("reason").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(client.last_meta().unwrap().request_seq, 3);
     }
 
     #[test]

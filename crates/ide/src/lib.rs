@@ -53,7 +53,7 @@ pub mod rpc;
 mod server;
 
 pub use client::{EditorClient, EditorState, RectInfo};
-pub use server::EvpServer;
+pub use server::{EvpServer, ServerOptions};
 
 use std::error::Error;
 use std::fmt;

@@ -79,6 +79,10 @@ impl Request {
 /// can surface this without a separate round trip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResponseMeta {
+    /// Server-assigned monotone request sequence number (1-based;
+    /// distinct from the client-chosen JSON-RPC id). Flight-recorder
+    /// captures are keyed by method name + this sequence.
+    pub request_seq: u64,
     /// Server-side wall time, microseconds.
     pub wall_micros: u64,
     /// Spans recorded while handling (0 when tracing is disabled).
@@ -141,6 +145,7 @@ impl Response {
             pairs.push((
                 "meta",
                 Value::object([
+                    ("requestSeq", Value::Int(meta.request_seq as i64)),
                     ("spans", Value::Int(meta.spans as i64)),
                     ("wallMicros", Value::Int(meta.wall_micros as i64)),
                 ]),
@@ -160,6 +165,11 @@ impl Response {
             .and_then(Value::as_i64)
             .ok_or("missing id")?;
         let meta = value.get("meta").map(|m| ResponseMeta {
+            request_seq: m
+                .get("requestSeq")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .max(0) as u64,
             wall_micros: m
                 .get("wallMicros")
                 .and_then(Value::as_i64)
@@ -268,6 +278,7 @@ mod tests {
     #[test]
     fn response_meta_roundtrips() {
         let meta = ResponseMeta {
+            request_seq: 41,
             wall_micros: 1234,
             spans: 7,
         };
@@ -276,6 +287,10 @@ mod tests {
         assert_eq!(
             value.get("meta").and_then(|m| m.get("wallMicros")),
             Some(&Value::Int(1234))
+        );
+        assert_eq!(
+            value.get("meta").and_then(|m| m.get("requestSeq")),
+            Some(&Value::Int(41))
         );
         assert_eq!(Response::from_value(&value).unwrap(), ok);
         let err = Response::error(6, codes::INTERNAL_ERROR, "boom").with_meta(meta);

@@ -6,17 +6,110 @@ use ev_core::{MetricId, NodeId, Profile};
 use ev_flame::FlameGraph;
 use ev_json::Value;
 use ev_script::ScriptHost;
+use ev_trace::{CaptureReason, FlightRecorder, SpanRecord};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
-/// Requests slower than this (microseconds) are logged to stderr.
-const SLOW_REQUEST_MICROS: u64 = 100_000;
+/// Tunables for an [`EvpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Requests slower than this (microseconds) are logged to stderr
+    /// and captured into the flight recorder. The paper's §VII-B
+    /// response-time budget is 100 ms; `u64::MAX` disables slow
+    /// capture entirely (benchmarks use this so host scheduling noise
+    /// never perturbs deterministic capture contents).
+    pub slow_request_micros: u64,
+    /// Flight-recorder ring capacity (retained captures).
+    pub flight_capacity: usize,
+    /// Per-capture span cap; see [`ev_trace::FlightRecorder`].
+    pub flight_max_spans: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            slow_request_micros: 100_000,
+            flight_capacity: ev_trace::DEFAULT_CAPACITY,
+            flight_max_spans: ev_trace::DEFAULT_MAX_SPANS,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Defaults with environment overrides applied:
+    /// `EASYVIEW_SLOW_REQUEST_MS=<ms>` retunes the slow-request
+    /// threshold without a rebuild (`0` captures everything).
+    pub fn from_env() -> ServerOptions {
+        let mut options = ServerOptions::default();
+        if let Some(ms) = std::env::var("EASYVIEW_SLOW_REQUEST_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            options.slow_request_micros = ms.saturating_mul(1_000);
+        }
+        options
+    }
+}
 
 /// Cached handle for the `ide.request_us` histogram of per-request wall
-/// times.
+/// times (all methods pooled).
 fn request_histogram() -> &'static ev_trace::Histogram {
-    static HANDLE: std::sync::OnceLock<&'static ev_trace::Histogram> =
-        std::sync::OnceLock::new();
+    static HANDLE: OnceLock<&'static ev_trace::Histogram> = OnceLock::new();
     HANDLE.get_or_init(|| ev_trace::histogram("ide.request_us"))
+}
+
+/// Cached handle for the `ide.requests` counter.
+fn request_counter() -> &'static ev_trace::Counter {
+    static HANDLE: OnceLock<&'static ev_trace::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("ide.requests"))
+}
+
+/// Cached handle for the `ide.errors` counter.
+fn error_counter() -> &'static ev_trace::Counter {
+    static HANDLE: OnceLock<&'static ev_trace::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("ide.errors"))
+}
+
+/// Known EVP methods and their latency histogram names. The registry
+/// keys histograms by `&'static str`, so per-method histograms need
+/// this literal table; requests for methods outside it share
+/// `ide.latency.unknown` (bounding registry growth against arbitrary
+/// method strings).
+const METHOD_LATENCY: &[(&str, &str)] = &[
+    ("debug/flightRecorder", "ide.latency.debug/flightRecorder"),
+    ("initialize", "ide.latency.initialize"),
+    ("profile/aggregate", "ide.latency.profile/aggregate"),
+    ("profile/close", "ide.latency.profile/close"),
+    ("profile/codeLens", "ide.latency.profile/codeLens"),
+    ("profile/codeLink", "ide.latency.profile/codeLink"),
+    ("profile/correlated", "ide.latency.profile/correlated"),
+    ("profile/diff", "ide.latency.profile/diff"),
+    ("profile/flameGraph", "ide.latency.profile/flameGraph"),
+    ("profile/histogram", "ide.latency.profile/histogram"),
+    ("profile/hover", "ide.latency.profile/hover"),
+    ("profile/open", "ide.latency.profile/open"),
+    ("profile/script", "ide.latency.profile/script"),
+    ("profile/search", "ide.latency.profile/search"),
+    ("profile/summary", "ide.latency.profile/summary"),
+    ("profile/treeTable", "ide.latency.profile/treeTable"),
+];
+
+/// The `ide.latency.<method>` histogram for `method` — a cached
+/// `&'static` handle, so the per-request cost is one binary search
+/// over the method table (no lock, no allocation).
+fn method_histogram(method: &str) -> &'static ev_trace::Histogram {
+    static HANDLES: OnceLock<Vec<&'static ev_trace::Histogram>> = OnceLock::new();
+    static UNKNOWN: OnceLock<&'static ev_trace::Histogram> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        METHOD_LATENCY
+            .iter()
+            .map(|&(_, name)| ev_trace::histogram(name))
+            .collect()
+    });
+    match METHOD_LATENCY.binary_search_by(|&(m, _)| m.cmp(method)) {
+        Ok(i) => handles[i],
+        Err(_) => UNKNOWN.get_or_init(|| ev_trace::histogram("ide.latency.unknown")),
+    }
 }
 
 /// Hex encoding used to carry binary profiles inside JSON params.
@@ -53,19 +146,55 @@ pub(crate) fn profile_to_param(profile: &Profile) -> Value {
 ///
 /// Stateless apart from the profile table, so one server instance can
 /// back many editor panes.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EvpServer {
     profiles: HashMap<i64, Profile>,
     /// Per-node value series for profiles created by `profile/aggregate`
     /// (the data behind `profile/histogram`).
     series: HashMap<i64, Vec<Vec<f64>>>,
     next_id: i64,
+    options: ServerOptions,
+    /// Black box of slow/failed requests; see `debug/flightRecorder`.
+    recorder: FlightRecorder,
+    /// Monotone request sequence, carried as `requestSeq` in meta.
+    next_seq: u64,
+}
+
+impl Default for EvpServer {
+    fn default() -> EvpServer {
+        EvpServer::new()
+    }
 }
 
 impl EvpServer {
-    /// Creates a server with no profiles loaded.
+    /// Creates a server with no profiles loaded, using
+    /// [`ServerOptions::from_env`] (so `EASYVIEW_SLOW_REQUEST_MS`
+    /// applies without a rebuild).
     pub fn new() -> EvpServer {
-        EvpServer::default()
+        EvpServer::with_options(ServerOptions::from_env())
+    }
+
+    /// Creates a server with explicit options.
+    pub fn with_options(options: ServerOptions) -> EvpServer {
+        let recorder = FlightRecorder::new(options.flight_capacity, options.flight_max_spans);
+        EvpServer {
+            profiles: HashMap::new(),
+            series: HashMap::new(),
+            next_id: 0,
+            options,
+            recorder,
+            next_seq: 0,
+        }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &ServerOptions {
+        &self.options
+    }
+
+    /// The flight recorder (read-only; mutate via RPC).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Number of loaded profiles.
@@ -101,12 +230,28 @@ impl EvpServer {
 
     /// Handles one request; notifications return `None`.
     ///
-    /// Every response carries [`crate::rpc::ResponseMeta`] — wall time
-    /// and the number of `ev-trace` spans recorded while handling — and
-    /// requests slower than [`SLOW_REQUEST_MICROS`] are logged to
-    /// stderr (the paper's §VII-B response-time budget is 100 ms).
+    /// Every response carries [`crate::rpc::ResponseMeta`] — a monotone
+    /// `requestSeq`, wall time, and the number of `ev-trace` spans
+    /// recorded while handling. Every request bumps `ide.requests`
+    /// (errors also bump `ide.errors`) and records its wall time in
+    /// `ide.request_us` plus the per-method `ide.latency.<method>`
+    /// histogram. Requests slower than
+    /// [`ServerOptions::slow_request_micros`] are logged to stderr (the
+    /// paper's §VII-B response-time budget is 100 ms); slow or failed
+    /// requests additionally have their span tree and per-request
+    /// counter deltas captured into the flight recorder, retrievable
+    /// via `debug/flightRecorder`. With tracing disabled the
+    /// instrumentation degrades to counter/histogram bumps — no
+    /// snapshots, no capture, no allocation beyond the response itself.
     pub fn handle(&mut self, request: &Request) -> Option<Response> {
         let id = request.id?;
+        self.next_seq += 1;
+        let request_seq = self.next_seq;
+        request_counter().inc();
+        // Metrics snapshots and span capture only cost anything (and
+        // only yield anything) while tracing is enabled.
+        let metrics_before = ev_trace::enabled().then(ev_trace::snapshot_metrics);
+        let capture = ev_trace::start_capture();
         let start = ev_trace::now_ns();
         let spans_before = ev_trace::span_count();
         let outcome = {
@@ -114,17 +259,43 @@ impl EvpServer {
             self.dispatch(&request.method, &request.params)
         };
         let wall_micros = (ev_trace::now_ns() - start) / 1_000;
+        let spans = ev_trace::span_count() - spans_before;
+        let captured = capture.finish();
         request_histogram().record(wall_micros);
-        if wall_micros > SLOW_REQUEST_MICROS {
+        method_histogram(&request.method).record(wall_micros);
+        let failed = outcome.is_err();
+        if failed {
+            error_counter().inc();
+        }
+        let slow = wall_micros > self.options.slow_request_micros;
+        if slow {
             eprintln!(
                 "easyview: slow request {} took {:.1} ms",
                 request.method,
                 wall_micros as f64 / 1_000.0
             );
         }
+        if slow || failed {
+            let counter_deltas = metrics_before
+                .map(|before| ev_trace::snapshot_metrics().delta_since(&before).counters)
+                .unwrap_or_default();
+            let reason = if failed {
+                CaptureReason::Error
+            } else {
+                CaptureReason::Slow
+            };
+            self.recorder.record(
+                request.method.as_str(),
+                reason,
+                wall_micros,
+                captured,
+                counter_deltas,
+            );
+        }
         let meta = crate::rpc::ResponseMeta {
+            request_seq,
             wall_micros,
-            spans: ev_trace::span_count() - spans_before,
+            spans,
         };
         Some(
             match outcome {
@@ -156,6 +327,7 @@ impl EvpServer {
                         "profile/diff",
                         "profile/histogram",
                         "profile/correlated",
+                        "debug/flightRecorder",
                     ]
                     .iter()
                     .map(|&s| Value::from(s))
@@ -176,6 +348,7 @@ impl EvpServer {
             "profile/diff" => self.diff(params),
             "profile/histogram" => self.histogram(params),
             "profile/correlated" => self.correlated(params),
+            "debug/flightRecorder" => self.flight_recorder_rpc(params),
             other => Err((
                 codes::METHOD_NOT_FOUND,
                 format!("unknown method {other:?}"),
@@ -708,6 +881,68 @@ impl EvpServer {
         Ok(Value::object([("matches", matches)]))
     }
 
+    /// The flight-recorder surface: lists retained captures (oldest
+    /// first) with their span counts and per-request counter deltas.
+    /// `export: "chrome" | "easyview"` additionally renders every
+    /// retained span through the `ev_formats::trace` exporters — chrome
+    /// trace-event JSON for `chrome://tracing`, or an EasyView profile
+    /// (evpf-hex, the same envelope `profile/open` accepts) so the
+    /// recorder's contents can be examined in EasyView itself.
+    /// `clear: true` drops the retained captures after reporting.
+    fn flight_recorder_rpc(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+        let captures: Value = self
+            .recorder
+            .captures()
+            .map(|c| {
+                let deltas: Vec<(&str, Value)> = c
+                    .counter_deltas
+                    .iter()
+                    .map(|&(name, delta)| (name, Value::Int(delta as i64)))
+                    .collect();
+                Value::object([
+                    ("seq", Value::Int(c.seq as i64)),
+                    ("method", Value::from(c.label.clone())),
+                    ("reason", Value::from(c.reason.as_str())),
+                    ("wallMicros", Value::Int(c.wall_micros as i64)),
+                    ("spanCount", Value::Int(c.spans.len() as i64)),
+                    ("truncatedSpans", Value::Int(c.truncated_spans as i64)),
+                    ("counterDeltas", Value::object(deltas)),
+                ])
+            })
+            .collect();
+        let mut pairs = vec![
+            ("captures", captures),
+            ("capacity", Value::Int(self.recorder.capacity() as i64)),
+            (
+                "totalRecorded",
+                Value::Int(self.recorder.total_recorded() as i64),
+            ),
+            ("overwritten", Value::Int(self.recorder.overwritten() as i64)),
+        ];
+        if let Some(format) = params.get("export").and_then(Value::as_str) {
+            let spans: Vec<SpanRecord> = self
+                .recorder
+                .captures()
+                .flat_map(|c| c.spans.iter().copied())
+                .collect();
+            let exported = match format {
+                "chrome" => ev_formats::trace::chrome_trace(&spans),
+                "easyview" => profile_to_param(&ev_formats::trace::self_profile(&spans)),
+                other => {
+                    return Err((
+                        codes::INVALID_PARAMS,
+                        format!("unknown export format {other:?} (chrome|easyview)"),
+                    ))
+                }
+            };
+            pairs.push(("export", exported));
+        }
+        if params.get("clear").and_then(Value::as_bool) == Some(true) {
+            self.recorder.clear();
+        }
+        Ok(Value::object(pairs))
+    }
+
     /// Customization (§V-B): run an EVscript against the loaded profile.
     fn script(&mut self, params: &Value) -> Result<Value, (i64, String)> {
         let id = params
@@ -733,6 +968,213 @@ impl EvpServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that toggle process-global tracing.
+    fn tracing_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn options_default_and_env_override() {
+        assert_eq!(ServerOptions::default().slow_request_micros, 100_000);
+        // Process-global env: restore it so concurrently-constructed
+        // servers in other tests only ever see a *threshold* change
+        // (none of them assert slow-capture behavior).
+        std::env::set_var("EASYVIEW_SLOW_REQUEST_MS", "250");
+        let options = ServerOptions::from_env();
+        std::env::remove_var("EASYVIEW_SLOW_REQUEST_MS");
+        assert_eq!(options.slow_request_micros, 250_000);
+        std::env::set_var("EASYVIEW_SLOW_REQUEST_MS", "not-a-number");
+        let fallback = ServerOptions::from_env();
+        std::env::remove_var("EASYVIEW_SLOW_REQUEST_MS");
+        assert_eq!(fallback.slow_request_micros, 100_000);
+        let server = EvpServer::with_options(ServerOptions {
+            slow_request_micros: 7,
+            flight_capacity: 3,
+            flight_max_spans: 10,
+        });
+        assert_eq!(server.options().slow_request_micros, 7);
+        assert_eq!(server.flight_recorder().capacity(), 3);
+    }
+
+    #[test]
+    fn requests_bump_counters_and_per_method_histograms() {
+        let mut server = EvpServer::new();
+        let requests_before = request_counter().get();
+        let errors_before = error_counter().get();
+        let init_before = method_histogram("initialize").count();
+        let unknown_before = method_histogram("bogus/method").count();
+        server
+            .handle(&Request::new(1, "initialize", Value::Null))
+            .unwrap();
+        let bad = server
+            .handle(&Request::new(2, "bogus/method", Value::Null))
+            .unwrap();
+        assert!(bad.outcome.is_err());
+        assert_eq!(request_counter().get() - requests_before, 2);
+        assert_eq!(error_counter().get() - errors_before, 1);
+        assert_eq!(method_histogram("initialize").count() - init_before, 1);
+        // Unknown methods pool into one histogram instead of growing
+        // the registry per arbitrary method string.
+        assert_eq!(method_histogram("bogus/method").count() - unknown_before, 1);
+        assert!(std::ptr::eq(
+            method_histogram("bogus/method"),
+            method_histogram("another/unknown")
+        ));
+        assert_eq!(
+            method_histogram("initialize").name(),
+            "ide.latency.initialize"
+        );
+    }
+
+    #[test]
+    fn method_latency_table_is_sorted_and_resolved() {
+        // binary_search demands byte order ("codeLens" < "codeLink":
+        // 'e' < 'i'); every capability must resolve to its own
+        // histogram, not pool into unknown.
+        assert!(
+            METHOD_LATENCY.windows(2).all(|w| w[0].0 < w[1].0),
+            "METHOD_LATENCY must be sorted by method name"
+        );
+        for &(method, name) in METHOD_LATENCY {
+            assert_eq!(method_histogram(method).name(), name);
+        }
+    }
+
+    #[test]
+    fn meta_carries_monotone_request_seq() {
+        let mut server = EvpServer::new();
+        let first = server
+            .handle(&Request::new(1, "initialize", Value::Null))
+            .unwrap();
+        let second = server
+            .handle(&Request::new(9, "initialize", Value::Null))
+            .unwrap();
+        let a = first.meta.unwrap();
+        let b = second.meta.unwrap();
+        assert_eq!(a.request_seq, 1);
+        assert_eq!(b.request_seq, 2, "seq is server-assigned, not the id");
+    }
+
+    #[test]
+    fn failed_requests_land_in_the_flight_recorder() {
+        let mut server = EvpServer::new();
+        server.handle(&Request::new(1, "initialize", Value::Null));
+        server.handle(&Request::new(2, "bogus/method", Value::Null));
+        server.handle(&Request::new(
+            3,
+            "profile/summary",
+            Value::object([("profileId", Value::Int(404))]),
+        ));
+        let recorder = server.flight_recorder();
+        assert_eq!(recorder.len(), 2, "only the failures are retained");
+        let labels: Vec<&str> = recorder.captures().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["bogus/method", "profile/summary"]);
+        assert!(recorder
+            .captures()
+            .all(|c| c.reason == CaptureReason::Error));
+    }
+
+    #[test]
+    fn flight_recorder_rpc_lists_exports_and_clears() {
+        let _guard = tracing_lock();
+        ev_trace::set_enabled(true);
+        let mut server = EvpServer::new();
+        server.handle(&Request::new(1, "bogus/method", Value::Null));
+        ev_trace::set_enabled(false);
+
+        let listing = server
+            .handle(&Request::new(
+                2,
+                "debug/flightRecorder",
+                Value::object([("export", Value::from("chrome"))]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap();
+        let captures = listing.get("captures").unwrap().as_array().unwrap();
+        assert_eq!(captures.len(), 1);
+        let cap = &captures[0];
+        assert_eq!(cap.get("method").and_then(Value::as_str), Some("bogus/method"));
+        assert_eq!(cap.get("reason").and_then(Value::as_str), Some("error"));
+        assert_eq!(cap.get("seq").and_then(Value::as_i64), Some(1));
+        // Tracing was on, so the ide.request span was captured.
+        let span_count = cap.get("spanCount").and_then(Value::as_i64).unwrap();
+        assert!(span_count >= 1, "spanCount {span_count}");
+        assert_eq!(
+            listing.get("totalRecorded").and_then(Value::as_i64),
+            Some(1)
+        );
+        // The chrome export re-imports through our own parser.
+        let export = listing.get("export").unwrap();
+        let events = export.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len() as i64, span_count);
+        let reimported = ev_formats::chrome::parse(&ev_json::to_string(export)).unwrap();
+        assert!(reimported.node_count() > 1);
+
+        // The easyview export is an envelope profile/open accepts.
+        let listing = server
+            .handle(&Request::new(
+                3,
+                "debug/flightRecorder",
+                Value::object([
+                    ("export", Value::from("easyview")),
+                    ("clear", Value::Bool(true)),
+                ]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap();
+        let envelope = listing.get("export").unwrap().clone();
+        let opened = server
+            .handle(&Request::new(4, "profile/open", envelope))
+            .unwrap()
+            .outcome
+            .unwrap();
+        assert!(opened.get("profileId").and_then(Value::as_i64).is_some());
+        // clear=true dropped the retained captures but kept totals.
+        assert_eq!(server.flight_recorder().len(), 0);
+        assert_eq!(server.flight_recorder().total_recorded(), 1);
+
+        // Unknown export format is a clean error.
+        let err = server
+            .handle(&Request::new(
+                5,
+                "debug/flightRecorder",
+                Value::object([("export", Value::from("svg"))]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap_err();
+        assert_eq!(err.0, codes::INVALID_PARAMS);
+    }
+
+    #[test]
+    fn slow_threshold_zero_captures_successes() {
+        let mut server = EvpServer::with_options(ServerOptions {
+            slow_request_micros: 0,
+            ..ServerOptions::default()
+        });
+        // A hex-encoded multi-thousand-node profile: decoding it takes
+        // well over a microsecond, so `wall_micros > 0` holds.
+        let profile = ev_gen::synthetic::SyntheticSpec {
+            samples: 2_000,
+            ..ev_gen::synthetic::SyntheticSpec::default()
+        }
+        .build();
+        let open = server
+            .handle(&Request::new(1, "profile/open", profile_to_param(&profile)))
+            .unwrap();
+        assert!(open.outcome.is_ok());
+        let recorder = server.flight_recorder();
+        assert_eq!(recorder.len(), 1, "threshold 0 captures successes");
+        let cap = recorder.captures().next().unwrap();
+        assert_eq!(cap.reason, CaptureReason::Slow);
+        assert_eq!(cap.label, "profile/open");
+        assert!(cap.wall_micros > 0);
+    }
 
     #[test]
     fn hex_roundtrip() {

@@ -35,6 +35,12 @@
 //! so no lock is ever taken on the recording path. [`take_spans`]
 //! drains the collector into a deterministic `(start, id)` order.
 //!
+//! For request-scoped observability, [`start_capture`] opens a
+//! thread-local window that routes completing spans into the capture
+//! instead of the global collector, and [`FlightRecorder`] retains the
+//! harvested trees of slow or failed requests in a bounded ring with
+//! per-request counter deltas from [`snapshot_metrics`].
+//!
 //! # Examples
 //!
 //! ```
@@ -50,14 +56,21 @@
 //! ```
 
 mod clock;
+mod flight;
 mod metrics;
 mod span;
 
 pub use clock::now_ns;
-pub use metrics::{
-    counter, counter_value, histogram, metrics_dump, Counter, Histogram, HISTOGRAM_BUCKETS,
+pub use flight::{
+    CaptureReason, FlightCapture, FlightRecorder, DEFAULT_CAPACITY, DEFAULT_MAX_SPANS,
 };
-pub use span::{flush_thread, span, span_count, take_spans, Span, SpanRecord};
+pub use metrics::{
+    counter, counter_value, histogram, metrics_dump, snapshot_metrics, Counter, Histogram,
+    HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    flush_thread, span, span_count, start_capture, take_spans, Span, SpanCapture, SpanRecord,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -107,6 +107,186 @@ impl Histogram {
         }
         u64::MAX
     }
+
+    /// A point-in-time copy of this histogram's state, for interpolated
+    /// quantiles and request-scoped deltas. Buckets are read with
+    /// relaxed loads, so a snapshot taken while writers are active is
+    /// consistent per-bucket but not across buckets; request-scoped use
+    /// (snapshot on the serving thread before and after the handler)
+    /// sees exact deltas.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            name: self.name,
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram: counts per log-scale bucket
+/// plus the running count/sum. Unlike the live [`Histogram`], a
+/// snapshot can answer *interpolated* quantiles (a value inside the
+/// bucket's range, placed by the rank's position within the bucket)
+/// instead of raw bucket upper edges, and snapshots subtract to give
+/// the distribution of what happened between two points in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The registered name.
+    pub name: &'static str,
+    /// Number of samples at snapshot time.
+    pub count: u64,
+    /// Sum of samples at snapshot time.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`Histogram`] for the bucketing).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot named `name`.
+    pub fn empty(name: &'static str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name,
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Interpolated quantile `q` in `[0, 1]` (0.0 when empty).
+    ///
+    /// Finds the bucket containing the rank `ceil(q·count)` sample and
+    /// places the answer inside the bucket's value range `[2^(k-1),
+    /// 2^k)` by linear interpolation on the rank's position within the
+    /// bucket (midpoint convention, so a single-sample bucket reports
+    /// its midpoint rather than either edge). Bucket 0 (zeros) reports
+    /// 0. The true sample always lies in the same bucket, so the
+    /// interpolated answer is within 2× of the exact order statistic.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                if k == 0 {
+                    return 0.0;
+                }
+                let lo = if k == 1 { 1.0 } else { (1u128 << (k - 1)) as f64 };
+                let hi = (1u128 << k) as f64;
+                let into = (rank - seen) as f64 - 0.5;
+                let frac = (into / n as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            seen += n;
+        }
+        // Unreachable while count covers the buckets; saturate at the
+        // top edge for torn concurrent snapshots.
+        (1u128 << 64) as f64
+    }
+
+    /// The conventional latency summary: interpolated p50/p90/p95/p99.
+    pub fn percentiles(&self) -> [f64; 4] {
+        [
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        ]
+    }
+
+    /// The distribution recorded between `earlier` and `self`
+    /// (bucket-wise saturating subtraction; both must be snapshots of
+    /// the same histogram name for the result to mean anything).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, (&now, &then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *slot = now.saturating_sub(then);
+        }
+        HistogramSnapshot {
+            name: self.name,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of the whole metrics registry: every counter
+/// value and every histogram state, sorted by name. Two snapshots
+/// subtract via [`MetricsSnapshot::delta_since`] to give what happened
+/// in between — the request-scoped view the flight recorder attaches
+/// to captured requests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per registered counter, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// One snapshot per registered histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` (0 when absent from the snapshot).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(n, _)| (*n).cmp(name))
+            .map_or(0, |i| self.counters[i].1)
+    }
+
+    /// The snapshot of histogram `name`, if registered at capture time.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|h| h.name.cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
+    }
+
+    /// What happened between `earlier` and `self`: counter deltas
+    /// (only nonzero ones; counters born after `earlier` report their
+    /// full value) and histogram bucket deltas (only histograms whose
+    /// count moved).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|&(name, now)| (name, now.saturating_sub(earlier.counter(name))))
+            .filter(|&(_, delta)| delta != 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| match earlier.histogram(h.name) {
+                Some(then) => h.delta_since(then),
+                None => h.clone(),
+            })
+            .filter(|h| h.count != 0)
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Snapshots every registered metric (one registry lock, relaxed
+/// per-metric reads). See [`MetricsSnapshot`].
+pub fn snapshot_metrics() -> MetricsSnapshot {
+    let reg = registry().lock().unwrap();
+    MetricsSnapshot {
+        counters: reg.counters.iter().map(|(&n, c)| (n, c.get())).collect(),
+        histograms: reg.histograms.values().map(|h| h.snapshot()).collect(),
+    }
 }
 
 #[derive(Default)]
@@ -217,6 +397,76 @@ mod tests {
         assert!(h.quantile(0.5) >= 2, "median bucket covers 2..4");
         assert!(h.quantile(1.0) >= 1000);
         assert_eq!(histogram("test.metrics.empty").quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_interpolates_within_bucket_bounds() {
+        let h = histogram("test.snapshot.interp");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Exact p50 of 1..=100 is 50, in bucket [32, 64); the
+        // interpolated answer must land inside that bucket, strictly
+        // between the edges (the raw quantile reports 64).
+        let p50 = s.quantile(0.5);
+        assert!((32.0..64.0).contains(&p50), "p50 {p50}");
+        // p99 rank 99 is in bucket [64, 128).
+        let p99 = s.quantile(0.99);
+        assert!((64.0..128.0).contains(&p99), "p99 {p99}");
+        // Monotone in q.
+        assert!(s.quantile(0.1) <= s.quantile(0.5));
+        assert!(s.quantile(0.5) <= s.quantile(0.99));
+        let [q50, q90, q95, q99] = s.percentiles();
+        assert_eq!(q50, p50);
+        assert!(q90 <= q95 && q95 <= q99);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_the_window() {
+        let h = histogram("test.snapshot.delta");
+        h.record(5);
+        h.record(1000);
+        let before = h.snapshot();
+        h.record(7);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.sum, 7);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 1);
+        assert_eq!(delta.buckets[bucket_index(7)], 1);
+        // The delta's median is the single sample's bucket [4, 8).
+        let p50 = delta.quantile(0.5);
+        assert!((4.0..8.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn metrics_snapshot_delta_reports_nonzero_movement_only() {
+        let moved = counter("test.mdelta.moved");
+        counter("test.mdelta.idle");
+        let h = histogram("test.mdelta.hist");
+        let before = snapshot_metrics();
+        moved.add(3);
+        h.record(9);
+        let delta = snapshot_metrics().delta_since(&before);
+        assert_eq!(delta.counter("test.mdelta.moved"), 3);
+        assert_eq!(delta.counter("test.mdelta.idle"), 0);
+        assert!(
+            !delta.counters.iter().any(|&(n, _)| n == "test.mdelta.idle"),
+            "idle counters are dropped from the delta"
+        );
+        let hd = delta.histogram("test.mdelta.hist").unwrap();
+        assert_eq!(hd.count, 1);
+        assert_eq!(hd.sum, 9);
+        // Lookups on the full snapshot work too (sorted by name).
+        assert!(snapshot_metrics().histogram("test.mdelta.hist").is_some());
+        assert!(snapshot_metrics().histogram("test.mdelta.absent").is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_quantile_is_zero() {
+        let s = HistogramSnapshot::empty("test.snapshot.empty");
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.delta_since(&s).count, 0);
     }
 
     #[test]

@@ -39,6 +39,11 @@ struct ThreadBuf {
     records: Vec<SpanRecord>,
     stack: Vec<u64>,
     thread: u32,
+    /// Records completed inside the active capture window (see
+    /// [`start_capture`]); routed here *instead of* the global
+    /// collector, so a capture never double-reports.
+    captured: Vec<SpanRecord>,
+    capturing: bool,
 }
 
 thread_local! {
@@ -46,6 +51,8 @@ thread_local! {
         records: Vec::new(),
         stack: Vec::new(),
         thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        captured: Vec::new(),
+        capturing: false,
     });
 }
 
@@ -118,6 +125,73 @@ pub fn span_count() -> u64 {
     SPAN_COUNT.load(Ordering::Relaxed)
 }
 
+/// An open capture window on the calling thread; see [`start_capture`].
+/// Dropping it without [`SpanCapture::finish`] discards the window.
+#[must_use = "a capture collects nothing once dropped; call finish() to take the spans"]
+pub struct SpanCapture {
+    active: bool,
+}
+
+/// Opens a request-scoped capture window on the calling thread: spans
+/// that *complete* on this thread before [`SpanCapture::finish`] are
+/// routed into the capture instead of the global collector, so a
+/// request handler can harvest exactly its own span tree without
+/// draining (or racing with) other threads' [`take_spans`] traffic.
+///
+/// Inert — no allocation, no thread-local traffic beyond one borrow —
+/// when tracing is disabled or a capture is already open on this
+/// thread (windows do not nest; the outer window keeps collecting).
+pub fn start_capture() -> SpanCapture {
+    if !crate::enabled() {
+        return SpanCapture { active: false };
+    }
+    BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.capturing {
+            return SpanCapture { active: false };
+        }
+        buf.capturing = true;
+        SpanCapture { active: true }
+    })
+}
+
+impl SpanCapture {
+    /// Whether this window is actually collecting (tracing was enabled
+    /// and no outer window existed at open time).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Closes the window and returns the spans that completed inside
+    /// it, sorted by `(start_ns, id)` like [`take_spans`]. Returns an
+    /// empty (unallocated) vector for an inert window.
+    pub fn finish(mut self) -> Vec<SpanRecord> {
+        if !self.active {
+            return Vec::new();
+        }
+        self.active = false;
+        BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.capturing = false;
+            let mut spans = std::mem::take(&mut buf.captured);
+            spans.sort_by_key(|r| (r.start_ns, r.id));
+            spans
+        })
+    }
+}
+
+impl Drop for SpanCapture {
+    fn drop(&mut self) {
+        if self.active {
+            BUF.with(|buf| {
+                let mut buf = buf.borrow_mut();
+                buf.capturing = false;
+                buf.captured.clear();
+            });
+        }
+    }
+}
+
 struct ActiveSpan {
     id: u64,
     parent: u64,
@@ -178,15 +252,19 @@ impl Drop for Span {
             } else {
                 buf.stack.retain(|&open| open != active.id);
             }
-            let thread = buf.thread;
-            buf.records.push(SpanRecord {
+            let record = SpanRecord {
                 id: active.id,
                 parent: active.parent,
                 name: active.name,
-                thread,
+                thread: buf.thread,
                 start_ns: active.start_ns,
                 end_ns,
-            });
+            };
+            if buf.capturing {
+                buf.captured.push(record);
+                return;
+            }
+            buf.records.push(record);
             if buf.stack.is_empty() || buf.records.len() >= FLUSH_LEN {
                 push_chunk(std::mem::take(&mut buf.records));
             }
@@ -209,6 +287,83 @@ mod tests {
             end_ns: 35,
         };
         assert_eq!(r.duration_ns(), 25);
+    }
+
+    #[test]
+    fn capture_takes_spans_exclusively() {
+        let _guard = crate::tests::collector_lock();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        {
+            let _outside = span("test.cap.outside");
+        }
+        let cap = start_capture();
+        assert!(cap.is_active());
+        {
+            let _a = span("test.cap.a");
+            let _b = span("test.cap.b");
+        }
+        let captured = cap.finish();
+        {
+            let _after = span("test.cap.after");
+        }
+        let global = take_spans();
+        crate::set_enabled(false);
+        assert_eq!(captured.len(), 2);
+        let a = captured.iter().find(|s| s.name == "test.cap.a").unwrap();
+        let b = captured.iter().find(|s| s.name == "test.cap.b").unwrap();
+        assert_eq!(b.parent, a.id, "parent linkage survives capture");
+        // Captured spans never reach the global collector; spans
+        // outside the window do.
+        assert!(!global.iter().any(|s| s.name == "test.cap.a"));
+        assert!(!global.iter().any(|s| s.name == "test.cap.b"));
+        assert!(global.iter().any(|s| s.name == "test.cap.outside"));
+        assert!(global.iter().any(|s| s.name == "test.cap.after"));
+    }
+
+    #[test]
+    fn capture_is_inert_when_disabled_or_nested() {
+        let _guard = crate::tests::collector_lock();
+        crate::set_enabled(false);
+        let cap = start_capture();
+        assert!(!cap.is_active());
+        assert!(cap.finish().is_empty());
+
+        crate::set_enabled(true);
+        let _ = take_spans();
+        let outer = start_capture();
+        let inner = start_capture();
+        assert!(!inner.is_active(), "windows do not nest");
+        {
+            let _s = span("test.cap.nested");
+        }
+        assert!(inner.finish().is_empty());
+        // The outer window still owns the span.
+        let outer_spans = outer.finish();
+        crate::set_enabled(false);
+        let _ = take_spans();
+        assert!(outer_spans.iter().any(|s| s.name == "test.cap.nested"));
+    }
+
+    #[test]
+    fn dropped_capture_discards_and_releases_the_window() {
+        let _guard = crate::tests::collector_lock();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        {
+            let cap = start_capture();
+            assert!(cap.is_active());
+            let _s = span("test.cap.dropped");
+        }
+        // The window closed on drop: a new capture works and the
+        // dropped window's spans are gone (neither captured nor
+        // flushed globally).
+        let cap = start_capture();
+        assert!(cap.is_active());
+        assert!(cap.finish().is_empty());
+        let global = take_spans();
+        crate::set_enabled(false);
+        assert!(!global.iter().any(|s| s.name == "test.cap.dropped"));
     }
 
     #[test]

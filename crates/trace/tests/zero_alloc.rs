@@ -65,3 +65,37 @@ fn disabled_tracing_path_allocates_nothing() {
     assert_eq!(events.get(), 100_000);
     assert!(ev_trace::take_spans().is_empty());
 }
+
+#[test]
+fn disabled_request_instrumentation_allocates_nothing() {
+    // The EVP server's per-request instrumentation sequence — capture
+    // window, request span, latency histogram record, counters — must
+    // stay allocation-free when tracing is disabled (histograms and
+    // counters are always on; capture windows and spans are inert).
+    ev_trace::set_enabled(false);
+    let requests = ev_trace::counter("zero_alloc.requests");
+    let latency = ev_trace::histogram("zero_alloc.latency");
+    let _ = ev_trace::now_ns();
+    {
+        let _warm = ev_trace::span("zero_alloc.warm_req");
+    }
+    let _ = ev_trace::take_spans();
+
+    let before = thread_allocs();
+    for i in 0..100_000u64 {
+        let capture = ev_trace::start_capture();
+        let _span = ev_trace::span("zero_alloc.request");
+        requests.inc();
+        latency.record(i % 1024);
+        let spans = capture.finish();
+        assert!(spans.is_empty());
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled request instrumentation must be allocation-free"
+    );
+    assert_eq!(requests.get(), 100_000);
+    assert_eq!(latency.count(), 100_000);
+}

@@ -131,4 +131,38 @@ grep -q '"schema": "ev-bench-ingest/v1"' BENCH_ingest.json \
 # the artifact of record.
 git checkout -- BENCH_ingest.json 2>/dev/null || true
 
+echo "== serve smoke =="
+# Runs the serve bench in quick mode: deterministic IDE session replay
+# against concurrent EVP servers (digest-checked), per-method latency
+# quantiles, and a flight-recorder chrome export that must re-import
+# through our own parser.
+rm -f BENCH_serve.json
+target/release/serve --quick --flight-out "$SMOKE_DIR/flight.trace.json" \
+    || { echo "FAIL: serve bench (quick) failed" >&2; exit 1; }
+[ -s BENCH_serve.json ] \
+    || { echo "FAIL: BENCH_serve.json missing or empty" >&2; exit 1; }
+grep -q '"schema": "ev-bench-serve/v1"' BENCH_serve.json \
+    || { echo "FAIL: BENCH_serve.json malformed (schema key missing)" >&2; exit 1; }
+grep -Eq '"ide.requests": [1-9]' BENCH_serve.json \
+    || { echo "FAIL: BENCH_serve.json has no ide.requests count" >&2; exit 1; }
+grep -q '"ide.latency.profile/codeLink"' BENCH_serve.json \
+    || { echo "FAIL: BENCH_serve.json misses per-method latency histograms" >&2; exit 1; }
+# The exported flight recording is chrome trace JSON our importer reads.
+[ -s "$SMOKE_DIR/flight.trace.json" ] \
+    || { echo "FAIL: serve --flight-out wrote nothing" >&2; exit 1; }
+"$EV" info "$SMOKE_DIR/flight.trace.json" > /dev/null \
+    || { echo "FAIL: flight-recorder chrome export does not re-import" >&2; exit 1; }
+git checkout -- BENCH_serve.json 2>/dev/null || true
+
+echo "== stats --json smoke =="
+"$EV" stats "$SMOKE_DIR/smoke.pprof" --json > "$SMOKE_DIR/stats.json"
+grep -q '"schema": "easyview-stats/v1"' "$SMOKE_DIR/stats.json" \
+    || { echo "FAIL: stats --json schema missing" >&2; exit 1; }
+grep -q '"counters"' "$SMOKE_DIR/stats.json" \
+    || { echo "FAIL: stats --json misses the counters section" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$SMOKE_DIR/stats.json" \
+        || { echo "FAIL: stats --json is not valid JSON" >&2; exit 1; }
+fi
+
 echo "== OK =="
