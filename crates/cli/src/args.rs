@@ -46,6 +46,11 @@ pub struct Options {
     /// Streaming chunk size in bytes (`--chunk-size`); `None` = the
     /// flate default. Only meaningful with [`Options::stream`].
     pub chunk_size: Option<usize>,
+    /// EVscript file to run inside `stats`' traced window
+    /// (`stats <profile> --script <file.evs>`), so the script-engine
+    /// counters (`script.vm_ops`, `script.chunks_compiled`,
+    /// `script.par_visits`) appear in the metrics dump.
+    pub script: Option<String>,
 }
 
 impl Default for Options {
@@ -63,6 +68,7 @@ impl Default for Options {
             json: false,
             stream: false,
             chunk_size: None,
+            script: None,
         }
     }
 }
@@ -121,7 +127,11 @@ pub enum Command {
     /// `easyview search <profile> <query>`.
     Search { input: String, query: String },
     /// `easyview script <profile> <file.evs>`.
-    Script { input: String, script: String },
+    Script {
+        input: String,
+        script: String,
+        options: Options,
+    },
     /// `easyview convert <input> <output>`.
     Convert { input: String, output: String },
     /// `easyview stats [profile]` — run a view if a profile is given,
@@ -225,6 +235,7 @@ pub fn parse_cli(argv: &[String]) -> Result<Cli, CliError> {
                     return Err(CliError("--threads must be at most 1024".to_owned()));
                 }
             }
+            "--script" => options.script = Some(take_value(&mut iter, "--script")?),
             "--cache-stats" => options.cache_stats = true,
             "--json" => options.json = true,
             "--stream" => options.stream = true,
@@ -321,7 +332,11 @@ pub fn parse_cli(argv: &[String]) -> Result<Cli, CliError> {
             need(2)?;
             let input = positional.remove(0);
             let script = positional.remove(0);
-            Command::Script { input, script }
+            Command::Script {
+                input,
+                script,
+                options,
+            }
         }
         "convert" => {
             need(2)?;
@@ -490,6 +505,31 @@ mod tests {
         assert_eq!(input.as_deref(), Some("p.evpf"));
         assert_eq!(options.threads, 2);
         assert!(parse(&["stats", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn stats_script_flag() {
+        let cmd = parse(&["stats", "p.pprof", "--script", "a.evs"]).unwrap();
+        let Command::Stats { input, options } = cmd else { panic!() };
+        assert_eq!(input.as_deref(), Some("p.pprof"));
+        assert_eq!(options.script.as_deref(), Some("a.evs"));
+        assert!(parse(&["stats", "p.pprof", "--script"]).is_err());
+    }
+
+    #[test]
+    fn script_takes_threads() {
+        let cmd = parse(&["script", "p.pprof", "a.evs", "--threads", "2"]).unwrap();
+        let Command::Script {
+            input,
+            script,
+            options,
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(input, "p.pprof");
+        assert_eq!(script, "a.evs");
+        assert_eq!(options.threads, 2);
     }
 
     #[test]

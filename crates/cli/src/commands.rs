@@ -65,7 +65,11 @@ pub fn run(command: Command) -> Result<String, CliError> {
         } => diff_cmd(&before, &after, &options),
         Command::Aggregate { inputs, options } => aggregate_cmd(&inputs, &options),
         Command::Search { input, query } => search(&input, &query),
-        Command::Script { input, script } => script_cmd(&input, &script),
+        Command::Script {
+            input,
+            script,
+            options,
+        } => script_cmd(&input, &script, &options),
         Command::Convert { input, output } => convert(&input, &output),
         Command::Stats { input, options } => stats_cmd(input.as_deref(), &options),
     }
@@ -113,7 +117,20 @@ fn stats_cmd(input: Option<&str>, options: &Options) -> Result<String, CliError>
         ev_trace::set_enabled(true);
         let result = (|| -> Result<(String, usize, usize), CliError> {
             let exec = policy(options);
-            let profile = load_opts(path, options)?;
+            let mut profile = load_opts(path, options)?;
+            if let Some(script_path) = &options.script {
+                // `--script`: run the analysis script inside the traced
+                // window so the script-engine counters (`script.vm_ops`
+                // etc.) land in the dump below. Engine routing honors
+                // `EASYVIEW_SCRIPT_REFERENCE=1`, under which the VM
+                // counters stay absent.
+                let source = std::fs::read_to_string(script_path)
+                    .map_err(|e| CliError(format!("cannot read {script_path}: {e}")))?;
+                ScriptHost::new(&mut profile)
+                    .with_policy(exec)
+                    .run(&source)
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
             let metric = pick_metric(&profile, options)?;
             let threshold_tag = format!("threshold:{}", options.threshold);
             let key =
@@ -485,11 +502,14 @@ fn search(input: &str, query: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn script_cmd(input: &str, script_path: &str) -> Result<String, CliError> {
-    let mut profile = load(input, ExecPolicy::auto())?;
+fn script_cmd(input: &str, script_path: &str, options: &Options) -> Result<String, CliError> {
+    let mut profile = load_opts(input, options)?;
     let source = std::fs::read_to_string(script_path)
         .map_err(|e| CliError(format!("cannot read {script_path}: {e}")))?;
+    // Engine routing honors `EASYVIEW_SCRIPT_REFERENCE=1`; `--threads`
+    // governs the parallel fan-out of pure per-node callbacks.
     let output = ScriptHost::new(&mut profile)
+        .with_policy(policy(options))
         .run(&source)
         .map_err(|e| CliError(e.to_string()))?;
     Ok(output.stdout)

@@ -92,6 +92,10 @@ OPTIONS:
     --json              stats only: emit one machine-readable JSON
                         document (schema easyview-stats/v1) with every
                         counter and histogram p50/p90/p95/p99
+    --script <file.evs> stats only: run an EVscript inside the traced
+                        window so the script-engine counters
+                        (script.vm_ops, script.chunks_compiled,
+                        script.par_visits) land in the dump
     --stream            force bounded-memory streaming ingest (GB-scale
                         gzip'd pprof streams automatically; output is
                         identical either way)

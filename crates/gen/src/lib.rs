@@ -23,11 +23,14 @@
 //! * [`ide_session`] — replayable traces of IDE actions (code link,
 //!   hover, lens, view switches) for driving the EVP server in the
 //!   serve benchmark.
+//! * [`scripts`] — deterministic EVscript programs (hot loop, CCT
+//!   fold, string formatting) for the script-engine benchmark.
 //!
 //! All generators take explicit seeds and are deterministic.
 
 pub mod grpc_leak;
 pub mod ide_session;
 pub mod lulesh;
+pub mod scripts;
 pub mod spark;
 pub mod synthetic;

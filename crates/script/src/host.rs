@@ -1,15 +1,48 @@
 //! The script host: binds EVscript to an `ev_core::Profile`.
 
+use crate::compile::compile;
 use crate::interp::{Interpreter, ProfileApi, DEFAULT_STEP_LIMIT};
 use crate::parser::parse;
 use crate::ScriptError;
 use ev_core::{MetricDescriptor, MetricKind, MetricUnit, NodeId, Profile};
+use ev_par::ExecPolicy;
 
 /// What a script run produced.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ScriptOutput {
     /// Everything the script `print`ed, newline-separated.
     pub stdout: String,
+    /// Interpreter steps charged (statements + expressions + loop
+    /// iterations) — identical across engines for the same program.
+    pub steps: u64,
+}
+
+/// Which execution engine runs the script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptEngine {
+    /// Compile to bytecode and run on the VM — the default fast path.
+    Bytecode,
+    /// The retained tree-walking interpreter: the clarity-first
+    /// differential reference (mirroring `parse_reference` /
+    /// `inflate_reference`), and the escape hatch for cross-checking a
+    /// suspect script run.
+    Reference,
+}
+
+impl ScriptEngine {
+    /// Engine selected by the environment: `EASYVIEW_SCRIPT_REFERENCE`
+    /// set to anything but `0` or empty routes through the tree-walker
+    /// (same contract as `EASYVIEW_PPROF_REFERENCE`).
+    pub fn from_env() -> ScriptEngine {
+        let use_reference = std::env::var("EASYVIEW_SCRIPT_REFERENCE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        if use_reference {
+            ScriptEngine::Reference
+        } else {
+            ScriptEngine::Bytecode
+        }
+    }
 }
 
 /// Runs EVscript programs against a profile — the programming pane of
@@ -17,6 +50,14 @@ pub struct ScriptOutput {
 ///
 /// Node handles exposed to scripts are the profile's node indices
 /// (creation order, parents before children; 0 is the root).
+///
+/// Scripts compile to bytecode and run on the VM by default; the
+/// tree-walking interpreter is retained as the differential reference
+/// ([`ScriptEngine`]). Both engines produce identical output, profile
+/// mutations, errors, and step counts for every program. Under the
+/// bytecode engine, side-effect-free `map_nodes`/`derive` callbacks fan
+/// out over `ev-par` per [`ScriptHost::with_policy`], with results
+/// bit-identical at any thread count.
 ///
 /// # Examples
 ///
@@ -49,14 +90,24 @@ pub struct ScriptOutput {
 pub struct ScriptHost<'p> {
     profile: &'p mut Profile,
     step_limit: u64,
+    engine: ScriptEngine,
+    policy: ExecPolicy,
+    last_steps: u64,
+    last_stdout: String,
 }
 
 impl<'p> ScriptHost<'p> {
-    /// Creates a host over `profile`.
+    /// Creates a host over `profile`. The engine follows
+    /// [`ScriptEngine::from_env`]; parallel callback fan-out is off
+    /// until [`with_policy`](Self::with_policy) allows it.
     pub fn new(profile: &'p mut Profile) -> ScriptHost<'p> {
         ScriptHost {
             profile,
             step_limit: DEFAULT_STEP_LIMIT,
+            engine: ScriptEngine::from_env(),
+            policy: ExecPolicy::SEQUENTIAL,
+            last_steps: 0,
+            last_stdout: String::new(),
         }
     }
 
@@ -66,42 +117,171 @@ impl<'p> ScriptHost<'p> {
         self
     }
 
+    /// Pins the execution engine (tests and benches; production code
+    /// should let the environment decide).
+    pub fn with_engine(mut self, engine: ScriptEngine) -> ScriptHost<'p> {
+        self.engine = engine;
+        self
+    }
+
+    /// Allows the bytecode engine to fan side-effect-free node
+    /// callbacks out over `ev-par` under `policy`. Output is
+    /// bit-identical at any thread count; the reference engine ignores
+    /// the policy and always runs inline.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> ScriptHost<'p> {
+        self.policy = policy;
+        self
+    }
+
+    /// Steps charged by the most recent [`run`](Self::run), including
+    /// failed ones (`step_limit + 1` exactly when it died of budget
+    /// exhaustion). Lets differential tests compare engines on the
+    /// error path, where no [`ScriptOutput`] is returned.
+    pub fn last_steps(&self) -> u64 {
+        self.last_steps
+    }
+
+    /// Stdout accumulated by the most recent [`run`](Self::run) up to
+    /// the point it returned — the partial transcript on failure.
+    pub fn last_stdout(&self) -> &str {
+        &self.last_stdout
+    }
+
     /// Parses and executes `source`, mutating the profile in place.
     ///
     /// # Errors
     ///
     /// Returns the first lex, parse, or runtime error with its line.
+    /// Errors (and step accounting) are identical across engines.
     pub fn run(&mut self, source: &str) -> Result<ScriptOutput, ScriptError> {
         let program = parse(source)?;
+        match self.engine {
+            ScriptEngine::Reference => self.run_reference(&program),
+            ScriptEngine::Bytecode => match compile(&program) {
+                Ok(chunk) => self.run_vm(&chunk),
+                // Static tables overflowed (u16 constants/slots): the
+                // walker has no such limits, so a program too large to
+                // compile still runs instead of failing.
+                Err(crate::compile::Overflow) => self.run_reference(&program),
+            },
+        }
+    }
+
+    fn run_reference(
+        &mut self,
+        program: &[crate::ast::Stmt],
+    ) -> Result<ScriptOutput, ScriptError> {
         let mut api = ProfileBinding {
             profile: self.profile,
         };
         let mut interp = Interpreter::new(&mut api, self.step_limit);
-        interp.run(&program)?;
+        let result = interp.run(program);
+        self.last_steps = interp.steps();
+        self.last_stdout = std::mem::take(&mut interp.stdout);
+        result?;
         Ok(ScriptOutput {
-            stdout: std::mem::take(&mut interp.stdout),
+            stdout: self.last_stdout.clone(),
+            steps: self.last_steps,
+        })
+    }
+
+    fn run_vm(&mut self, chunk: &crate::compile::Chunk) -> Result<ScriptOutput, ScriptError> {
+        ev_trace::counter("script.chunks_compiled").inc();
+        let mut api = ProfileBinding {
+            profile: self.profile,
+        };
+        let mut vm = crate::vm::Vm::new(&mut api, chunk, self.step_limit, self.policy);
+        let result = vm.run();
+        self.last_steps = vm.steps();
+        self.last_stdout = std::mem::take(&mut vm.stdout);
+        result?;
+        Ok(ScriptOutput {
+            stdout: self.last_stdout.clone(),
+            steps: self.last_steps,
         })
     }
 }
 
-struct ProfileBinding<'p> {
-    profile: &'p mut Profile,
+/// Compiles `source` and renders the chunk's disassembly (golden
+/// fixtures and debugging; `None` for programs whose static tables
+/// overflow the bytecode's index widths).
+pub fn disassemble_source(source: &str) -> Result<Option<String>, ScriptError> {
+    let program = parse(source)?;
+    Ok(compile(&program).ok().map(|chunk| crate::compile::disassemble(&chunk)))
 }
 
-impl ProfileBinding<'_> {
-    fn node(&self, node: usize) -> Option<NodeId> {
-        if node < self.profile.node_count() {
-            Some(NodeId::from_index(node))
-        } else {
-            None
-        }
-    }
+// ---- profile bindings ----------------------------------------------
+//
+// `ProfileBinding` (exclusive, read-write) backs normal runs;
+// `ReadBinding` (shared, read-only) backs the VM's parallel callback
+// workers, where many threads read one profile. Both answer reads
+// through the same free functions, so the two views cannot drift.
 
-    fn metric(&self, name: &str) -> Result<ev_core::MetricId, String> {
-        self.profile
-            .metric_by_name(name)
-            .ok_or_else(|| format!("unknown metric {name:?}"))
+fn node_of(profile: &Profile, node: usize) -> Option<NodeId> {
+    if node < profile.node_count() {
+        Some(NodeId::from_index(node))
+    } else {
+        None
     }
+}
+
+fn metric_of(profile: &Profile, name: &str) -> Result<ev_core::MetricId, String> {
+    profile
+        .metric_by_name(name)
+        .ok_or_else(|| format!("unknown metric {name:?}"))
+}
+
+fn read_name(profile: &Profile, node: usize) -> Option<String> {
+    Some(profile.resolve_frame(node_of(profile, node)?).name)
+}
+
+fn read_file(profile: &Profile, node: usize) -> Option<String> {
+    Some(profile.resolve_frame(node_of(profile, node)?).file)
+}
+
+fn read_line(profile: &Profile, node: usize) -> Option<u32> {
+    Some(profile.resolve_frame(node_of(profile, node)?).line)
+}
+
+fn read_module(profile: &Profile, node: usize) -> Option<String> {
+    Some(profile.resolve_frame(node_of(profile, node)?).module)
+}
+
+fn read_parent(profile: &Profile, node: usize) -> Option<usize> {
+    profile
+        .node(node_of(profile, node)?)
+        .parent()
+        .map(NodeId::index)
+}
+
+fn read_children(profile: &Profile, node: usize) -> Option<Vec<usize>> {
+    Some(
+        profile
+            .node(node_of(profile, node)?)
+            .children()
+            .iter()
+            .map(|c| c.index())
+            .collect(),
+    )
+}
+
+fn read_value(profile: &Profile, node: usize, metric: &str) -> Result<f64, String> {
+    let id = metric_of(profile, metric)?;
+    let node = node_of(profile, node).ok_or("node out of range")?;
+    Ok(profile.value(node, id))
+}
+
+fn read_total(profile: &Profile, metric: &str) -> Result<f64, String> {
+    let id = metric_of(profile, metric)?;
+    Ok(profile.total(id))
+}
+
+fn read_metric_names(profile: &Profile) -> Vec<String> {
+    profile.metrics().iter().map(|m| m.name.clone()).collect()
+}
+
+struct ProfileBinding<'p> {
+    profile: &'p mut Profile,
 }
 
 impl ProfileApi for ProfileBinding<'_> {
@@ -110,48 +290,36 @@ impl ProfileApi for ProfileBinding<'_> {
     }
 
     fn node_name(&self, node: usize) -> Option<String> {
-        Some(self.profile.resolve_frame(self.node(node)?).name)
+        read_name(self.profile, node)
     }
 
     fn node_file(&self, node: usize) -> Option<String> {
-        Some(self.profile.resolve_frame(self.node(node)?).file)
+        read_file(self.profile, node)
     }
 
     fn node_line(&self, node: usize) -> Option<u32> {
-        Some(self.profile.resolve_frame(self.node(node)?).line)
+        read_line(self.profile, node)
     }
 
     fn node_module(&self, node: usize) -> Option<String> {
-        Some(self.profile.resolve_frame(self.node(node)?).module)
+        read_module(self.profile, node)
     }
 
     fn node_parent(&self, node: usize) -> Option<usize> {
-        self.profile
-            .node(self.node(node)?)
-            .parent()
-            .map(NodeId::index)
+        read_parent(self.profile, node)
     }
 
     fn node_children(&self, node: usize) -> Option<Vec<usize>> {
-        Some(
-            self.profile
-                .node(self.node(node)?)
-                .children()
-                .iter()
-                .map(|c| c.index())
-                .collect(),
-        )
+        read_children(self.profile, node)
     }
 
     fn get_value(&self, node: usize, metric: &str) -> Result<f64, String> {
-        let id = self.metric(metric)?;
-        let node = self.node(node).ok_or("node out of range")?;
-        Ok(self.profile.value(node, id))
+        read_value(self.profile, node, metric)
     }
 
     fn set_value(&mut self, node: usize, metric: &str, value: f64) -> Result<(), String> {
-        let id = self.metric(metric)?;
-        let node = self.node(node).ok_or("node out of range")?;
+        let id = metric_of(self.profile, metric)?;
+        let node = node_of(self.profile, node).ok_or("node out of range")?;
         self.profile.set_value(node, id, value);
         Ok(())
     }
@@ -167,12 +335,73 @@ impl ProfileApi for ProfileBinding<'_> {
     }
 
     fn total(&self, metric: &str) -> Result<f64, String> {
-        let id = self.metric(metric)?;
-        Ok(self.profile.total(id))
+        read_total(self.profile, metric)
     }
 
     fn metric_names(&self) -> Vec<String> {
-        self.profile.metrics().iter().map(|m| m.name.clone()).collect()
+        read_metric_names(self.profile)
+    }
+
+    fn profile(&self) -> Option<&Profile> {
+        Some(self.profile)
+    }
+}
+
+/// Read-only profile view for the VM's parallel callback workers. The
+/// purity gate guarantees workers never reach the mutating methods;
+/// they error defensively rather than panic, which routes the run
+/// through the inline fallback.
+pub(crate) struct ReadBinding<'p> {
+    pub(crate) profile: &'p Profile,
+}
+
+impl ProfileApi for ReadBinding<'_> {
+    fn node_count(&self) -> usize {
+        self.profile.node_count()
+    }
+
+    fn node_name(&self, node: usize) -> Option<String> {
+        read_name(self.profile, node)
+    }
+
+    fn node_file(&self, node: usize) -> Option<String> {
+        read_file(self.profile, node)
+    }
+
+    fn node_line(&self, node: usize) -> Option<u32> {
+        read_line(self.profile, node)
+    }
+
+    fn node_module(&self, node: usize) -> Option<String> {
+        read_module(self.profile, node)
+    }
+
+    fn node_parent(&self, node: usize) -> Option<usize> {
+        read_parent(self.profile, node)
+    }
+
+    fn node_children(&self, node: usize) -> Option<Vec<usize>> {
+        read_children(self.profile, node)
+    }
+
+    fn get_value(&self, node: usize, metric: &str) -> Result<f64, String> {
+        read_value(self.profile, node, metric)
+    }
+
+    fn set_value(&mut self, _node: usize, _metric: &str, _value: f64) -> Result<(), String> {
+        Err("read-only profile view".to_owned())
+    }
+
+    fn add_metric(&mut self, _name: &str) -> Result<(), String> {
+        Err("read-only profile view".to_owned())
+    }
+
+    fn total(&self, metric: &str) -> Result<f64, String> {
+        read_total(self.profile, metric)
+    }
+
+    fn metric_names(&self) -> Vec<String> {
+        read_metric_names(self.profile)
     }
 }
 
@@ -423,5 +652,141 @@ mod tests {
         "#,
         );
         assert_eq!(out.stdout, "x.c:5 = 7\n");
+    }
+
+    #[test]
+    fn both_engines_agree_on_output_and_steps() {
+        let src = r#"
+            let names = [];
+            visit(fn(n) { push(names, name(n)); });
+            derive("double", fn(n) { return value(n, "cpu") * 2; });
+            print(names, total("double"));
+        "#;
+        let mut p1 = profile();
+        let mut h1 = ScriptHost::new(&mut p1).with_engine(ScriptEngine::Bytecode);
+        let out_vm = h1.run(src).unwrap();
+        let mut p2 = profile();
+        let mut h2 = ScriptHost::new(&mut p2).with_engine(ScriptEngine::Reference);
+        let out_ref = h2.run(src).unwrap();
+        assert_eq!(out_vm, out_ref);
+        assert_eq!(p1, p2);
+    }
+
+    /// `pure=` flag per proto, in listing order, parsed from the
+    /// disassembly (proto 0 is the top level).
+    fn proto_purity(source: &str) -> Vec<bool> {
+        disassemble_source(source)
+            .expect("parses")
+            .expect("compiles")
+            .lines()
+            .filter(|l| l.starts_with("proto "))
+            .map(|l| l.contains("pure=true"))
+            .collect()
+    }
+
+    #[test]
+    fn purity_extends_through_local_helpers() {
+        // The callback's only calls reach its own local `fn`s (one of
+        // which recurses by self-application): every proto except the
+        // top level is pure, so the callback is parallel-eligible.
+        let purity = proto_purity(
+            r#"
+            map_nodes(fn(n) {
+                fn damp(v, k, self) {
+                    if k < 1 { return v; }
+                    return self(v * 0.5, k - 1, self);
+                }
+                return damp(n, 4, damp);
+            });
+            "#,
+        );
+        assert_eq!(purity, [false, true, true]);
+    }
+
+    #[test]
+    fn global_read_makes_callback_impure() {
+        let purity = proto_purity(
+            r#"
+            let t = 2;
+            map_nodes(fn(n) { return n * t; });
+            "#,
+        );
+        assert_eq!(purity, [false, false]);
+    }
+
+    #[test]
+    fn impure_helper_poisons_callback() {
+        // The helper prints, so `MakeFunc` of it poisons the callback
+        // even though the callback itself touches no impure op.
+        let purity = proto_purity(
+            r#"
+            map_nodes(fn(n) {
+                fn shout(v) { print(v); return v; }
+                return shout(n);
+            });
+            "#,
+        );
+        assert_eq!(purity, [false, false, false]);
+    }
+
+    #[test]
+    fn local_helper_callback_fans_out() {
+        // End to end: a callback built from local helpers takes the
+        // parallel path (the `script.par_visits` counter advances by
+        // at least the node count) and the output matches sequential.
+        let src = r#"
+            let scores = map_nodes(fn(n) {
+                fn damp(v, k, self) {
+                    if k < 1 { return v; }
+                    return self(v * 0.5 + 1, k - 1, self);
+                }
+                return damp(n, 3, damp);
+            });
+            let acc = 0;
+            for s in scores { acc = acc + s; }
+            print(acc);
+        "#;
+        let mut p_seq = profile();
+        let expected = ScriptHost::new(&mut p_seq)
+            .with_engine(ScriptEngine::Bytecode)
+            .run(src)
+            .unwrap();
+        let before = ev_trace::counter_value("script.par_visits");
+        let mut p_par = profile();
+        let out = ScriptHost::new(&mut p_par)
+            .with_engine(ScriptEngine::Bytecode)
+            .with_policy(ExecPolicy::with_threads(2))
+            .run(src)
+            .unwrap();
+        assert_eq!(out, expected);
+        let visited = ev_trace::counter_value("script.par_visits") - before;
+        assert!(
+            visited >= p_par.node_count() as u64,
+            "parallel path never engaged (par_visits delta {visited})"
+        );
+    }
+
+    #[test]
+    fn parallel_policy_matches_sequential() {
+        let src = r#"
+            let vals = map_nodes(fn(n) { return value(n, "cpu") + 1; });
+            derive("sq", fn(n) { let v = value(n, "cpu"); return v * v; });
+            print(vals, total("sq"));
+        "#;
+        let mut base = profile();
+        let expected = ScriptHost::new(&mut base)
+            .with_engine(ScriptEngine::Bytecode)
+            .run(src)
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let mut p = profile();
+            let out = ScriptHost::new(&mut p)
+                .with_engine(ScriptEngine::Bytecode)
+                .with_policy(ExecPolicy::with_threads(threads))
+                .run(src)
+                .unwrap();
+            assert_eq!(out, expected, "threads {threads}");
+            assert_eq!(p, base, "threads {threads}");
+        }
     }
 }

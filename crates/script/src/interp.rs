@@ -26,6 +26,10 @@ pub enum Value {
     List(Rc<RefCell<Vec<Value>>>),
     /// A function literal.
     Func(Rc<Function>),
+    /// A compiled function (bytecode engine only): a prototype index
+    /// into the enclosing chunk. The two engines never exchange values,
+    /// so the tree-walker never observes this variant.
+    VmFunc(Rc<VmFunc>),
 }
 
 /// A user-defined function.
@@ -33,6 +37,15 @@ pub enum Value {
 pub struct Function {
     pub params: Vec<String>,
     pub body: Vec<Stmt>,
+}
+
+/// A bytecode function value: created by the VM's `MakeFunc` op, one
+/// fresh `Rc` per evaluation so identity semantics match the walker's
+/// fresh `Rc<Function>` per `fn` literal evaluation.
+#[derive(Debug)]
+pub struct VmFunc {
+    pub(crate) proto: u16,
+    pub(crate) arity: usize,
 }
 
 impl Value {
@@ -54,7 +67,7 @@ impl Value {
             Value::Bool(_) => "bool",
             Value::Nil => "nil",
             Value::List(_) => "list",
-            Value::Func(_) => "function",
+            Value::Func(_) | Value::VmFunc(_) => "function",
         }
     }
 
@@ -71,9 +84,35 @@ impl Value {
                 a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.equals(y))
             }
             (Value::Func(a), Value::Func(b)) => Rc::ptr_eq(a, b),
+            (Value::VmFunc(a), Value::VmFunc(b)) => Rc::ptr_eq(a, b),
             _ => false,
         }
     }
+}
+
+/// How deep [`value_snapshot`] recurses before giving up; bounds the
+/// structural copy `map_nodes` takes of each callback result (and cuts
+/// off self-referential lists deterministically in both engines).
+pub(crate) const SNAPSHOT_DEPTH_LIMIT: usize = 64;
+
+/// Structural copy of a value: lists are copied recursively (breaking
+/// all aliasing, so `map_nodes` results are snapshots independent of
+/// later mutation), everything else is cloned. `Err(())` when nesting
+/// exceeds [`SNAPSHOT_DEPTH_LIMIT`].
+pub(crate) fn value_snapshot(value: &Value, depth: usize) -> Result<Value, ()> {
+    if depth > SNAPSHOT_DEPTH_LIMIT {
+        return Err(());
+    }
+    Ok(match value {
+        Value::List(items) => Value::list(
+            items
+                .borrow()
+                .iter()
+                .map(|item| value_snapshot(item, depth + 1))
+                .collect::<Result<Vec<Value>, ()>>()?,
+        ),
+        other => other.clone(),
+    })
 }
 
 impl fmt::Display for Value {
@@ -100,6 +139,7 @@ impl fmt::Display for Value {
                 write!(f, "]")
             }
             Value::Func(func) => write!(f, "<fn/{}>", func.params.len()),
+            Value::VmFunc(func) => write!(f, "<fn/{}>", func.arity),
         }
     }
 }
@@ -132,6 +172,13 @@ pub trait ProfileApi {
     fn total(&self, metric: &str) -> Result<f64, String>;
     /// Names of all registered metrics.
     fn metric_names(&self) -> Vec<String>;
+    /// Shared read-only view of the underlying profile, when the host
+    /// can provide one. The bytecode engine fans side-effect-free node
+    /// callbacks out over worker threads that read through this;
+    /// `None` (the default) keeps every visit inline.
+    fn profile(&self) -> Option<&ev_core::Profile> {
+        None
+    }
 }
 
 /// Control flow result of executing statements.
@@ -164,6 +211,12 @@ impl<'h> Interpreter<'h> {
             steps: 0,
             step_limit,
         }
+    }
+
+    /// Statements/expressions charged so far (`step_limit + 1` exactly
+    /// when the run died of budget exhaustion).
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
     }
 
     pub fn run(&mut self, program: &[Stmt]) -> Result<(), ScriptError> {
@@ -729,7 +782,11 @@ impl<'h> Interpreter<'h> {
             }
             "derive" => {
                 // Callback at metric computation (§V-B): f(node) yields
-                // the new metric's value at each node.
+                // the new metric's value at each node. Two-phase: every
+                // value is computed against the pre-derive state, then
+                // written — the callback never observes its own partial
+                // writes, which is also what lets the bytecode engine
+                // fan the compute phase out over worker threads.
                 let metric = self.arg_str(&args, 0, line)?;
                 let Some(callback @ Value::Func(_)) = args.get(1).cloned() else {
                     return Err(ScriptError::new("derive expects a function", line));
@@ -737,9 +794,12 @@ impl<'h> Interpreter<'h> {
                 self.host
                     .add_metric(&metric)
                     .map_err(|e| Self::host_err(e, line))?;
-                for node in 0..self.host.node_count() {
-                    let result =
-                        self.call_value(&callback, vec![Value::Num(node as f64)], line)?;
+                let count = self.host.node_count();
+                let mut derived = Vec::with_capacity(count);
+                for node in 0..count {
+                    derived.push(self.call_value(&callback, vec![Value::Num(node as f64)], line)?);
+                }
+                for (node, result) in derived.into_iter().enumerate() {
                     if let Value::Num(v) = result {
                         if v != 0.0 {
                             self.host
@@ -749,6 +809,26 @@ impl<'h> Interpreter<'h> {
                     }
                 }
                 Ok(Value::Nil)
+            }
+            "map_nodes" => {
+                // f(node) at every node in pre-order, collecting the
+                // results into a list. Results are structural snapshots
+                // (aliasing broken), so the list is independent of what
+                // the callback's locals referenced — and identical
+                // whether the bytecode engine computed it inline or on
+                // worker threads.
+                let Some(callback @ Value::Func(_)) = args.first().cloned() else {
+                    return Err(ScriptError::new("map_nodes expects a function", line));
+                };
+                let count = self.host.node_count();
+                let mut items = Vec::with_capacity(count);
+                for node in 0..count {
+                    let v = self.call_value(&callback, vec![Value::Num(node as f64)], line)?;
+                    items.push(value_snapshot(&v, 0).map_err(|()| {
+                        ScriptError::new("map_nodes result nesting too deep", line)
+                    })?);
+                }
+                Ok(Value::list(items))
             }
             _ => unreachable!("is_builtin gate"),
         }
@@ -784,5 +864,6 @@ pub(crate) fn is_builtin(name: &str) -> bool {
             | "metrics"
             | "visit"
             | "derive"
+            | "map_nodes"
     )
 }

@@ -51,13 +51,15 @@
 //! ```
 
 mod ast;
+mod compile;
 mod host;
 mod interp;
 mod lexer;
 mod parser;
+mod vm;
 
-pub use host::{ScriptHost, ScriptOutput};
-pub use interp::Value;
+pub use host::{disassemble_source, ScriptEngine, ScriptHost, ScriptOutput};
+pub use interp::{Value, DEFAULT_STEP_LIMIT};
 
 use std::error::Error;
 use std::fmt;

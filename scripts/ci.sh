@@ -154,6 +154,66 @@ grep -q '"ide.latency.profile/codeLink"' BENCH_serve.json \
     || { echo "FAIL: flight-recorder chrome export does not re-import" >&2; exit 1; }
 git checkout -- BENCH_serve.json 2>/dev/null || true
 
+echo "== script engine smoke =="
+# The bytecode VM and the tree-walking reference interpreter must agree
+# byte for byte on a real analysis script, at any thread count (the
+# pure map_nodes callback fans out over ev-par), and the script-engine
+# counters must surface in stats — absent under reference routing.
+cat > "$SMOKE_DIR/sample.evs" <<'EOF'
+let scores = map_nodes(fn(n) {
+    fn damp(v, k, self) {
+        if k < 1 { return v; }
+        return self(v * 0.5 + 1, k - 1, self);
+    }
+    return damp(value(n, "samples"), 4, damp);
+});
+let acc = 0;
+for s in scores { acc = acc + s; }
+print(node_count(), floor(acc));
+EOF
+"$EV" script "$SMOKE_DIR/smoke.pprof" "$SMOKE_DIR/sample.evs" > "$SMOKE_DIR/script_vm.txt"
+EASYVIEW_SCRIPT_REFERENCE=1 "$EV" script "$SMOKE_DIR/smoke.pprof" "$SMOKE_DIR/sample.evs" \
+    > "$SMOKE_DIR/script_ref.txt"
+if ! diff "$SMOKE_DIR/script_vm.txt" "$SMOKE_DIR/script_ref.txt" > /dev/null; then
+    echo "FAIL: script output differs between VM and reference interpreter" >&2
+    exit 1
+fi
+for threads in 1 2 8; do
+    "$EV" script "$SMOKE_DIR/smoke.pprof" "$SMOKE_DIR/sample.evs" --threads "$threads" \
+        > "$SMOKE_DIR/script_par.txt"
+    if ! diff "$SMOKE_DIR/script_vm.txt" "$SMOKE_DIR/script_par.txt" > /dev/null; then
+        echo "FAIL: script output differs at --threads $threads" >&2
+        exit 1
+    fi
+done
+"$EV" stats "$SMOKE_DIR/smoke.pprof" --script "$SMOKE_DIR/sample.evs" --threads 2 \
+    > "$SMOKE_DIR/script_stats.txt"
+grep -Eq '^counter script\.vm_ops [1-9]' "$SMOKE_DIR/script_stats.txt" \
+    || { echo "FAIL: stats did not report nonzero script.vm_ops" >&2; exit 1; }
+grep -Eq '^counter script\.chunks_compiled [1-9]' "$SMOKE_DIR/script_stats.txt" \
+    || { echo "FAIL: stats did not report nonzero script.chunks_compiled" >&2; exit 1; }
+grep -Eq '^counter script\.par_visits [1-9]' "$SMOKE_DIR/script_stats.txt" \
+    || { echo "FAIL: stats did not report nonzero script.par_visits" >&2; exit 1; }
+EASYVIEW_SCRIPT_REFERENCE=1 "$EV" stats "$SMOKE_DIR/smoke.pprof" \
+    --script "$SMOKE_DIR/sample.evs" --threads 2 > "$SMOKE_DIR/script_stats_ref.txt"
+if grep -q '^counter script\.' "$SMOKE_DIR/script_stats_ref.txt"; then
+    echo "FAIL: EASYVIEW_SCRIPT_REFERENCE=1 still ran the bytecode VM" >&2
+    exit 1
+fi
+
+echo "== script bench smoke =="
+# Runs the script bench in quick mode: differential pre-gate (VM ==
+# reference == parallel on every workload) plus the relaxed 2x speedup
+# gate on the CCT fold.
+rm -f BENCH_script.json
+target/release/script --quick \
+    || { echo "FAIL: script bench (quick) failed" >&2; exit 1; }
+[ -s BENCH_script.json ] \
+    || { echo "FAIL: BENCH_script.json missing or empty" >&2; exit 1; }
+grep -q '"schema": "ev-bench-script/v1"' BENCH_script.json \
+    || { echo "FAIL: BENCH_script.json malformed (schema key missing)" >&2; exit 1; }
+git checkout -- BENCH_script.json 2>/dev/null || true
+
 echo "== stats --json smoke =="
 "$EV" stats "$SMOKE_DIR/smoke.pprof" --json > "$SMOKE_DIR/stats.json"
 grep -q '"schema": "easyview-stats/v1"' "$SMOKE_DIR/stats.json" \
