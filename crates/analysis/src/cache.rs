@@ -16,8 +16,10 @@
 use ev_core::fast_hash::FxHasher;
 use ev_core::{MetricId, Profile};
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Cached handles for the global `cache.*` counters. Per-instance
 /// [`CacheStats`] stay authoritative for a single cache; these feed the
@@ -35,6 +37,11 @@ fn miss_counter() -> &'static ev_trace::Counter {
 fn evict_counter() -> &'static ev_trace::Counter {
     static HANDLE: OnceLock<&'static ev_trace::Counter> = OnceLock::new();
     HANDLE.get_or_init(|| ev_trace::counter("cache.evict"))
+}
+
+fn coalesced_counter() -> &'static ev_trace::Counter {
+    static HANDLE: OnceLock<&'static ev_trace::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| ev_trace::counter("cache.coalesced"))
 }
 
 /// Default number of memoized views kept per cache.
@@ -87,17 +94,41 @@ impl<V> ViewCache<V> {
     /// `build` on a miss. Evicts the least-recently-used entry when
     /// full.
     pub fn get_or_insert_with(&mut self, key: u64, build: impl FnOnce() -> V) -> Arc<V> {
-        self.tick += 1;
-        if let Some(entry) = self.entries.get_mut(&key) {
-            entry.last_used = self.tick;
-            self.hits += 1;
-            hit_counter().inc();
-            return Arc::clone(&entry.value);
+        if let Some(value) = self.lookup(key) {
+            return value;
         }
+        self.note_miss();
+        let value = Arc::new(build());
+        self.insert(key, Arc::clone(&value));
+        value
+    }
+
+    /// Returns the view under `key` if resident, refreshing its LRU
+    /// position and recording a hit. A `None` records nothing — the
+    /// caller decides whether the lookup becomes a miss
+    /// ([`ViewCache::note_miss`]) or is coalesced onto an in-flight
+    /// computation (see [`SharedViewCache`]).
+    pub fn lookup(&mut self, key: u64) -> Option<Arc<V>> {
+        self.tick += 1;
+        let entry = self.entries.get_mut(&key)?;
+        entry.last_used = self.tick;
+        self.hits += 1;
+        hit_counter().inc();
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Records a miss the caller is about to fill via
+    /// [`ViewCache::insert`].
+    pub fn note_miss(&mut self) {
         self.misses += 1;
         miss_counter().inc();
-        let value = Arc::new(build());
-        if self.entries.len() >= self.capacity {
+    }
+
+    /// Inserts `value` under `key` as the most recently used entry,
+    /// evicting the least-recently-used one when full.
+    pub fn insert(&mut self, key: u64, value: Arc<V>) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             if let Some(&oldest) = self
                 .entries
                 .iter()
@@ -111,11 +142,10 @@ impl<V> ViewCache<V> {
         self.entries.insert(
             key,
             Entry {
-                value: Arc::clone(&value),
+                value,
                 last_used: self.tick,
             },
         );
-        value
     }
 
     /// Current hit/miss counters and occupancy.
@@ -137,6 +167,223 @@ impl<V> ViewCache<V> {
 impl<V> Default for ViewCache<V> {
     fn default() -> ViewCache<V> {
         ViewCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+/// How many independently locked shards a [`SharedViewCache`] splits
+/// into. Power of two so the shard index is a mask of the (already
+/// well-mixed) [`view_key`] hash.
+const SHARD_COUNT: usize = 8;
+
+/// What happened to an in-flight computation, as seen by coalesced
+/// waiters parked on its gate.
+enum GateState<V> {
+    /// The owner is still computing.
+    Waiting,
+    /// The owner finished; the shared result.
+    Ready(Arc<V>),
+    /// The owner's build panicked; waiters recompute for themselves.
+    Failed,
+}
+
+/// A rendezvous for one in-flight computation: the first requester of a
+/// missing key installs a gate, later requesters of the same key wait
+/// on it instead of recomputing.
+struct Gate<V> {
+    state: Mutex<GateState<V>>,
+    ready: Condvar,
+}
+
+struct Shard<V> {
+    cache: ViewCache<V>,
+    pending: HashMap<u64, Arc<Gate<V>>, BuildHasherDefault<FxHasher>>,
+}
+
+/// Removes the gate and marks it failed if the owner's build unwinds,
+/// so coalesced waiters recompute instead of blocking forever.
+struct GateGuard<'a, V> {
+    shared: &'a SharedViewCache<V>,
+    key: u64,
+    gate: &'a Arc<Gate<V>>,
+    armed: bool,
+}
+
+impl<V> Drop for GateGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.shared.shard(self.key).lock().unwrap().pending.remove(&self.key);
+        *self.gate.state.lock().unwrap() = GateState::Failed;
+        self.gate.ready.notify_all();
+    }
+}
+
+/// Aggregate statistics of a [`SharedViewCache`]: per-shard
+/// [`CacheStats`] summed, plus the number of coalesced requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that computed a new view.
+    pub misses: u64,
+    /// Lookups that waited on an identical in-flight computation.
+    pub coalesced: u64,
+    /// Entries currently resident across all shards.
+    pub len: usize,
+    /// Maximum resident entries across all shards.
+    pub capacity: usize,
+}
+
+/// A concurrent, sharded [`ViewCache`] with request coalescing.
+///
+/// Looks up and inserts through `&self`, so one instance can sit in
+/// front of the expensive view computations of a server shared by many
+/// threads. The key space is split across [`SHARD_COUNT`] independently
+/// locked shards; a lookup takes exactly one shard lock, and the build
+/// closure runs with **no** lock held, so a slow layout never blocks
+/// unrelated keys.
+///
+/// Identical in-flight requests coalesce: the first requester of a
+/// missing key installs a *gate* and computes; later requesters of the
+/// same key park on the gate and share the `Arc`'d result when it
+/// lands (counted by `cache.coalesced` and
+/// [`SharedCacheStats::coalesced`]). If the owning build panics, the
+/// gate is marked failed and each waiter recomputes for itself —
+/// coalescing is an optimization, never a correctness dependency.
+pub struct SharedViewCache<V> {
+    shards: Box<[Mutex<Shard<V>>]>,
+    coalesced: AtomicU64,
+}
+
+impl<V> SharedViewCache<V> {
+    /// A cache holding at most `capacity` views in total (rounded up to
+    /// at least one per shard).
+    pub fn new(capacity: usize) -> SharedViewCache<V> {
+        let per_shard = capacity.div_ceil(SHARD_COUNT).max(1);
+        let shards = (0..SHARD_COUNT)
+            .map(|_| {
+                Mutex::new(Shard {
+                    cache: ViewCache::new(per_shard),
+                    pending: HashMap::default(),
+                })
+            })
+            .collect();
+        SharedViewCache {
+            shards,
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(key as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Returns the view under `key`, computing it with `build` on a
+    /// miss. Concurrent requests for the same key while the build is in
+    /// flight wait for it and share the result instead of recomputing.
+    pub fn get_or_insert_with(&self, key: u64, build: impl FnOnce() -> V) -> Arc<V> {
+        let gate = {
+            let mut shard = self.shard(key).lock().unwrap();
+            if let Some(value) = shard.cache.lookup(key) {
+                return value;
+            }
+            if let Some(gate) = shard.pending.get(&key) {
+                Arc::clone(gate) // join the in-flight computation
+            } else {
+                shard.cache.note_miss();
+                let gate = Arc::new(Gate {
+                    state: Mutex::new(GateState::Waiting),
+                    ready: Condvar::new(),
+                });
+                shard.pending.insert(key, Arc::clone(&gate));
+                drop(shard);
+                return self.build_and_publish(key, &gate, build);
+            }
+        };
+        // Count the coalesce *before* parking so tests (and the CI
+        // smoke) can deterministically release an owner that waits for
+        // a waiter to arrive.
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        coalesced_counter().inc();
+        let mut state = gate.state.lock().unwrap();
+        loop {
+            match &*state {
+                GateState::Waiting => state = gate.ready.wait(state).unwrap(),
+                GateState::Ready(value) => return Arc::clone(value),
+                GateState::Failed => {
+                    // The owner panicked; compute for ourselves without
+                    // re-gating (the value is still cached for later
+                    // requests).
+                    drop(state);
+                    let value = Arc::new(build());
+                    let mut shard = self.shard(key).lock().unwrap();
+                    shard.cache.insert(key, Arc::clone(&value));
+                    return value;
+                }
+            }
+        }
+    }
+
+    /// Runs `build` (no locks held), publishes the result to the cache
+    /// and to waiters parked on `gate`.
+    fn build_and_publish(&self, key: u64, gate: &Arc<Gate<V>>, build: impl FnOnce() -> V) -> Arc<V> {
+        let mut guard = GateGuard {
+            shared: self,
+            key,
+            gate,
+            armed: true,
+        };
+        let value = Arc::new(build());
+        guard.armed = false;
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.cache.insert(key, Arc::clone(&value));
+        shard.pending.remove(&key);
+        drop(shard);
+        *gate.state.lock().unwrap() = GateState::Ready(Arc::clone(&value));
+        gate.ready.notify_all();
+        value
+    }
+
+    /// Aggregate hit/miss/coalesce counters and occupancy across all
+    /// shards.
+    pub fn stats(&self) -> SharedCacheStats {
+        let mut total = SharedCacheStats {
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            ..SharedCacheStats::default()
+        };
+        for shard in &self.shards {
+            let stats = shard.lock().unwrap().cache.stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.len += stats.len;
+            total.capacity += stats.capacity;
+        }
+        total
+    }
+
+    /// Drops every resident entry (counters are kept; in-flight
+    /// computations still publish).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().cache.clear();
+        }
+    }
+}
+
+impl<V> Default for SharedViewCache<V> {
+    fn default() -> SharedViewCache<V> {
+        SharedViewCache::new(DEFAULT_CACHE_CAPACITY * SHARD_COUNT)
+    }
+}
+
+impl<V> fmt::Debug for SharedViewCache<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SharedViewCache")
+            .field("len", &stats.len)
+            .field("capacity", &stats.capacity)
+            .finish()
     }
 }
 
@@ -275,5 +522,86 @@ mod tests {
         let held = cache.get_or_insert_with(1, || "kept".to_owned());
         cache.get_or_insert_with(2, || "evictor".to_owned());
         assert_eq!(held.as_str(), "kept");
+    }
+
+    #[test]
+    fn shared_cache_hits_and_misses_like_the_plain_one() {
+        let cache: SharedViewCache<u64> = SharedViewCache::new(16);
+        let a = cache.get_or_insert_with(1, || 41);
+        let b = cache.get_or_insert_with(1, || 42);
+        assert_eq!((*a, *b), (41, 41), "second request served from cache");
+        cache.get_or_insert_with(2, || 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 2, 2));
+        assert_eq!(stats.coalesced, 0);
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn shared_cache_coalesces_identical_inflight_requests() {
+        let cache: SharedViewCache<u64> = SharedViewCache::new(16);
+        let cache = &cache;
+        let value = std::thread::scope(|s| {
+            let owner = s.spawn(move || {
+                cache.get_or_insert_with(7, || {
+                    // Deterministic overlap: hold the build open until a
+                    // second requester has registered as coalesced.
+                    // Waiters bump the counter *before* parking, so this
+                    // terminates.
+                    while cache.stats().coalesced == 0 {
+                        std::thread::yield_now();
+                    }
+                    77
+                })
+            });
+            let waiter = s.spawn(move || {
+                cache.get_or_insert_with(7, || panic!("waiter must coalesce, not recompute"))
+            });
+            let a = owner.join().unwrap();
+            let b = waiter.join().unwrap();
+            assert!(Arc::ptr_eq(&a, &b), "one shared result");
+            *a
+        });
+        assert_eq!(value, 77);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "computed once");
+        assert_eq!(stats.coalesced, 1);
+        assert!(ev_trace::counter_value("cache.coalesced") >= 1);
+    }
+
+    #[test]
+    fn failed_build_releases_waiters_to_recompute() {
+        let cache: SharedViewCache<u64> = SharedViewCache::new(16);
+        let cache = &cache;
+        std::thread::scope(|s| {
+            let owner = s.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_insert_with(9, || {
+                        while cache.stats().coalesced == 0 {
+                            std::thread::yield_now();
+                        }
+                        panic!("build failed");
+                    })
+                }));
+                assert!(result.is_err(), "the owner's panic propagates");
+            });
+            let waiter = s.spawn(move || cache.get_or_insert_with(9, || 99));
+            owner.join().unwrap();
+            assert_eq!(*waiter.join().unwrap(), 99, "waiter recomputed");
+        });
+        // The recomputed value is cached; no gate is left behind.
+        assert_eq!(*cache.get_or_insert_with(9, || 0), 99);
+    }
+
+    #[test]
+    fn shared_cache_evicts_per_shard() {
+        let cache: SharedViewCache<u64> = SharedViewCache::new(8); // 1 per shard
+        // Same shard (same low bits), distinct keys: second insert evicts.
+        let k1 = 0x10u64;
+        let k2 = 0x20u64;
+        cache.get_or_insert_with(k1, || 1);
+        cache.get_or_insert_with(k2, || 2);
+        assert_eq!(*cache.get_or_insert_with(k1, || 11), 11, "k1 was evicted");
     }
 }

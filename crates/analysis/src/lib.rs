@@ -55,7 +55,8 @@ mod traverse;
 
 pub use aggregate::{aggregate, aggregate_with, Aggregate, AggregateMetrics};
 pub use cache::{
-    profile_fingerprint, view_key, CacheStats, ViewCache, DEFAULT_CACHE_CAPACITY,
+    profile_fingerprint, view_key, CacheStats, SharedCacheStats, SharedViewCache, ViewCache,
+    DEFAULT_CACHE_CAPACITY,
 };
 pub use derived::{derive_metric, MetricExpr};
 pub use diff::{diff, diff_with, DiffEntry, DiffProfile, DiffTag};

@@ -3,40 +3,46 @@
 //!
 //! The paper's §VII-B experiment measures how fast EasyView answers
 //! the IDE; this benchmark measures our server the same way, but under
-//! load. A deterministic [`ev_gen::ide_session`] trace (code links,
-//! hovers, lenses, view switches, searches, plus a rare deterministic
-//! failure) is replayed against a synthetic profile by 1, 2, and 4
-//! independent sessions — one [`ev_ide::EvpServer`] per OS thread,
-//! sharing nothing but the process-global metrics registry. Every
-//! replay folds its responses into a chained CRC-32; the benchmark
-//! asserts all digests are identical, so the latency numbers are known
-//! to come from servers computing exactly the same answers.
+//! load. Deterministic [`ev_gen::ide_session`] traces — one per editor
+//! session: code links, hovers, lenses, view switches, searches, plus
+//! a rare deterministic failure — are replayed against ONE shared
+//! [`ev_ide::SharedEvpServer`] by 1, 2, and 4 worker threads. Every
+//! session folds its responses into a chained CRC-32; the benchmark
+//! asserts each session's digest is identical at every thread count,
+//! so the latency numbers are known to come from a concurrent server
+//! computing exactly the same answers as a sequential one.
 //!
 //! Reported per thread count: per-method p50/p95/p99 (exact, from the
-//! sorted latency vectors) and aggregate requests/second. A `metrics`
-//! section cross-checks with the `ide.latency.*` histograms'
-//! interpolated quantiles, and a `flight` section exercises the flight
-//! recorder end to end: a capture-everything server replays a short
-//! session with tracing on, exports chrome trace JSON over
-//! `debug/flightRecorder`, and the export is re-imported through our
-//! own chrome parser.
+//! sorted latency vectors), aggregate requests/second, and the shared
+//! view-cache statistics (hits/misses/coalesced). On hosts with ≥ 2
+//! cores a throughput gate requires the best multi-thread run to beat
+//! single-thread by ≥ 1.4×. A `metrics` section cross-checks with the
+//! `ide.latency.*` histograms' interpolated quantiles, and a `flight`
+//! section exercises the flight recorder end to end: a
+//! capture-everything server replays a short session with tracing on,
+//! exports chrome trace JSON over `debug/flightRecorder`, and the
+//! export is re-imported through our own chrome parser.
 //!
 //! Usage: `serve [--quick] [--flight-out <path>]` (quick: smaller
-//! profile, shorter trace, thread counts 1 and 2 only).
+//! profile, shorter traces, thread counts 1 and 2 only).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use ev_bench::serve::{replay, ReplayResult};
+use ev_bench::serve::{replay, replay_shared, ReplayResult};
 use ev_bench::timer::group;
-use ev_gen::ide_session::{session_trace, SessionOp};
+use ev_gen::ide_session::{session_traces, SessionOp};
 use ev_gen::synthetic::SyntheticSpec;
-use ev_ide::ServerOptions;
+use ev_ide::{EditorClient, ServerOptions, SharedEvpServer};
 use ev_json::Value;
 
 /// Session-trace seed; fixed so runs are comparable across commits.
 const SEED: u64 = 0x5E12E;
+
+/// Required multi-thread speedup over single-thread on multi-core
+/// hosts (enforced only when the host actually has ≥ 2 cores).
+const MIN_SPEEDUP: f64 = 1.4;
 
 /// Exact quantile of a sorted latency vector, in microseconds.
 fn pct_micros(sorted_nanos: &[u64], q: f64) -> f64 {
@@ -55,32 +61,56 @@ fn timed_options() -> ServerOptions {
     }
 }
 
-/// Replays the trace on `threads` independent sessions and pools the
-/// results. Returns (pooled per-method latencies, digests, wall time).
-fn run_threads(
+/// One thread-count run: a FRESH shared server (so cache state is
+/// comparable across runs), the profile opened once untimed, then
+/// `threads` workers replay the sessions round-robin (worker t takes
+/// sessions t, t+threads, …). Returns pooled per-method latencies,
+/// per-session digests (indexed by session), wall time, and the shared
+/// view-cache statistics.
+fn run_shared(
     profile: &ev_core::Profile,
-    ops: &[SessionOp],
+    traces: &[Vec<SessionOp>],
     threads: usize,
-) -> (BTreeMap<&'static str, Vec<u64>>, Vec<u32>, std::time::Duration) {
+) -> (
+    BTreeMap<&'static str, Vec<u64>>,
+    Vec<u32>,
+    std::time::Duration,
+    ev_analysis::SharedCacheStats,
+) {
+    let server = SharedEvpServer::with_options(timed_options());
+    let mut opener = EditorClient::connect_shared(server.clone()).expect("session/open");
+    let profile_id = opener.open_profile(profile).expect("open profile");
     let start = Instant::now();
-    let results: Vec<ReplayResult> = std::thread::scope(|scope| {
+    let session_results: Vec<(usize, ReplayResult)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| scope.spawn(|| replay(profile, ops, timed_options()).0))
+            .map(|t| {
+                let server = server.clone();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut s = t;
+                    while s < traces.len() {
+                        out.push((s, replay_shared(&server, profile, profile_id, &traces[s])));
+                        s += threads;
+                    }
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("replay thread panicked"))
+            .flat_map(|h| h.join().expect("replay thread panicked"))
             .collect()
     });
     let wall = start.elapsed();
-    let digests = results.iter().map(|r| r.digest).collect();
+    let mut digests = vec![0u32; traces.len()];
     let mut pooled: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
-    for result in results {
+    for (session, result) in session_results {
+        digests[session] = result.digest;
         for (method, latencies) in result.per_method {
             pooled.entry(method).or_default().extend(latencies);
         }
     }
-    (pooled, digests, wall)
+    (pooled, digests, wall, server.view_cache_stats())
 }
 
 /// Flight-recorder demo: capture-everything server, tracing on, short
@@ -126,11 +156,16 @@ fn main() {
         .position(|a| a == "--flight-out")
         .map(|i| PathBuf::from(args.get(i + 1).expect("--flight-out needs a path")));
 
-    let (functions, samples, trace_len, thread_counts): (usize, usize, usize, &[usize]) = if quick
-    {
-        (300, 1_500, 400, &[1, 2])
+    let (functions, samples, trace_len, sessions, thread_counts): (
+        usize,
+        usize,
+        usize,
+        usize,
+        &[usize],
+    ) = if quick {
+        (300, 1_500, 400, 2, &[1, 2])
     } else {
-        (2_000, 10_000, 2_000, &[1, 2, 4])
+        (2_000, 10_000, 1_000, 4, &[1, 2, 4])
     };
     let profile = SyntheticSpec {
         functions,
@@ -138,32 +173,47 @@ fn main() {
         ..SyntheticSpec::default()
     }
     .build();
-    let ops = session_trace(SEED, trace_len);
-    let expected_errors = ops.iter().filter(|op| op.expects_error()).count() as u64;
-
-    group("serve: reference replay");
-    let (reference, _) = replay(&profile, &ops, timed_options());
-    assert_eq!(reference.requests, trace_len as u64);
-    assert_eq!(reference.errors, expected_errors);
+    let traces = session_traces(SEED, sessions, trace_len);
+    let expected_errors: u64 = traces
+        .iter()
+        .flatten()
+        .filter(|op| op.expects_error())
+        .count() as u64;
+    let total_per_run = (sessions * trace_len) as u64;
     println!(
-        "{} requests, {} expected errors, digest {:08x}",
-        reference.requests, reference.errors, reference.digest
+        "{sessions} sessions x {trace_len} ops against one shared server, \
+         {expected_errors} expected errors per run"
     );
 
+    let mut reference_digests: Option<Vec<u32>> = None;
+    let mut throughput: Vec<(usize, f64)> = Vec::new();
     let mut runs: Vec<Value> = Vec::new();
     for &threads in thread_counts {
         group(&format!("serve: {threads} thread(s)"));
-        let (pooled, digests, wall) = run_threads(&profile, &ops, threads);
-        for digest in &digests {
-            assert_eq!(
-                *digest, reference.digest,
-                "replay digest diverged at {threads} threads"
-            );
+        let (pooled, digests, wall, cache) = run_shared(&profile, &traces, threads);
+        match &reference_digests {
+            None => {
+                println!(
+                    "session digests: {}",
+                    digests
+                        .iter()
+                        .map(|d| format!("{d:08x}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+                reference_digests = Some(digests);
+            }
+            Some(reference) => assert_eq!(
+                &digests, reference,
+                "per-session digests diverged at {threads} threads"
+            ),
         }
-        let total_requests = (threads * trace_len) as u64;
-        let requests_per_sec = total_requests as f64 / wall.as_secs_f64();
+        let requests_per_sec = total_per_run as f64 / wall.as_secs_f64();
+        throughput.push((threads, requests_per_sec));
         println!(
-            "{total_requests} requests in {wall:.3?} ({requests_per_sec:.0} req/s), digests identical"
+            "{total_per_run} requests in {wall:.3?} ({requests_per_sec:.0} req/s), \
+             cache hits {} misses {} coalesced {}",
+            cache.hits, cache.misses, cache.coalesced
         );
         let per_method: Vec<(&str, Value)> = pooled
             .iter()
@@ -193,11 +243,20 @@ fn main() {
         runs.push(Value::object([
             ("threads", Value::Int(threads as i64)),
             ("wallMillis", Value::Float(wall.as_secs_f64() * 1_000.0)),
-            ("requests", Value::Int(total_requests as i64)),
+            ("requests", Value::Int(total_per_run as i64)),
             ("requestsPerSec", Value::Float(requests_per_sec)),
+            (
+                "viewCache",
+                Value::object([
+                    ("hits", Value::Int(cache.hits as i64)),
+                    ("misses", Value::Int(cache.misses as i64)),
+                    ("coalesced", Value::Int(cache.coalesced as i64)),
+                ]),
+            ),
             ("perMethod", Value::object(per_method)),
         ]));
     }
+    let reference_digests = reference_digests.expect("at least one run");
 
     // Cross-check against the process-global ide.latency.* histograms
     // every server recorded into (interpolated log-bucket quantiles).
@@ -229,11 +288,15 @@ fn main() {
             "ide.errors",
             Value::Int(snapshot.counter("ide.errors") as i64),
         ),
+        (
+            "cache.coalesced",
+            Value::Int(snapshot.counter("cache.coalesced") as i64),
+        ),
         ("latency", Value::object(latency)),
     ]);
 
     group("serve: flight recorder round-trip");
-    let flight_ops = &ops[..ops.len().min(48)];
+    let flight_ops = &traces[0][..traces[0].len().min(48)];
     let (captures, events, reimported, chrome_text) = flight_demo(&profile, flight_ops);
     println!(
         "{captures} captures -> {events} chrome events -> {reimported} re-imported nodes"
@@ -243,9 +306,11 @@ fn main() {
         println!("chrome trace written to {}", path.display());
     }
 
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let report = Value::object([
-        ("schema", Value::from("ev-bench-serve/v1")),
+        ("schema", Value::from("ev-bench-serve/v2")),
         ("quick", Value::Bool(quick)),
+        ("cores", Value::Int(cores as i64)),
         (
             "profile",
             Value::object([
@@ -258,11 +323,18 @@ fn main() {
             "session",
             Value::object([
                 ("seed", Value::Int(SEED as i64)),
-                ("ops", Value::Int(trace_len as i64)),
+                ("sessions", Value::Int(sessions as i64)),
+                ("opsPerSession", Value::Int(trace_len as i64)),
                 ("expectedErrors", Value::Int(expected_errors as i64)),
             ]),
         ),
-        ("digest", Value::Int(i64::from(reference.digest))),
+        (
+            "digests",
+            reference_digests
+                .iter()
+                .map(|&d| Value::Int(i64::from(d)))
+                .collect(),
+        ),
         ("runs", Value::Array(runs)),
         ("metrics", metrics),
         (
@@ -303,11 +375,28 @@ fn main() {
             assert!(p50 <= p95 && p95 <= p99, "{method}: {p50} {p95} {p99}");
         }
     }
-    let replayed: u64 = thread_counts
+    // Throughput gate: concurrency must actually pay off, but only
+    // where the host can run threads in parallel at all.
+    let single = throughput
         .iter()
-        .map(|&t| (t * trace_len) as u64)
-        .sum::<u64>()
-        + reference.requests;
+        .find(|&&(t, _)| t == 1)
+        .map(|&(_, rps)| rps)
+        .expect("single-thread run present");
+    let best_multi = throughput
+        .iter()
+        .filter(|&&(t, _)| t > 1)
+        .map(|&(_, rps)| rps)
+        .fold(0.0f64, f64::max);
+    let speedup = best_multi / single;
+    println!("multi-thread speedup: {speedup:.2}x on {cores} core(s)");
+    if cores >= 2 {
+        assert!(
+            speedup >= MIN_SPEEDUP,
+            "multi-thread throughput {best_multi:.0} req/s is under \
+             {MIN_SPEEDUP}x single-thread {single:.0} req/s"
+        );
+    }
+    let replayed: u64 = (thread_counts.len() as u64) * total_per_run;
     assert!(
         snapshot.counter("ide.requests") >= replayed,
         "ide.requests counter undercounts"

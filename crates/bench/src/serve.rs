@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use ev_core::Profile;
 use ev_gen::ide_session::SessionOp;
-use ev_ide::{EditorClient, EvpServer, IdeError, ServerOptions};
+use ev_ide::{EditorClient, EvpServer, IdeError, ServerOptions, SharedEvpServer};
 use ev_json::Value;
 
 /// Flame-graph rect limit used for every replayed layout request: big
@@ -163,8 +163,51 @@ pub fn replay(
         requests: 0,
         errors: 0,
     };
+    replay_ops(&mut client, profile_id, ops, &tables, &mut result);
+    (result, client)
+}
+
+/// Replays `ops` as one editor session against a *shared* server that
+/// other sessions are hitting concurrently.
+///
+/// Opens its own server-side session ([`EditorClient::connect_shared`],
+/// so the per-session in-flight budget applies) and targets an
+/// already-opened profile. The digest covers only response payloads —
+/// never `meta`, timing, or anything another session could perturb —
+/// so session k's digest is identical no matter how many other
+/// sessions run beside it. That invariant is what the serve benchmark
+/// checks across thread counts.
+pub fn replay_shared(
+    server: &SharedEvpServer,
+    profile: &Profile,
+    profile_id: i64,
+    ops: &[SessionOp],
+) -> ReplayResult {
+    let tables = PickTables::derive(profile);
+    assert!(
+        !tables.mapped.is_empty(),
+        "replay profile has no source-mapped nodes"
+    );
+    let mut client = EditorClient::connect_shared(server.clone()).expect("session/open");
+    let mut result = ReplayResult {
+        per_method: BTreeMap::new(),
+        digest: 0,
+        requests: 0,
+        errors: 0,
+    };
+    replay_ops(&mut client, profile_id, ops, &tables, &mut result);
+    result
+}
+
+fn replay_ops(
+    client: &mut EditorClient,
+    profile_id: i64,
+    ops: &[SessionOp],
+    tables: &PickTables,
+    result: &mut ReplayResult,
+) {
     for op in ops {
-        let params = op_params(op, profile_id, &tables);
+        let params = op_params(op, profile_id, tables);
         let start = Instant::now();
         let outcome = client.request(op.method(), params);
         let nanos = start.elapsed().as_nanos() as u64;
@@ -187,7 +230,6 @@ pub fn replay(
         result.digest = fold(result.digest, &outcome);
         result.per_method.entry(op.method()).or_default().push(nanos);
     }
-    (result, client)
 }
 
 #[cfg(test)]
@@ -224,6 +266,34 @@ mod tests {
         // A different trace answers differently.
         let (c, _) = replay(&profile, &session_trace(43, 120), ServerOptions::default());
         assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn shared_replay_matches_owned_digest_across_sessions() {
+        let profile = small_profile();
+        let ops = session_trace(42, 120);
+        let (owned, _) = replay(&profile, &ops, ServerOptions::default());
+        let server = SharedEvpServer::with_options(ServerOptions::default());
+        let mut opener = EditorClient::connect_shared(server.clone()).unwrap();
+        let profile_id = opener.open_profile(&profile).unwrap();
+        // Two sessions replay the same trace concurrently against the
+        // one shared server; each must answer exactly like the
+        // single-session owned server did.
+        let digests: Vec<u32> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let server = server.clone();
+                    let profile = &profile;
+                    let ops = &ops;
+                    s.spawn(move || replay_shared(&server, profile, profile_id, ops).digest)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(digests, [owned.digest, owned.digest]);
+        // The shared view cache actually served repeats.
+        let stats = server.view_cache_stats();
+        assert!(stats.hits > 0, "no shared-cache hits: {stats:?}");
     }
 
     #[test]

@@ -140,6 +140,10 @@ pub enum Command {
         input: Option<String>,
         options: Options,
     },
+    /// `easyview serve-smoke [--threads N]` — replay deterministic
+    /// editor sessions against one shared in-process EVP server and
+    /// print per-session response digests (thread-count invariant).
+    ServeSmoke { options: Options },
 }
 
 /// Parses `argv` (without the program name), dropping the cross-cutting
@@ -344,6 +348,10 @@ pub fn parse_cli(argv: &[String]) -> Result<Cli, CliError> {
             let output = positional.remove(0);
             Command::Convert { input, output }
         }
+        "serve-smoke" => {
+            need(0)?;
+            Command::ServeSmoke { options }
+        }
         "stats" => {
             if positional.len() > 1 {
                 return Err(CliError(format!(
@@ -530,6 +538,17 @@ mod tests {
         assert_eq!(input, "p.pprof");
         assert_eq!(script, "a.evs");
         assert_eq!(options.threads, 2);
+    }
+
+    #[test]
+    fn serve_smoke_parses() {
+        let cmd = parse(&["serve-smoke", "--threads", "8"]).unwrap();
+        let Command::ServeSmoke { options } = cmd else { panic!() };
+        assert_eq!(options.threads, 8);
+        let cmd = parse(&["serve-smoke"]).unwrap();
+        let Command::ServeSmoke { options } = cmd else { panic!() };
+        assert_eq!(options.threads, 0);
+        assert!(parse(&["serve-smoke", "extra"]).is_err());
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
         } => script_cmd(&input, &script, &options),
         Command::Convert { input, output } => convert(&input, &output),
         Command::Stats { input, options } => stats_cmd(input.as_deref(), &options),
+        Command::ServeSmoke { options } => serve_smoke(&options),
     }
 }
 
@@ -535,6 +536,232 @@ fn convert(input: &str, output: &str) -> Result<String, CliError> {
     Ok(format!("wrote {output} ({} bytes)\n", bytes.len()))
 }
 
+/// Sessions replayed by `serve-smoke`, regardless of worker threads.
+const SMOKE_SESSIONS: usize = 4;
+
+/// FNV-1a over one response outcome, chained onto `digest`. Covers
+/// only the response payload (or the error code) — never timing or
+/// `meta` — so a session's digest is invariant under concurrency.
+fn smoke_fold(digest: u64, outcome: &Result<ev_json::Value, ev_ide::IdeError>) -> u64 {
+    let leaf = match outcome {
+        Ok(value) => ev_json::to_string(value),
+        Err(ev_ide::IdeError::Rpc { code, .. }) => format!("err:{code}"),
+        Err(ev_ide::IdeError::Protocol(_)) => "protocol-failure".to_owned(),
+    };
+    let mut h = digest ^ 0xcbf2_9ce4_8422_2325;
+    for b in leaf.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One smoke session: a fixed request mix (views, table, summary,
+/// search, code link, hover, and one deliberately bad code link) over
+/// its own server-side session. `salt` decorrelates the sessions so
+/// digest comparison across thread counts is not vacuous.
+fn smoke_session(
+    server: &ev_ide::SharedEvpServer,
+    profile_id: i64,
+    mapped: &[(i64, String, u32)],
+    node_count: usize,
+    salt: usize,
+) -> Result<u64, CliError> {
+    use ev_json::Value;
+    let mut client = ev_ide::EditorClient::connect_shared(server.clone())
+        .map_err(|e| CliError(format!("session/open failed: {e}")))?;
+    let pid = || ("profileId", Value::Int(profile_id));
+    let &(node, ref file, line) = &mapped[salt % mapped.len()];
+    let requests: Vec<(&str, Value)> = vec![
+        (
+            "profile/flameGraph",
+            Value::object([
+                pid(),
+                ("metric", Value::from("cpu")),
+                ("view", Value::from(if salt.is_multiple_of(2) { "topDown" } else { "bottomUp" })),
+                ("limit", Value::Int(256)),
+            ]),
+        ),
+        (
+            "profile/treeTable",
+            Value::object([
+                pid(),
+                ("metric", Value::from("cpu")),
+                ("depth", Value::Int(3)),
+            ]),
+        ),
+        ("profile/summary", Value::object([pid()])),
+        (
+            "profile/search",
+            Value::object([pid(), ("query", Value::from(format!("function{salt}")))]),
+        ),
+        (
+            "profile/codeLink",
+            Value::object([pid(), ("node", Value::Int(node))]),
+        ),
+        (
+            "profile/hover",
+            Value::object([
+                pid(),
+                ("file", Value::from(file.as_str())),
+                ("line", Value::Int(i64::from(line))),
+            ]),
+        ),
+        // A stale node handle — must answer UNKNOWN_ENTITY, not panic.
+        (
+            "profile/codeLink",
+            Value::object([pid(), ("node", Value::Int((node_count + 7) as i64))]),
+        ),
+    ];
+    let mut digest = 0u64;
+    for (method, params) in requests {
+        let outcome = client.request(method, params);
+        if let Err(ev_ide::IdeError::Protocol(e)) = &outcome {
+            return Err(CliError(format!("transport failure in {method}: {e}")));
+        }
+        digest = smoke_fold(digest, &outcome);
+    }
+    Ok(digest)
+}
+
+/// Deterministic request-coalescing self-check: a waiter registers on
+/// the owner's in-flight build (the build spins until the coalesced
+/// counter moves, so the rendezvous happens even on one core). Returns
+/// the number of coalesced requests observed (≥ 1).
+fn smoke_coalesce_check() -> u64 {
+    let cache: ev_analysis::SharedViewCache<u64> = ev_analysis::SharedViewCache::new(8);
+    std::thread::scope(|s| {
+        let owner = s.spawn(|| {
+            cache.get_or_insert_with(17, || {
+                while cache.stats().coalesced == 0 {
+                    std::thread::yield_now();
+                }
+                42
+            })
+        });
+        let waiter = s.spawn(|| cache.get_or_insert_with(17, || 42));
+        assert_eq!(*owner.join().unwrap(), 42);
+        assert_eq!(*waiter.join().unwrap(), 42);
+    });
+    cache.stats().coalesced
+}
+
+/// `serve-smoke`: end-to-end exercise of the shared multi-session EVP
+/// server. Replays [`SMOKE_SESSIONS`] deterministic editor sessions
+/// against ONE [`ev_ide::SharedEvpServer`] on `--threads` workers and
+/// prints one digest per session. The digests depend only on response
+/// payloads, so the `digests:` line is identical for every thread
+/// count — CI replays at 1/2/8 threads and compares. Also runs the
+/// deterministic coalescing self-check and a malformed-hex
+/// `profile/open` probe (multi-byte UTF-8 payload must come back as a
+/// clean `INVALID_PARAMS`).
+fn serve_smoke(options: &Options) -> Result<String, CliError> {
+    use ev_json::Value;
+    let threads = if options.threads == 0 { 1 } else { options.threads };
+    let profile = ev_gen::synthetic::SyntheticSpec {
+        functions: 120,
+        samples: 600,
+        max_depth: 12,
+        ..ev_gen::synthetic::SyntheticSpec::default()
+    }
+    .build();
+    let mapped: Vec<(i64, String, u32)> = profile
+        .node_ids()
+        .filter_map(|id| {
+            let frame = profile.resolve_frame(id);
+            frame
+                .has_source_mapping()
+                .then(|| (id.index() as i64, frame.file, frame.line))
+        })
+        .collect();
+    if mapped.is_empty() {
+        return Err(CliError("smoke profile has no mapped frames".to_owned()));
+    }
+    let node_count = profile.node_count();
+
+    let server = ev_ide::SharedEvpServer::new();
+    let mut opener = ev_ide::EditorClient::connect_shared(server.clone())
+        .map_err(|e| CliError(format!("session/open failed: {e}")))?;
+    let profile_id = opener
+        .open_profile(&profile)
+        .map_err(|e| CliError(format!("profile/open failed: {e}")))?;
+
+    // Worker t replays sessions t, t+threads, … round-robin.
+    let digests: Vec<Result<(usize, u64), CliError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(SMOKE_SESSIONS))
+            .map(|t| {
+                let server = server.clone();
+                let mapped = &mapped;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut s = t;
+                    while s < SMOKE_SESSIONS {
+                        out.push(
+                            smoke_session(&server, profile_id, mapped, node_count, s)
+                                .map(|d| (s, d)),
+                        );
+                        s += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("smoke session thread panicked"))
+            .collect()
+    });
+    let mut per_session = [0u64; SMOKE_SESSIONS];
+    for entry in digests {
+        let (s, d) = entry?;
+        per_session[s] = d;
+    }
+
+    let coalesced = smoke_coalesce_check();
+    let cache = server.view_cache_stats();
+
+    // Malformed hex over the real wire path: a multi-byte UTF-8
+    // payload used to panic the server inside hex decoding.
+    let bad_hex = opener.request(
+        "profile/open",
+        Value::object([
+            ("format", Value::from("evpf-hex")),
+            ("data", Value::from("✓a")),
+        ]),
+    );
+    let bad_hex_line = match bad_hex {
+        Err(ev_ide::IdeError::Rpc { code, .. }) => format!("bad-hex: error {code}"),
+        Err(ev_ide::IdeError::Protocol(e)) => {
+            return Err(CliError(format!("bad-hex transport failure: {e}")))
+        }
+        Ok(_) => return Err(CliError("bad-hex request unexpectedly succeeded".to_owned())),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve-smoke: {SMOKE_SESSIONS} sessions on {threads} thread(s), one shared server"
+    );
+    let _ = writeln!(
+        out,
+        "digests: {}",
+        per_session
+            .iter()
+            .map(|d| format!("{d:016x}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let _ = writeln!(
+        out,
+        "view-cache: {} miss(es), {} session(s) open",
+        cache.misses,
+        server.session_count()
+    );
+    let _ = writeln!(out, "coalesced: {coalesced}");
+    let _ = writeln!(out, "{bad_hex_line}");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +796,33 @@ mod tests {
     fn run_line(line: &[&str]) -> Result<String, CliError> {
         let argv: Vec<String> = line.iter().map(|s| s.to_string()).collect();
         run(parse_args(&argv)?)
+    }
+
+    #[test]
+    fn serve_smoke_digests_are_thread_count_invariant() {
+        let one = run_line(&["serve-smoke", "--threads", "1"]).unwrap();
+        let four = run_line(&["serve-smoke", "--threads", "4"]).unwrap();
+        let digest_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("digests: "))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(digest_line(&one), digest_line(&four));
+        // Four distinct sessions, all digested.
+        let line = digest_line(&one);
+        let digests: Vec<&str> = line["digests: ".len()..].split_whitespace().collect();
+        assert_eq!(digests.len(), SMOKE_SESSIONS);
+        assert!(digests.iter().all(|d| *d != "0000000000000000"));
+        // The coalescing self-check and the malformed-hex probe report.
+        let coalesced: u64 = one
+            .lines()
+            .find_map(|l| l.strip_prefix("coalesced: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(coalesced >= 1);
+        assert!(one.contains("bad-hex: error -32602"));
     }
 
     #[test]

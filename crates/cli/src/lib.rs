@@ -75,6 +75,10 @@ COMMANDS:
                                         and every pipeline counter/histogram
                                         (runs one view first when a profile
                                         is given)
+    serve-smoke                         replay deterministic editor sessions
+                                        against one shared in-process EVP
+                                        server (--threads N workers) and
+                                        print per-session response digests
     help                                this text
 
 OPTIONS:

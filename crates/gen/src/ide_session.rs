@@ -125,6 +125,22 @@ pub fn session_trace(seed: u64, len: usize) -> Vec<SessionOp> {
     ops
 }
 
+/// Generates `sessions` independent deterministic traces of `len` ops
+/// each: the workload for a *shared* multi-session server, where each
+/// editor session replays its own trace concurrently. Per-session
+/// streams are decorrelated by folding the session index into the seed
+/// (a fixed odd multiplier, so session k's trace is the same whether 1
+/// or 8 sessions replay in parallel — that independence is what makes
+/// per-session response digests comparable across thread counts).
+pub fn session_traces(seed: u64, sessions: usize, len: usize) -> Vec<Vec<SessionOp>> {
+    (0..sessions)
+        .map(|s| {
+            let mixed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(s as u64 + 1);
+            session_trace(mixed, len)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +154,19 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.len(), 500);
         assert_eq!(a[0], SessionOp::FlameGraph { view: "topDown" });
+    }
+
+    #[test]
+    fn multi_session_traces_are_stable_per_session() {
+        let eight = session_traces(42, 8, 200);
+        let two = session_traces(42, 2, 200);
+        assert_eq!(eight.len(), 8);
+        // Session k's trace does not depend on how many sessions run.
+        assert_eq!(eight[0], two[0]);
+        assert_eq!(eight[1], two[1]);
+        // Sessions are decorrelated from each other and from the base.
+        assert_ne!(eight[0], eight[1]);
+        assert_ne!(eight[0], session_trace(42, 200));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! code link → hover.
 
 use crate::rpc::{decode_frame, encode_frame, Request, Response, ResponseMeta};
-use crate::server::{profile_to_param, EvpServer};
+use crate::server::{profile_to_param, EvpServer, SharedEvpServer};
 use crate::IdeError;
 use ev_core::{NodeId, Profile};
 use ev_json::Value;
@@ -47,13 +47,35 @@ pub struct RectInfo {
     pub mapped: bool,
 }
 
+/// The server this client talks to: an exclusively owned instance, or
+/// a [`SharedEvpServer`] handle other clients (on other threads) also
+/// hold.
+#[derive(Debug)]
+enum Backend {
+    Owned(Box<EvpServer>),
+    Shared(SharedEvpServer),
+}
+
+impl Backend {
+    fn handle_bytes(&self, frame: &[u8]) -> Result<(Vec<u8>, usize), String> {
+        match self {
+            Backend::Owned(server) => server.handle_bytes(frame),
+            Backend::Shared(server) => server.handle_bytes(frame),
+        }
+    }
+}
+
 /// An editor client connected to an in-process [`EvpServer`].
 #[derive(Debug)]
 pub struct EditorClient {
-    server: EvpServer,
+    server: Backend,
     next_id: i64,
     editor: EditorState,
     last_meta: Option<ResponseMeta>,
+    /// Server-issued session id ([`EditorClient::connect_shared`]);
+    /// attached to every outgoing request so the server can enforce
+    /// the per-session in-flight budget.
+    session_id: Option<i64>,
 }
 
 impl EditorClient {
@@ -61,11 +83,46 @@ impl EditorClient {
     /// full frame encode/decode path).
     pub fn connect(server: EvpServer) -> EditorClient {
         EditorClient {
-            server,
+            server: Backend::Owned(Box::new(server)),
             next_id: 0,
             editor: EditorState::default(),
             last_meta: None,
+            session_id: None,
         }
+    }
+
+    /// Connects to a shared server and opens a server-side session:
+    /// the returned client tags every request with its `sessionId`, so
+    /// the server's per-session in-flight budget applies. Many clients
+    /// (one per editor window or thread) can connect to the same
+    /// [`SharedEvpServer`]; they see the same profile table and share
+    /// the memoized view cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `session/open` fails.
+    pub fn connect_shared(server: SharedEvpServer) -> Result<EditorClient, IdeError> {
+        let mut client = EditorClient {
+            server: Backend::Shared(server),
+            next_id: 0,
+            editor: EditorState::default(),
+            last_meta: None,
+            session_id: None,
+        };
+        let opened = client.request("session/open", Value::Null)?;
+        client.session_id = Some(
+            opened
+                .get("sessionId")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| IdeError::Protocol("missing sessionId".to_owned()))?,
+        );
+        Ok(client)
+    }
+
+    /// The server-issued session id, if connected via
+    /// [`EditorClient::connect_shared`].
+    pub fn session_id(&self) -> Option<i64> {
+        self.session_id
     }
 
     /// The simulated editor state.
@@ -88,6 +145,10 @@ impl EditorClient {
     /// Fails on transport corruption or a server-side error response.
     pub fn request(&mut self, method: &str, params: Value) -> Result<Value, IdeError> {
         self.next_id += 1;
+        let params = match self.session_id {
+            Some(sid) => with_session_id(params, sid),
+            None => params,
+        };
         let request = Request::new(self.next_id, method, params);
         let frame = encode_frame(&request.to_value());
         let (reply, consumed) = self
@@ -421,6 +482,25 @@ impl EditorClient {
     }
 }
 
+/// Returns `params` with `sessionId` attached. `Value` objects are
+/// immutable maps, so this rebuilds the object; `Null` params become a
+/// fresh object. An explicit `sessionId` already in `params` wins.
+fn with_session_id(params: Value, sid: i64) -> Value {
+    match params {
+        Value::Object(map) => {
+            if map.contains_key("sessionId") {
+                return Value::Object(map);
+            }
+            Value::object(
+                map.into_iter()
+                    .chain([("sessionId".to_owned(), Value::Int(sid))]),
+            )
+        }
+        Value::Null => Value::object([("sessionId", Value::Int(sid))]),
+        other => other,
+    }
+}
+
 /// Helper for NodeId-based call sites in tests.
 impl EditorClient {
     /// Like [`EditorClient::code_link`] for a strongly-typed node id.
@@ -693,6 +773,42 @@ mod tests {
             Some("error")
         );
         assert_eq!(client.last_meta().unwrap().request_seq, 3);
+    }
+
+    #[test]
+    fn shared_clients_share_profiles_and_sessions() {
+        let server = SharedEvpServer::new();
+        let mut alice = EditorClient::connect_shared(server.clone()).unwrap();
+        let mut bob = EditorClient::connect_shared(server.clone()).unwrap();
+        assert_ne!(alice.session_id(), bob.session_id());
+        assert_eq!(server.session_count(), 2);
+        // Profiles opened by one client are visible to the other — it
+        // is one shared profile table.
+        let id = alice.open_profile(&demo_profile()).unwrap();
+        let rects = bob.flame_graph(id, "topDown", "alloc_space").unwrap();
+        assert!(rects.iter().any(|r| r.label == "newBufWriter"));
+        // Both clients can drive sessions concurrently from threads.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let server = server.clone();
+                s.spawn(move || {
+                    let mut client = EditorClient::connect_shared(server).unwrap();
+                    let summary = client.summary(id).unwrap();
+                    assert_eq!(summary.get("nodes").and_then(Value::as_i64), Some(4));
+                });
+            }
+        });
+        // A closed session is refused afterward.
+        let sid = bob.session_id().unwrap();
+        bob.request(
+            "session/close",
+            Value::object([("sessionId", Value::Int(sid))]),
+        )
+        .unwrap();
+        let err = bob.summary(id).unwrap_err();
+        assert!(
+            matches!(err, IdeError::Rpc { code, .. } if code == crate::rpc::codes::UNKNOWN_SESSION)
+        );
     }
 
     #[test]

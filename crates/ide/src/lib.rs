@@ -53,7 +53,7 @@ pub mod rpc;
 mod server;
 
 pub use client::{EditorClient, EditorState, RectInfo};
-pub use server::{EvpServer, ServerOptions};
+pub use server::{EvpServer, ServerOptions, SharedEvpServer};
 
 use std::error::Error;
 use std::fmt;

@@ -21,6 +21,11 @@ pub mod codes {
     pub const UNKNOWN_PROFILE: i64 = -32001;
     /// EVP: the referenced node/metric does not exist.
     pub const UNKNOWN_ENTITY: i64 = -32002;
+    /// EVP: the session's in-flight request budget is exhausted; the
+    /// client should back off and retry.
+    pub const BUSY: i64 = -32003;
+    /// EVP: the referenced session id is not open.
+    pub const UNKNOWN_SESSION: i64 = -32004;
 }
 
 /// A request (or notification, when `id` is `None`).
@@ -92,8 +97,10 @@ pub struct ResponseMeta {
 /// A response: either a result or an error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
-    /// Mirrors the request id.
-    pub id: i64,
+    /// Mirrors the request id. `None` serializes as JSON-RPC `null` —
+    /// the answer to a malformed request whose id could not be
+    /// extracted.
+    pub id: Option<i64>,
     /// `Ok(result)` or `Err((code, message))`.
     pub outcome: Result<Value, (i64, String)>,
     /// Optional per-request timing metadata.
@@ -104,7 +111,7 @@ impl Response {
     /// A success response.
     pub fn ok(id: i64, result: Value) -> Response {
         Response {
-            id,
+            id: Some(id),
             outcome: Ok(result),
             meta: None,
         }
@@ -112,6 +119,16 @@ impl Response {
 
     /// An error response.
     pub fn error(id: i64, code: i64, message: impl Into<String>) -> Response {
+        Response {
+            id: Some(id),
+            outcome: Err((code, message.into())),
+            meta: None,
+        }
+    }
+
+    /// An error response for a request whose id may be unknown
+    /// (malformed requests answer with a `null` id per JSON-RPC).
+    pub fn error_for(id: Option<i64>, code: i64, message: impl Into<String>) -> Response {
         Response {
             id,
             outcome: Err((code, message.into())),
@@ -129,7 +146,7 @@ impl Response {
     pub fn to_value(&self) -> Value {
         let mut pairs = vec![
             ("jsonrpc", Value::from("2.0")),
-            ("id", Value::Int(self.id)),
+            ("id", self.id.map_or(Value::Null, Value::Int)),
         ];
         match &self.outcome {
             Ok(result) => pairs.push(("result", result.clone())),
@@ -160,10 +177,7 @@ impl Response {
     ///
     /// Returns a description when the value is not a response object.
     pub fn from_value(value: &Value) -> Result<Response, String> {
-        let id = value
-            .get("id")
-            .and_then(Value::as_i64)
-            .ok_or("missing id")?;
+        let id = value.get("id").and_then(Value::as_i64);
         let meta = value.get("meta").map(|m| ResponseMeta {
             request_seq: m
                 .get("requestSeq")
@@ -184,11 +198,12 @@ impl Response {
                 .and_then(Value::as_str)
                 .unwrap_or("")
                 .to_owned();
-            let mut response = Response::error(id, code, message);
+            let mut response = Response::error_for(id, code, message);
             response.meta = meta;
             return Ok(response);
         }
         let result = value.get("result").cloned().ok_or("missing result")?;
+        let id = id.ok_or("missing id")?;
         let mut response = Response::ok(id, result);
         response.meta = meta;
         Ok(response)
@@ -273,6 +288,17 @@ mod tests {
         assert_eq!(Response::from_value(&ok.to_value()).unwrap(), ok);
         let err = Response::error(2, codes::METHOD_NOT_FOUND, "nope");
         assert_eq!(Response::from_value(&err.to_value()).unwrap(), err);
+    }
+
+    #[test]
+    fn null_id_error_response_roundtrips() {
+        let err = Response::error_for(None, codes::INVALID_REQUEST, "malformed");
+        let value = err.to_value();
+        assert_eq!(value.get("id"), Some(&Value::Null), "null id on the wire");
+        assert_eq!(Response::from_value(&value).unwrap(), err);
+        // A success response without an id stays malformed.
+        let bad = Value::object([("jsonrpc", Value::from("2.0")), ("result", Value::Int(1))]);
+        assert!(Response::from_value(&bad).is_err());
     }
 
     #[test]

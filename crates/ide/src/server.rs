@@ -1,14 +1,23 @@
 //! The EVP server: the profile-side endpoint an editor talks to.
+//!
+//! The server is concurrent: every handler takes `&self`, so one
+//! instance (shared via [`SharedEvpServer`]) can answer many editor
+//! sessions at once. The profile table is sharded across independently
+//! locked maps, expensive views are memoized in a process-shared
+//! [`SharedViewCache`] with request coalescing, and per-session
+//! in-flight budgets convert overload into a clean `BUSY` error
+//! instead of unbounded queueing.
 
 use crate::rpc::{codes, decode_frame, encode_frame, Request, Response};
-use ev_analysis::{aggregate, classify_timeline, diff, MetricView};
+use ev_analysis::{aggregate, classify_timeline, diff, MetricView, SharedCacheStats, SharedViewCache};
 use ev_core::{MetricId, NodeId, Profile};
 use ev_flame::FlameGraph;
 use ev_json::Value;
 use ev_script::ScriptHost;
 use ev_trace::{CaptureReason, FlightRecorder, SpanRecord};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard};
 
 /// Tunables for an [`EvpServer`].
 #[derive(Debug, Clone)]
@@ -23,6 +32,11 @@ pub struct ServerOptions {
     pub flight_capacity: usize,
     /// Per-capture span cap; see [`ev_trace::FlightRecorder`].
     pub flight_max_spans: usize,
+    /// Maximum concurrently in-flight requests per session; the
+    /// request that would exceed it is refused with `BUSY` so clients
+    /// see backpressure instead of unbounded queueing. Requests that
+    /// carry no `sessionId` are not budgeted.
+    pub session_max_inflight: u32,
 }
 
 impl Default for ServerOptions {
@@ -31,6 +45,7 @@ impl Default for ServerOptions {
             slow_request_micros: 100_000,
             flight_capacity: ev_trace::DEFAULT_CAPACITY,
             flight_max_spans: ev_trace::DEFAULT_MAX_SPANS,
+            session_max_inflight: 64,
         }
     }
 }
@@ -40,9 +55,15 @@ impl ServerOptions {
     /// `EASYVIEW_SLOW_REQUEST_MS=<ms>` retunes the slow-request
     /// threshold without a rebuild (`0` captures everything).
     pub fn from_env() -> ServerOptions {
+        ServerOptions::from_env_with(|name| std::env::var(name).ok())
+    }
+
+    /// Testable core of [`ServerOptions::from_env`]: reads overrides
+    /// through `lookup` instead of the process environment, so parsing
+    /// can be exercised without mutating process-global state.
+    fn from_env_with(lookup: impl Fn(&str) -> Option<String>) -> ServerOptions {
         let mut options = ServerOptions::default();
-        if let Some(ms) = std::env::var("EASYVIEW_SLOW_REQUEST_MS")
-            .ok()
+        if let Some(ms) = lookup("EASYVIEW_SLOW_REQUEST_MS")
             .and_then(|v| v.trim().parse::<u64>().ok())
         {
             options.slow_request_micros = ms.saturating_mul(1_000);
@@ -92,6 +113,8 @@ const METHOD_LATENCY: &[(&str, &str)] = &[
     ("profile/search", "ide.latency.profile/search"),
     ("profile/summary", "ide.latency.profile/summary"),
     ("profile/treeTable", "ide.latency.profile/treeTable"),
+    ("session/close", "ide.latency.session/close"),
+    ("session/open", "ide.latency.session/open"),
 ];
 
 /// The `ide.latency.<method>` histogram for `method` — a cached
@@ -113,21 +136,44 @@ fn method_histogram(method: &str) -> &'static ev_trace::Histogram {
 }
 
 /// Hex encoding used to carry binary profiles inside JSON params.
+/// Nibble lookup table: no per-byte formatting machinery on the
+/// `profile/open`/easyview-export round trip.
 fn hex_encode(data: &[u8]) -> String {
-    let mut out = String::with_capacity(data.len() * 2);
-    for b in data {
-        out.push_str(&format!("{b:02x}"));
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(HEX[(b >> 4) as usize]);
+        out.push(HEX[(b & 0x0f) as usize]);
     }
-    out
+    String::from_utf8(out).expect("hex digits are ascii")
 }
 
+/// The value of one ASCII hex digit, or `None` for anything else
+/// (including bytes of a multi-byte UTF-8 sequence).
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Decodes hex byte-wise. Byte-wise (not `&s[i..i+2]` slicing) matters:
+/// `s` is untrusted request payload, and slicing at even *byte*
+/// offsets panics on multi-byte UTF-8 — this must reject such input as
+/// an error, never unwind mid-request.
 fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
-    if !s.len().is_multiple_of(2) {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
         return Err("odd-length hex".to_owned());
     }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| "bad hex digit".to_owned()))
+    bytes
+        .chunks_exact(2)
+        .map(|pair| match (hex_val(pair[0]), hex_val(pair[1])) {
+            (Some(hi), Some(lo)) => Ok(hi << 4 | lo),
+            _ => Err("bad hex digit".to_owned()),
+        })
         .collect()
 }
 
@@ -142,22 +188,64 @@ pub(crate) fn profile_to_param(profile: &Profile) -> Value {
     ])
 }
 
+/// Number of profile-table shards. Power of two so the shard index is
+/// a mask; ids are handed out round-robin across shards, so
+/// concurrent opens/closes on different profiles rarely contend.
+const PROFILE_SHARDS: usize = 8;
+
+/// One loaded profile. The profile itself sits behind its own
+/// `RwLock` so view requests (readers) proceed concurrently while
+/// `profile/script` (the only writer) gets exclusive access; the
+/// `Arc` lets a request keep using a profile that `profile/close`
+/// concurrently removed from the table.
+#[derive(Debug, Clone)]
+struct ProfileEntry {
+    profile: Arc<RwLock<Profile>>,
+    /// Per-node value series for profiles created by
+    /// `profile/aggregate` (the data behind `profile/histogram`).
+    series: Option<Arc<Vec<Vec<f64>>>>,
+}
+
+/// Per-session server state: currently just the in-flight budget.
+#[derive(Debug, Default)]
+struct SessionState {
+    inflight: AtomicU32,
+}
+
+/// RAII decrement of a session's in-flight count.
+struct SessionGuard {
+    session: Arc<SessionState>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.session.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// The EVP server: holds loaded profiles and answers EVP requests.
 ///
-/// Stateless apart from the profile table, so one server instance can
-/// back many editor panes.
+/// Every handler takes `&self` — the profile table is sharded across
+/// [`PROFILE_SHARDS`] reader-writer locked maps, ids and request
+/// sequence numbers are atomics, and the flight recorder sits behind a
+/// mutex — so one instance can serve many concurrent sessions (wrap it
+/// in [`SharedEvpServer`] to share across threads). Expensive views
+/// (`profile/flameGraph`, `profile/treeTable`, `profile/summary`) are
+/// memoized in a [`SharedViewCache`] keyed by content fingerprint;
+/// identical concurrent requests coalesce onto one computation.
 #[derive(Debug)]
 pub struct EvpServer {
-    profiles: HashMap<i64, Profile>,
-    /// Per-node value series for profiles created by `profile/aggregate`
-    /// (the data behind `profile/histogram`).
-    series: HashMap<i64, Vec<Vec<f64>>>,
-    next_id: i64,
+    shards: Box<[RwLock<HashMap<i64, ProfileEntry>>]>,
+    next_id: AtomicI64,
     options: ServerOptions,
     /// Black box of slow/failed requests; see `debug/flightRecorder`.
-    recorder: FlightRecorder,
+    recorder: Mutex<FlightRecorder>,
     /// Monotone request sequence, carried as `requestSeq` in meta.
-    next_seq: u64,
+    next_seq: AtomicU64,
+    /// Memoized view responses, shared (and coalesced) across sessions.
+    views: SharedViewCache<Value>,
+    sessions: RwLock<HashMap<u64, Arc<SessionState>>>,
+    next_session: AtomicU64,
 }
 
 impl Default for EvpServer {
@@ -165,6 +253,10 @@ impl Default for EvpServer {
         EvpServer::new()
     }
 }
+
+/// Total memoized view responses retained across the server's cache
+/// shards.
+const VIEW_CACHE_CAPACITY: usize = 64;
 
 impl EvpServer {
     /// Creates a server with no profiles loaded, using
@@ -178,12 +270,16 @@ impl EvpServer {
     pub fn with_options(options: ServerOptions) -> EvpServer {
         let recorder = FlightRecorder::new(options.flight_capacity, options.flight_max_spans);
         EvpServer {
-            profiles: HashMap::new(),
-            series: HashMap::new(),
-            next_id: 0,
+            shards: (0..PROFILE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            next_id: AtomicI64::new(0),
             options,
-            recorder,
-            next_seq: 0,
+            recorder: Mutex::new(recorder),
+            next_seq: AtomicU64::new(0),
+            views: SharedViewCache::new(VIEW_CACHE_CAPACITY),
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
         }
     }
 
@@ -192,23 +288,64 @@ impl EvpServer {
         &self.options
     }
 
-    /// The flight recorder (read-only; mutate via RPC).
-    pub fn flight_recorder(&self) -> &FlightRecorder {
-        &self.recorder
+    /// The flight recorder (locked; mutate via RPC). Do not hold the
+    /// guard across a `handle` call.
+    pub fn flight_recorder(&self) -> MutexGuard<'_, FlightRecorder> {
+        self.recorder.lock().unwrap()
     }
 
     /// Number of loaded profiles.
     pub fn profile_count(&self) -> usize {
-        self.profiles.len()
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().unwrap().len()
+    }
+
+    /// Hit/miss/coalesce statistics of the shared view cache.
+    pub fn view_cache_stats(&self) -> SharedCacheStats {
+        self.views.stats()
+    }
+
+    fn shard(&self, id: i64) -> &RwLock<HashMap<i64, ProfileEntry>> {
+        &self.shards[(id as u64 as usize) & (PROFILE_SHARDS - 1)]
+    }
+
+    /// The entry for profile `id`, cloned out of its shard (so the
+    /// shard lock is held only for the lookup).
+    fn entry(&self, id: i64) -> Result<ProfileEntry, (i64, String)> {
+        self.shard(id)
+            .read()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or((codes::UNKNOWN_PROFILE, format!("profile {id} not loaded")))
+    }
+
+    /// Registers a new server-side profile and returns its id.
+    fn register(&self, profile: Profile, series: Option<Vec<Vec<f64>>>) -> i64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = ProfileEntry {
+            profile: Arc::new(RwLock::new(profile)),
+            series: series.map(Arc::new),
+        };
+        self.shard(id).write().unwrap().insert(id, entry);
+        id
     }
 
     /// Processes every complete frame in `input`, returning the framed
     /// responses and the number of input bytes consumed.
     ///
+    /// Malformed requests are answered with `INVALID_REQUEST` carrying
+    /// the request's own id when one can be extracted (JSON-RPC `null`
+    /// otherwise), so clients can correlate the error.
+    ///
     /// # Errors
     ///
     /// Returns a description on transport-level corruption.
-    pub fn handle_bytes(&mut self, input: &[u8]) -> Result<(Vec<u8>, usize), String> {
+    pub fn handle_bytes(&self, input: &[u8]) -> Result<(Vec<u8>, usize), String> {
         let mut consumed = 0usize;
         let mut out = Vec::new();
         while let Some((value, used)) = decode_frame(&input[consumed..])? {
@@ -220,7 +357,8 @@ impl EvpServer {
                     }
                 }
                 Err(err) => {
-                    let response = Response::error(0, codes::INVALID_REQUEST, err);
+                    let id = value.get("id").and_then(Value::as_i64);
+                    let response = Response::error_for(id, codes::INVALID_REQUEST, err);
                     out.extend_from_slice(&encode_frame(&response.to_value()));
                 }
             }
@@ -228,7 +366,39 @@ impl EvpServer {
         Ok((out, consumed))
     }
 
-    /// Handles one request; notifications return `None`.
+    /// Resolves the request's optional `sessionId` and reserves one
+    /// slot of that session's in-flight budget (released when the
+    /// returned guard drops). Requests without a `sessionId` are
+    /// anonymous: no session state, no budget.
+    fn acquire_session(&self, params: &Value) -> Result<Option<SessionGuard>, (i64, String)> {
+        let Some(raw) = params.get("sessionId") else {
+            return Ok(None);
+        };
+        let sid = raw.as_i64().filter(|&s| s >= 0).ok_or((
+            codes::INVALID_PARAMS,
+            "sessionId must be a non-negative integer".to_owned(),
+        ))? as u64;
+        let session = self
+            .sessions
+            .read()
+            .unwrap()
+            .get(&sid)
+            .cloned()
+            .ok_or((codes::UNKNOWN_SESSION, format!("session {sid} not open")))?;
+        let budget = self.options.session_max_inflight;
+        let prev = session.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= budget {
+            session.inflight.fetch_sub(1, Ordering::AcqRel);
+            return Err((
+                codes::BUSY,
+                format!("session {sid} is at its in-flight budget ({budget})"),
+            ));
+        }
+        Ok(Some(SessionGuard { session }))
+    }
+
+    /// Handles one request; notifications return `None`. Safe to call
+    /// from many threads at once.
     ///
     /// Every response carries [`crate::rpc::ResponseMeta`] — a monotone
     /// `requestSeq`, wall time, and the number of `ev-trace` spans
@@ -238,29 +408,31 @@ impl EvpServer {
     /// histogram. Requests slower than
     /// [`ServerOptions::slow_request_micros`] are logged to stderr (the
     /// paper's §VII-B response-time budget is 100 ms); slow or failed
-    /// requests additionally have their span tree and per-request
-    /// counter deltas captured into the flight recorder, retrievable
-    /// via `debug/flightRecorder`. With tracing disabled the
+    /// requests additionally have their span tree and counter deltas
+    /// captured into the flight recorder, retrievable via
+    /// `debug/flightRecorder`. Both the span count and the counter
+    /// deltas come from the thread-local capture window
+    /// ([`ev_trace::SpanCapture::finish_with_counters`]), so they are
+    /// exactly this request's — concurrent requests on other threads
+    /// cannot contaminate them. With tracing disabled the
     /// instrumentation degrades to counter/histogram bumps — no
-    /// snapshots, no capture, no allocation beyond the response itself.
-    pub fn handle(&mut self, request: &Request) -> Option<Response> {
+    /// capture, no allocation beyond the response itself.
+    pub fn handle(&self, request: &Request) -> Option<Response> {
         let id = request.id?;
-        self.next_seq += 1;
-        let request_seq = self.next_seq;
+        let request_seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         request_counter().inc();
-        // Metrics snapshots and span capture only cost anything (and
-        // only yield anything) while tracing is enabled.
-        let metrics_before = ev_trace::enabled().then(ev_trace::snapshot_metrics);
         let capture = ev_trace::start_capture();
         let start = ev_trace::now_ns();
-        let spans_before = ev_trace::span_count();
         let outcome = {
             let _span = ev_trace::span("ide.request");
-            self.dispatch(&request.method, &request.params)
+            match self.acquire_session(&request.params) {
+                Ok(_session) => self.dispatch(&request.method, &request.params),
+                Err(refused) => Err(refused),
+            }
         };
         let wall_micros = (ev_trace::now_ns() - start) / 1_000;
-        let spans = ev_trace::span_count() - spans_before;
-        let captured = capture.finish();
+        let (captured, counter_deltas) = capture.finish_with_counters();
+        let spans = captured.len() as u64;
         request_histogram().record(wall_micros);
         method_histogram(&request.method).record(wall_micros);
         let failed = outcome.is_err();
@@ -276,15 +448,12 @@ impl EvpServer {
             );
         }
         if slow || failed {
-            let counter_deltas = metrics_before
-                .map(|before| ev_trace::snapshot_metrics().delta_since(&before).counters)
-                .unwrap_or_default();
             let reason = if failed {
                 CaptureReason::Error
             } else {
                 CaptureReason::Slow
             };
-            self.recorder.record(
+            self.recorder.lock().unwrap().record(
                 request.method.as_str(),
                 reason,
                 wall_micros,
@@ -306,7 +475,7 @@ impl EvpServer {
         )
     }
 
-    fn dispatch(&mut self, method: &str, params: &Value) -> Result<Value, (i64, String)> {
+    fn dispatch(&self, method: &str, params: &Value) -> Result<Value, (i64, String)> {
         match method {
             "initialize" => Ok(Value::object([
                 ("name", Value::from("easyview")),
@@ -328,6 +497,8 @@ impl EvpServer {
                         "profile/histogram",
                         "profile/correlated",
                         "debug/flightRecorder",
+                        "session/open",
+                        "session/close",
                     ]
                     .iter()
                     .map(|&s| Value::from(s))
@@ -348,6 +519,8 @@ impl EvpServer {
             "profile/diff" => self.diff(params),
             "profile/histogram" => self.histogram(params),
             "profile/correlated" => self.correlated(params),
+            "session/open" => self.session_open(),
+            "session/close" => self.session_close(params),
             "debug/flightRecorder" => self.flight_recorder_rpc(params),
             other => Err((
                 codes::METHOD_NOT_FOUND,
@@ -356,19 +529,41 @@ impl EvpServer {
         }
     }
 
-    fn profile(&self, params: &Value) -> Result<(i64, &Profile), (i64, String)> {
+    /// Opens a new session and returns its id. Sessions carry the
+    /// per-session in-flight budget; clients attach the id to
+    /// subsequent requests as `sessionId`.
+    fn session_open(&self) -> Result<Value, (i64, String)> {
+        let sid = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sessions
+            .write()
+            .unwrap()
+            .insert(sid, Arc::new(SessionState::default()));
+        Ok(Value::object([("sessionId", Value::Int(sid as i64))]))
+    }
+
+    fn session_close(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let sid = params
+            .get("sessionId")
+            .and_then(Value::as_i64)
+            .filter(|&s| s >= 0)
+            .ok_or((codes::INVALID_PARAMS, "missing sessionId".to_owned()))?
+            as u64;
+        match self.sessions.write().unwrap().remove(&sid) {
+            Some(_) => Ok(Value::Bool(true)),
+            None => Err((codes::UNKNOWN_SESSION, format!("session {sid} not open"))),
+        }
+    }
+
+    /// Resolves `profileId` to its table entry.
+    fn profile_entry(&self, params: &Value) -> Result<(i64, ProfileEntry), (i64, String)> {
         let id = params
             .get("profileId")
             .and_then(Value::as_i64)
             .ok_or((codes::INVALID_PARAMS, "missing profileId".to_owned()))?;
-        let profile = self
-            .profiles
-            .get(&id)
-            .ok_or((codes::UNKNOWN_PROFILE, format!("profile {id} not loaded")))?;
-        Ok((id, profile))
+        Ok((id, self.entry(id)?))
     }
 
-    fn metric(&self, profile: &Profile, params: &Value) -> Result<MetricId, (i64, String)> {
+    fn metric(profile: &Profile, params: &Value) -> Result<MetricId, (i64, String)> {
         let name = params
             .get("metric")
             .and_then(Value::as_str)
@@ -378,7 +573,7 @@ impl EvpServer {
             .ok_or((codes::UNKNOWN_ENTITY, format!("unknown metric {name:?}")))
     }
 
-    fn open(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+    fn open(&self, params: &Value) -> Result<Value, (i64, String)> {
         let format = params.get("format").and_then(Value::as_str).unwrap_or("");
         if format != "evpf-hex" {
             return Err((
@@ -393,51 +588,51 @@ impl EvpServer {
         let bytes = hex_decode(data).map_err(|e| (codes::INVALID_PARAMS, e))?;
         let profile = ev_core::format::from_bytes(&bytes)
             .map_err(|e| (codes::INTERNAL_ERROR, e.to_string()))?;
-        self.next_id += 1;
-        let id = self.next_id;
-        let result = Value::object([
+        let name = profile.meta().name.clone();
+        let profiler = profile.meta().profiler.clone();
+        let nodes = profile.node_count() as i64;
+        let metrics: Value = profile
+            .metrics()
+            .iter()
+            .map(|m| Value::from(m.name.clone()))
+            .collect();
+        let id = self.register(profile, None);
+        Ok(Value::object([
             ("profileId", Value::Int(id)),
-            ("name", Value::from(profile.meta().name.clone())),
-            ("profiler", Value::from(profile.meta().profiler.clone())),
-            ("nodes", Value::Int(profile.node_count() as i64)),
-            (
-                "metrics",
-                profile
-                    .metrics()
-                    .iter()
-                    .map(|m| Value::from(m.name.clone()))
-                    .collect(),
-            ),
-        ]);
-        self.profiles.insert(id, profile);
-        Ok(result)
+            ("name", Value::from(name)),
+            ("profiler", Value::from(profiler)),
+            ("nodes", Value::Int(nodes)),
+            ("metrics", metrics),
+        ]))
     }
 
-    fn close(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (id, _) = self.profile(params)?;
-        self.profiles.remove(&id);
-        self.series.remove(&id);
-        Ok(Value::Bool(true))
-    }
-
-    fn register(&mut self, profile: Profile) -> i64 {
-        self.next_id += 1;
-        self.profiles.insert(self.next_id, profile);
-        self.next_id
+    fn close(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let id = params
+            .get("profileId")
+            .and_then(Value::as_i64)
+            .ok_or((codes::INVALID_PARAMS, "missing profileId".to_owned()))?;
+        match self.shard(id).write().unwrap().remove(&id) {
+            Some(_) => Ok(Value::Bool(true)),
+            None => Err((codes::UNKNOWN_PROFILE, format!("profile {id} not loaded"))),
+        }
     }
 
     /// Multi-profile aggregation over the wire (§V-A-c): merges the
     /// referenced profiles into a new server-side profile carrying
     /// sum/min/max/mean channels, and retains the per-node series for
     /// `profile/histogram`.
-    fn aggregate(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let ids: Vec<i64> = params
+    fn aggregate(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let raw = params
             .get("profileIds")
             .and_then(Value::as_array)
-            .ok_or((codes::INVALID_PARAMS, "missing profileIds".to_owned()))?
-            .iter()
-            .filter_map(Value::as_i64)
-            .collect();
+            .ok_or((codes::INVALID_PARAMS, "missing profileIds".to_owned()))?;
+        let mut ids: Vec<i64> = Vec::with_capacity(raw.len());
+        for v in raw {
+            ids.push(v.as_i64().ok_or((
+                codes::INVALID_PARAMS,
+                "profileIds entries must be integers".to_owned(),
+            ))?);
+        }
         if ids.is_empty() {
             return Err((codes::INVALID_PARAMS, "profileIds is empty".to_owned()));
         }
@@ -446,19 +641,36 @@ impl EvpServer {
             .and_then(Value::as_str)
             .ok_or((codes::INVALID_PARAMS, "missing metric".to_owned()))?
             .to_owned();
-        let mut inputs: Vec<&Profile> = Vec::with_capacity(ids.len());
-        for id in &ids {
-            inputs.push(self.profiles.get(id).ok_or((
-                codes::UNKNOWN_PROFILE,
-                format!("profile {id} not loaded"),
-            ))?);
+        // Resolve entries in request order (so "not loaded" reports the
+        // first missing id the client named) ...
+        let mut entry_by_id: HashMap<i64, ProfileEntry> = HashMap::new();
+        for &id in &ids {
+            if let std::collections::hash_map::Entry::Vacant(slot) = entry_by_id.entry(id) {
+                slot.insert(self.entry(id)?);
+            }
         }
+        // ... but take the per-profile read locks in sorted id order,
+        // one per distinct profile, so concurrent multi-profile
+        // requests cannot deadlock (and a duplicated id is never
+        // read-locked twice on one thread).
+        let mut unique: Vec<i64> = entry_by_id.keys().copied().collect();
+        unique.sort_unstable();
+        let guards: Vec<RwLockReadGuard<'_, Profile>> = unique
+            .iter()
+            .map(|id| entry_by_id[id].profile.read().unwrap())
+            .collect();
+        let inputs: Vec<&Profile> = ids
+            .iter()
+            .map(|id| &*guards[unique.binary_search(id).expect("id was resolved")])
+            .collect();
         let agg = aggregate(&inputs, &metric).map_err(|i| {
             (
                 codes::UNKNOWN_ENTITY,
                 format!("profile {} lacks metric {metric:?}", ids[i]),
             )
         })?;
+        drop(inputs);
+        drop(guards);
         let node_count = agg.profile.node_count();
         let series: Vec<Vec<f64>> = (0..node_count)
             .map(|i| agg.series(NodeId::from_index(i)).to_vec())
@@ -469,8 +681,7 @@ impl EvpServer {
             .iter()
             .map(|m| Value::from(m.name.clone()))
             .collect();
-        let new_id = self.register(agg.profile);
-        self.series.insert(new_id, series);
+        let new_id = self.register(agg.profile, Some(series));
         Ok(Value::object([
             ("profileId", Value::Int(new_id)),
             ("profiles", Value::Int(ids.len() as i64)),
@@ -481,7 +692,7 @@ impl EvpServer {
 
     /// Differentiation over the wire (§V-A-c): registers the union tree
     /// (with before/after/delta channels) as a new profile.
-    fn diff(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+    fn diff(&self, params: &Value) -> Result<Value, (i64, String)> {
         let base = params
             .get("baseId")
             .and_then(Value::as_i64)
@@ -495,14 +706,26 @@ impl EvpServer {
             .and_then(Value::as_str)
             .ok_or((codes::INVALID_PARAMS, "missing metric".to_owned()))?
             .to_owned();
-        let first = self
-            .profiles
-            .get(&base)
-            .ok_or((codes::UNKNOWN_PROFILE, format!("profile {base} not loaded")))?;
-        let second = self.profiles.get(&other).ok_or((
-            codes::UNKNOWN_PROFILE,
-            format!("profile {other} not loaded"),
-        ))?;
+        let base_entry = self.entry(base)?;
+        // Sorted-order locking, one guard per distinct profile — same
+        // deadlock-avoidance discipline as `aggregate`.
+        let other_entry;
+        let base_guard;
+        let other_guard;
+        let (first, second): (&Profile, &Profile) = if other == base {
+            base_guard = base_entry.profile.read().unwrap();
+            (&base_guard, &base_guard)
+        } else {
+            other_entry = self.entry(other)?;
+            if base < other {
+                base_guard = base_entry.profile.read().unwrap();
+                other_guard = other_entry.profile.read().unwrap();
+            } else {
+                other_guard = other_entry.profile.read().unwrap();
+                base_guard = base_entry.profile.read().unwrap();
+            }
+            (&base_guard, &other_guard)
+        };
         let d = diff(first, second, &metric, 0.0).map_err(|i| {
             (
                 codes::UNKNOWN_ENTITY,
@@ -527,7 +750,7 @@ impl EvpServer {
                 })
                 .collect::<Vec<_>>(),
         );
-        let new_id = self.register(d.profile.clone());
+        let new_id = self.register(d.profile.clone(), None);
         Ok(Value::object([
             ("profileId", Value::Int(new_id)),
             ("tags", tags),
@@ -538,9 +761,10 @@ impl EvpServer {
     /// cross-context links pane by pane. `position` selects which
     /// endpoint pane to lay out; `selection` holds the endpoints chosen
     /// in earlier panes.
-    fn correlated(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
-        let metric = self.metric(profile, params)?;
+    fn correlated(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
+        let metric = Self::metric(&profile, params)?;
         let kind = match params.get("kind").and_then(Value::as_str) {
             Some("useReuse") | None => ev_core::LinkKind::UseReuse,
             Some("redundantKilling") => ev_core::LinkKind::RedundantKilling,
@@ -572,7 +796,7 @@ impl EvpServer {
                 return Err((codes::UNKNOWN_ENTITY, "selection node out of range".to_owned()));
             }
         }
-        let view = ev_flame::CorrelatedView::new(profile, kind, metric);
+        let view = ev_flame::CorrelatedView::new(&profile, kind, metric);
         let endpoints: Value = view
             .endpoints(position, &selection)
             .into_iter()
@@ -609,8 +833,9 @@ impl EvpServer {
     /// The per-context histogram of the aggregate view (Fig. 4's hover):
     /// the value series of one node across the aggregated profiles, with
     /// its timeline classification.
-    fn histogram(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (id, profile) = self.profile(params)?;
+    fn histogram(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
         let node = params
             .get("node")
             .and_then(Value::as_i64)
@@ -618,7 +843,7 @@ impl EvpServer {
         if node < 0 || node as usize >= profile.node_count() {
             return Err((codes::UNKNOWN_ENTITY, format!("unknown node {node}")));
         }
-        let series = self.series.get(&id).ok_or((
+        let series = entry.series.as_ref().ok_or((
             codes::INVALID_PARAMS,
             "profile is not an aggregate".to_owned(),
         ))?;
@@ -630,86 +855,103 @@ impl EvpServer {
         ]))
     }
 
-    fn flame_graph(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
-        let metric = self.metric(profile, params)?;
+    fn flame_graph(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
+        let metric = Self::metric(&profile, params)?;
         let view = params
             .get("view")
             .and_then(Value::as_str)
             .unwrap_or("topDown");
-        let graph = match view {
-            "topDown" => FlameGraph::top_down(profile, metric),
-            "bottomUp" => FlameGraph::bottom_up(profile, metric),
-            "flat" => FlameGraph::flat(profile, metric),
-            other => {
-                return Err((
-                    codes::INVALID_PARAMS,
-                    format!("unknown view {other:?} (topDown|bottomUp|flat)"),
-                ))
-            }
-        };
+        if !matches!(view, "topDown" | "bottomUp" | "flat") {
+            return Err((
+                codes::INVALID_PARAMS,
+                format!("unknown view {view:?} (topDown|bottomUp|flat)"),
+            ));
+        }
         let limit = params
             .get("limit")
             .and_then(Value::as_i64)
             .unwrap_or(100_000)
             .max(0) as usize;
-        let rects: Value = graph
-            .rects()
-            .iter()
-            .take(limit)
-            .map(|r| {
-                Value::object([
-                    ("node", Value::Int(r.node.index() as i64)),
-                    ("depth", Value::Int(r.depth as i64)),
-                    ("x", Value::Float(r.x)),
-                    ("width", Value::Float(r.width)),
-                    ("label", Value::from(r.label.clone())),
-                    ("value", Value::Float(r.value)),
-                    ("self", Value::Float(r.self_value)),
-                    ("color", Value::from(r.color.to_hex())),
-                    ("mapped", Value::Bool(r.mapped)),
-                ])
-            })
-            .collect();
-        Ok(Value::object([
-            ("total", Value::Float(graph.total())),
-            ("maxDepth", Value::Int(graph.max_depth() as i64)),
-            ("elided", Value::Int(graph.elided() as i64)),
-            ("rects", rects),
-        ]))
+        // The response is memoized on profile *content* + metric +
+        // the full transform descriptor (view and limit shape the
+        // JSON), so a cached answer is byte-identical to a computed
+        // one and a mutated profile never aliases a stale entry.
+        let limit_tag = format!("limit:{limit}");
+        let key = ev_analysis::view_key(&profile, metric, &["flame", view, &limit_tag]);
+        let response = self.views.get_or_insert_with(key, || {
+            let graph = match view {
+                "topDown" => FlameGraph::top_down(&profile, metric),
+                "bottomUp" => FlameGraph::bottom_up(&profile, metric),
+                _ => FlameGraph::flat(&profile, metric),
+            };
+            let rects: Value = graph
+                .rects()
+                .iter()
+                .take(limit)
+                .map(|r| {
+                    Value::object([
+                        ("node", Value::Int(r.node.index() as i64)),
+                        ("depth", Value::Int(r.depth as i64)),
+                        ("x", Value::Float(r.x)),
+                        ("width", Value::Float(r.width)),
+                        ("label", Value::from(r.label.clone())),
+                        ("value", Value::Float(r.value)),
+                        ("self", Value::Float(r.self_value)),
+                        ("color", Value::from(r.color.to_hex())),
+                        ("mapped", Value::Bool(r.mapped)),
+                    ])
+                })
+                .collect();
+            Value::object([
+                ("total", Value::Float(graph.total())),
+                ("maxDepth", Value::Int(graph.max_depth() as i64)),
+                ("elided", Value::Int(graph.elided() as i64)),
+                ("rects", rects),
+            ])
+        });
+        Ok((*response).clone())
     }
 
-    fn tree_table(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
-        let metric = self.metric(profile, params)?;
+    fn tree_table(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
+        let metric = Self::metric(&profile, params)?;
         let depth = params
             .get("depth")
             .and_then(Value::as_i64)
             .unwrap_or(3)
             .max(1) as usize;
-        let mut table = ev_flame::TreeTable::new(profile, &[metric]);
-        table.expand_to_depth(depth);
-        let rows: Value = table
-            .rows()
-            .iter()
-            .map(|row| {
-                Value::object([
-                    ("node", Value::Int(row.node.index() as i64)),
-                    ("depth", Value::Int(row.depth as i64)),
-                    ("label", Value::from(row.label.clone())),
-                    ("inclusive", Value::Float(row.values[0].0)),
-                    ("exclusive", Value::Float(row.values[0].1)),
-                    ("expandable", Value::Bool(row.expandable)),
-                ])
-            })
-            .collect();
-        Ok(Value::object([("rows", rows)]))
+        let depth_tag = format!("depth:{depth}");
+        let key = ev_analysis::view_key(&profile, metric, &["treeTable", &depth_tag]);
+        let response = self.views.get_or_insert_with(key, || {
+            let mut table = ev_flame::TreeTable::new(&profile, &[metric]);
+            table.expand_to_depth(depth);
+            let rows: Value = table
+                .rows()
+                .iter()
+                .map(|row| {
+                    Value::object([
+                        ("node", Value::Int(row.node.index() as i64)),
+                        ("depth", Value::Int(row.depth as i64)),
+                        ("label", Value::from(row.label.clone())),
+                        ("inclusive", Value::Float(row.values[0].0)),
+                        ("exclusive", Value::Float(row.values[0].1)),
+                        ("expandable", Value::Bool(row.expandable)),
+                    ])
+                })
+                .collect();
+            Value::object([("rows", rows)])
+        });
+        Ok((*response).clone())
     }
 
     /// The mandatory action (§VI-B-a): resolve a frame to its source
     /// location so the editor can open, jump, and highlight.
-    fn code_link(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
+    fn code_link(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
         let node = params
             .get("node")
             .and_then(Value::as_i64)
@@ -732,8 +974,9 @@ impl EvpServer {
     }
 
     /// Code lens (§VI-B-b): per-line annotations for one file.
-    fn code_lens(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
+    fn code_lens(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
         let file = params
             .get("file")
             .and_then(Value::as_str)
@@ -775,8 +1018,9 @@ impl EvpServer {
     }
 
     /// Hover (§VI-B-b): all metric values attached to one source line.
-    fn hover(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
+    fn hover(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
         let file = params
             .get("file")
             .and_then(Value::as_str)
@@ -811,54 +1055,60 @@ impl EvpServer {
     }
 
     /// Floating window (§VI-B-b): global summary of the whole profile.
-    fn summary(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
-        let mut hottest: Vec<Value> = Vec::new();
-        if let Some(first) = profile.metrics().first() {
-            let metric = profile.metric_by_name(&first.name).expect("exists");
-            let view = MetricView::compute(profile, metric);
-            let mut by_self: Vec<(NodeId, f64)> = profile
-                .node_ids()
-                .map(|id| (id, view.exclusive(id)))
-                .collect();
-            by_self.sort_by(|a, b| b.1.total_cmp(&a.1));
-            hottest = by_self
-                .into_iter()
-                .take(5)
-                .filter(|&(_, v)| v > 0.0)
-                .map(|(id, v)| {
+    fn summary(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
+        let key = ev_analysis::view_key(&profile, MetricId::from_index(0), &["summary"]);
+        let response = self.views.get_or_insert_with(key, || {
+            let mut hottest: Vec<Value> = Vec::new();
+            if let Some(first) = profile.metrics().first() {
+                let metric = profile.metric_by_name(&first.name).expect("exists");
+                let view = MetricView::compute(&profile, metric);
+                let mut by_self: Vec<(NodeId, f64)> = profile
+                    .node_ids()
+                    .map(|id| (id, view.exclusive(id)))
+                    .collect();
+                by_self.sort_by(|a, b| b.1.total_cmp(&a.1));
+                hottest = by_self
+                    .into_iter()
+                    .take(5)
+                    .filter(|&(_, v)| v > 0.0)
+                    .map(|(id, v)| {
+                        Value::object([
+                            ("label", Value::from(profile.resolve_frame(id).name)),
+                            ("self", Value::Float(v)),
+                        ])
+                    })
+                    .collect();
+            }
+            let totals: Value = profile
+                .metrics()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let total = profile.total(MetricId::from_index(i));
                     Value::object([
-                        ("label", Value::from(profile.resolve_frame(id).name)),
-                        ("self", Value::Float(v)),
+                        ("metric", Value::from(m.name.clone())),
+                        ("total", Value::Float(total)),
+                        ("formatted", Value::from(m.unit.format(total))),
                     ])
                 })
                 .collect();
-        }
-        let totals: Value = profile
-            .metrics()
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                let total = profile.total(MetricId::from_index(i));
-                Value::object([
-                    ("metric", Value::from(m.name.clone())),
-                    ("total", Value::Float(total)),
-                    ("formatted", Value::from(m.unit.format(total))),
-                ])
-            })
-            .collect();
-        Ok(Value::object([
-            ("name", Value::from(profile.meta().name.clone())),
-            ("profiler", Value::from(profile.meta().profiler.clone())),
-            ("nodes", Value::Int(profile.node_count() as i64)),
-            ("links", Value::Int(profile.links().len() as i64)),
-            ("totals", totals),
-            ("hottest", Value::Array(hottest)),
-        ]))
+            Value::object([
+                ("name", Value::from(profile.meta().name.clone())),
+                ("profiler", Value::from(profile.meta().profiler.clone())),
+                ("nodes", Value::Int(profile.node_count() as i64)),
+                ("links", Value::Int(profile.links().len() as i64)),
+                ("totals", totals),
+                ("hottest", Value::Array(hottest)),
+            ])
+        });
+        Ok((*response).clone())
     }
 
-    fn search(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let (_, profile) = self.profile(params)?;
+    fn search(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let (_, entry) = self.profile_entry(params)?;
+        let profile = entry.profile.read().unwrap();
         let query = params
             .get("query")
             .and_then(Value::as_str)
@@ -889,9 +1139,9 @@ impl EvpServer {
     /// (evpf-hex, the same envelope `profile/open` accepts) so the
     /// recorder's contents can be examined in EasyView itself.
     /// `clear: true` drops the retained captures after reporting.
-    fn flight_recorder_rpc(&mut self, params: &Value) -> Result<Value, (i64, String)> {
-        let captures: Value = self
-            .recorder
+    fn flight_recorder_rpc(&self, params: &Value) -> Result<Value, (i64, String)> {
+        let mut recorder = self.recorder.lock().unwrap();
+        let captures: Value = recorder
             .captures()
             .map(|c| {
                 let deltas: Vec<(&str, Value)> = c
@@ -912,16 +1162,15 @@ impl EvpServer {
             .collect();
         let mut pairs = vec![
             ("captures", captures),
-            ("capacity", Value::Int(self.recorder.capacity() as i64)),
+            ("capacity", Value::Int(recorder.capacity() as i64)),
             (
                 "totalRecorded",
-                Value::Int(self.recorder.total_recorded() as i64),
+                Value::Int(recorder.total_recorded() as i64),
             ),
-            ("overwritten", Value::Int(self.recorder.overwritten() as i64)),
+            ("overwritten", Value::Int(recorder.overwritten() as i64)),
         ];
         if let Some(format) = params.get("export").and_then(Value::as_str) {
-            let spans: Vec<SpanRecord> = self
-                .recorder
+            let spans: Vec<SpanRecord> = recorder
                 .captures()
                 .flat_map(|c| c.spans.iter().copied())
                 .collect();
@@ -938,13 +1187,18 @@ impl EvpServer {
             pairs.push(("export", exported));
         }
         if params.get("clear").and_then(Value::as_bool) == Some(true) {
-            self.recorder.clear();
+            recorder.clear();
         }
         Ok(Value::object(pairs))
     }
 
-    /// Customization (§V-B): run an EVscript against the loaded profile.
-    fn script(&mut self, params: &Value) -> Result<Value, (i64, String)> {
+    /// Customization (§V-B): run an EVscript against the loaded
+    /// profile. Scripts may mutate the profile, so this takes the
+    /// profile's write lock — concurrent view requests on the same
+    /// profile wait; other profiles are unaffected. A mutation changes
+    /// the content fingerprint, so memoized views of the old state
+    /// never alias the new one.
+    fn script(&self, params: &Value) -> Result<Value, (i64, String)> {
         let id = params
             .get("profileId")
             .and_then(Value::as_i64)
@@ -954,20 +1208,53 @@ impl EvpServer {
             .and_then(Value::as_str)
             .ok_or((codes::INVALID_PARAMS, "missing source".to_owned()))?
             .to_owned();
-        let profile = self
-            .profiles
-            .get_mut(&id)
-            .ok_or((codes::UNKNOWN_PROFILE, format!("profile {id} not loaded")))?;
-        let output = ScriptHost::new(profile)
+        let entry = self.entry(id)?;
+        let mut profile = entry.profile.write().unwrap();
+        let output = ScriptHost::new(&mut profile)
             .run(&source)
             .map_err(|e| (codes::INTERNAL_ERROR, e.to_string()))?;
         Ok(Value::object([("stdout", Value::from(output.stdout))]))
     }
 }
 
+/// A cloneable, thread-shareable handle to one [`EvpServer`].
+///
+/// All server methods take `&self`, so the handle simply `Deref`s to
+/// the shared instance: clone it into as many session threads as
+/// needed and call [`EvpServer::handle_bytes`] (or
+/// [`EvpServer::handle`]) concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct SharedEvpServer {
+    inner: Arc<EvpServer>,
+}
+
+impl SharedEvpServer {
+    /// A shared server with no profiles loaded (options from the
+    /// environment, like [`EvpServer::new`]).
+    pub fn new() -> SharedEvpServer {
+        SharedEvpServer::with_options(ServerOptions::from_env())
+    }
+
+    /// A shared server with explicit options.
+    pub fn with_options(options: ServerOptions) -> SharedEvpServer {
+        SharedEvpServer {
+            inner: Arc::new(EvpServer::with_options(options)),
+        }
+    }
+}
+
+impl std::ops::Deref for SharedEvpServer {
+    type Target = EvpServer;
+
+    fn deref(&self) -> &EvpServer {
+        &self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
     use std::sync::{Mutex, MutexGuard};
 
     /// Serializes tests that toggle process-global tracing.
@@ -976,32 +1263,87 @@ mod tests {
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Serializes tests that mutate process-global environment
+    /// variables (same pattern as `tracing_lock`), so the suite stays
+    /// safe under the default parallel test runner.
+    fn env_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn small_profile() -> Profile {
+        use ev_core::{Frame, MetricDescriptor, MetricKind, MetricUnit};
+        let mut p = Profile::new("small");
+        let m = p.add_metric(MetricDescriptor::new(
+            "cpu",
+            MetricUnit::Count,
+            MetricKind::Exclusive,
+        ));
+        p.add_sample(
+            &[
+                Frame::function("main").with_source("main.c", 1),
+                Frame::function("work").with_source("work.c", 10),
+            ],
+            &[(m, 5.0)],
+        );
+        p.add_sample(&[Frame::function("main").with_source("main.c", 1)], &[(m, 2.0)]);
+        p
+    }
+
+    fn open_profile(server: &EvpServer, profile: &Profile) -> i64 {
+        server
+            .handle(&Request::new(1, "profile/open", profile_to_param(profile)))
+            .unwrap()
+            .outcome
+            .unwrap()
+            .get("profileId")
+            .and_then(Value::as_i64)
+            .unwrap()
+    }
+
     #[test]
     fn options_default_and_env_override() {
         assert_eq!(ServerOptions::default().slow_request_micros, 100_000);
-        // Process-global env: restore it so concurrently-constructed
-        // servers in other tests only ever see a *threshold* change
-        // (none of them assert slow-capture behavior).
-        std::env::set_var("EASYVIEW_SLOW_REQUEST_MS", "250");
-        let options = ServerOptions::from_env();
-        std::env::remove_var("EASYVIEW_SLOW_REQUEST_MS");
+        // The parse matrix goes through the injectable lookup — no
+        // process-global environment mutation, so it cannot race other
+        // tests constructing servers via `from_env`.
+        let options = ServerOptions::from_env_with(|name| {
+            assert_eq!(name, "EASYVIEW_SLOW_REQUEST_MS");
+            Some("250".to_owned())
+        });
         assert_eq!(options.slow_request_micros, 250_000);
-        std::env::set_var("EASYVIEW_SLOW_REQUEST_MS", "not-a-number");
-        let fallback = ServerOptions::from_env();
-        std::env::remove_var("EASYVIEW_SLOW_REQUEST_MS");
+        let fallback = ServerOptions::from_env_with(|_| Some("not-a-number".to_owned()));
         assert_eq!(fallback.slow_request_micros, 100_000);
+        let unset = ServerOptions::from_env_with(|_| None);
+        assert_eq!(unset.slow_request_micros, 100_000);
         let server = EvpServer::with_options(ServerOptions {
             slow_request_micros: 7,
             flight_capacity: 3,
             flight_max_spans: 10,
+            ..ServerOptions::default()
         });
         assert_eq!(server.options().slow_request_micros, 7);
         assert_eq!(server.flight_recorder().capacity(), 3);
     }
 
     #[test]
+    fn from_env_reads_the_real_environment() {
+        // The one test that mutates the env holds `env_lock` so a
+        // parallel run of any other env-mutating test cannot
+        // interleave; concurrently-constructed servers elsewhere only
+        // ever observe a *threshold* change (none assert slow-capture
+        // behavior).
+        let _guard = env_lock();
+        std::env::set_var("EASYVIEW_SLOW_REQUEST_MS", "250");
+        let options = ServerOptions::from_env();
+        std::env::remove_var("EASYVIEW_SLOW_REQUEST_MS");
+        assert_eq!(options.slow_request_micros, 250_000);
+        assert_eq!(ServerOptions::from_env().slow_request_micros, 100_000);
+    }
+
+    #[test]
     fn requests_bump_counters_and_per_method_histograms() {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         let requests_before = request_counter().get();
         let errors_before = error_counter().get();
         let init_before = method_histogram("initialize").count();
@@ -1045,7 +1387,7 @@ mod tests {
 
     #[test]
     fn meta_carries_monotone_request_seq() {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         let first = server
             .handle(&Request::new(1, "initialize", Value::Null))
             .unwrap();
@@ -1060,7 +1402,7 @@ mod tests {
 
     #[test]
     fn failed_requests_land_in_the_flight_recorder() {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         server.handle(&Request::new(1, "initialize", Value::Null));
         server.handle(&Request::new(2, "bogus/method", Value::Null));
         server.handle(&Request::new(
@@ -1081,7 +1423,7 @@ mod tests {
     fn flight_recorder_rpc_lists_exports_and_clears() {
         let _guard = tracing_lock();
         ev_trace::set_enabled(true);
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         server.handle(&Request::new(1, "bogus/method", Value::Null));
         ev_trace::set_enabled(false);
 
@@ -1153,7 +1495,7 @@ mod tests {
 
     #[test]
     fn slow_threshold_zero_captures_successes() {
-        let mut server = EvpServer::with_options(ServerOptions {
+        let server = EvpServer::with_options(ServerOptions {
             slow_request_micros: 0,
             ..ServerOptions::default()
         });
@@ -1180,13 +1522,300 @@ mod tests {
     fn hex_roundtrip() {
         let data = [0u8, 1, 0xab, 0xff];
         assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert_eq!(hex_encode(&data), "0001abff");
+        assert_eq!(hex_decode("0001ABff").unwrap(), data, "mixed case accepted");
         assert!(hex_decode("abc").is_err());
         assert!(hex_decode("zz").is_err());
     }
 
     #[test]
+    fn hex_decode_rejects_multibyte_utf8_without_panicking() {
+        // "✓a" is 4 bytes (even length), so it reaches digit decoding;
+        // byte-offset slicing would panic on the UTF-8 boundary.
+        assert_eq!(hex_decode("✓a"), Err("bad hex digit".to_owned()));
+        assert_eq!(hex_decode("ab✓abc"), Err("bad hex digit".to_owned()));
+        assert_eq!(hex_decode("é"), Err("bad hex digit".to_owned()));
+        // And over the wire: profile/open answers INVALID_PARAMS.
+        let server = EvpServer::new();
+        let err = server
+            .handle(&Request::new(
+                1,
+                "profile/open",
+                Value::object([
+                    ("format", Value::from("evpf-hex")),
+                    ("data", Value::from("✓a")),
+                ]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap_err();
+        assert_eq!(err.0, codes::INVALID_PARAMS);
+    }
+
+    #[test]
+    fn malformed_requests_echo_the_request_id() {
+        let server = EvpServer::new();
+        // Missing method, but the id is extractable: the error must
+        // carry id 7 so the client can correlate it.
+        let bad = encode_frame(&Value::object([
+            ("jsonrpc", Value::from("2.0")),
+            ("id", Value::Int(7)),
+        ]));
+        let (bytes, _) = server.handle_bytes(&bad).unwrap();
+        let (value, _) = decode_frame(&bytes).unwrap().unwrap();
+        let response = Response::from_value(&value).unwrap();
+        assert_eq!(response.id, Some(7));
+        assert_eq!(response.outcome.unwrap_err().0, codes::INVALID_REQUEST);
+        // No id at all: JSON-RPC null.
+        let bad = encode_frame(&Value::object([("jsonrpc", Value::from("2.0"))]));
+        let (bytes, _) = server.handle_bytes(&bad).unwrap();
+        let (value, _) = decode_frame(&bytes).unwrap().unwrap();
+        assert_eq!(value.get("id"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn aggregate_rejects_mixed_type_profile_ids() {
+        let server = EvpServer::new();
+        let err = server
+            .handle(&Request::new(
+                1,
+                "profile/aggregate",
+                Value::object([
+                    (
+                        "profileIds",
+                        Value::array([Value::Int(1), Value::from("two"), Value::Int(3)]),
+                    ),
+                    ("metric", Value::from("cpu")),
+                ]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap_err();
+        assert_eq!(err.0, codes::INVALID_PARAMS);
+        assert!(err.1.contains("integers"), "{}", err.1);
+    }
+
+    #[test]
+    fn sessions_budget_and_close() {
+        let server = EvpServer::with_options(ServerOptions::default());
+        let open = server
+            .handle(&Request::new(1, "session/open", Value::Null))
+            .unwrap()
+            .outcome
+            .unwrap();
+        let sid = open.get("sessionId").and_then(Value::as_i64).unwrap();
+        assert_eq!(server.session_count(), 1);
+        // A budgeted request under the session works.
+        let ok = server
+            .handle(&Request::new(
+                2,
+                "initialize",
+                Value::object([("sessionId", Value::Int(sid))]),
+            ))
+            .unwrap();
+        assert!(ok.outcome.is_ok());
+        // Unknown and ill-typed session ids are clean errors.
+        let err = server
+            .handle(&Request::new(
+                3,
+                "initialize",
+                Value::object([("sessionId", Value::Int(999))]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap_err();
+        assert_eq!(err.0, codes::UNKNOWN_SESSION);
+        let err = server
+            .handle(&Request::new(
+                4,
+                "initialize",
+                Value::object([("sessionId", Value::from("nope"))]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap_err();
+        assert_eq!(err.0, codes::INVALID_PARAMS);
+        // Closing twice: second close is UNKNOWN_SESSION.
+        let closed = server
+            .handle(&Request::new(
+                5,
+                "session/close",
+                Value::object([("sessionId", Value::Int(sid))]),
+            ))
+            .unwrap();
+        assert_eq!(closed.outcome.unwrap(), Value::Bool(true));
+        assert_eq!(server.session_count(), 0);
+        let err = server
+            .handle(&Request::new(
+                6,
+                "session/close",
+                Value::object([("sessionId", Value::Int(sid))]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap_err();
+        assert_eq!(err.0, codes::UNKNOWN_SESSION);
+    }
+
+    #[test]
+    fn exhausted_session_budget_returns_busy() {
+        let server = EvpServer::with_options(ServerOptions {
+            session_max_inflight: 1,
+            ..ServerOptions::default()
+        });
+        let open = server
+            .handle(&Request::new(1, "session/open", Value::Null))
+            .unwrap()
+            .outcome
+            .unwrap();
+        let sid = open.get("sessionId").and_then(Value::as_i64).unwrap();
+        // Occupy the single budget slot as a concurrent request would.
+        let session = server
+            .sessions
+            .read()
+            .unwrap()
+            .get(&(sid as u64))
+            .cloned()
+            .unwrap();
+        session.inflight.fetch_add(1, Ordering::AcqRel);
+        let err = server
+            .handle(&Request::new(
+                2,
+                "initialize",
+                Value::object([("sessionId", Value::Int(sid))]),
+            ))
+            .unwrap()
+            .outcome
+            .unwrap_err();
+        assert_eq!(err.0, codes::BUSY);
+        // Anonymous requests are not budgeted.
+        assert!(server
+            .handle(&Request::new(3, "initialize", Value::Null))
+            .unwrap()
+            .outcome
+            .is_ok());
+        // Releasing the slot un-wedges the session (the refused
+        // request must not have leaked its reservation).
+        session.inflight.fetch_sub(1, Ordering::AcqRel);
+        assert!(server
+            .handle(&Request::new(
+                4,
+                "initialize",
+                Value::object([("sessionId", Value::Int(sid))]),
+            ))
+            .unwrap()
+            .outcome
+            .is_ok());
+        assert_eq!(session.inflight.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn shared_server_serves_identical_views_across_threads() {
+        let server = SharedEvpServer::with_options(ServerOptions::default());
+        let id = open_profile(&server, &small_profile());
+        let params = Value::object([
+            ("profileId", Value::Int(id)),
+            ("metric", Value::from("cpu")),
+            ("view", Value::from("topDown")),
+        ]);
+        let reference = server
+            .handle(&Request::new(1, "profile/flameGraph", params.clone()))
+            .unwrap()
+            .outcome
+            .unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let server = server.clone();
+                let params = params.clone();
+                let reference = &reference;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        let got = server
+                            .handle(&Request::new(t * 100 + i, "profile/flameGraph", params.clone()))
+                            .unwrap()
+                            .outcome
+                            .unwrap();
+                        assert_eq!(&got, reference);
+                    }
+                });
+            }
+        });
+        let stats = server.view_cache_stats();
+        assert_eq!(stats.misses, 1, "the layout ran once");
+        assert!(
+            stats.hits + stats.coalesced >= 32,
+            "everything else was served from the shared cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_keep_request_scoped_observability() {
+        let _guard = tracing_lock();
+        ev_trace::set_enabled(true);
+        let _ = ev_trace::take_spans();
+        let server = EvpServer::with_options(ServerOptions {
+            slow_request_micros: u64::MAX,
+            ..ServerOptions::default()
+        });
+        let noisy_param = profile_to_param(&small_profile());
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // A noisy neighbor: opens profiles in a tight loop, each
+            // one recording spans and bumping flate/wire counters on
+            // its own thread.
+            let noisy_server = &server;
+            let noisy_param = &noisy_param;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 1_000;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let opened = noisy_server
+                        .handle(&Request::new(i, "profile/open", noisy_param.clone()))
+                        .unwrap();
+                    assert!(opened.outcome.is_ok());
+                }
+            });
+            // Meanwhile: initialize records exactly one span (the
+            // ide.request root) every time. Under the old global
+            // span_count() subtraction this flaked, absorbing the
+            // neighbor's spans.
+            for i in 0..100 {
+                let meta = server
+                    .handle(&Request::new(i, "initialize", Value::Null))
+                    .unwrap()
+                    .meta
+                    .unwrap();
+                assert_eq!(meta.spans, 1, "request-scoped span count");
+            }
+            // A failing request's flight capture must carry only this
+            // thread's counter deltas — none of the neighbor's
+            // decode-path counters.
+            let err = server
+                .handle(&Request::new(901, "bogus/method", Value::Null))
+                .unwrap();
+            assert!(err.outcome.is_err());
+            stop.store(true, Ordering::Relaxed);
+        });
+        ev_trace::set_enabled(false);
+        let _ = ev_trace::take_spans();
+        let recorder = server.flight_recorder();
+        let cap = recorder
+            .captures()
+            .find(|c| c.label == "bogus/method")
+            .expect("failure captured");
+        assert!(
+            cap.counter_deltas
+                .iter()
+                .all(|&(name, _)| !name.starts_with("flate.") && !name.starts_with("wire.")),
+            "neighbor's decode counters leaked into the capture: {:?}",
+            cap.counter_deltas
+        );
+    }
+
+    #[test]
     fn unknown_method() {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         let response = server
             .handle(&Request::new(1, "bogus/method", Value::Null))
             .unwrap();
@@ -1198,7 +1827,7 @@ mod tests {
 
     #[test]
     fn notifications_get_no_response() {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         let note = Request {
             id: None,
             method: "initialized".to_owned(),
@@ -1209,7 +1838,7 @@ mod tests {
 
     #[test]
     fn unknown_profile_error_code() {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         let response = server
             .handle(&Request::new(
                 1,
@@ -1222,12 +1851,13 @@ mod tests {
 
     #[test]
     fn initialize_lists_capabilities() {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         let response = server
             .handle(&Request::new(1, "initialize", Value::Null))
             .unwrap();
         let result = response.outcome.unwrap();
         let caps = result.get("capabilities").unwrap().as_array().unwrap();
         assert!(caps.iter().any(|c| c.as_str() == Some("profile/codeLink")));
+        assert!(caps.iter().any(|c| c.as_str() == Some("session/open")));
     }
 }

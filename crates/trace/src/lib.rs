@@ -18,8 +18,8 @@
 //!   atomic load and an early return: no clock read, no id allocation,
 //!   no heap traffic (asserted by a counting-allocator test). Counters
 //!   stay live so surfaces like `easyview stats` work without tracing,
-//!   but a counter bump is a single relaxed `fetch_add` on a cached
-//!   handle.
+//!   but a disabled-path counter bump is one relaxed `fetch_add` plus
+//!   one relaxed load on a cached handle.
 //! * **Determinism-preserving.** Instrumentation only *records*; it
 //!   never reorders or gates work, so the `--threads` bit-identical
 //!   output contract of `ev-par` is untouched.
@@ -37,9 +37,12 @@
 //!
 //! For request-scoped observability, [`start_capture`] opens a
 //! thread-local window that routes completing spans into the capture
-//! instead of the global collector, and [`FlightRecorder`] retains the
-//! harvested trees of slow or failed requests in a bounded ring with
-//! per-request counter deltas from [`snapshot_metrics`].
+//! instead of the global collector and mirrors this thread's counter
+//! bumps into the same window
+//! ([`SpanCapture::finish_with_counters`]), so concurrent requests on
+//! other threads cannot contaminate either; [`FlightRecorder`] retains
+//! the harvested trees of slow or failed requests in a bounded ring
+//! with those per-request counter deltas.
 //!
 //! # Examples
 //!

@@ -7,6 +7,7 @@
 //! recording is disabled — they back always-on surfaces such as
 //! `easyview stats` and the view-cache counters.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,9 +31,17 @@ impl Counter {
     }
 
     /// Adds `n`.
+    ///
+    /// When tracing is enabled the bump is also mirrored into the
+    /// thread's active counter-capture window, if one is open (see
+    /// [`crate::start_capture`]); when disabled the cost stays one
+    /// relaxed `fetch_add` plus one relaxed load.
     #[inline]
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
+        if crate::enabled() {
+            capture_add(self.name, n);
+        }
     }
 
     /// Adds one.
@@ -45,6 +54,76 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+}
+
+/// Per-thread counter-capture window. While open, every counter bump
+/// made *on this thread* is mirrored into a local delta vector, giving
+/// an exact request-scoped view that cannot be contaminated by
+/// concurrent requests on other threads (unlike a global
+/// snapshot-subtract). Requests touch a handful of distinct counters,
+/// so a linear scan beats a map.
+struct CounterWindow {
+    active: bool,
+    deltas: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static COUNTER_WINDOW: RefCell<CounterWindow> = const {
+        RefCell::new(CounterWindow { active: false, deltas: Vec::new() })
+    };
+}
+
+/// Mirrors a bump into the thread's capture window, if one is open.
+/// Outlined: the hot path in [`Counter::add`] pays only the
+/// `enabled()` load when tracing is off.
+#[cold]
+fn capture_add(name: &'static str, n: u64) {
+    COUNTER_WINDOW.with(|w| {
+        let mut w = w.borrow_mut();
+        if !w.active {
+            return;
+        }
+        match w.deltas.iter_mut().find(|(m, _)| *m == name) {
+            Some(slot) => slot.1 += n,
+            None => w.deltas.push((name, n)),
+        }
+    });
+}
+
+/// Opens this thread's counter-capture window. Returns `false` (and
+/// changes nothing) if one is already open — capture windows are
+/// exclusive per thread, mirroring span capture.
+pub(crate) fn begin_counter_capture() -> bool {
+    COUNTER_WINDOW.with(|w| {
+        let mut w = w.borrow_mut();
+        if w.active {
+            return false;
+        }
+        w.active = true;
+        w.deltas.clear();
+        true
+    })
+}
+
+/// Closes this thread's counter-capture window and returns the deltas
+/// accumulated while it was open, sorted by counter name.
+pub(crate) fn end_counter_capture() -> Vec<(&'static str, u64)> {
+    COUNTER_WINDOW.with(|w| {
+        let mut w = w.borrow_mut();
+        w.active = false;
+        let mut deltas = std::mem::take(&mut w.deltas);
+        deltas.sort_unstable_by_key(|&(name, _)| name);
+        deltas
+    })
+}
+
+/// Closes this thread's counter-capture window, discarding the deltas.
+pub(crate) fn abort_counter_capture() {
+    COUNTER_WINDOW.with(|w| {
+        let mut w = w.borrow_mut();
+        w.active = false;
+        w.deltas.clear();
+    });
 }
 
 /// A log-scale (power-of-two bucketed) histogram of `u64` samples.

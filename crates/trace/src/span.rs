@@ -137,6 +137,10 @@ pub struct SpanCapture {
 /// routed into the capture instead of the global collector, so a
 /// request handler can harvest exactly its own span tree without
 /// draining (or racing with) other threads' [`take_spans`] traffic.
+/// Counter bumps made on this thread are mirrored into the same
+/// window (see [`SpanCapture::finish_with_counters`]), giving
+/// request-scoped counter deltas that concurrent requests on other
+/// threads cannot contaminate.
 ///
 /// Inert — no allocation, no thread-local traffic beyond one borrow —
 /// when tracing is disabled or a capture is already open on this
@@ -151,6 +155,7 @@ pub fn start_capture() -> SpanCapture {
             return SpanCapture { active: false };
         }
         buf.capturing = true;
+        crate::metrics::begin_counter_capture();
         SpanCapture { active: true }
     })
 }
@@ -165,24 +170,36 @@ impl SpanCapture {
     /// Closes the window and returns the spans that completed inside
     /// it, sorted by `(start_ns, id)` like [`take_spans`]. Returns an
     /// empty (unallocated) vector for an inert window.
-    pub fn finish(mut self) -> Vec<SpanRecord> {
+    pub fn finish(self) -> Vec<SpanRecord> {
+        self.finish_with_counters().0
+    }
+
+    /// Closes the window and returns both the spans that completed
+    /// inside it (sorted like [`take_spans`]) and the counter deltas
+    /// accumulated *on this thread* while the window was open, sorted
+    /// by counter name. Both are empty (unallocated) for an inert
+    /// window.
+    pub fn finish_with_counters(mut self) -> (Vec<SpanRecord>, Vec<(&'static str, u64)>) {
         if !self.active {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         }
         self.active = false;
-        BUF.with(|buf| {
+        let counters = crate::metrics::end_counter_capture();
+        let spans = BUF.with(|buf| {
             let mut buf = buf.borrow_mut();
             buf.capturing = false;
             let mut spans = std::mem::take(&mut buf.captured);
             spans.sort_by_key(|r| (r.start_ns, r.id));
             spans
-        })
+        });
+        (spans, counters)
     }
 }
 
 impl Drop for SpanCapture {
     fn drop(&mut self) {
         if self.active {
+            crate::metrics::abort_counter_capture();
             BUF.with(|buf| {
                 let mut buf = buf.borrow_mut();
                 buf.capturing = false;
@@ -343,6 +360,49 @@ mod tests {
         crate::set_enabled(false);
         let _ = take_spans();
         assert!(outer_spans.iter().any(|s| s.name == "test.cap.nested"));
+    }
+
+    #[test]
+    fn capture_scopes_counter_deltas_to_this_thread() {
+        let _guard = crate::tests::collector_lock();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        let c = crate::counter("test.capcnt.a");
+        c.inc(); // outside the window: not captured
+        let cap = start_capture();
+        c.add(3);
+        crate::counter("test.capcnt.b").add(2);
+        c.add(4); // repeated bumps merge into one delta
+        std::thread::spawn(|| crate::counter("test.capcnt.a").add(100))
+            .join()
+            .unwrap();
+        let (spans, counters) = cap.finish_with_counters();
+        crate::set_enabled(false);
+        let _ = take_spans();
+        assert!(spans.is_empty());
+        // Sorted by name; the other thread's bump of test.capcnt.a is
+        // invisible here (it still lands in the global counter).
+        assert_eq!(counters, vec![("test.capcnt.a", 7), ("test.capcnt.b", 2)]);
+        assert!(crate::counter_value("test.capcnt.a") >= 108);
+    }
+
+    #[test]
+    fn dropped_capture_discards_counters_too() {
+        let _guard = crate::tests::collector_lock();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        {
+            let cap = start_capture();
+            assert!(cap.is_active());
+            crate::counter("test.capcnt.dropped").inc();
+        }
+        // The dropped window's deltas are gone; a fresh window starts
+        // empty.
+        let cap = start_capture();
+        let (_, counters) = cap.finish_with_counters();
+        crate::set_enabled(false);
+        let _ = take_spans();
+        assert!(counters.is_empty(), "{counters:?}");
     }
 
     #[test]

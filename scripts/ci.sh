@@ -133,16 +133,19 @@ git checkout -- BENCH_ingest.json 2>/dev/null || true
 
 echo "== serve smoke =="
 # Runs the serve bench in quick mode: deterministic IDE session replay
-# against concurrent EVP servers (digest-checked), per-method latency
-# quantiles, and a flight-recorder chrome export that must re-import
-# through our own parser.
+# against ONE shared concurrent EVP server (per-session digest-checked
+# across thread counts), per-method latency quantiles, and a
+# flight-recorder chrome export that must re-import through our own
+# parser.
 rm -f BENCH_serve.json
 target/release/serve --quick --flight-out "$SMOKE_DIR/flight.trace.json" \
     || { echo "FAIL: serve bench (quick) failed" >&2; exit 1; }
 [ -s BENCH_serve.json ] \
     || { echo "FAIL: BENCH_serve.json missing or empty" >&2; exit 1; }
-grep -q '"schema": "ev-bench-serve/v1"' BENCH_serve.json \
+grep -q '"schema": "ev-bench-serve/v2"' BENCH_serve.json \
     || { echo "FAIL: BENCH_serve.json malformed (schema key missing)" >&2; exit 1; }
+grep -q '"coalesced"' BENCH_serve.json \
+    || { echo "FAIL: BENCH_serve.json misses the view-cache coalescing stats" >&2; exit 1; }
 grep -Eq '"ide.requests": [1-9]' BENCH_serve.json \
     || { echo "FAIL: BENCH_serve.json has no ide.requests count" >&2; exit 1; }
 grep -q '"ide.latency.profile/codeLink"' BENCH_serve.json \
@@ -153,6 +156,30 @@ grep -q '"ide.latency.profile/codeLink"' BENCH_serve.json \
 "$EV" info "$SMOKE_DIR/flight.trace.json" > /dev/null \
     || { echo "FAIL: flight-recorder chrome export does not re-import" >&2; exit 1; }
 git checkout -- BENCH_serve.json 2>/dev/null || true
+
+echo "== shared-server smoke =="
+# One shared EVP server, four deterministic editor sessions, replayed at
+# several worker-thread counts. Per-session response digests must be
+# identical regardless of how sessions are scheduled onto threads, the
+# view cache must observe at least one coalesced request, and a
+# malformed hex payload must come back as a JSON-RPC error, not a crash.
+"$EV" serve-smoke --threads 1 > "$SMOKE_DIR/smoke_t1.txt" \
+    || { echo "FAIL: serve-smoke --threads 1 failed" >&2; exit 1; }
+grep '^digests: ' "$SMOKE_DIR/smoke_t1.txt" > "$SMOKE_DIR/smoke_ref.txt" \
+    || { echo "FAIL: serve-smoke printed no digests line" >&2; exit 1; }
+for threads in 2 8; do
+    "$EV" serve-smoke --threads "$threads" > "$SMOKE_DIR/smoke_tn.txt" \
+        || { echo "FAIL: serve-smoke --threads $threads failed" >&2; exit 1; }
+    grep '^digests: ' "$SMOKE_DIR/smoke_tn.txt" > "$SMOKE_DIR/smoke_cmp.txt"
+    if ! diff "$SMOKE_DIR/smoke_ref.txt" "$SMOKE_DIR/smoke_cmp.txt" > /dev/null; then
+        echo "FAIL: per-session digests differ at --threads $threads" >&2
+        exit 1
+    fi
+done
+grep -Eq '^coalesced: [1-9]' "$SMOKE_DIR/smoke_t1.txt" \
+    || { echo "FAIL: serve-smoke observed no request coalescing" >&2; exit 1; }
+grep -q '^bad-hex: error -32602' "$SMOKE_DIR/smoke_t1.txt" \
+    || { echo "FAIL: malformed hex was not refused with INVALID_PARAMS" >&2; exit 1; }
 
 echo "== script engine smoke =="
 # The bytecode VM and the tree-walking reference interpreter must agree

@@ -89,7 +89,7 @@ property! {
     }
 
     fn evp_server_never_panics_on_arbitrary_bytes(data in vec(any_u8(), 0..512)) {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         // Arbitrary bytes: either an error or a partial-frame wait, never
         // a panic.
         let _ = server.handle_bytes(&data);
@@ -100,7 +100,7 @@ property! {
         id in any_i64(),
         junk in string_from("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", 0..17),
     ) {
-        let mut server = EvpServer::new();
+        let server = EvpServer::new();
         let request = ev_json::Value::object([
             ("jsonrpc", ev_json::Value::from("2.0")),
             ("id", ev_json::Value::Int(id)),
